@@ -1,0 +1,124 @@
+// Benchmarks regenerating the paper's tables and figures through the
+// testing.B harness. Each benchmark wraps one experiment from
+// internal/bench; `go test -bench=. -benchmem` reproduces the whole
+// evaluation section. Reported wall times measure the reproduction
+// harness itself; the experiment's virtual-time results are printed by
+// cmd/haocl-bench.
+package haocl_test
+
+import (
+	"io"
+	"testing"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/apps"
+	"github.com/haocl-project/haocl/internal/apps/matmul"
+	"github.com/haocl-project/haocl/internal/bench"
+)
+
+// BenchmarkTable1Workloads regenerates Table I.
+func BenchmarkTable1Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFig2Series measures one benchmark's Fig. 2 sweep.
+func benchFig2Series(b *testing.B, caseIdx int) {
+	b.Helper()
+	opts := bench.Fig2Options{
+		GPUCounts:    []int{1, 4, 16},
+		FPGACounts:   []int{1, 4},
+		HeteroMixes:  [][2]int{{4, 2}},
+		SnuCLDCounts: []int{16},
+	}
+	c := bench.Cases()[caseIdx]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig2App(c, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2EndToEnd* regenerate the per-benchmark series of Fig. 2.
+func BenchmarkFig2EndToEndMatrixMul(b *testing.B) { benchFig2Series(b, 0) }
+func BenchmarkFig2EndToEndCFD(b *testing.B)       { benchFig2Series(b, 1) }
+func BenchmarkFig2EndToEndKNN(b *testing.B)       { benchFig2Series(b, 2) }
+func BenchmarkFig2EndToEndBFS(b *testing.B)       { benchFig2Series(b, 3) }
+func BenchmarkFig2EndToEndSpMV(b *testing.B)      { benchFig2Series(b, 4) }
+
+// BenchmarkFig2Hetero regenerates the §IV-C heterogeneity evaluation
+// (MatrixMul data-partitioned and SpMV stage-pipelined on hybrid
+// GPU+FPGA clusters).
+func BenchmarkFig2Hetero(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Hetero(io.Discard, [][2]int{{2, 1}, {4, 2}, {8, 4}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Breakdown regenerates the §IV-D breakdown analysis.
+func BenchmarkFig3Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, size := range []int{1000, 4000, 10000} {
+			for _, gpus := range []int{2, 4, 9} {
+				if _, err := bench.Fig3Cell(size, gpus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkOverheadSingleNode regenerates the §IV-B overhead comparison.
+func BenchmarkOverheadSingleNode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Overhead(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostProgramMatMul measures one full OpenCL host-program round
+// trip (context, build, buffers, launch, read-back) through the public
+// API on a 4-GPU cluster — the per-run cost of the reproduction harness.
+func BenchmarkHostProgramMatMul(b *testing.B) {
+	lc, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
+		UserID:      "bench",
+		GPUNodes:    4,
+		Bitstreams:  apps.Bitstreams(),
+		Kernels:     bench.Registry(),
+		ExecWorkers: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := matmul.Run(lc.Platform, matmul.Config{
+			LogicalN: 2000,
+			FuncN:    32,
+			Devices:  lc.Platform.Devices(haocl.GPU),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablation suite
+// (DESIGN.md): chain broadcast vs star, weighted vs equal hetero
+// partitioning, nnz-balanced vs naive SpMV splits, and the scheduler
+// policy comparison.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Ablations(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command haocl-bench regenerates the tables and figures of the paper's
+// evaluation section (§IV) on simulated clusters.
+//
+// Usage:
+//
+//	haocl-bench                 # everything
+//	haocl-bench -exp table1     # Table I benchmark inventory
+//	haocl-bench -exp fig2       # end-to-end speedups, all five benchmarks
+//	haocl-bench -exp hetero     # §IV-C heterogeneity evaluation
+//	haocl-bench -exp fig3       # §IV-D MatrixMul breakdown analysis
+//	haocl-bench -exp overhead   # §IV-B single-node overhead
+//	haocl-bench -exp ablation   # design-choice ablations (DESIGN.md)
+//	haocl-bench -exp fig2 -quick  # reduced sweeps
+//
+// All reported durations are virtual time from the calibrated device and
+// network models; see DESIGN.md §1 for the methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/haocl-project/haocl/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "haocl-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("haocl-bench", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, all")
+		quick = fs.Bool("quick", false, "reduced sweeps for a fast look")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := bench.DefaultFig2Options()
+	mixes := [][2]int{{2, 1}, {4, 2}, {8, 4}, {16, 4}}
+	if *quick {
+		opts = bench.Fig2Options{
+			GPUCounts:    []int{1, 4, 16},
+			FPGACounts:   []int{1, 4},
+			HeteroMixes:  [][2]int{{4, 2}},
+			SnuCLDCounts: []int{1, 16},
+		}
+		mixes = [][2]int{{2, 1}, {8, 4}}
+	}
+
+	w := os.Stdout
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			return bench.Table1(w)
+		case "fig2":
+			return bench.Fig2(w, opts)
+		case "hetero":
+			return bench.Hetero(w, mixes)
+		case "fig3":
+			return bench.Fig3(w)
+		case "overhead":
+			return bench.Overhead(w)
+		case "ablation":
+			return bench.Ablations(w)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if *exp != "all" {
+		return runOne(*exp)
+	}
+	for _, name := range []string{"table1", "overhead", "fig2", "hetero", "fig3", "ablation"} {
+		if err := runOne(name); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

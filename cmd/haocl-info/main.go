@@ -1,0 +1,58 @@
+// Command haocl-info is the clinfo of a HaoCL cluster: it connects to
+// every node in a cluster configuration and lists the devices the unified
+// platform exposes, with their model parameters and live status.
+//
+// Usage:
+//
+//	haocl-info -config cluster.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	haocl "github.com/haocl-project/haocl"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "haocl-info:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("haocl-info", flag.ContinueOnError)
+	configPath := fs.String("config", "cluster.json", "cluster configuration file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := haocl.LoadClusterConfig(*configPath)
+	if err != nil {
+		return err
+	}
+	p, err := haocl.Connect(cfg, haocl.WithClientName("haocl-info"))
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	if err := p.PollStatus(); err != nil {
+		return err
+	}
+
+	devices := p.Devices(haocl.AnyDevice)
+	fmt.Printf("HaoCL platform: %d node(s), %d device(s)\n\n", len(cfg.Nodes), len(devices))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DEVICE\tTYPE\tNAME\tCUs\tCLOCK\tMEM\tPEAK\tBW\tTDP\tSHARED")
+	for _, d := range devices {
+		info := d.Info()
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%dMHz\t%dGiB\t%.0fGF\t%.0fGB/s\t%.0fW\t%v\n",
+			d.Key(), info.Type, info.Name, info.ComputeUnits, info.ClockMHz,
+			info.GlobalMemBytes>>30, info.PeakGFLOPS, info.MemBWGBps,
+			info.TDPWatts, info.Shared)
+	}
+	return tw.Flush()
+}

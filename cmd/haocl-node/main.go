@@ -1,0 +1,128 @@
+// Command haocl-node runs one HaoCL Node Management Process: the daemon
+// that owns a device node's accelerators and executes OpenCL API calls
+// forwarded from the host (paper §III-D).
+//
+// Usage:
+//
+//	haocl-node -config cluster.json -name gpu-00
+//	haocl-node -listen :7010 -devices gpu,cpu -name dev-node
+//
+// With -config, the node reads its name, address and device list from the
+// shared cluster configuration file; with -listen/-devices it is
+// self-describing. Every benchmark kernel from internal/apps is available
+// as a pre-built device binary, mirroring the paper's FPGA deployment
+// model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/haocl-project/haocl/internal/apps"
+	"github.com/haocl-project/haocl/internal/bench"
+	"github.com/haocl-project/haocl/internal/cluster"
+	"github.com/haocl-project/haocl/internal/device"
+	"github.com/haocl-project/haocl/internal/node"
+	"github.com/haocl-project/haocl/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "haocl-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("haocl-node", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "cluster configuration file (JSON)")
+		name       = fs.String("name", "", "this node's name (required with -config)")
+		listen     = fs.String("listen", "", "listen address when running without -config")
+		devices    = fs.String("devices", "gpu", "comma-separated device types (cpu,gpu,fpga) without -config")
+		workers    = fs.Int("workers", 0, "functional execution parallelism (0 = all cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec cluster.NodeSpec
+	switch {
+	case *configPath != "":
+		if *name == "" {
+			return fmt.Errorf("-name is required with -config")
+		}
+		cfg, err := cluster.Load(*configPath)
+		if err != nil {
+			return err
+		}
+		found := false
+		for _, n := range cfg.Nodes {
+			if n.Name == *name {
+				spec = n
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("node %q not in %s", *name, *configPath)
+		}
+	case *listen != "":
+		spec = cluster.NodeSpec{Name: *name, Addr: *listen}
+		if spec.Name == "" {
+			spec.Name = "node"
+		}
+		for _, t := range strings.Split(*devices, ",") {
+			spec.Devices = append(spec.Devices, cluster.DeviceSpec{
+				Type:       strings.TrimSpace(t),
+				Shared:     true,
+				Bitstreams: apps.Bitstreams(),
+			})
+		}
+	default:
+		return fmt.Errorf("either -config or -listen is required")
+	}
+
+	reg := bench.Registry()
+	icd := device.NewICD()
+	sim.RegisterDrivers(icd, reg)
+
+	devCfgs, err := spec.DeviceConfigs()
+	if err != nil {
+		return err
+	}
+	n, err := node.New(node.Options{
+		Name:        spec.Name,
+		Devices:     devCfgs,
+		ICD:         icd,
+		ExecWorkers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := n.Serve()
+	addr, err := srv.Listen(spec.Addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("node %q listening on %s with %d device(s), kernels: %v",
+		spec.Name, addr, len(n.Devices()), reg.Names())
+
+	done := make(chan struct{})
+	n.OnShutdown(func() { close(done) })
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-done:
+		log.Printf("node %q: shutdown requested by host", spec.Name)
+	case s := <-sigs:
+		log.Printf("node %q: %v", spec.Name, s)
+	}
+	return srv.Close()
+}

@@ -1,0 +1,76 @@
+// BFS-graph: Graph500-style multi-root breadth-first search across GPU
+// nodes. The graph replica reaches every node through the backbone's
+// pipelined chain broadcast (one host transfer plus a pipeline fill per
+// extra node, instead of one full transfer per node), and the source batch
+// is partitioned across devices — the configuration that gives BFS the
+// best scaling of the Table I suite in this reproduction.
+//
+//	go run ./examples/bfs-graph
+//	go run ./examples/bfs-graph -sources 512 -nodes 1,4,16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/apps/bfs"
+)
+
+func main() {
+	sources := flag.Int("sources", bfs.DefaultSources, "logical multi-root batch size")
+	nodes := flag.String("nodes", "1,2,4,8,16", "comma-separated GPU node counts")
+	flag.Parse()
+	if err := run(*sources, *nodes); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(sources int, nodeList string) error {
+	kernels := haocl.NewKernelRegistry()
+	bfs.RegisterKernels(kernels)
+
+	g := bfs.GenerateTorus3D(bfs.DefaultLogicalSide)
+	fmt.Printf("graph: 3D torus, %d vertices, %d directed edges (%d MB replica), %d sources\n\n",
+		g.V, g.E(), bfs.InputBytes(bfs.DefaultLogicalSide)>>20, sources)
+	fmt.Printf("%-6s %12s %12s %12s %9s\n", "nodes", "Broadcast+IO", "Compute", "Total", "speedup")
+
+	var base float64
+	for _, field := range strings.Split(nodeList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return fmt.Errorf("bad node count %q: %v", field, err)
+		}
+		lc, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
+			UserID:   "bfs-example",
+			GPUNodes: n,
+			Kernels:  kernels,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := bfs.Run(lc.Platform, bfs.Config{
+			LogicalSide: bfs.DefaultLogicalSide,
+			FuncSide:    6, // functional stand-in, verified per device
+			Sources:     sources,
+			Devices:     lc.Platform.Devices(haocl.GPU),
+		})
+		lc.Close()
+		if err != nil {
+			return err
+		}
+		total := res.Makespan.Seconds()
+		if base == 0 {
+			base = total
+		}
+		fmt.Printf("%-6d %11.3fs %11.3fs %11.3fs %8.2fx\n",
+			n, res.Transfer.Seconds()+res.DataCreate.Seconds(),
+			res.Compute.Seconds(), total, base/total)
+	}
+	fmt.Println("\nEach device traverses its share of the source batch on a local graph")
+	fmt.Println("replica; every traversal is verified against a sequential reference.")
+	return nil
+}

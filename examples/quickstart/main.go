@@ -1,0 +1,153 @@
+// Quickstart: the full OpenCL-style flow on a two-GPU-node HaoCL cluster.
+//
+// The host program below is an ordinary OpenCL application — discover
+// devices, build a program, create buffers, launch an NDRange, read the
+// result back — except that the two GPUs live on different (simulated)
+// cluster nodes behind the HaoCL wrapper library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	haocl "github.com/haocl-project/haocl"
+)
+
+const source = `
+__kernel void saxpy(const float alpha,
+                    __global const float* x,
+                    __global float* y,
+                    const int n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] = alpha * x[i] + y[i];
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Register the device-side implementation of the kernel, the role
+	// vendor compilers (or pre-built FPGA bitstreams) play on real nodes.
+	kernels := haocl.NewKernelRegistry()
+	kernels.MustRegister(&haocl.KernelSpec{
+		Name:    "saxpy",
+		NumArgs: 4,
+		Func: func(it *haocl.WorkItem, args []haocl.KernelArg) {
+			i := it.GlobalID(0)
+			if n := args[3].Int(); i >= n {
+				return
+			}
+			alpha := args[0].Float32()
+			x, y := args[1].Float32s(), args[2].Float32s()
+			y[i] = alpha*x[i] + y[i]
+		},
+		Cost: func(global [3]int, args []haocl.KernelArg) haocl.KernelCost {
+			n := int64(global[0])
+			return haocl.KernelCost{Flops: 2 * n, Bytes: 12 * n}
+		},
+	})
+
+	// Start an in-process cluster: two single-GPU nodes plus the host.
+	lc, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
+		UserID:   "quickstart",
+		GPUNodes: 2,
+		Kernels:  kernels,
+	})
+	if err != nil {
+		return err
+	}
+	defer lc.Close()
+	p := lc.Platform
+
+	gpus := p.Devices(haocl.GPU)
+	fmt.Printf("platform exposes %d GPU(s):\n", len(gpus))
+	for _, d := range gpus {
+		fmt.Printf("  %-12s %s\n", d.Key(), d.Info().Name)
+	}
+
+	ctx, err := p.CreateContext(gpus)
+	if err != nil {
+		return err
+	}
+	prog, err := ctx.CreateProgram(source)
+	if err != nil {
+		return err
+	}
+	if err := prog.Build(); err != nil {
+		return fmt.Errorf("%v\nbuild log:\n%s", err, prog.BuildLog())
+	}
+
+	const n = 1 << 16
+	x := make([]float32, n)
+	y := make([]float32, n)
+	for i := range x {
+		x[i] = float32(i)
+		y[i] = 1
+	}
+
+	// Split the vector across the two remote GPUs.
+	half := n / 2
+	for gi, dev := range gpus {
+		q, err := ctx.CreateQueue(dev)
+		if err != nil {
+			return err
+		}
+		bufX, err := ctx.CreateBuffer(4 * int64(half))
+		if err != nil {
+			return err
+		}
+		bufY, err := ctx.CreateBuffer(4 * int64(half))
+		if err != nil {
+			return err
+		}
+		lo := gi * half
+		if _, err := q.EnqueueWrite(bufX, 0, f32bytes(x[lo:lo+half])); err != nil {
+			return err
+		}
+		if _, err := q.EnqueueWrite(bufY, 0, f32bytes(y[lo:lo+half])); err != nil {
+			return err
+		}
+
+		k, err := prog.CreateKernel("saxpy")
+		if err != nil {
+			return err
+		}
+		for i, v := range []any{float32(2.0), bufX, bufY, int32(half)} {
+			if err := k.SetArg(i, v); err != nil {
+				return err
+			}
+		}
+		ev, err := q.EnqueueKernel(k, []int{half}, nil, nil, nil)
+		if err != nil {
+			return err
+		}
+		out, _, err := q.EnqueueRead(bufY, 0, 4*int64(half))
+		if err != nil {
+			return err
+		}
+		got := math.Float32frombits(binary.LittleEndian.Uint32(out[4:]))
+		fmt.Printf("%s: y[1] = %.1f (kernel ran %.1fµs of virtual device time)\n",
+			dev.Key(), got, float64(ev.Profile().End-ev.Profile().Start)/1e3)
+	}
+
+	m := p.Metrics()
+	fmt.Printf("\nvirtual-time accounting: transfer=%.3fms compute=%.3fms makespan=%.3fms\n",
+		m.Transfer.Seconds()*1e3, m.Compute().Seconds()*1e3, float64(m.Makespan)/1e6)
+	return nil
+}
+
+func f32bytes(fs []float32) []byte {
+	out := make([]byte, 4*len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(f))
+	}
+	return out
+}

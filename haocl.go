@@ -1,0 +1,261 @@
+// Package haocl is a heterogeneity-aware, OpenCL-like programming framework
+// for clusters of CPUs, GPUs and FPGAs, reproducing the system described in
+// "HaoCL: Harnessing Large-scale Heterogeneous Processors Made Easy"
+// (ICDCS 2020).
+//
+// A HaoCL application is an ordinary OpenCL host program: it discovers
+// devices, creates a context, queues, buffers and kernels, and enqueues
+// NDRange launches. The difference is that the devices may live on any
+// node of a cluster — the wrapper library packages each API call into a
+// message, ships it over the asynchronous communication backbone to the
+// Node Management Process that owns the device, and transparently migrates
+// buffers between nodes. An extensible scheduling component places
+// task-graph kernels onto devices using built-in or user-supplied policies.
+//
+// The OpenCL object model maps directly:
+//
+//	clGetDeviceIDs            → Platform.Devices
+//	clCreateContext           → Platform.CreateContext
+//	clCreateCommandQueue      → Context.CreateQueue
+//	clCreateBuffer            → Context.CreateBuffer
+//	clCreateProgramWithSource → Context.CreateProgram
+//	clBuildProgram            → Program.Build
+//	clCreateKernel            → Program.CreateKernel
+//	clSetKernelArg            → Kernel.SetArg
+//	clEnqueueWriteBuffer      → Queue.EnqueueWrite
+//	clEnqueueNDRangeKernel    → Queue.EnqueueKernel
+//	clEnqueueReadBuffer       → Queue.EnqueueRead
+//	clFinish                  → Queue.Finish
+//	clGetEventProfilingInfo   → Event.Profile
+//
+// Kernel bodies are Go work-item functions registered against the kernel
+// names appearing in OpenCL C program source (see RegisterKernel); devices
+// are simulated with calibrated performance models, and all reported times
+// are virtual (see DESIGN.md).
+package haocl
+
+import (
+	"fmt"
+
+	"github.com/haocl-project/haocl/internal/cluster"
+	"github.com/haocl-project/haocl/internal/core"
+	"github.com/haocl-project/haocl/internal/profile"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/transport"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// Core object types, exposed as aliases so the full method sets defined in
+// the runtime are part of the public API.
+type (
+	// Device is one compute device somewhere in the cluster.
+	Device = core.DeviceRef
+	// Context is a cluster-wide OpenCL context.
+	Context = core.Context
+	// Queue is an in-order command queue on one device.
+	Queue = core.Queue
+	// Buffer is a cluster-wide memory object with automatic migration.
+	Buffer = core.Buffer
+	// Program is OpenCL C program source plus its per-node builds.
+	Program = core.Program
+	// Kernel is one kernel instantiated from a built program.
+	Kernel = core.Kernel
+	// Event is a completed command with virtual-time profiling info.
+	Event = core.Event
+	// TaskGraph is a schedulable DAG of kernel launches.
+	TaskGraph = core.TaskGraph
+	// GraphTask is one node of a TaskGraph.
+	GraphTask = core.GraphTask
+	// LaunchOptions tunes one kernel launch.
+	LaunchOptions = core.LaunchOptions
+	// LocalSpace requests per-work-group local memory in Kernel.SetArg.
+	LocalSpace = core.LocalSpace
+	// Metrics is the virtual-time accounting of a run.
+	Metrics = core.Metrics
+	// DeviceKey names a device cluster-wide.
+	DeviceKey = profile.DeviceKey
+	// Time is an instant of virtual time.
+	Time = vtime.Time
+	// Duration is a span of virtual time.
+	Duration = vtime.Duration
+)
+
+// DeviceType selects a hardware class.
+type DeviceType = protocol.DeviceType
+
+// Device types.
+const (
+	CPU  = protocol.DeviceCPU
+	GPU  = protocol.DeviceGPU
+	FPGA = protocol.DeviceFPGA
+)
+
+// AnyDevice matches every device type in Platform.Devices.
+const AnyDevice DeviceType = 0
+
+// Platform is the application's entry point: one connected HaoCL cluster
+// presenting all remote devices as a single OpenCL platform.
+type Platform struct {
+	rt *core.Runtime
+}
+
+// options collects Connect configuration.
+type options struct {
+	policy     Policy
+	clientName string
+	dialer     transport.Dialer
+}
+
+// Option configures Connect.
+type Option func(*options)
+
+// WithPolicy sets the default scheduling policy for task graphs.
+func WithPolicy(p Policy) Option {
+	return func(o *options) { o.policy = p }
+}
+
+// WithClientName labels this host program in node logs.
+func WithClientName(name string) Option {
+	return func(o *options) { o.clientName = name }
+}
+
+// withDialer overrides the transport (used by StartLocalCluster).
+func withDialer(d transport.Dialer) Option {
+	return func(o *options) { o.dialer = d }
+}
+
+// Connect dials every node in the cluster configuration over TCP and
+// returns the unified platform.
+func Connect(cfg *ClusterConfig, opts ...Option) (*Platform, error) {
+	o := options{dialer: transport.TCPDialer{}, clientName: "haocl-app"}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	internalCfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := core.Connect(core.Options{
+		Config:     internalCfg,
+		Dialer:     o.dialer,
+		Policy:     o.policy,
+		ClientName: o.clientName,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{rt: rt}, nil
+}
+
+// Devices lists cluster devices of the given type (AnyDevice for all),
+// the clGetDeviceIDs of the unified platform.
+func (p *Platform) Devices(t DeviceType) []*Device { return p.rt.Devices(t) }
+
+// CreateContext builds a context over devices anywhere in the cluster.
+func (p *Platform) CreateContext(devices []*Device) (*Context, error) {
+	return p.rt.CreateContext(devices)
+}
+
+// Metrics returns the run's virtual-time accounting so far.
+func (p *Platform) Metrics() Metrics { return p.rt.Metrics() }
+
+// ModelDataCreate charges host-side materialization of n bytes of input
+// data in the virtual-time model and returns the instant it completes.
+// Call it after generating benchmark inputs (Fig. 3 "DataCreate").
+func (p *Platform) ModelDataCreate(n int64) Time { return p.rt.ModelDataCreate(n) }
+
+// PollStatus refreshes the resource monitor from every node.
+func (p *Platform) PollStatus() error { return p.rt.PollStatus() }
+
+// TotalEnergy reports cluster energy consumed so far, in joules.
+func (p *Platform) TotalEnergy() (float64, error) { return p.rt.TotalEnergy() }
+
+// SetPolicy swaps the default scheduling policy.
+func (p *Platform) SetPolicy(pol Policy) { p.rt.SetPolicy(pol) }
+
+// Runtime exposes the underlying runtime for advanced integrations (the
+// experiment harness uses it; applications normally do not need it).
+func (p *Platform) Runtime() *core.Runtime { return p.rt }
+
+// Close disconnects from every node.
+func (p *Platform) Close() error { return p.rt.Close() }
+
+// DeviceSpec describes one device in a cluster configuration.
+type DeviceSpec struct {
+	// Type is "cpu", "gpu" or "fpga".
+	Type string
+	// Model selects a hardware preset; empty picks the type default.
+	Model string
+	// Shared permits concurrent users.
+	Shared bool
+	// Bitstreams lists pre-built kernels available on an FPGA.
+	Bitstreams []string
+}
+
+// NodeSpec describes one device node.
+type NodeSpec struct {
+	Name    string
+	Addr    string
+	Devices []DeviceSpec
+}
+
+// ClusterConfig describes a HaoCL cluster: the system configuration file
+// of paper §III-C.
+type ClusterConfig struct {
+	UserID string
+	Nodes  []NodeSpec
+}
+
+// LoadClusterConfig reads a JSON cluster configuration file.
+func LoadClusterConfig(path string) (*ClusterConfig, error) {
+	c, err := cluster.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternalConfig(c), nil
+}
+
+func fromInternalConfig(c *cluster.Config) *ClusterConfig {
+	out := &ClusterConfig{UserID: c.UserID}
+	for _, n := range c.Nodes {
+		ns := NodeSpec{Name: n.Name, Addr: n.Addr}
+		for _, d := range n.Devices {
+			ns.Devices = append(ns.Devices, DeviceSpec{
+				Type:       d.Type,
+				Model:      d.Model,
+				Shared:     d.Shared,
+				Bitstreams: d.Bitstreams,
+			})
+		}
+		out.Nodes = append(out.Nodes, ns)
+	}
+	return out
+}
+
+func (c *ClusterConfig) internal() (*cluster.Config, error) {
+	if c == nil {
+		return nil, fmt.Errorf("haocl: nil cluster config")
+	}
+	out := &cluster.Config{UserID: c.UserID}
+	for _, n := range c.Nodes {
+		ns := cluster.NodeSpec{Name: n.Name, Addr: n.Addr}
+		for _, d := range n.Devices {
+			ns.Devices = append(ns.Devices, cluster.DeviceSpec{
+				Type:       d.Type,
+				Model:      d.Model,
+				Shared:     d.Shared,
+				Bitstreams: d.Bitstreams,
+			})
+		}
+		out.Nodes = append(out.Nodes, ns)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ShutdownCluster asks every Node Management Process to drain and exit,
+// then disconnects — the orderly teardown for dedicated clusters started
+// with cmd/haocl-node.
+func (p *Platform) ShutdownCluster() error { return p.rt.ShutdownCluster() }

@@ -1,0 +1,167 @@
+package haocl_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	haocl "github.com/haocl-project/haocl"
+)
+
+const vecAddSource = `
+// Simple element-wise addition used by the public-API smoke tests.
+__kernel void vecadd(__global const float* a,
+                     __global const float* b,
+                     __global float* out,
+                     const int n) {
+    int i = get_global_id(0);
+    if (i < n) out[i] = a[i] + b[i];
+}
+`
+
+func vecAddRegistry(t *testing.T) *haocl.KernelRegistry {
+	t.Helper()
+	reg := haocl.NewKernelRegistry()
+	reg.MustRegister(&haocl.KernelSpec{
+		Name:    "vecadd",
+		NumArgs: 4,
+		Func: func(it *haocl.WorkItem, args []haocl.KernelArg) {
+			i := it.GlobalID(0)
+			n := args[3].Int()
+			if i >= n {
+				return
+			}
+			a, b, out := args[0].Float32s(), args[1].Float32s(), args[2].Float32s()
+			out[i] = a[i] + b[i]
+		},
+		Cost: func(global [3]int, args []haocl.KernelArg) haocl.KernelCost {
+			items := int64(global[0])
+			return haocl.KernelCost{Flops: items, Bytes: items * 12}
+		},
+	})
+	return reg
+}
+
+func floatsToBytes(fs []float32) []byte {
+	out := make([]byte, 4*len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(f))
+	}
+	return out
+}
+
+func bytesToFloats(bs []byte) []float32 {
+	out := make([]float32, len(bs)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(bs[i*4:]))
+	}
+	return out
+}
+
+// TestPublicAPIVecAdd walks the full OpenCL-style flow on a two-GPU-node
+// local cluster: context, queue, buffers, program build, kernel launch,
+// read-back, profiling.
+func TestPublicAPIVecAdd(t *testing.T) {
+	lc, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
+		UserID:      "tester",
+		GPUNodes:    2,
+		Kernels:     vecAddRegistry(t),
+		ExecWorkers: 1,
+	})
+	if err != nil {
+		t.Fatalf("StartLocalCluster: %v", err)
+	}
+	defer lc.Close()
+	p := lc.Platform
+
+	gpus := p.Devices(haocl.GPU)
+	if len(gpus) != 2 {
+		t.Fatalf("got %d GPUs, want 2", len(gpus))
+	}
+	ctx, err := p.CreateContext(gpus)
+	if err != nil {
+		t.Fatalf("CreateContext: %v", err)
+	}
+	prog, err := ctx.CreateProgram(vecAddSource)
+	if err != nil {
+		t.Fatalf("CreateProgram: %v", err)
+	}
+	if err := prog.Build(); err != nil {
+		t.Fatalf("Build: %v\n%s", err, prog.BuildLog())
+	}
+
+	const n = 1024
+	a := make([]float32, n)
+	b := make([]float32, n)
+	for i := range a {
+		a[i] = float32(i)
+		b[i] = float32(2 * i)
+	}
+
+	// Split the work across both GPU nodes, as the paper's MatrixMul
+	// heterogeneity experiment does with data portions (§IV-C).
+	half := n / 2
+	for gi, dev := range gpus {
+		q, err := ctx.CreateQueue(dev)
+		if err != nil {
+			t.Fatalf("CreateQueue[%d]: %v", gi, err)
+		}
+		bufA, err := ctx.CreateBuffer(4 * int64(half))
+		if err != nil {
+			t.Fatalf("CreateBuffer: %v", err)
+		}
+		bufB, _ := ctx.CreateBuffer(4 * int64(half))
+		bufOut, _ := ctx.CreateBuffer(4 * int64(half))
+
+		lo := gi * half
+		if _, err := q.EnqueueWrite(bufA, 0, floatsToBytes(a[lo:lo+half])); err != nil {
+			t.Fatalf("EnqueueWrite A: %v", err)
+		}
+		if _, err := q.EnqueueWrite(bufB, 0, floatsToBytes(b[lo:lo+half])); err != nil {
+			t.Fatalf("EnqueueWrite B: %v", err)
+		}
+
+		k, err := prog.CreateKernel("vecadd")
+		if err != nil {
+			t.Fatalf("CreateKernel: %v", err)
+		}
+		for i, v := range []any{bufA, bufB, bufOut, int32(half)} {
+			if err := k.SetArg(i, v); err != nil {
+				t.Fatalf("SetArg(%d): %v", i, err)
+			}
+		}
+		ev, err := q.EnqueueKernel(k, []int{half}, nil, nil, nil)
+		if err != nil {
+			t.Fatalf("EnqueueKernel: %v", err)
+		}
+		if ev.Profile().End <= ev.Profile().Start {
+			t.Errorf("kernel event has empty virtual interval: %+v", ev.Profile())
+		}
+
+		data, _, err := q.EnqueueRead(bufOut, 0, 4*int64(half))
+		if err != nil {
+			t.Fatalf("EnqueueRead: %v", err)
+		}
+		got := bytesToFloats(data)
+		for i, v := range got {
+			want := a[lo+i] + b[lo+i]
+			if v != want {
+				t.Fatalf("gpu %d element %d: got %v want %v", gi, i, v, want)
+			}
+		}
+		if _, err := q.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+	}
+
+	m := p.Metrics()
+	if m.Transfer <= 0 {
+		t.Errorf("expected network transfer time to be charged, got %v", m.Transfer)
+	}
+	if m.Compute() <= 0 {
+		t.Errorf("expected compute time to be charged, got %v", m.Compute())
+	}
+	if m.Makespan <= 0 {
+		t.Errorf("expected nonzero makespan")
+	}
+}

@@ -1,0 +1,148 @@
+// Package apps hosts the benchmark applications of the paper's Table I —
+// MatrixMul, CFD, kNN, BFS and SpMV, drawn from the Rodinia and SHOC
+// suites — implemented as HaoCL host programs with OpenCL C kernel sources
+// and registered Go kernel implementations.
+//
+// Each application separates its logical problem size (the paper's input
+// sets, used by the analytic cost models and the network/data-creation
+// charges) from its functional size (the data actually crunched to verify
+// correctness), following the substitution methodology in DESIGN.md §1.
+package apps
+
+import (
+	"fmt"
+
+	haocl "github.com/haocl-project/haocl"
+)
+
+// Result is one benchmark run's outcome in virtual time.
+type Result struct {
+	// App names the benchmark.
+	App string
+	// Devices is how many devices shared the work.
+	Devices int
+	// Makespan is the end-to-end virtual completion time.
+	Makespan haocl.Duration
+	// DataCreate, Transfer and Compute are the Fig. 3 breakdown
+	// components.
+	DataCreate haocl.Duration
+	Transfer   haocl.Duration
+	Compute    haocl.Duration
+	// Commands counts protocol round trips.
+	Commands int64
+	// Verified reports that functional output matched the sequential
+	// reference.
+	Verified bool
+}
+
+// String formats the result as one harness row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s dev=%-2d makespan=%9.3fs create=%8.3fs xfer=%8.3fs compute=%9.3fs verified=%v",
+		r.App, r.Devices, r.Makespan.Seconds(), r.DataCreate.Seconds(),
+		r.Transfer.Seconds(), r.Compute.Seconds(), r.Verified)
+}
+
+// CollectMetrics folds a platform's accumulated virtual-time accounting
+// into a result. Platforms are created fresh per run, so the metrics are
+// exactly this run's.
+func CollectMetrics(p *haocl.Platform, r *Result) {
+	m := p.Metrics()
+	r.Makespan = haocl.Duration(m.Makespan)
+	r.DataCreate = m.DataCreate
+	r.Transfer = m.Transfer
+	r.Compute = m.Compute()
+	r.Commands = m.Commands
+}
+
+// SplitRange divides n items into parts nearly equal chunks, returning the
+// start offsets (parts+1 entries, last = n). Chunks differ by at most one.
+func SplitRange(n, parts int) []int {
+	if parts <= 0 {
+		parts = 1
+	}
+	offsets := make([]int, parts+1)
+	base, rem := n/parts, n%parts
+	off := 0
+	for i := 0; i < parts; i++ {
+		offsets[i] = off
+		off += base
+		if i < rem {
+			off++
+		}
+	}
+	offsets[parts] = n
+	return offsets
+}
+
+// Sustained-rate derating used for host-side throughput estimates, matching
+// the scheduler's assumptions for unobserved devices.
+const (
+	estComputeEff = 0.35
+	estMemEff     = 0.50
+)
+
+// deviceRate estimates a device's item throughput for a workload with the
+// given per-item arithmetic and traffic, using the roofline of its
+// advertised peak rates.
+func deviceRate(d *haocl.Device, flopsPerItem, bytesPerItem float64) float64 {
+	info := d.Info()
+	computeSec := 0.0
+	if info.PeakGFLOPS > 0 {
+		computeSec = flopsPerItem / (info.PeakGFLOPS * estComputeEff * 1e9)
+	}
+	memSec := 0.0
+	if info.MemBWGBps > 0 {
+		memSec = bytesPerItem / (info.MemBWGBps * estMemEff * 1e9)
+	}
+	sec := computeSec
+	if memSec > sec {
+		sec = memSec
+	}
+	if sec <= 0 {
+		return 1
+	}
+	return 1 / sec
+}
+
+// WeightedOffsets divides n items across devices in proportion to each
+// device's estimated throughput for the workload, so a GPU+FPGA cluster is
+// not bottlenecked on its slowest member — the data-portioning side of the
+// paper's heterogeneity evaluation (§IV-C). For homogeneous devices it
+// degenerates to SplitRange.
+func WeightedOffsets(n int, devs []*haocl.Device, flopsPerItem, bytesPerItem float64) []int {
+	if len(devs) == 0 {
+		return []int{0, n}
+	}
+	rates := make([]float64, len(devs))
+	var total float64
+	for i, d := range devs {
+		rates[i] = deviceRate(d, flopsPerItem, bytesPerItem)
+		total += rates[i]
+	}
+	offsets := make([]int, len(devs)+1)
+	var acc float64
+	for i := range devs {
+		acc += rates[i]
+		offsets[i+1] = int(float64(n) * acc / total)
+	}
+	offsets[len(devs)] = n
+	// Monotonicity guard against rounding.
+	for i := 1; i <= len(devs); i++ {
+		if offsets[i] < offsets[i-1] {
+			offsets[i] = offsets[i-1]
+		}
+	}
+	return offsets
+}
+
+// Bitstreams lists every benchmark kernel name, for FPGA device configs
+// (the pre-built binaries of paper §III-D).
+func Bitstreams() []string {
+	return []string{
+		"matmul",
+		"spmv_partition", "spmv_csr",
+		"knn_dist",
+		"bfs_init", "bfs_frontier",
+		"cfd_step_factor", "cfd_compute_flux", "cfd_time_step",
+	}
+}

@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+
+	haocl "github.com/haocl-project/haocl"
+)
+
+func TestSplitRangeProperties(t *testing.T) {
+	check := func(nRaw, pRaw uint16) bool {
+		n := int(nRaw % 2000)
+		parts := int(pRaw%20) + 1
+		off := SplitRange(n, parts)
+		if len(off) != parts+1 || off[0] != 0 || off[parts] != n {
+			return false
+		}
+		for i := 1; i <= parts; i++ {
+			if off[i] < off[i-1] {
+				return false
+			}
+			// Chunks differ by at most one.
+			if n >= parts {
+				size := off[i] - off[i-1]
+				if size < n/parts || size > n/parts+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRangeZeroParts(t *testing.T) {
+	off := SplitRange(10, 0)
+	if len(off) != 2 || off[0] != 0 || off[1] != 10 {
+		t.Fatalf("offsets = %v", off)
+	}
+}
+
+func TestBitstreamsCoverEveryKernel(t *testing.T) {
+	want := []string{
+		"matmul", "spmv_partition", "spmv_csr", "knn_dist",
+		"bfs_init", "bfs_frontier",
+		"cfd_step_factor", "cfd_compute_flux", "cfd_time_step",
+	}
+	got := Bitstreams()
+	if len(got) != len(want) {
+		t.Fatalf("bitstreams = %v", got)
+	}
+	set := make(map[string]bool, len(got))
+	for _, b := range got {
+		set[b] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Errorf("missing bitstream %q", w)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{App: "X", Devices: 2, Verified: true}
+	if r.String() == "" {
+		t.Fatal("empty result row")
+	}
+}
+
+func TestWeightedOffsetsHetero(t *testing.T) {
+	reg := haocl.NewKernelRegistry()
+	reg.MustRegister(&haocl.KernelSpec{
+		Name: "nop", Func: func(*haocl.WorkItem, []haocl.KernelArg) {},
+	})
+	lc, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
+		UserID: "apps-test", GPUNodes: 1, FPGANodes: 1,
+		Bitstreams: []string{"nop"}, Kernels: reg, ExecWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	devs := lc.Platform.Devices(haocl.AnyDevice)
+	if len(devs) != 2 {
+		t.Fatalf("devices = %d", len(devs))
+	}
+	// Memory-bound per-item cost: the GPU's higher bandwidth must earn it
+	// the larger portion.
+	off := WeightedOffsets(1000, devs, 1, 1000)
+	var gpuShare, fpgaShare int
+	for i, d := range devs {
+		share := off[i+1] - off[i]
+		if d.Info().Type == haocl.GPU {
+			gpuShare = share
+		} else {
+			fpgaShare = share
+		}
+	}
+	if gpuShare <= fpgaShare {
+		t.Fatalf("gpu share %d not larger than fpga share %d", gpuShare, fpgaShare)
+	}
+	if gpuShare+fpgaShare != 1000 {
+		t.Fatalf("shares do not cover the range: %d + %d", gpuShare, fpgaShare)
+	}
+	// Degenerate inputs.
+	if off := WeightedOffsets(10, nil, 1, 1); off[0] != 0 || off[len(off)-1] != 10 {
+		t.Fatalf("nil devices: %v", off)
+	}
+	// Homogeneous devices split evenly (within rounding).
+	lc2, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
+		UserID: "apps-test-2", GPUNodes: 2, Kernels: reg, ExecWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc2.Close()
+	gpus := lc2.Platform.Devices(haocl.GPU)
+	off2 := WeightedOffsets(101, gpus, 7, 13)
+	if d := (off2[1] - off2[0]) - (off2[2] - off2[1]); d < -1 || d > 1 {
+		t.Fatalf("homogeneous split uneven: %v", off2)
+	}
+}

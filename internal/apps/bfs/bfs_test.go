@@ -1,0 +1,120 @@
+package bfs_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/apps/bfs"
+)
+
+func startCluster(t *testing.T, gpus int) *haocl.LocalCluster {
+	t.Helper()
+	reg := haocl.NewKernelRegistry()
+	bfs.RegisterKernels(reg)
+	lc, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
+		UserID:      "test",
+		GPUNodes:    gpus,
+		Kernels:     reg,
+		ExecWorkers: 1,
+	})
+	if err != nil {
+		t.Fatalf("StartLocalCluster: %v", err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	return lc
+}
+
+func TestTorusProperties(t *testing.T) {
+	check := func(raw uint8) bool {
+		side := int(raw%5) + 2
+		g := bfs.GenerateTorus3D(side)
+		v := side * side * side
+		if g.V != v || g.E() != 6*v {
+			return false
+		}
+		// Every vertex has exactly 6 edges; all endpoints in range.
+		for u := 0; u < v; u++ {
+			if g.Offsets[u+1]-g.Offsets[u] != 6 {
+				return false
+			}
+		}
+		for _, w := range g.Edges {
+			if w < 0 || int(w) >= v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReferenceBFSOnTorus(t *testing.T) {
+	g := bfs.GenerateTorus3D(4)
+	levels := g.Reference(0)
+	// A torus is connected: no vertex unreached.
+	for v, l := range levels {
+		if l < 0 {
+			t.Fatalf("vertex %d unreached", v)
+		}
+	}
+	// Eccentricity of a 6-neighbor torus is 3*(side/2).
+	if got, want := bfs.MaxLevel(levels), int32(6); got != want {
+		t.Fatalf("max level = %d, want %d", got, want)
+	}
+}
+
+func TestBFSSingleGPU(t *testing.T) {
+	lc := startCluster(t, 1)
+	res, err := bfs.Run(lc.Platform, bfs.Config{
+		LogicalSide: 32,
+		FuncSide:    6,
+		Sources:     8,
+		Devices:     lc.Platform.Devices(haocl.GPU),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Verified {
+		t.Fatal("not verified")
+	}
+}
+
+func TestBFSMultiGPU(t *testing.T) {
+	lc := startCluster(t, 4)
+	res, err := bfs.Run(lc.Platform, bfs.Config{
+		LogicalSide: 32,
+		FuncSide:    6,
+		Sources:     16,
+		Devices:     lc.Platform.Devices(haocl.GPU),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Devices != 4 {
+		t.Fatalf("devices = %d, want 4", res.Devices)
+	}
+}
+
+func TestBFSScaling(t *testing.T) {
+	var prev haocl.Duration
+	for _, nodes := range []int{1, 2, 4} {
+		lc := startCluster(t, nodes)
+		res, err := bfs.Run(lc.Platform, bfs.Config{
+			LogicalSide: 128,
+			FuncSide:    6,
+			Sources:     64,
+			Devices:     lc.Platform.Devices(haocl.GPU),
+		})
+		if err != nil {
+			t.Fatalf("Run(%d): %v", nodes, err)
+		}
+		if prev > 0 && res.Makespan >= prev {
+			t.Fatalf("no speedup at %d nodes: %v >= %v", nodes, res.Makespan, prev)
+		}
+		prev = res.Makespan
+		lc.Close()
+	}
+}

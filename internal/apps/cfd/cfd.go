@@ -1,0 +1,485 @@
+// Package cfd implements the CFD benchmark of Table I: an unstructured-grid
+// finite-volume flow solver after Rodinia's euler3d, with five conserved
+// variables per element (density, three momentum components, energy), a
+// step-factor / flux / time-step kernel pipeline, and per-iteration halo
+// exchange between the element partitions on different devices.
+//
+// The numerics are a stabilized neighbor-flux relaxation on a ring-
+// structured element graph (each element couples to four neighbors through
+// per-face weights), preserving euler3d's data layout, kernel structure and
+// memory behavior while staying deterministic and verifiable. This is the
+// benchmark the paper flags as impossible to port to SnuCL-D "without
+// significant change" (§IV-B); the baseline reports it unsupported.
+package cfd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/apps"
+	"github.com/haocl-project/haocl/internal/baseline"
+	"github.com/haocl-project/haocl/internal/mem"
+)
+
+// NVAR is the number of conserved variables per element; NNB the neighbor
+// count — both as in euler3d.
+const (
+	NVAR = 5
+	NNB  = 4
+	// Halo is the ghost-cell width on each side of a partition: two
+	// elements, because the neighbor stencil reaches i±2.
+	Halo = 2
+)
+
+// Source is the OpenCL C program: the three solver kernels over the
+// halo-extended element chunk of one device.
+const Source = `
+// Per-element local time step from the current state magnitude.
+__kernel void cfd_step_factor(__global const float* vars,
+                              __global float* stepf,
+                              const int count) {
+    int i = get_global_id(0);
+    if (i >= count) return;
+    int base = (i + 2) * 5; // skip leading halo
+    float speed = 0.0f;
+    for (int k = 0; k < 5; k++) {
+        speed += fabs(vars[base + k]);
+    }
+    stepf[i] = 0.5f / (speed + 1.0f);
+}
+
+// Neighbor flux accumulation: four faces, stencil i-2,i-1,i+1,i+2.
+__kernel void cfd_compute_flux(__global const float* vars,
+                               __global const float* weights,
+                               __global float* fluxes,
+                               const int count) {
+    int i = get_global_id(0);
+    if (i >= count) return;
+    int c = i + 2;
+    int nb[4];
+    nb[0] = c - 2; nb[1] = c - 1; nb[2] = c + 1; nb[3] = c + 2;
+    for (int k = 0; k < 5; k++) {
+        float acc = 0.0f;
+        for (int f = 0; f < 4; f++) {
+            float w = weights[i*4 + f];
+            acc += w * (vars[nb[f]*5 + k] - vars[c*5 + k]);
+        }
+        fluxes[i*5 + k] = acc;
+    }
+}
+
+// Explicit update of the conserved variables.
+__kernel void cfd_time_step(__global float* vars,
+                            __global const float* fluxes,
+                            __global const float* stepf,
+                            const int count) {
+    int i = get_global_id(0);
+    if (i >= count) return;
+    int base = (i + 2) * 5;
+    for (int k = 0; k < 5; k++) {
+        vars[base + k] += stepf[i] * fluxes[i*5 + k];
+    }
+}
+`
+
+// Costs per element per kernel, used at logical scale.
+func stepFactorCost(elems int64) haocl.KernelCost {
+	return haocl.KernelCost{Flops: elems * 8, Bytes: elems * 28}
+}
+
+func fluxCost(elems int64) haocl.KernelCost {
+	return haocl.KernelCost{Flops: elems * 60, Bytes: elems * 140}
+}
+
+func timeStepCost(elems int64) haocl.KernelCost {
+	return haocl.KernelCost{Flops: elems * 10, Bytes: elems * 64}
+}
+
+// RegisterKernels installs the three CFD kernels into reg.
+func RegisterKernels(reg *haocl.KernelRegistry) {
+	reg.MustRegister(&haocl.KernelSpec{
+		Name:    "cfd_step_factor",
+		NumArgs: 3,
+		Func: func(it *haocl.WorkItem, args []haocl.KernelArg) {
+			i := it.GlobalID(0)
+			count := args[2].Int()
+			if i >= count {
+				return
+			}
+			vars, stepf := args[0].Float32s(), args[1].Float32s()
+			base := (i + Halo) * NVAR
+			var speed float32
+			for k := 0; k < NVAR; k++ {
+				speed += float32(math.Abs(float64(vars[base+k])))
+			}
+			stepf[i] = 0.5 / (speed + 1)
+		},
+		Cost: func(global [3]int, args []haocl.KernelArg) haocl.KernelCost {
+			return stepFactorCost(int64(global[0]))
+		},
+	})
+	reg.MustRegister(&haocl.KernelSpec{
+		Name:    "cfd_compute_flux",
+		NumArgs: 4,
+		Func: func(it *haocl.WorkItem, args []haocl.KernelArg) {
+			i := it.GlobalID(0)
+			count := args[3].Int()
+			if i >= count {
+				return
+			}
+			vars, weights, fluxes := args[0].Float32s(), args[1].Float32s(), args[2].Float32s()
+			c := i + Halo
+			nb := [NNB]int{c - 2, c - 1, c + 1, c + 2}
+			for k := 0; k < NVAR; k++ {
+				var acc float32
+				for f := 0; f < NNB; f++ {
+					w := weights[i*NNB+f]
+					acc += w * (vars[nb[f]*NVAR+k] - vars[c*NVAR+k])
+				}
+				fluxes[i*NVAR+k] = acc
+			}
+		},
+		Cost: func(global [3]int, args []haocl.KernelArg) haocl.KernelCost {
+			return fluxCost(int64(global[0]))
+		},
+	})
+	reg.MustRegister(&haocl.KernelSpec{
+		Name:    "cfd_time_step",
+		NumArgs: 4,
+		Func: func(it *haocl.WorkItem, args []haocl.KernelArg) {
+			i := it.GlobalID(0)
+			count := args[3].Int()
+			if i >= count {
+				return
+			}
+			vars, fluxes, stepf := args[0].Float32s(), args[1].Float32s(), args[2].Float32s()
+			base := (i + Halo) * NVAR
+			for k := 0; k < NVAR; k++ {
+				vars[base+k] += stepf[i] * fluxes[i*NVAR+k]
+			}
+		},
+		Cost: func(global [3]int, args []haocl.KernelArg) haocl.KernelCost {
+			return timeStepCost(int64(global[0]))
+		},
+	})
+}
+
+// Mesh is the generated problem: initial state and face weights on a ring
+// of elements.
+type Mesh struct {
+	Elems   int
+	Vars    []float32 // Elems*NVAR
+	Weights []float32 // Elems*NNB
+}
+
+// Generate builds a deterministic mesh.
+func Generate(elems int, seed int64) *Mesh {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Mesh{
+		Elems:   elems,
+		Vars:    make([]float32, elems*NVAR),
+		Weights: make([]float32, elems*NNB),
+	}
+	for i := range m.Vars {
+		m.Vars[i] = rng.Float32()
+	}
+	for i := range m.Weights {
+		m.Weights[i] = 0.1 + 0.1*rng.Float32() // positive: stable relaxation
+	}
+	return m
+}
+
+// Reference advances the full mesh iters steps sequentially.
+func (m *Mesh) Reference(iters int) []float32 {
+	vars := make([]float32, len(m.Vars))
+	copy(vars, m.Vars)
+	n := m.Elems
+	fluxes := make([]float32, n*NVAR)
+	stepf := make([]float32, n)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			var speed float32
+			for k := 0; k < NVAR; k++ {
+				speed += float32(math.Abs(float64(vars[i*NVAR+k])))
+			}
+			stepf[i] = 0.5 / (speed + 1)
+		}
+		for i := 0; i < n; i++ {
+			nb := [NNB]int{(i - 2 + n) % n, (i - 1 + n) % n, (i + 1) % n, (i + 2) % n}
+			for k := 0; k < NVAR; k++ {
+				var acc float32
+				for f := 0; f < NNB; f++ {
+					w := m.Weights[i*NNB+f]
+					acc += w * (vars[nb[f]*NVAR+k] - vars[i*NVAR+k])
+				}
+				fluxes[i*NVAR+k] = acc
+			}
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < NVAR; k++ {
+				vars[i*NVAR+k] += stepf[i] * fluxes[i*NVAR+k]
+			}
+		}
+	}
+	return vars
+}
+
+// Config parameterizes one run.
+type Config struct {
+	// LogicalElems is the paper-scale element count (Table I: 800 MB ≈
+	// 7.4M elements at ~108 B each across the solver arrays).
+	LogicalElems int
+	// FuncElems is the verified functional element count. Must be at
+	// least 4 per device so halos do not overlap.
+	FuncElems int
+	// LogicalIters/FuncIters: solver iterations at each scale (euler3d
+	// runs 2000).
+	LogicalIters int
+	FuncIters    int
+	// Devices partition the elements.
+	Devices    []*haocl.Device
+	SkipVerify bool
+}
+
+// Defaults reproducing Table I's 800 MB input.
+const (
+	DefaultLogicalElems = 7_400_000
+	DefaultLogicalIters = 2000
+)
+
+// InputBytes reports the logical input footprint across euler3d's arrays:
+// variables, neighbor indices, per-face normals, fluxes and step factors.
+func InputBytes(elems int64) int64 {
+	return elems * (NVAR*4 + NNB*4 + NNB*3*4 + NVAR*4 + 4)
+}
+
+// Run executes the CFD solver on the platform.
+func Run(p *haocl.Platform, cfg Config) (apps.Result, error) {
+	res := apps.Result{App: "CFD", Devices: len(cfg.Devices)}
+	nDev := len(cfg.Devices)
+	if cfg.FuncElems < 4*nDev || nDev == 0 {
+		return res, fmt.Errorf("cfd: need at least 4 functional elements per device")
+	}
+	if cfg.FuncIters <= 0 {
+		cfg.FuncIters = 3
+	}
+	if cfg.LogicalIters <= 0 {
+		cfg.LogicalIters = cfg.FuncIters
+	}
+	itersRatio := float64(cfg.LogicalIters) / float64(cfg.FuncIters)
+
+	m := Generate(cfg.FuncElems, 13)
+	p.ModelDataCreate(InputBytes(int64(cfg.LogicalElems)))
+
+	ctx, err := p.CreateContext(cfg.Devices)
+	if err != nil {
+		return res, err
+	}
+	prog, err := ctx.CreateProgram(Source)
+	if err != nil {
+		return res, err
+	}
+	if err := prog.Build(); err != nil {
+		return res, fmt.Errorf("cfd: build: %v\n%s", err, prog.BuildLog())
+	}
+
+	// Per-element per-iteration roofline terms across the three kernels.
+	elemFlops := float64(8 + 60 + 10)
+	elemBytes := float64(28 + 140 + 64)
+	funcParts := apps.WeightedOffsets(cfg.FuncElems, cfg.Devices, elemFlops, elemBytes)
+	logicalParts := apps.WeightedOffsets(cfg.LogicalElems, cfg.Devices, elemFlops, elemBytes)
+
+	type devState struct {
+		queue    *haocl.Queue
+		bufVars  *haocl.Buffer
+		kStep    *haocl.Kernel
+		kFlux    *haocl.Kernel
+		kTime    *haocl.Kernel
+		lo, hi   int
+		lelems   int64
+		stepOpts *haocl.LaunchOptions
+		fluxOpts *haocl.LaunchOptions
+		timeOpts *haocl.LaunchOptions
+	}
+	states := make([]*devState, nDev)
+
+	n := cfg.FuncElems
+	for di, dev := range cfg.Devices {
+		lo, hi := funcParts[di], funcParts[di+1]
+		count := hi - lo
+		lelems := int64(logicalParts[di+1] - logicalParts[di])
+
+		q, err := ctx.CreateQueue(dev)
+		if err != nil {
+			return res, err
+		}
+		// Halo-extended state: [Halo ghosts][count elements][Halo ghosts].
+		bufVars, err := ctx.CreateBuffer(int64(4 * NVAR * (count + 2*Halo)))
+		if err != nil {
+			return res, err
+		}
+		bufVars.SetModelSize(4 * NVAR * lelems)
+		bufWeights, err := ctx.CreateBuffer(int64(4 * NNB * count))
+		if err != nil {
+			return res, err
+		}
+		// Model the full per-element geometry (neighbors + normals).
+		bufWeights.SetModelSize((NNB*4 + NNB*3*4) * lelems)
+		bufFluxes, err := ctx.CreateBuffer(int64(4 * NVAR * count))
+		if err != nil {
+			return res, err
+		}
+		bufFluxes.SetModelSize(4 * NVAR * lelems)
+		bufStepf, err := ctx.CreateBuffer(int64(4 * count))
+		if err != nil {
+			return res, err
+		}
+		bufStepf.SetModelSize(4 * lelems)
+
+		// Initial state with halos from the ring neighbors.
+		chunk := make([]float32, NVAR*(count+2*Halo))
+		for i := 0; i < count+2*Halo; i++ {
+			src := ((lo - Halo + i) + n) % n
+			copy(chunk[i*NVAR:(i+1)*NVAR], m.Vars[src*NVAR:(src+1)*NVAR])
+		}
+		if _, err := q.EnqueueWrite(bufVars, 0, mem.F32Bytes(chunk)); err != nil {
+			return res, err
+		}
+		if _, err := q.EnqueueWrite(bufWeights, 0, mem.F32Bytes(m.Weights[lo*NNB:hi*NNB])); err != nil {
+			return res, err
+		}
+
+		kStep, err := prog.CreateKernel("cfd_step_factor")
+		if err != nil {
+			return res, err
+		}
+		for i, v := range []any{bufVars, bufStepf, int32(count)} {
+			if err := kStep.SetArg(i, v); err != nil {
+				return res, err
+			}
+		}
+		kFlux, err := prog.CreateKernel("cfd_compute_flux")
+		if err != nil {
+			return res, err
+		}
+		for i, v := range []any{bufVars, bufWeights, bufFluxes, int32(count)} {
+			if err := kFlux.SetArg(i, v); err != nil {
+				return res, err
+			}
+		}
+		kTime, err := prog.CreateKernel("cfd_time_step")
+		if err != nil {
+			return res, err
+		}
+		for i, v := range []any{bufVars, bufFluxes, bufStepf, int32(count)} {
+			if err := kTime.SetArg(i, v); err != nil {
+				return res, err
+			}
+		}
+
+		scaleOpts := func(c haocl.KernelCost) *haocl.LaunchOptions {
+			return &haocl.LaunchOptions{
+				CostFlops: int64(float64(c.Flops) * itersRatio),
+				CostBytes: int64(float64(c.Bytes) * itersRatio),
+			}
+		}
+		states[di] = &devState{
+			queue: q, bufVars: bufVars,
+			kStep: kStep, kFlux: kFlux, kTime: kTime,
+			lo: lo, hi: hi, lelems: lelems,
+			stepOpts: scaleOpts(stepFactorCost(lelems)),
+			fluxOpts: scaleOpts(fluxCost(lelems)),
+			timeOpts: scaleOpts(timeStepCost(lelems)),
+		}
+	}
+
+	stripBytes := int64(4 * NVAR * Halo)
+	for iter := 0; iter < cfg.FuncIters; iter++ {
+		// Solver kernels on every device.
+		for _, s := range states {
+			count := s.hi - s.lo
+			if _, err := s.queue.EnqueueKernel(s.kStep, []int{count}, nil, nil, s.stepOpts); err != nil {
+				return res, err
+			}
+			if _, err := s.queue.EnqueueKernel(s.kFlux, []int{count}, nil, nil, s.fluxOpts); err != nil {
+				return res, err
+			}
+			if _, err := s.queue.EnqueueKernel(s.kTime, []int{count}, nil, nil, s.timeOpts); err != nil {
+				return res, err
+			}
+		}
+		// Halo exchange: each device's boundary strips refresh its ring
+		// neighbors' ghost cells through the host.
+		type strips struct{ left, right []byte }
+		edges := make([]strips, nDev)
+		for di, s := range states {
+			count := s.hi - s.lo
+			left, _, err := s.queue.EnqueueRead(s.bufVars, int64(4*NVAR*Halo), stripBytes)
+			if err != nil {
+				return res, err
+			}
+			right, _, err := s.queue.EnqueueRead(s.bufVars, int64(4*NVAR*count), stripBytes)
+			if err != nil {
+				return res, err
+			}
+			edges[di] = strips{left: left, right: right}
+		}
+		for di, s := range states {
+			count := s.hi - s.lo
+			prev := (di - 1 + nDev) % nDev
+			next := (di + 1) % nDev
+			// Left ghosts come from the previous partition's right strip.
+			if _, err := s.queue.EnqueueWrite(s.bufVars, 0, edges[prev].right); err != nil {
+				return res, err
+			}
+			// Right ghosts come from the next partition's left strip.
+			if _, err := s.queue.EnqueueWrite(s.bufVars, int64(4*NVAR*(count+Halo)), edges[next].left); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	// Gather final state and verify.
+	final := make([]float32, n*NVAR)
+	for _, s := range states {
+		count := s.hi - s.lo
+		data, _, err := s.queue.EnqueueRead(s.bufVars, int64(4*NVAR*Halo), int64(4*NVAR*count))
+		if err != nil {
+			return res, err
+		}
+		copy(final[s.lo*NVAR:], mem.BytesF32(data))
+		if _, err := s.queue.Finish(); err != nil {
+			return res, err
+		}
+	}
+
+	res.Verified = true
+	if !cfg.SkipVerify {
+		ref := m.Reference(cfg.FuncIters)
+		for i := range ref {
+			if math.Abs(float64(ref[i]-final[i])) > 1e-3 {
+				return res, fmt.Errorf("cfd: element %d: got %v want %v", i/NVAR, final[i], ref[i])
+			}
+		}
+	}
+	apps.CollectMetrics(p, &res)
+	return res, nil
+}
+
+// Workload describes the paper-scale run for the analytic baselines. CFD
+// is not portable to SnuCL-D "without significant change" (paper §IV-B),
+// so the SnuCL-D baseline reports it unsupported.
+func Workload(elems, iters int) baseline.Workload {
+	e := int64(elems)
+	perIter := baseline.SumCost(stepFactorCost(e), fluxCost(e), timeStepCost(e))
+	return baseline.Workload{
+		Name:              "CFD",
+		PartitionedBytes:  InputBytes(e),
+		TotalCost:         baseline.ScaleCost(perIter, iters),
+		OutputBytes:       e * NVAR * 4,
+		CommandsPerDevice: 4 + 7*iters,
+		SnuCLDSupported:   false,
+	}
+}

@@ -1,0 +1,110 @@
+package cfd_test
+
+import (
+	"math"
+	"testing"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/apps/cfd"
+)
+
+func startCluster(t *testing.T, gpus, fpgas int) *haocl.LocalCluster {
+	t.Helper()
+	reg := haocl.NewKernelRegistry()
+	cfd.RegisterKernels(reg)
+	lc, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
+		UserID:      "test",
+		GPUNodes:    gpus,
+		FPGANodes:   fpgas,
+		Bitstreams:  []string{"cfd_step_factor", "cfd_compute_flux", "cfd_time_step"},
+		Kernels:     reg,
+		ExecWorkers: 1,
+	})
+	if err != nil {
+		t.Fatalf("StartLocalCluster: %v", err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	return lc
+}
+
+func TestReferenceStability(t *testing.T) {
+	// The relaxation must stay bounded: weights are calibrated so the
+	// explicit update is stable.
+	m := cfd.Generate(64, 3)
+	vars := m.Reference(50)
+	for i, v := range vars {
+		if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 100 {
+			t.Fatalf("unstable at %d: %v", i, v)
+		}
+	}
+}
+
+func TestCFDSingleGPU(t *testing.T) {
+	lc := startCluster(t, 1, 0)
+	res, err := cfd.Run(lc.Platform, cfd.Config{
+		LogicalElems: 100_000,
+		FuncElems:    64,
+		LogicalIters: 50,
+		FuncIters:    3,
+		Devices:      lc.Platform.Devices(haocl.GPU),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Verified {
+		t.Fatal("not verified")
+	}
+}
+
+func TestCFDMultiDeviceHalo(t *testing.T) {
+	// 3 devices force halo exchange across uneven partitions.
+	lc := startCluster(t, 3, 0)
+	res, err := cfd.Run(lc.Platform, cfd.Config{
+		LogicalElems: 100_000,
+		FuncElems:    50,
+		LogicalIters: 20,
+		FuncIters:    4,
+		Devices:      lc.Platform.Devices(haocl.GPU),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Devices != 3 {
+		t.Fatalf("devices = %d, want 3", res.Devices)
+	}
+}
+
+func TestCFDOnFPGAs(t *testing.T) {
+	lc := startCluster(t, 0, 2)
+	if _, err := cfd.Run(lc.Platform, cfd.Config{
+		LogicalElems: 50_000,
+		FuncElems:    32,
+		LogicalIters: 10,
+		FuncIters:    2,
+		Devices:      lc.Platform.Devices(haocl.FPGA),
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCFDScaling(t *testing.T) {
+	var prev haocl.Duration
+	for _, nodes := range []int{1, 2, 4} {
+		lc := startCluster(t, nodes, 0)
+		res, err := cfd.Run(lc.Platform, cfd.Config{
+			LogicalElems: 1_000_000,
+			FuncElems:    48,
+			LogicalIters: 100,
+			FuncIters:    2,
+			Devices:      lc.Platform.Devices(haocl.GPU),
+		})
+		if err != nil {
+			t.Fatalf("Run(%d): %v", nodes, err)
+		}
+		if prev > 0 && res.Makespan >= prev {
+			t.Fatalf("no speedup at %d nodes: %v >= %v", nodes, res.Makespan, prev)
+		}
+		prev = res.Makespan
+		lc.Close()
+	}
+}

@@ -1,0 +1,76 @@
+package knn_test
+
+import (
+	"testing"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/apps/knn"
+)
+
+func startCluster(t *testing.T, gpus int) *haocl.LocalCluster {
+	t.Helper()
+	reg := haocl.NewKernelRegistry()
+	knn.RegisterKernels(reg)
+	lc, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
+		UserID:      "test",
+		GPUNodes:    gpus,
+		Kernels:     reg,
+		ExecWorkers: 1,
+	})
+	if err != nil {
+		t.Fatalf("StartLocalCluster: %v", err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	return lc
+}
+
+func TestKNNSingleGPU(t *testing.T) {
+	lc := startCluster(t, 1)
+	res, err := knn.Run(lc.Platform, knn.Config{
+		LogicalPoints: 100_000, LogicalQueries: 64,
+		FuncPoints: 500, FuncQueries: 4,
+		Dims: 8, K: 8,
+		Devices: lc.Platform.Devices(haocl.GPU),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Verified {
+		t.Fatal("not verified")
+	}
+}
+
+func TestKNNPartitionedMatchesReference(t *testing.T) {
+	// The merge across 4 partitions must agree exactly with the
+	// sequential top-k, including tie-breaking.
+	lc := startCluster(t, 4)
+	if _, err := knn.Run(lc.Platform, knn.Config{
+		LogicalPoints: 100_000, LogicalQueries: 64,
+		FuncPoints: 997, FuncQueries: 6, // prime: uneven partitions
+		Dims: 4, K: 16,
+		Devices: lc.Platform.Devices(haocl.GPU),
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestKNNScaling(t *testing.T) {
+	var prev haocl.Duration
+	for _, nodes := range []int{1, 2, 4} {
+		lc := startCluster(t, nodes)
+		res, err := knn.Run(lc.Platform, knn.Config{
+			LogicalPoints: 2_000_000, LogicalQueries: 1024,
+			FuncPoints: 400, FuncQueries: 4,
+			Dims: 8, K: 4,
+			Devices: lc.Platform.Devices(haocl.GPU),
+		})
+		if err != nil {
+			t.Fatalf("Run(%d): %v", nodes, err)
+		}
+		if prev > 0 && res.Makespan >= prev {
+			t.Fatalf("no speedup at %d nodes: %v >= %v", nodes, res.Makespan, prev)
+		}
+		prev = res.Makespan
+		lc.Close()
+	}
+}

@@ -1,0 +1,271 @@
+// Package matmul implements the MatrixMul benchmark of Table I: dense
+// single-precision matrix multiplication (C = A×B), the workload the paper
+// uses for both the heterogeneity evaluation (same kernel on every device,
+// different data portions, §IV-C) and the breakdown analysis (Fig. 3).
+package matmul
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/apps"
+	"github.com/haocl-project/haocl/internal/baseline"
+	"github.com/haocl-project/haocl/internal/mem"
+)
+
+// Source is the OpenCL C program, a naive row-per-work-item kernel in the
+// style of the Rodinia/SHOC GEMM references.
+const Source = `
+// Dense matrix multiplication: C[M x N] = A[M x K] * B[K x N].
+__kernel void matmul(__global const float* A,
+                     __global const float* B,
+                     __global float* C,
+                     const int M,
+                     const int N,
+                     const int K) {
+    int j = get_global_id(0);
+    int i = get_global_id(1);
+    if (i >= M || j >= N) return;
+    float acc = 0.0f;
+    for (int k = 0; k < K; k++) {
+        acc += A[i*K + k] * B[k*N + j];
+    }
+    C[i*N + j] = acc;
+}
+`
+
+// Cost models one launch of the matmul kernel: 2·M·N·K flops, and naive
+// uncached global traffic of 2K reads plus one write per output element.
+func Cost(m, n, k int64) haocl.KernelCost {
+	return haocl.KernelCost{
+		Flops: 2 * m * n * k,
+		Bytes: m * n * (2*k + 1) * 4,
+	}
+}
+
+// RegisterKernels installs the matmul device kernel into reg.
+func RegisterKernels(reg *haocl.KernelRegistry) {
+	reg.MustRegister(&haocl.KernelSpec{
+		Name:    "matmul",
+		NumArgs: 6,
+		Func: func(it *haocl.WorkItem, args []haocl.KernelArg) {
+			j := it.GlobalID(0)
+			i := it.GlobalID(1)
+			m, n, k := args[3].Int(), args[4].Int(), args[5].Int()
+			if i >= m || j >= n {
+				return
+			}
+			a, b, c := args[0].Float32s(), args[1].Float32s(), args[2].Float32s()
+			var acc float32
+			for kk := 0; kk < k; kk++ {
+				acc += a[i*k+kk] * b[kk*n+j]
+			}
+			c[i*n+j] = acc
+		},
+		Cost: func(global [3]int, args []haocl.KernelArg) haocl.KernelCost {
+			m, n, k := int64(args[3].Int()), int64(args[4].Int()), int64(args[5].Int())
+			return Cost(m, n, k)
+		},
+	})
+}
+
+// Config parameterizes one run.
+type Config struct {
+	// LogicalN is the paper-scale square matrix dimension used by the
+	// timing model (Fig. 3 sweeps 1000..10000).
+	LogicalN int
+	// FuncN is the functional dimension actually computed and verified.
+	FuncN int
+	// Devices are the devices to partition rows across.
+	Devices []*haocl.Device
+	// EqualSplit forces heterogeneity-oblivious equal row portions
+	// instead of throughput-weighted ones (ablation of the paper's
+	// data-portioning claim, §IV-C).
+	EqualSplit bool
+	// SkipVerify disables the sequential reference check (benchmarks).
+	SkipVerify bool
+}
+
+// InputBytes reports the benchmark's data footprint (A, B and the output
+// C, which the host must allocate and zero) at logical scale; Table I's
+// 760 MB matches three float32 matrices at N=8000.
+func InputBytes(n int64) int64 { return 3 * 4 * n * n }
+
+// DefaultLogicalN reproduces Table I's 760 MB input set.
+const DefaultLogicalN = 8000
+
+// Run executes MatrixMul on the platform, splitting A's rows across the
+// configured devices while B is broadcast, exactly as the paper describes:
+// "the MatrixMul kernels on the different devices are kept the same, just
+// processing different data portions" (§IV-C).
+func Run(p *haocl.Platform, cfg Config) (apps.Result, error) {
+	res := apps.Result{App: "MatrixMul", Devices: len(cfg.Devices)}
+	if cfg.LogicalN <= 0 || cfg.FuncN <= 0 || len(cfg.Devices) == 0 {
+		return res, fmt.Errorf("matmul: LogicalN, FuncN and Devices are required")
+	}
+	n := cfg.FuncN
+	ln := int64(cfg.LogicalN)
+
+	// Generate inputs and charge their creation at logical scale.
+	rng := rand.New(rand.NewSource(42))
+	a := make([]float32, n*n)
+	b := make([]float32, n*n)
+	for i := range a {
+		a[i] = rng.Float32()
+		b[i] = rng.Float32()
+	}
+	p.ModelDataCreate(InputBytes(ln))
+
+	ctx, err := p.CreateContext(cfg.Devices)
+	if err != nil {
+		return res, err
+	}
+	prog, err := ctx.CreateProgram(Source)
+	if err != nil {
+		return res, err
+	}
+	if err := prog.Build(); err != nil {
+		return res, fmt.Errorf("matmul: build: %v\n%s", err, prog.BuildLog())
+	}
+
+	// B is broadcast: one buffer, migrated to every node that uses it.
+	bufB, err := ctx.CreateBuffer(int64(4 * n * n))
+	if err != nil {
+		return res, err
+	}
+	bufB.SetModelSize(4 * ln * ln)
+
+	// Rows are portioned in proportion to each device's estimated
+	// throughput for this kernel, so hybrid GPU+FPGA clusters balance.
+	rowFlops := float64(2 * ln * ln)
+	rowBytes := float64(ln * (2*ln + 1) * 4)
+	funcRows := apps.WeightedOffsets(n, cfg.Devices, rowFlops, rowBytes)
+	logicalRows := apps.WeightedOffsets(cfg.LogicalN, cfg.Devices, rowFlops, rowBytes)
+	if cfg.EqualSplit {
+		funcRows = apps.SplitRange(n, len(cfg.Devices))
+		logicalRows = apps.SplitRange(cfg.LogicalN, len(cfg.Devices))
+	}
+
+	type deviceWork struct {
+		queue *haocl.Queue
+		bufC  *haocl.Buffer
+		rows  int
+		lo    int
+	}
+	work := make([]deviceWork, 0, len(cfg.Devices))
+
+	// One queue per device; B reaches every node through one pipelined
+	// chain broadcast instead of per-node host transfers.
+	queues := make([]*haocl.Queue, len(cfg.Devices))
+	for di, dev := range cfg.Devices {
+		q, err := ctx.CreateQueue(dev)
+		if err != nil {
+			return res, err
+		}
+		queues[di] = q
+	}
+	if _, err := ctx.Broadcast(bufB, mem.F32Bytes(b), queues); err != nil {
+		return res, err
+	}
+
+	for di := range cfg.Devices {
+		lo, hi := funcRows[di], funcRows[di+1]
+		rows := hi - lo
+		if rows == 0 {
+			continue
+		}
+		llo, lhi := logicalRows[di], logicalRows[di+1]
+		lrows := int64(lhi - llo)
+
+		q := queues[di]
+		bufA, err := ctx.CreateBuffer(int64(4 * rows * n))
+		if err != nil {
+			return res, err
+		}
+		bufA.SetModelSize(4 * lrows * ln)
+		bufC, err := ctx.CreateBuffer(int64(4 * rows * n))
+		if err != nil {
+			return res, err
+		}
+		bufC.SetModelSize(4 * lrows * ln)
+
+		if _, err := q.EnqueueWrite(bufA, 0, mem.F32Bytes(a[lo*n:hi*n])); err != nil {
+			return res, err
+		}
+
+		k, err := prog.CreateKernel("matmul")
+		if err != nil {
+			return res, err
+		}
+		for i, v := range []any{bufA, bufB, bufC, int32(rows), int32(n), int32(n)} {
+			if err := k.SetArg(i, v); err != nil {
+				return res, err
+			}
+		}
+		cost := Cost(lrows, ln, ln)
+		_, err = q.EnqueueKernel(k, []int{n, rows}, nil, nil, &haocl.LaunchOptions{
+			CostFlops: cost.Flops,
+			CostBytes: cost.Bytes,
+		})
+		if err != nil {
+			return res, err
+		}
+		work = append(work, deviceWork{queue: q, bufC: bufC, rows: rows, lo: lo})
+	}
+
+	// Gather results and verify against the sequential reference.
+	c := make([]float32, n*n)
+	for _, w := range work {
+		data, _, err := w.queue.EnqueueRead(w.bufC, 0, int64(4*w.rows*n))
+		if err != nil {
+			return res, err
+		}
+		copy(c[w.lo*n:], mem.BytesF32(data))
+		if _, err := w.queue.Finish(); err != nil {
+			return res, err
+		}
+	}
+
+	res.Verified = true
+	if !cfg.SkipVerify {
+		res.Verified = verify(a, b, c, n)
+		if !res.Verified {
+			return res, fmt.Errorf("matmul: output does not match sequential reference")
+		}
+	}
+	apps.CollectMetrics(p, &res)
+	return res, nil
+}
+
+// verify checks C against a straightforward sequential multiply.
+func verify(a, b, c []float32, n int) bool {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			if diff := float64(acc - c[i*n+j]); math.Abs(diff) > 1e-3 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Workload describes the paper-scale run for the analytic baselines: B is
+// broadcast, A partitioned, one kernel launch plus transfers per device.
+func Workload(logicalN int) baseline.Workload {
+	n := int64(logicalN)
+	return baseline.Workload{
+		Name:              "MatrixMul",
+		BroadcastBytes:    4 * n * n,
+		PartitionedBytes:  4 * n * n,
+		TotalCost:         Cost(n, n, n),
+		OutputBytes:       4 * n * n,
+		CommandsPerDevice: 8,
+		SnuCLDSupported:   true,
+	}
+}

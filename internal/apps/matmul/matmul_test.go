@@ -1,0 +1,119 @@
+package matmul_test
+
+import (
+	"testing"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/apps"
+	"github.com/haocl-project/haocl/internal/apps/matmul"
+)
+
+func startCluster(t *testing.T, gpus, fpgas int) *haocl.LocalCluster {
+	t.Helper()
+	reg := haocl.NewKernelRegistry()
+	matmul.RegisterKernels(reg)
+	lc, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
+		UserID:      "test",
+		GPUNodes:    gpus,
+		FPGANodes:   fpgas,
+		Bitstreams:  apps.Bitstreams(),
+		Kernels:     reg,
+		ExecWorkers: 1,
+	})
+	if err != nil {
+		t.Fatalf("StartLocalCluster: %v", err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	return lc
+}
+
+func TestMatMulSingleGPU(t *testing.T) {
+	lc := startCluster(t, 1, 0)
+	res, err := matmul.Run(lc.Platform, matmul.Config{
+		LogicalN: 1000,
+		FuncN:    48,
+		Devices:  lc.Platform.Devices(haocl.GPU),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Verified {
+		t.Fatal("result not verified")
+	}
+	if res.Compute <= 0 || res.Transfer <= 0 || res.DataCreate <= 0 {
+		t.Fatalf("missing breakdown components: %+v", res)
+	}
+}
+
+func TestMatMulMultiGPUPartition(t *testing.T) {
+	lc := startCluster(t, 4, 0)
+	res, err := matmul.Run(lc.Platform, matmul.Config{
+		LogicalN: 2000,
+		FuncN:    50, // not divisible by 4: exercises uneven row split
+		Devices:  lc.Platform.Devices(haocl.GPU),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Verified {
+		t.Fatal("result not verified")
+	}
+	if res.Devices != 4 {
+		t.Fatalf("got %d devices, want 4", res.Devices)
+	}
+}
+
+func TestMatMulOnFPGA(t *testing.T) {
+	lc := startCluster(t, 0, 2)
+	res, err := matmul.Run(lc.Platform, matmul.Config{
+		LogicalN: 1000,
+		FuncN:    32,
+		Devices:  lc.Platform.Devices(haocl.FPGA),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Verified {
+		t.Fatal("result not verified")
+	}
+}
+
+func TestMatMulHetero(t *testing.T) {
+	lc := startCluster(t, 2, 2)
+	res, err := matmul.Run(lc.Platform, matmul.Config{
+		LogicalN: 1000,
+		FuncN:    40,
+		Devices:  lc.Platform.Devices(haocl.AnyDevice),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Verified {
+		t.Fatal("result not verified")
+	}
+	if res.Devices != 4 {
+		t.Fatalf("got %d devices, want 4", res.Devices)
+	}
+}
+
+// TestMatMulScaling checks the headline Fig. 2 property at test scale:
+// more GPU nodes means shorter end-to-end virtual time.
+func TestMatMulScaling(t *testing.T) {
+	var prev haocl.Duration
+	for _, nodes := range []int{1, 2, 4} {
+		lc := startCluster(t, nodes, 0)
+		res, err := matmul.Run(lc.Platform, matmul.Config{
+			LogicalN: 4000,
+			FuncN:    48,
+			Devices:  lc.Platform.Devices(haocl.GPU),
+		})
+		if err != nil {
+			t.Fatalf("Run(%d nodes): %v", nodes, err)
+		}
+		if prev > 0 && res.Makespan >= prev {
+			t.Fatalf("no speedup at %d nodes: %v >= %v", nodes, res.Makespan, prev)
+		}
+		prev = res.Makespan
+		lc.Close()
+	}
+}

@@ -1,0 +1,548 @@
+// Package spmv implements the SpMV benchmark of Table I: sparse
+// matrix-vector multiplication in CSR format (y = A·x), from the SHOC
+// suite. It is the paper's pipelined heterogeneity workload: "the different
+// kernels (stages) of the SpMV are allocated to different devices, i.e.,
+// the kernel for data partition is allocated on the GPUs and computation on
+// the FPGAs" (§IV-C).
+package spmv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/apps"
+	"github.com/haocl-project/haocl/internal/baseline"
+	"github.com/haocl-project/haocl/internal/mem"
+)
+
+// Source is the OpenCL C program: the nnz-balancing partition stage plus
+// the scalar CSR compute stage.
+const Source = `
+// Stage 1: balance rows across compute devices by nonzero count. One
+// work-item per partition runs a binary search over the row pointer array
+// for the first row at or beyond its share of the nonzeros.
+__kernel void spmv_partition(__global const int* rowptr,
+                             __global int* bounds,
+                             const int rows,
+                             const int parts) {
+    int p = get_global_id(0);
+    if (p > parts) return;
+    int nnz = rowptr[rows];
+    long target = ((long)nnz * p) / parts;
+    int lo = 0, hi = rows;
+    while (lo < hi) {
+        int mid = (lo + hi) / 2;
+        if (rowptr[mid] < target) lo = mid + 1; else hi = mid;
+    }
+    bounds[p] = lo;
+}
+
+// Stage 2: scalar CSR SpMV over a row range.
+__kernel void spmv_csr(__global const int* rowptr,
+                       __global const int* colidx,
+                       __global const float* vals,
+                       __global const float* x,
+                       __global float* y,
+                       const int rowLo,
+                       const int rowHi) {
+    int r = rowLo + get_global_id(0);
+    if (r >= rowHi) return;
+    float acc = 0.0f;
+    for (int j = rowptr[r]; j < rowptr[r+1]; j++) {
+        acc += vals[j] * x[colidx[j]];
+    }
+    y[r - rowLo] = acc;
+}
+`
+
+// CSR is a compressed-sparse-row matrix with a dense input vector.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Vals       []float32
+	X          []float32
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Vals) }
+
+// GenerateSkewed builds a deterministic CSR matrix whose row lengths
+// follow a heavy-tailed profile (a few rows carry most of the nonzeros, as
+// in power-law graphs and real sparse systems), averaging avgNNZPerRow.
+// Such matrices are why SpMV needs the nnz-balancing partition stage: an
+// equal row split leaves one device with most of the work.
+func GenerateSkewed(rows, cols, avgNNZPerRow int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int32, rows+1),
+		X:      make([]float32, cols),
+	}
+	for i := range m.X {
+		m.X[i] = rng.Float32()
+	}
+	// Zipf-like lengths: row r gets weight 1/(1+rank) over a random
+	// permutation, rescaled to the requested average.
+	perm := rng.Perm(rows)
+	weights := make([]float64, rows)
+	var total float64
+	for i, r := range perm {
+		weights[r] = 1 / float64(1+i)
+		total += weights[r]
+	}
+	budget := rows * avgNNZPerRow
+	seen := make(map[int32]bool)
+	for r := 0; r < rows; r++ {
+		want := int(weights[r] / total * float64(budget))
+		if want < 1 {
+			want = 1
+		}
+		if want > cols {
+			want = cols
+		}
+		for k := range seen {
+			delete(seen, k)
+		}
+		colsHere := make([]int32, 0, want)
+		for len(colsHere) < want {
+			c := int32(rng.Intn(cols))
+			if !seen[c] {
+				seen[c] = true
+				colsHere = append(colsHere, c)
+			}
+		}
+		sort.Slice(colsHere, func(i, j int) bool { return colsHere[i] < colsHere[j] })
+		for _, c := range colsHere {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Vals = append(m.Vals, rng.Float32())
+		}
+		m.RowPtr[r+1] = int32(len(m.Vals))
+	}
+	return m
+}
+
+// Generate builds a deterministic random CSR matrix with exactly nnzPerRow
+// entries per row (sorted unique columns) and a random dense vector.
+func Generate(rows, cols, nnzPerRow int, seed int64) *CSR {
+	if nnzPerRow > cols {
+		nnzPerRow = cols
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int32, rows+1),
+		ColIdx: make([]int32, 0, rows*nnzPerRow),
+		Vals:   make([]float32, 0, rows*nnzPerRow),
+		X:      make([]float32, cols),
+	}
+	for i := range m.X {
+		m.X[i] = rng.Float32()
+	}
+	seen := make(map[int32]bool, nnzPerRow)
+	for r := 0; r < rows; r++ {
+		for k := range seen {
+			delete(seen, k)
+		}
+		colsHere := make([]int32, 0, nnzPerRow)
+		for len(colsHere) < nnzPerRow {
+			c := int32(rng.Intn(cols))
+			if !seen[c] {
+				seen[c] = true
+				colsHere = append(colsHere, c)
+			}
+		}
+		sort.Slice(colsHere, func(i, j int) bool { return colsHere[i] < colsHere[j] })
+		for _, c := range colsHere {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Vals = append(m.Vals, rng.Float32())
+		}
+		m.RowPtr[r+1] = int32(len(m.Vals))
+	}
+	return m
+}
+
+// Reference computes y = A·x sequentially.
+func (m *CSR) Reference() []float32 {
+	y := make([]float32, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		var acc float32
+		for j := m.RowPtr[r]; j < m.RowPtr[r+1]; j++ {
+			acc += m.Vals[j] * m.X[m.ColIdx[j]]
+		}
+		y[r] = acc
+	}
+	return y
+}
+
+// ComputeCost models one spmv_csr pass over nnz nonzeros and rows rows:
+// two flops per nonzero; streamed value+index traffic plus one cache line
+// per nonzero for the random gather of x (the access pattern that makes
+// naive CSR SpMV memory-bound on GPUs), plus row pointers and the output.
+func ComputeCost(nnz, rows int64) haocl.KernelCost {
+	return haocl.KernelCost{
+		Flops: 2 * nnz,
+		Bytes: nnz*(8+64) + rows*8,
+	}
+}
+
+// PartitionCost models the spmv_partition launch: a binary search per
+// partition boundary.
+func PartitionCost(rows, parts int64) haocl.KernelCost {
+	logRows := int64(1)
+	for r := rows; r > 1; r >>= 1 {
+		logRows++
+	}
+	return haocl.KernelCost{Flops: (parts + 1) * logRows, Bytes: (parts + 1) * logRows * 4}
+}
+
+// RegisterKernels installs both SpMV kernels into reg.
+func RegisterKernels(reg *haocl.KernelRegistry) {
+	reg.MustRegister(&haocl.KernelSpec{
+		Name:    "spmv_partition",
+		NumArgs: 4,
+		Func: func(it *haocl.WorkItem, args []haocl.KernelArg) {
+			p := it.GlobalID(0)
+			rowptr := args[0].Int32s()
+			bounds := args[1].Int32s()
+			rows, parts := args[2].Int(), args[3].Int()
+			if p > parts {
+				return
+			}
+			nnz := int64(rowptr[rows])
+			target := nnz * int64(p) / int64(parts)
+			lo, hi := 0, rows
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if int64(rowptr[mid]) < target {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			bounds[p] = int32(lo)
+		},
+		Cost: func(global [3]int, args []haocl.KernelArg) haocl.KernelCost {
+			rows, parts := int64(args[2].Int()), int64(args[3].Int())
+			return PartitionCost(rows, parts)
+		},
+	})
+	reg.MustRegister(&haocl.KernelSpec{
+		Name:    "spmv_csr",
+		NumArgs: 7,
+		Func: func(it *haocl.WorkItem, args []haocl.KernelArg) {
+			rowLo, rowHi := args[5].Int(), args[6].Int()
+			r := rowLo + it.GlobalID(0)
+			if r >= rowHi {
+				return
+			}
+			rowptr := args[0].Int32s()
+			colidx := args[1].Int32s()
+			vals := args[2].Float32s()
+			x := args[3].Float32s()
+			y := args[4].Float32s()
+			var acc float32
+			for j := rowptr[r]; j < rowptr[r+1]; j++ {
+				acc += vals[j] * x[colidx[j]]
+			}
+			y[r-rowLo] = acc
+		},
+		Cost: func(global [3]int, args []haocl.KernelArg) haocl.KernelCost {
+			rows := int64(global[0])
+			rowptr := args[0].Int32s()
+			nnz := int64(0)
+			if len(rowptr) > 0 {
+				nnz = int64(rowptr[len(rowptr)-1])
+			}
+			return ComputeCost(nnz, rows)
+		},
+	})
+}
+
+// Config parameterizes one run.
+type Config struct {
+	// LogicalRows/LogicalNNZPerRow give the paper-scale problem
+	// (Table I: 1.1 GB ≈ 4M rows × 32 nnz in CSR with index+value).
+	LogicalRows      int
+	LogicalNNZPerRow int
+	// FuncRows/FuncNNZPerRow give the verified functional problem.
+	FuncRows      int
+	FuncNNZPerRow int
+	// PartitionDevices run the spmv_partition stage (GPUs in §IV-C).
+	PartitionDevices []*haocl.Device
+	// ComputeDevices run the spmv_csr stage (FPGAs in §IV-C). They may
+	// equal PartitionDevices for homogeneous runs.
+	ComputeDevices []*haocl.Device
+	// LogicalIters/FuncIters repeat the multiply SHOC-style so the
+	// one-time matrix distribution amortizes; the timing model charges
+	// LogicalIters passes while FuncIters are executed and verified.
+	LogicalIters int
+	FuncIters    int
+	// Skewed generates a heavy-tailed matrix instead of a uniform one.
+	Skewed bool
+	// NaiveSplit bypasses the spmv_partition stage and splits rows
+	// equally — the ablation showing why the nnz-balancing stage exists.
+	NaiveSplit bool
+	SkipVerify bool
+}
+
+// Defaults reproducing Table I's 1.1 GB input.
+const (
+	DefaultLogicalRows      = 4 << 20
+	DefaultLogicalNNZPerRow = 32
+	DefaultLogicalIters     = 500
+)
+
+// InputBytes reports the logical input footprint: values, column indices,
+// row pointers and the dense vector.
+func InputBytes(rows, nnzPerRow int64) int64 {
+	nnz := rows * nnzPerRow
+	return nnz*8 + (rows+1)*4 + rows*4
+}
+
+// Run executes the two-stage SpMV pipeline.
+func Run(p *haocl.Platform, cfg Config) (apps.Result, error) {
+	res := apps.Result{App: "SpMV", Devices: len(cfg.ComputeDevices)}
+	if len(cfg.PartitionDevices) == 0 || len(cfg.ComputeDevices) == 0 {
+		return res, fmt.Errorf("spmv: partition and compute devices are required")
+	}
+	if cfg.FuncRows <= 0 || cfg.LogicalRows <= 0 {
+		return res, fmt.Errorf("spmv: row counts are required")
+	}
+	if cfg.FuncIters <= 0 {
+		cfg.FuncIters = 1
+	}
+	if cfg.LogicalIters <= 0 {
+		cfg.LogicalIters = cfg.FuncIters
+	}
+	itersRatio := float64(cfg.LogicalIters) / float64(cfg.FuncIters)
+
+	var m *CSR
+	if cfg.Skewed {
+		m = GenerateSkewed(cfg.FuncRows, cfg.FuncRows, cfg.FuncNNZPerRow, 7)
+	} else {
+		m = Generate(cfg.FuncRows, cfg.FuncRows, cfg.FuncNNZPerRow, 7)
+	}
+	logicalNNZ := int64(cfg.LogicalRows) * int64(cfg.LogicalNNZPerRow)
+	p.ModelDataCreate(InputBytes(int64(cfg.LogicalRows), int64(cfg.LogicalNNZPerRow)))
+
+	allDevices := append(append([]*haocl.Device{}, cfg.PartitionDevices...), cfg.ComputeDevices...)
+	ctx, err := p.CreateContext(dedup(allDevices))
+	if err != nil {
+		return res, err
+	}
+	prog, err := ctx.CreateProgram(Source)
+	if err != nil {
+		return res, err
+	}
+	if err := prog.Build(); err != nil {
+		return res, fmt.Errorf("spmv: build: %v\n%s", err, prog.BuildLog())
+	}
+
+	scale := float64(logicalNNZ) / float64(m.NNZ())
+
+	// Stage 1: run the partition kernel on the first partition device.
+	parts := len(cfg.ComputeDevices)
+	partDev := cfg.PartitionDevices[0]
+	partQ, err := ctx.CreateQueue(partDev)
+	if err != nil {
+		return res, err
+	}
+	bufRowPtr, err := ctx.CreateBuffer(int64(4 * (m.Rows + 1)))
+	if err != nil {
+		return res, err
+	}
+	bufRowPtr.SetModelSize(int64(float64(4*(m.Rows+1)) * scale))
+	bufBounds, err := ctx.CreateBuffer(int64(4 * (parts + 1)))
+	if err != nil {
+		return res, err
+	}
+	if _, err := partQ.EnqueueWrite(bufRowPtr, 0, mem.I32Bytes(m.RowPtr)); err != nil {
+		return res, err
+	}
+	kPart, err := prog.CreateKernel("spmv_partition")
+	if err != nil {
+		return res, err
+	}
+	for i, v := range []any{bufRowPtr, bufBounds, int32(m.Rows), int32(parts)} {
+		if err := kPart.SetArg(i, v); err != nil {
+			return res, err
+		}
+	}
+	pc := PartitionCost(int64(cfg.LogicalRows), int64(parts))
+	if _, err := partQ.EnqueueKernel(kPart, []int{parts + 1}, nil, nil, &haocl.LaunchOptions{
+		CostFlops: pc.Flops, CostBytes: pc.Bytes,
+	}); err != nil {
+		return res, err
+	}
+	boundsRaw, _, err := partQ.EnqueueRead(bufBounds, 0, int64(4*(parts+1)))
+	if err != nil {
+		return res, err
+	}
+	bounds := mem.BytesI32(boundsRaw)
+	bounds[parts] = int32(m.Rows) // final bound is always the row count
+	if cfg.NaiveSplit {
+		// Ablation: ignore the balanced bounds and split rows equally.
+		eq := apps.SplitRange(m.Rows, parts)
+		for i := range bounds {
+			bounds[i] = int32(eq[i])
+		}
+	}
+
+	// Stage 2: each compute device gets its row slice and the shared x.
+	bufX, err := ctx.CreateBuffer(int64(4 * m.Cols))
+	if err != nil {
+		return res, err
+	}
+	bufX.SetModelSize(int64(float64(4*m.Cols) * scale))
+
+	y := make([]float32, m.Rows)
+	type deviceWork struct {
+		queue *haocl.Queue
+		bufY  *haocl.Buffer
+		lo    int
+		hi    int
+	}
+	var work []deviceWork
+
+	// One queue per compute device; x reaches every node via one chain
+	// broadcast.
+	queues := make([]*haocl.Queue, len(cfg.ComputeDevices))
+	for di, dev := range cfg.ComputeDevices {
+		q, err := ctx.CreateQueue(dev)
+		if err != nil {
+			return res, err
+		}
+		queues[di] = q
+	}
+	if _, err := ctx.Broadcast(bufX, mem.F32Bytes(m.X), queues); err != nil {
+		return res, err
+	}
+
+	for di := range cfg.ComputeDevices {
+		lo, hi := int(bounds[di]), int(bounds[di+1])
+		if lo >= hi {
+			continue
+		}
+		nnzLo, nnzHi := m.RowPtr[lo], m.RowPtr[hi]
+		sliceNNZ := int(nnzHi - nnzLo)
+
+		q := queues[di]
+		// Rebase the row pointers for the slice so kernel indexing stays
+		// local to the shipped arrays.
+		sliceRowPtr := make([]int32, hi-lo+1)
+		for i := range sliceRowPtr {
+			sliceRowPtr[i] = m.RowPtr[lo+i] - nnzLo
+		}
+		bufSliceRP, err := ctx.CreateBuffer(int64(4 * len(sliceRowPtr)))
+		if err != nil {
+			return res, err
+		}
+		bufSliceRP.SetModelSize(int64(float64(4*len(sliceRowPtr)) * scale))
+		bufCol, err := ctx.CreateBuffer(int64(4 * sliceNNZ))
+		if err != nil {
+			return res, err
+		}
+		bufCol.SetModelSize(int64(float64(4*sliceNNZ) * scale))
+		bufVal, err := ctx.CreateBuffer(int64(4 * sliceNNZ))
+		if err != nil {
+			return res, err
+		}
+		bufVal.SetModelSize(int64(float64(4*sliceNNZ) * scale))
+		bufY, err := ctx.CreateBuffer(int64(4 * (hi - lo)))
+		if err != nil {
+			return res, err
+		}
+		bufY.SetModelSize(int64(float64(4*(hi-lo)) * scale))
+
+		if _, err := q.EnqueueWrite(bufSliceRP, 0, mem.I32Bytes(sliceRowPtr)); err != nil {
+			return res, err
+		}
+		if _, err := q.EnqueueWrite(bufCol, 0, mem.I32Bytes(m.ColIdx[nnzLo:nnzHi])); err != nil {
+			return res, err
+		}
+		if _, err := q.EnqueueWrite(bufVal, 0, mem.F32Bytes(m.Vals[nnzLo:nnzHi])); err != nil {
+			return res, err
+		}
+
+		k, err := prog.CreateKernel("spmv_csr")
+		if err != nil {
+			return res, err
+		}
+		for i, v := range []any{bufSliceRP, bufCol, bufVal, bufX, bufY, int32(0), int32(hi - lo)} {
+			if err := k.SetArg(i, v); err != nil {
+				return res, err
+			}
+		}
+		cc := ComputeCost(int64(float64(sliceNNZ)*scale), int64(float64(hi-lo)*scale))
+		opts := &haocl.LaunchOptions{
+			CostFlops: int64(float64(cc.Flops) * itersRatio),
+			CostBytes: int64(float64(cc.Bytes) * itersRatio),
+		}
+		for iter := 0; iter < cfg.FuncIters; iter++ {
+			if _, err := q.EnqueueKernel(k, []int{hi - lo}, nil, nil, opts); err != nil {
+				return res, err
+			}
+		}
+		work = append(work, deviceWork{queue: q, bufY: bufY, lo: lo, hi: hi})
+	}
+
+	for _, w := range work {
+		data, _, err := w.queue.EnqueueRead(w.bufY, 0, int64(4*(w.hi-w.lo)))
+		if err != nil {
+			return res, err
+		}
+		copy(y[w.lo:w.hi], mem.BytesF32(data))
+		if _, err := w.queue.Finish(); err != nil {
+			return res, err
+		}
+	}
+
+	res.Verified = true
+	if !cfg.SkipVerify {
+		ref := m.Reference()
+		for i := range ref {
+			if math.Abs(float64(ref[i]-y[i])) > 1e-3 {
+				return res, fmt.Errorf("spmv: row %d mismatch: got %v want %v", i, y[i], ref[i])
+			}
+		}
+	}
+	apps.CollectMetrics(p, &res)
+	return res, nil
+}
+
+// dedup removes duplicate devices while preserving order.
+func dedup(devs []*haocl.Device) []*haocl.Device {
+	seen := make(map[*haocl.Device]bool, len(devs))
+	out := make([]*haocl.Device, 0, len(devs))
+	for _, d := range devs {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Workload describes the paper-scale run for the analytic baselines: the
+// dense vector is broadcast, the CSR arrays partitioned, the partition
+// stage is serial, and the multiply repeats iters times.
+func Workload(rows, nnzPerRow, iters int) baseline.Workload {
+	r, nnz := int64(rows), int64(rows)*int64(nnzPerRow)
+	per := ComputeCost(nnz, r)
+	return baseline.Workload{
+		Name:              "SpMV",
+		BroadcastBytes:    4 * r,
+		PartitionedBytes:  nnz*8 + (r+1)*4,
+		TotalCost:         baseline.ScaleCost(per, iters),
+		SerialCost:        PartitionCost(r, 16),
+		OutputBytes:       4 * r,
+		CommandsPerDevice: 6 + iters,
+		SnuCLDSupported:   true,
+	}
+}

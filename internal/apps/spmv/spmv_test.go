@@ -1,0 +1,165 @@
+package spmv_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/apps"
+	"github.com/haocl-project/haocl/internal/apps/spmv"
+)
+
+func startCluster(t *testing.T, gpus, fpgas int) *haocl.LocalCluster {
+	t.Helper()
+	reg := haocl.NewKernelRegistry()
+	spmv.RegisterKernels(reg)
+	lc, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
+		UserID:      "test",
+		GPUNodes:    gpus,
+		FPGANodes:   fpgas,
+		Bitstreams:  apps.Bitstreams(),
+		Kernels:     reg,
+		ExecWorkers: 1,
+	})
+	if err != nil {
+		t.Fatalf("StartLocalCluster: %v", err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	return lc
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	check := func(rowsRaw, nnzRaw uint8) bool {
+		rows := int(rowsRaw%64) + 1
+		nnzPerRow := int(nnzRaw%8) + 1
+		m := spmv.Generate(rows, rows, nnzPerRow, int64(rowsRaw)*7+int64(nnzRaw))
+		if len(m.RowPtr) != rows+1 || m.RowPtr[0] != 0 {
+			return false
+		}
+		for r := 0; r < rows; r++ {
+			if m.RowPtr[r+1] < m.RowPtr[r] {
+				return false
+			}
+			// Columns sorted and unique within a row, in range.
+			for j := m.RowPtr[r] + 1; j < m.RowPtr[r+1]; j++ {
+				if m.ColIdx[j] <= m.ColIdx[j-1] {
+					return false
+				}
+			}
+			for j := m.RowPtr[r]; j < m.RowPtr[r+1]; j++ {
+				if m.ColIdx[j] < 0 || int(m.ColIdx[j]) >= m.Cols {
+					return false
+				}
+			}
+		}
+		return int(m.RowPtr[rows]) == m.NNZ()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMVSingleGPU(t *testing.T) {
+	lc := startCluster(t, 1, 0)
+	gpus := lc.Platform.Devices(haocl.GPU)
+	res, err := spmv.Run(lc.Platform, spmv.Config{
+		LogicalRows: 1 << 16, LogicalNNZPerRow: 32,
+		FuncRows: 256, FuncNNZPerRow: 8,
+		PartitionDevices: gpus,
+		ComputeDevices:   gpus,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Compute <= 0 {
+		t.Fatalf("no compute charged: %+v", res)
+	}
+}
+
+// TestSpMVHeteroPipeline reproduces the paper's split: partition on GPUs,
+// compute on FPGAs.
+func TestSpMVHeteroPipeline(t *testing.T) {
+	lc := startCluster(t, 2, 2)
+	res, err := spmv.Run(lc.Platform, spmv.Config{
+		LogicalRows: 1 << 16, LogicalNNZPerRow: 32,
+		FuncRows: 300, FuncNNZPerRow: 6,
+		PartitionDevices: lc.Platform.Devices(haocl.GPU),
+		ComputeDevices:   lc.Platform.Devices(haocl.FPGA),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Devices != 2 {
+		t.Fatalf("expected 2 compute devices, got %d", res.Devices)
+	}
+}
+
+func TestSpMVScaling(t *testing.T) {
+	var prev haocl.Duration
+	for _, nodes := range []int{1, 2, 4} {
+		lc := startCluster(t, nodes, 0)
+		gpus := lc.Platform.Devices(haocl.GPU)
+		res, err := spmv.Run(lc.Platform, spmv.Config{
+			LogicalRows: 1 << 20, LogicalNNZPerRow: 32,
+			FuncRows: 256, FuncNNZPerRow: 8,
+			LogicalIters: 200, FuncIters: 2,
+			PartitionDevices: gpus[:1],
+			ComputeDevices:   gpus,
+		})
+		if err != nil {
+			t.Fatalf("Run(%d): %v", nodes, err)
+		}
+		if prev > 0 && res.Makespan >= prev {
+			t.Fatalf("no speedup at %d nodes: %v >= %v", nodes, res.Makespan, prev)
+		}
+		prev = res.Makespan
+		lc.Close()
+	}
+}
+
+func TestGenerateSkewedInvariants(t *testing.T) {
+	m := spmv.GenerateSkewed(200, 200, 8, 3)
+	if m.Rows != 200 || int(m.RowPtr[200]) != m.NNZ() {
+		t.Fatalf("structure broken: rows=%d nnz=%d ptr=%d", m.Rows, m.NNZ(), m.RowPtr[200])
+	}
+	var max, min int32 = 0, 1 << 30
+	for r := 0; r < m.Rows; r++ {
+		l := m.RowPtr[r+1] - m.RowPtr[r]
+		if l < 1 {
+			t.Fatalf("row %d empty", r)
+		}
+		if l > max {
+			max = l
+		}
+		if l < min {
+			min = l
+		}
+		for j := m.RowPtr[r] + 1; j < m.RowPtr[r+1]; j++ {
+			if m.ColIdx[j] <= m.ColIdx[j-1] {
+				t.Fatalf("row %d columns not sorted-unique", r)
+			}
+		}
+	}
+	// Heavy tail: the fattest row dwarfs the thinnest.
+	if max < 8*min {
+		t.Fatalf("not skewed enough: max=%d min=%d", max, min)
+	}
+}
+
+func TestSpMVSkewedBalancedRun(t *testing.T) {
+	lc := startCluster(t, 3, 0)
+	gpus := lc.Platform.Devices(haocl.GPU)
+	res, err := spmv.Run(lc.Platform, spmv.Config{
+		LogicalRows: 1 << 18, LogicalNNZPerRow: 32,
+		FuncRows: 300, FuncNNZPerRow: 6,
+		Skewed:           true,
+		PartitionDevices: gpus[:1],
+		ComputeDevices:   gpus,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Verified {
+		t.Fatal("skewed run not verified")
+	}
+}

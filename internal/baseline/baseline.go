@@ -1,0 +1,167 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation: the Local single-node native-OpenCL configuration that
+// anchors the speedup axes of Fig. 2, and a SnuCL-D-style distributed
+// OpenCL runtime (Kim et al., PLDI 2016) built on redundant host-program
+// execution with data replication.
+//
+// Both baselines share HaoCL's device and network models (internal/sim),
+// so every difference in reported time comes from the *structural* costs
+// the designs differ on:
+//
+//   - Local runs on one device with no network: data creation + PCIe
+//     staging + compute.
+//   - SnuCL-D replicates the host program and every buffer to all nodes:
+//     each node receives the FULL input through the host's star topology
+//     (n transfers on the host NIC, against HaoCL's partitioned sends and
+//     pipelined chain broadcasts), pays per-command control overhead
+//     reduced by command replay, cannot split pipeline stages across
+//     device types, and — as the paper notes — cannot run CFD at all
+//     without significant change.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/haocl-project/haocl/internal/kernel"
+	"github.com/haocl-project/haocl/internal/sim"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// Workload is the analytic description of one benchmark run at paper
+// scale, supplied by each app in internal/apps.
+type Workload struct {
+	// Name labels the benchmark.
+	Name string
+	// BroadcastBytes is input every device needs (e.g. matmul's B).
+	BroadcastBytes int64
+	// PartitionedBytes is input split across devices (e.g. matmul's A).
+	PartitionedBytes int64
+	// TotalCost is the full compute cost, divided evenly by data
+	// partitioning.
+	TotalCost kernel.Cost
+	// SerialCost is a non-partitionable stage (e.g. SpMV's partition
+	// kernel); SnuCL-D replays it on every node, HaoCL runs it once.
+	SerialCost kernel.Cost
+	// OutputBytes is the result read back to the host.
+	OutputBytes int64
+	// CommandsPerDevice approximates the OpenCL API calls issued per
+	// device (control-latency term).
+	CommandsPerDevice int
+	// SnuCLDSupported is false for CFD (paper §IV-B).
+	SnuCLDSupported bool
+}
+
+// ScaleCost multiplies a cost by an iteration or batch count.
+func ScaleCost(c kernel.Cost, times int) kernel.Cost {
+	return kernel.Cost{Flops: c.Flops * int64(times), Bytes: c.Bytes * int64(times)}
+}
+
+// SumCost adds costs across pipeline stages.
+func SumCost(cs ...kernel.Cost) kernel.Cost {
+	var out kernel.Cost
+	for _, c := range cs {
+		out.Flops += c.Flops
+		out.Bytes += c.Bytes
+	}
+	return out
+}
+
+// deviceTime is the roofline kernel time for cost c on device params p.
+func deviceTime(p sim.Params, c kernel.Cost) vtime.Duration {
+	computeSec := float64(c.Flops) / (p.Info.PeakGFLOPS * p.EffCompute * 1e9)
+	memSec := float64(c.Bytes) / (p.Info.MemBWGBps * p.EffMem * 1e9)
+	sec := computeSec
+	if memSec > sec {
+		sec = memSec
+	}
+	return vtime.Duration(sec * 1e9)
+}
+
+func pcieTime(p sim.Params, bytes int64) vtime.Duration {
+	return vtime.Duration(float64(bytes) / (p.Info.PCIeGBps * 1e9) * 1e9)
+}
+
+func hostCreateTime(bytes int64) vtime.Duration {
+	return vtime.Duration(float64(bytes) / sim.HostCreateBytesPerSec * 1e9)
+}
+
+func netTime(bytes int64, messages int) vtime.Duration {
+	return vtime.Duration(float64(bytes)/sim.GigabitBytesPerSec*1e9) +
+		time.Duration(messages)*sim.MessageLatency
+}
+
+// LocalResult is a baseline run's breakdown.
+type LocalResult struct {
+	System     string
+	Devices    int
+	DataCreate vtime.Duration
+	Transfer   vtime.Duration
+	Compute    vtime.Duration
+	Total      vtime.Duration
+	// Supported is false when the system cannot run the workload.
+	Supported bool
+}
+
+// Local models the workload on a single node with a native OpenCL driver:
+// no networking, data staged over PCIe once.
+func Local(w Workload, dev sim.Params) LocalResult {
+	in := w.BroadcastBytes + w.PartitionedBytes
+	create := hostCreateTime(in)
+	xfer := pcieTime(dev, in+w.OutputBytes)
+	compute := deviceTime(dev, w.TotalCost) + deviceTime(dev, w.SerialCost) +
+		vtime.Duration(w.CommandsPerDevice)*dev.Info.LaunchOverhead
+	return LocalResult{
+		System:     "Local-" + dev.Info.Type.String(),
+		Devices:    1,
+		DataCreate: create,
+		Transfer:   xfer,
+		Compute:    compute,
+		Total:      create + xfer + compute,
+		Supported:  true,
+	}
+}
+
+// snuclCommandLatency is the per-command control cost under command
+// replay: local queue insertion instead of a network round trip.
+const snuclCommandLatency = 20 * time.Microsecond
+
+// SnuCLD models the workload on n identical device nodes under the
+// SnuCL-D execution model.
+func SnuCLD(w Workload, dev sim.Params, n int) LocalResult {
+	res := LocalResult{System: "SnuCL-D", Devices: n, Supported: w.SnuCLDSupported}
+	if !w.SnuCLDSupported {
+		return res
+	}
+	if n < 1 {
+		n = 1
+	}
+	in := w.BroadcastBytes + w.PartitionedBytes
+	res.DataCreate = hostCreateTime(in)
+
+	// Data replication: every node receives the full input through the
+	// host's star topology, serialized on the host NIC.
+	res.Transfer = netTime(in*int64(n), w.CommandsPerDevice*n) +
+		netTime(w.OutputBytes, n) +
+		pcieTime(dev, in+w.OutputBytes/int64(n))
+
+	// Compute is data-partitioned like HaoCL's, but the serial stage is
+	// replayed redundantly on every node (adding no parallel benefit)
+	// and commands pay the replay overhead.
+	perDev := kernel.Cost{Flops: w.TotalCost.Flops / int64(n), Bytes: w.TotalCost.Bytes / int64(n)}
+	res.Compute = deviceTime(dev, perDev) + deviceTime(dev, w.SerialCost) +
+		vtime.Duration(w.CommandsPerDevice)*(dev.Info.LaunchOverhead+snuclCommandLatency)
+
+	res.Total = res.DataCreate + res.Transfer + res.Compute
+	return res
+}
+
+// String renders the result as one harness row.
+func (r LocalResult) String() string {
+	if !r.Supported {
+		return fmt.Sprintf("%-10s dev=%-2d unsupported", r.System, r.Devices)
+	}
+	return fmt.Sprintf("%-10s dev=%-2d total=%9.3fs create=%8.3fs xfer=%8.3fs compute=%9.3fs",
+		r.System, r.Devices, r.Total.Seconds(), r.DataCreate.Seconds(),
+		r.Transfer.Seconds(), r.Compute.Seconds())
+}

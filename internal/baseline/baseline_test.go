@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/kernel"
+	"github.com/haocl-project/haocl/internal/sim"
+)
+
+func sampleWorkload() Workload {
+	return Workload{
+		Name:              "sample",
+		BroadcastBytes:    100 << 20,
+		PartitionedBytes:  400 << 20,
+		TotalCost:         kernel.Cost{Flops: 1e12, Bytes: 4e12},
+		SerialCost:        kernel.Cost{Flops: 1e6},
+		OutputBytes:       50 << 20,
+		CommandsPerDevice: 10,
+		SnuCLDSupported:   true,
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	c := ScaleCost(kernel.Cost{Flops: 3, Bytes: 5}, 4)
+	if c.Flops != 12 || c.Bytes != 20 {
+		t.Fatalf("ScaleCost = %+v", c)
+	}
+	s := SumCost(kernel.Cost{Flops: 1, Bytes: 2}, kernel.Cost{Flops: 10, Bytes: 20})
+	if s.Flops != 11 || s.Bytes != 22 {
+		t.Fatalf("SumCost = %+v", s)
+	}
+}
+
+func TestLocalBreakdown(t *testing.T) {
+	res := Local(sampleWorkload(), sim.TeslaP4Params(1))
+	if !res.Supported || res.Devices != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.DataCreate <= 0 || res.Transfer <= 0 || res.Compute <= 0 {
+		t.Fatalf("missing components: %+v", res)
+	}
+	if res.Total != res.DataCreate+res.Transfer+res.Compute {
+		t.Fatal("total is not the sum of components")
+	}
+	// The FPGA with lower throughput takes longer on the same workload.
+	fpga := Local(sampleWorkload(), sim.VU9PParams(1, nil))
+	if fpga.Compute <= res.Compute {
+		t.Fatalf("FPGA compute %v not slower than GPU %v", fpga.Compute, res.Compute)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSnuCLDScalingShape(t *testing.T) {
+	w := sampleWorkload()
+	dev := sim.TeslaP4Params(1)
+	t1 := SnuCLD(w, dev, 1)
+	t4 := SnuCLD(w, dev, 4)
+	t16 := SnuCLD(w, dev, 16)
+	if !t4.Supported {
+		t.Fatal("supported workload reported unsupported")
+	}
+	// Compute shrinks with nodes.
+	if t4.Compute >= t1.Compute || t16.Compute >= t4.Compute {
+		t.Fatalf("compute not scaling: %v %v %v", t1.Compute, t4.Compute, t16.Compute)
+	}
+	// Replication traffic grows with nodes — the structural cost HaoCL's
+	// partitioned transfers avoid.
+	if t4.Transfer <= t1.Transfer || t16.Transfer <= t4.Transfer {
+		t.Fatalf("replication traffic not growing: %v %v %v", t1.Transfer, t4.Transfer, t16.Transfer)
+	}
+	// For this transfer-heavy workload, 16-node SnuCL-D is worse than
+	// 4-node: the replication wall.
+	if t16.Total <= t4.Total {
+		t.Fatalf("expected replication wall: t16=%v t4=%v", t16.Total, t4.Total)
+	}
+}
+
+func TestSnuCLDUnsupported(t *testing.T) {
+	w := sampleWorkload()
+	w.SnuCLDSupported = false
+	res := SnuCLD(w, sim.TeslaP4Params(1), 4)
+	if res.Supported {
+		t.Fatal("unsupported workload ran")
+	}
+	if !strings.Contains(res.String(), "unsupported") {
+		t.Fatalf("String = %q", res.String())
+	}
+}
+
+func TestSnuCLDSerialStageNotParallelized(t *testing.T) {
+	w := sampleWorkload()
+	w.TotalCost = kernel.Cost{}
+	w.SerialCost = kernel.Cost{Flops: 1e12}
+	dev := sim.TeslaP4Params(1)
+	t1 := SnuCLD(w, dev, 1)
+	t8 := SnuCLD(w, dev, 8)
+	if t8.Compute < t1.Compute {
+		t.Fatalf("serial stage parallelized: %v < %v", t8.Compute, t1.Compute)
+	}
+}
+
+func TestSnuCLDClampsNodeCount(t *testing.T) {
+	res := SnuCLD(sampleWorkload(), sim.TeslaP4Params(1), 0)
+	if !res.Supported || res.Compute <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestAblationBroadcastChain: the pipelined chain must beat star
+// distribution by a wide margin at 8 nodes (one full send + 7 pipeline
+// fills versus 8 serialized full sends).
+func TestAblationBroadcastChain(t *testing.T) {
+	res, err := AblateBroadcastChain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Improvement() < 3 {
+		t.Fatalf("chain benefit only %.2fx at 8 nodes: %s", res.Improvement(), res)
+	}
+}
+
+// TestAblationWeightedPartition: on a hybrid GPU+FPGA cluster, equal
+// portions bottleneck on the FPGAs; weighted portions finish sooner.
+func TestAblationWeightedPartition(t *testing.T) {
+	res, err := AblateWeightedPartition(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.With >= res.Without {
+		t.Fatalf("weighted split not faster: %s", res)
+	}
+}
+
+// TestAblationSpMVPartitionStage: on a heavy-tailed matrix the
+// nnz-balancing stage beats a naive row split.
+func TestAblationSpMVPartitionStage(t *testing.T) {
+	res, err := AblateSpMVPartitionStage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.With >= res.Without {
+		t.Fatalf("balanced partition not faster on skewed matrix: %s", res)
+	}
+}
+
+// TestAblationSchedulerPolicies: load-aware policies must beat blind
+// round-robin on the mixed task graph, and every policy must finish it.
+func TestAblationSchedulerPolicies(t *testing.T) {
+	makespans, err := AblateSchedulerPolicies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range makespans {
+		if s <= 0 {
+			t.Fatalf("policy %s produced empty makespan", name)
+		}
+	}
+	if makespans["least-loaded"] >= makespans["round-robin"] {
+		t.Fatalf("least-loaded (%.3fs) not better than round-robin (%.3fs)",
+			makespans["least-loaded"], makespans["round-robin"])
+	}
+	if makespans["hetero-aware"] >= makespans["round-robin"] {
+		t.Fatalf("hetero-aware (%.3fs) not better than round-robin (%.3fs)",
+			makespans["hetero-aware"], makespans["round-robin"])
+	}
+}
+
+func TestAblationsPrintAll(t *testing.T) {
+	if err := Ablations(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// chartWidth is the bar length of a full-scale value.
+const chartWidth = 60
+
+// RenderFig3Chart draws the stacked-bar version of the breakdown analysis,
+// one bar per (matrix size, GPU count) group like the paper's Fig. 3:
+// DataCreate (#), ComputeTime (=), DataTransfer (~).
+func RenderFig3Chart(w io.Writer, rows []Fig3Row) {
+	if len(rows) == 0 {
+		return
+	}
+	var max float64
+	for _, r := range rows {
+		if t := r.DataCreate + r.Compute + r.Transfer; t > max {
+			max = t
+		}
+	}
+	if max <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "%41s  (# DataCreate, = ComputeTime, ~ DataTransfer; full bar = %.1fs)\n", "", max)
+	for _, r := range rows {
+		scale := func(v float64) int {
+			n := int(v / max * chartWidth)
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			return n
+		}
+		bar := strings.Repeat("#", scale(r.DataCreate)) +
+			strings.Repeat("=", scale(r.Compute)) +
+			strings.Repeat("~", scale(r.Transfer))
+		fmt.Fprintf(w, "N=%-6d gpus=%d |%-*s| %7.2fs\n", r.MatrixSize, r.GPUs, chartWidth, bar, r.Total)
+	}
+}
+
+// RenderSpeedupChart draws one benchmark's Fig. 2 series as horizontal
+// bars of speedup over the local baseline.
+func RenderSpeedupChart(w io.Writer, rows []Fig2Row) {
+	var max float64
+	for _, r := range rows {
+		if r.Supported && r.Speedup > max {
+			max = r.Speedup
+		}
+	}
+	if max <= 0 {
+		return
+	}
+	for _, r := range rows {
+		if !r.Supported {
+			fmt.Fprintf(w, "%-13s n=%-3d | (unsupported)\n", r.Series, r.Nodes)
+			continue
+		}
+		n := int(r.Speedup / max * chartWidth)
+		if n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(w, "%-13s n=%-3d |%-*s| %5.2fx\n",
+			r.Series, r.Nodes, chartWidth, strings.Repeat("█", n), r.Speedup)
+	}
+}

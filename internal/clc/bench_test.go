@@ -1,0 +1,31 @@
+package clc
+
+import "testing"
+
+const benchSource = `
+#pragma OPENCL EXTENSION cl_khr_fp64 : enable
+float helper(float x) { return x * 2.0f; }
+__kernel void a(__global const float* in, __global float* out, const int n) {
+    int i = get_global_id(0);
+    if (i < n) out[i] = helper(in[i]);
+}
+__kernel void b(__global const int* rowptr, __global const int* colidx,
+                __global const float* vals, __global const float* x,
+                __global float* y, const int rows) {
+    int r = get_global_id(0);
+    if (r >= rows) return;
+    float acc = 0.0f;
+    for (int j = rowptr[r]; j < rowptr[r+1]; j++) acc += vals[j] * x[colidx[j]];
+    y[r] = acc;
+}
+`
+
+// BenchmarkParse measures the clBuildProgram front-end cost per program.
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(benchSource)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

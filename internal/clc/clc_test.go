@@ -1,0 +1,360 @@
+package clc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`__kernel void f(int a) { a += 1.5e-3f; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idents, numbers, puncts int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case TokIdent:
+			idents++
+		case TokNumber:
+			numbers++
+		case TokPunct:
+			puncts++
+		}
+	}
+	if idents != 6 || numbers != 1 {
+		t.Fatalf("idents=%d numbers=%d", idents, numbers)
+	}
+	if puncts == 0 {
+		t.Fatal("no punctuation")
+	}
+}
+
+func TestTokenizeCommentsAndDirectives(t *testing.T) {
+	src := `
+// line comment with __kernel inside
+#define FOO 1
+#pragma OPENCL EXTENSION cl_khr_fp64 : enable
+/* block
+   comment */
+__kernel void real_kernel(__global float* x) { }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Kernels) != 1 || prog.Kernels[0].Name != "real_kernel" {
+		t.Fatalf("kernels = %v", prog.KernelNames())
+	}
+}
+
+func TestTokenizeStringAndChar(t *testing.T) {
+	toks, err := Tokenize(`"a \"quoted\" string" 'c' '\n'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[1].Kind != TokChar || toks[2].Kind != TokChar {
+		t.Fatalf("kinds: %v %v %v", toks[0].Kind, toks[1].Kind, toks[2].Kind)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, src := range []string{
+		"/* unterminated",
+		`"unterminated`,
+		`'x`,
+	} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseFullSignature(t *testing.T) {
+	src := `
+__kernel void stencil(__global const float* restrict in,
+                      __global float* out,
+                      __local float* tile,
+                      __constant float* coeffs,
+                      const int n,
+                      unsigned int stride,
+                      float4 scale) {
+    int i = get_global_id(0);
+    if (i < n) { out[i] = in[i]; }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := prog.Kernel("stencil")
+	if !ok {
+		t.Fatal("kernel not found")
+	}
+	want := []struct {
+		name  string
+		typ   string
+		space AddressSpace
+		ptr   bool
+		cnst  bool
+	}{
+		{"in", "float", SpaceGlobal, true, true},
+		{"out", "float", SpaceGlobal, true, false},
+		{"tile", "float", SpaceLocal, true, false},
+		{"coeffs", "float", SpaceConstant, true, false},
+		{"n", "int", SpacePrivate, false, true},
+		{"stride", "uint", SpacePrivate, false, false},
+		{"scale", "float4", SpacePrivate, false, false},
+	}
+	if len(k.Params) != len(want) {
+		t.Fatalf("%d params, want %d: %v", len(k.Params), len(want), k.Params)
+	}
+	for i, w := range want {
+		p := k.Params[i]
+		if p.Name != w.name || p.Type != w.typ || p.Space != w.space ||
+			p.Pointer != w.ptr || p.Const != w.cnst {
+			t.Errorf("param %d = %+v, want %+v", i, p, w)
+		}
+	}
+}
+
+func TestParseMultipleKernelsAndHelpers(t *testing.T) {
+	src := `
+float helper(float x) { return x * 2.0f; }
+
+typedef struct { int a; } thing;
+
+__kernel void first(__global float* x) { x[0] = helper(x[0]); }
+
+int another_helper(int v) { if (v > 0) { return v; } return -v; }
+
+kernel void second(global int* y, const int n) {
+    for (int i = 0; i < n; i++) { y[i] = another_helper(y[i]); }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := prog.KernelNames()
+	if len(names) != 2 || names[0] != "first" || names[1] != "second" {
+		t.Fatalf("kernels = %v", names)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	src := `
+__kernel __attribute__((reqd_work_group_size(64, 1, 1)))
+void tuned(__global float* x) { x[get_global_id(0)] *= 2.0f; }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := prog.Kernels[0]
+	if len(k.ReqdWorkGroupSize) != 3 || k.ReqdWorkGroupSize[0] != 64 {
+		t.Fatalf("reqd_work_group_size = %v", k.ReqdWorkGroupSize)
+	}
+}
+
+func TestParseEmptyParamLists(t *testing.T) {
+	for _, src := range []string{
+		`__kernel void nop() { }`,
+		`__kernel void nop(void) { }`,
+	} {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if len(prog.Kernels[0].Params) != 0 {
+			t.Fatalf("params = %v", prog.Kernels[0].Params)
+		}
+	}
+}
+
+func TestParseArraySuffix(t *testing.T) {
+	prog, err := Parse(`__kernel void k(__global float x[]) { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Kernels[0].Params[0].Pointer {
+		t.Fatal("array parameter not treated as pointer")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no kernels":          `float helper(float x) { return x; }`,
+		"non-void return":     `__kernel int bad(__global int* x) { return 0; }`,
+		"missing brace":       `__kernel void bad(__global int* x) { if (1) {`,
+		"pointer no space":    `__kernel void bad(float* x) { }`,
+		"space on scalar":     `__kernel void bad(__global float x) { }`,
+		"void param":          `__kernel void bad(void x) { }`,
+		"duplicate kernel":    `__kernel void dup(__global int* x) { } __kernel void dup(__global int* y) { }`,
+		"missing param name":  `__kernel void bad(__global float*) { }`,
+		"type as kernel name": `__kernel void float(__global int* x) { }`,
+		"unclosed params":     `__kernel void bad(__global int* x { }`,
+	}
+	for label, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse succeeded", label)
+		} else {
+			var be *BuildError
+			if !asBuildError(err, &be) {
+				t.Errorf("%s: error %T is not *BuildError", label, err)
+			} else if be.Line == 0 {
+				t.Errorf("%s: diagnostic missing line info: %v", label, be)
+			}
+		}
+	}
+}
+
+func asBuildError(err error, out **BuildError) bool {
+	be, ok := err.(*BuildError)
+	if ok {
+		*out = be
+	}
+	return ok
+}
+
+func TestIsTypeName(t *testing.T) {
+	for _, yes := range []string{"float", "int", "uchar", "float4", "double16", "half2", "size_t", "void"} {
+		if !IsTypeName(yes) {
+			t.Errorf("IsTypeName(%q) = false", yes)
+		}
+	}
+	for _, no := range []string{"float5", "foo", "Kernel", "int128", ""} {
+		if IsTypeName(no) {
+			t.Errorf("IsTypeName(%q) = true", no)
+		}
+	}
+}
+
+func TestScalarSize(t *testing.T) {
+	cases := map[string]int{
+		"char": 1, "uchar": 1, "short": 2, "half": 2,
+		"int": 4, "uint": 4, "float": 4,
+		"long": 8, "ulong": 8, "double": 8, "size_t": 8,
+		"float2": 8, "float3": 16, "float4": 16, "int8": 32, "double16": 128,
+		"unknown": 0,
+	}
+	for typ, want := range cases {
+		if got := ScalarSize(typ); got != want {
+			t.Errorf("ScalarSize(%q) = %d, want %d", typ, got, want)
+		}
+	}
+}
+
+// TestParserNeverPanics feeds mutated kernel source to the parser; any
+// input may be rejected but none may panic.
+func TestParserNeverPanics(t *testing.T) {
+	base := `__kernel void k(__global const float* x, const int n) { x[0] = n; }`
+	check := func(pos uint16, repl byte) bool {
+		src := []byte(base)
+		src[int(pos)%len(src)] = repl
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(string(src))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamString(t *testing.T) {
+	p := Param{Name: "x", Type: "float", Space: SpaceGlobal, Pointer: true, Const: true}
+	s := p.String()
+	for _, want := range []string{"global", "const", "float*", "x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Param.String() = %q missing %q", s, want)
+		}
+	}
+	if SpaceGlobal.String() != "global" || SpacePrivate.String() != "private" {
+		t.Fatal("space names wrong")
+	}
+}
+
+// TestGenerativeSignatureRoundTrip builds random-but-valid kernel
+// signatures, renders them to OpenCL C, and checks the parser recovers
+// exactly the generated structure.
+func TestGenerativeSignatureRoundTrip(t *testing.T) {
+	types := []string{"float", "int", "uint", "double", "float4", "uchar"}
+	spaces := []struct {
+		kw    string
+		space AddressSpace
+	}{
+		{"__global", SpaceGlobal},
+		{"global", SpaceGlobal},
+		{"__local", SpaceLocal},
+		{"__constant", SpaceConstant},
+	}
+	check := func(seed uint32, nParamsRaw uint8) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			return int(rng>>16) % n
+		}
+		nParams := int(nParamsRaw%6) + 1
+		var sb strings.Builder
+		sb.WriteString("__kernel void generated(")
+		type want struct {
+			typ     string
+			space   AddressSpace
+			pointer bool
+			cnst    bool
+		}
+		wants := make([]want, nParams)
+		for i := 0; i < nParams; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			typ := types[next(len(types))]
+			pointer := next(2) == 0
+			cnst := next(2) == 0
+			w := want{typ: typ, pointer: pointer, cnst: cnst, space: SpacePrivate}
+			if pointer {
+				sp := spaces[next(len(spaces))]
+				w.space = sp.space
+				sb.WriteString(sp.kw)
+				sb.WriteByte(' ')
+			}
+			if cnst {
+				sb.WriteString("const ")
+			}
+			sb.WriteString(typ)
+			if pointer {
+				sb.WriteByte('*')
+			}
+			fmt.Fprintf(&sb, " p%d", i)
+			wants[i] = w
+		}
+		sb.WriteString(") { }")
+		prog, err := Parse(sb.String())
+		if err != nil {
+			t.Logf("source: %s", sb.String())
+			t.Logf("parse error: %v", err)
+			return false
+		}
+		k := prog.Kernels[0]
+		if k.Name != "generated" || len(k.Params) != nParams {
+			return false
+		}
+		for i, w := range wants {
+			p := k.Params[i]
+			if p.Type != w.typ || p.Space != w.space || p.Pointer != w.pointer || p.Const != w.cnst {
+				t.Logf("source: %s", sb.String())
+				t.Logf("param %d = %+v, want %+v", i, p, w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

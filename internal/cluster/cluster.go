@@ -1,0 +1,168 @@
+// Package cluster describes HaoCL cluster topology: the host node plus the
+// set of device nodes, their addresses, and the devices each node exports.
+//
+// The host process "reads the address and port defined in a system
+// configuration file and creates a message and a data listener for each
+// node" (paper §III-C); this package is that configuration file's schema
+// and loader.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/haocl-project/haocl/internal/device"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/sim"
+)
+
+// DeviceSpec is one device entry in a node's configuration.
+type DeviceSpec struct {
+	// Type is "cpu", "gpu" or "fpga".
+	Type string `json:"type"`
+	// Model selects a driver preset; empty uses the type's default
+	// (the paper's testbed hardware).
+	Model string `json:"model,omitempty"`
+	// Shared permits concurrent users on the device.
+	Shared bool `json:"shared,omitempty"`
+	// Bitstreams lists the pre-built kernels available on FPGA devices.
+	Bitstreams []string `json:"bitstreams,omitempty"`
+}
+
+// NodeSpec is one device node.
+type NodeSpec struct {
+	Name    string       `json:"name"`
+	Addr    string       `json:"addr"`
+	Devices []DeviceSpec `json:"devices"`
+}
+
+// Config is a full cluster description.
+type Config struct {
+	// UserID identifies this host's user to the NMPs.
+	UserID string     `json:"user,omitempty"`
+	Nodes  []NodeSpec `json:"nodes"`
+}
+
+// ParseType converts a config type string to a device type.
+func ParseType(s string) (device.Type, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "cpu":
+		return protocol.DeviceCPU, nil
+	case "gpu":
+		return protocol.DeviceGPU, nil
+	case "fpga":
+		return protocol.DeviceFPGA, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown device type %q", s)
+	}
+}
+
+// Validate checks the configuration for structural problems.
+func (c *Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster: no nodes configured")
+	}
+	names := make(map[string]bool, len(c.Nodes))
+	addrs := make(map[string]bool, len(c.Nodes))
+	for i, n := range c.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("cluster: node %d has no name", i)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		names[n.Name] = true
+		if n.Addr == "" {
+			return fmt.Errorf("cluster: node %q has no address", n.Name)
+		}
+		if addrs[n.Addr] {
+			return fmt.Errorf("cluster: duplicate node address %q", n.Addr)
+		}
+		addrs[n.Addr] = true
+		if len(n.Devices) == 0 {
+			return fmt.Errorf("cluster: node %q has no devices", n.Name)
+		}
+		for j, d := range n.Devices {
+			if _, err := ParseType(d.Type); err != nil {
+				return fmt.Errorf("cluster: node %q device %d: %w", n.Name, j, err)
+			}
+		}
+	}
+	return nil
+}
+
+// DeviceConfigs converts a node's device specs to driver configurations,
+// assigning node-local IDs in declaration order (1-based).
+func (n *NodeSpec) DeviceConfigs() ([]device.Config, error) {
+	out := make([]device.Config, 0, len(n.Devices))
+	for i, d := range n.Devices {
+		t, err := ParseType(d.Type)
+		if err != nil {
+			return nil, fmt.Errorf("node %q: %w", n.Name, err)
+		}
+		out = append(out, device.Config{
+			Driver:     sim.DriverForType(t),
+			Model:      d.Model,
+			ID:         uint32(i + 1),
+			Shared:     d.Shared,
+			Bitstreams: d.Bitstreams,
+		})
+	}
+	return out, nil
+}
+
+// Parse decodes a JSON configuration.
+func Parse(data []byte) (*Config, error) {
+	var c Config
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("cluster: parse config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Load reads and parses a configuration file.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return Parse(data)
+}
+
+// Synthetic builds an in-memory configuration with the requested number of
+// GPU and FPGA nodes (plus optional CPU nodes), mirroring the paper's
+// evaluation clusters: "16 GPU nodes and 4 FPGA nodes are involved in our
+// evaluations" (§IV-A). Addresses are symbolic; the caller binds them on a
+// MemNetwork or rewrites them for TCP.
+func Synthetic(user string, cpuNodes, gpuNodes, fpgaNodes int, bitstreams []string) *Config {
+	cfg := &Config{UserID: user}
+	for i := 0; i < cpuNodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, NodeSpec{
+			Name:    fmt.Sprintf("cpu-%02d", i),
+			Addr:    fmt.Sprintf("mem://cpu-%02d", i),
+			Devices: []DeviceSpec{{Type: "cpu", Shared: true}},
+		})
+	}
+	for i := 0; i < gpuNodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, NodeSpec{
+			Name:    fmt.Sprintf("gpu-%02d", i),
+			Addr:    fmt.Sprintf("mem://gpu-%02d", i),
+			Devices: []DeviceSpec{{Type: "gpu", Shared: true}},
+		})
+	}
+	for i := 0; i < fpgaNodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, NodeSpec{
+			Name:    fmt.Sprintf("fpga-%02d", i),
+			Addr:    fmt.Sprintf("mem://fpga-%02d", i),
+			Devices: []DeviceSpec{{Type: "fpga", Shared: true, Bitstreams: bitstreams}},
+		})
+	}
+	return cfg
+}

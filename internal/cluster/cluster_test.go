@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/sim"
+)
+
+const sampleConfig = `{
+  "user": "alice",
+  "nodes": [
+    {"name": "gpu-00", "addr": "10.0.0.1:7010", "devices": [{"type": "gpu"}]},
+    {"name": "gpu-01", "addr": "10.0.0.2:7010", "devices": [{"type": "gpu", "shared": true}]},
+    {"name": "fpga-00", "addr": "10.0.0.3:7010", "devices": [
+      {"type": "fpga", "model": "vu9p", "bitstreams": ["matmul", "spmv_csr"]}
+    ]},
+    {"name": "mixed", "addr": "10.0.0.4:7010", "devices": [
+      {"type": "cpu"}, {"type": "gpu"}
+    ]}
+  ]
+}`
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := Parse([]byte(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.UserID != "alice" || len(cfg.Nodes) != 4 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if !cfg.Nodes[1].Devices[0].Shared {
+		t.Fatal("shared flag lost")
+	}
+	if cfg.Nodes[2].Devices[0].Bitstreams[1] != "spmv_csr" {
+		t.Fatal("bitstreams lost")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"nodes": [{"name":"a","addr":"x","devices":[{"type":"gpu"}],"bogus":1}]}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]string{
+		"no nodes":     `{"nodes": []}`,
+		"missing name": `{"nodes": [{"addr": "x:1", "devices": [{"type":"gpu"}]}]}`,
+		"dup name":     `{"nodes": [{"name":"a","addr":"x:1","devices":[{"type":"gpu"}]},{"name":"a","addr":"x:2","devices":[{"type":"gpu"}]}]}`,
+		"missing addr": `{"nodes": [{"name":"a","devices":[{"type":"gpu"}]}]}`,
+		"dup addr":     `{"nodes": [{"name":"a","addr":"x:1","devices":[{"type":"gpu"}]},{"name":"b","addr":"x:1","devices":[{"type":"gpu"}]}]}`,
+		"no devices":   `{"nodes": [{"name":"a","addr":"x:1","devices":[]}]}`,
+		"bad type":     `{"nodes": [{"name":"a","addr":"x:1","devices":[{"type":"tpu"}]}]}`,
+	}
+	for label, raw := range cases {
+		if _, err := Parse([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, []byte(sampleConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(cfg.Nodes))
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for in, want := range map[string]protocol.DeviceType{
+		"cpu": protocol.DeviceCPU, "GPU": protocol.DeviceGPU, " fpga ": protocol.DeviceFPGA,
+	} {
+		got, err := ParseType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseType("quantum"); err == nil {
+		t.Fatal("bad type accepted")
+	}
+}
+
+func TestDeviceConfigs(t *testing.T) {
+	cfg, err := Parse([]byte(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := cfg.Nodes[3]
+	dcs, err := mixed.DeviceConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dcs) != 2 {
+		t.Fatalf("configs = %v", dcs)
+	}
+	if dcs[0].Driver != sim.DriverCPU || dcs[1].Driver != sim.DriverGPU {
+		t.Fatalf("drivers = %s, %s", dcs[0].Driver, dcs[1].Driver)
+	}
+	if dcs[0].ID != 1 || dcs[1].ID != 2 {
+		t.Fatalf("IDs = %d, %d (want 1-based positions)", dcs[0].ID, dcs[1].ID)
+	}
+	fpga := cfg.Nodes[2]
+	fdcs, err := fpga.DeviceConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdcs[0].Model != "vu9p" || len(fdcs[0].Bitstreams) != 2 {
+		t.Fatalf("fpga config = %+v", fdcs[0])
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	cfg := Synthetic("bench", 1, 16, 4, []string{"k1"})
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Nodes) != 21 {
+		t.Fatalf("nodes = %d, want 21", len(cfg.Nodes))
+	}
+	var cpus, gpus, fpgas int
+	for _, n := range cfg.Nodes {
+		switch n.Devices[0].Type {
+		case "cpu":
+			cpus++
+		case "gpu":
+			gpus++
+		case "fpga":
+			fpgas++
+			if len(n.Devices[0].Bitstreams) != 1 {
+				t.Fatal("bitstreams not propagated")
+			}
+		}
+	}
+	if cpus != 1 || gpus != 16 || fpgas != 4 {
+		t.Fatalf("mix = %d/%d/%d", cpus, gpus, fpgas)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/sim"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// broadcastChunkBytes is the pipelining granularity of chain broadcasts:
+// once a node has received the first chunk it starts forwarding to the next
+// node, so each additional hop adds one chunk's latency rather than a full
+// retransmission.
+const broadcastChunkBytes = 8 << 20
+
+// hopDelay models the pipeline fill per chain hop.
+func hopDelay(modelBytes int64) vtime.Duration {
+	chunk := modelBytes
+	if chunk > broadcastChunkBytes {
+		chunk = broadcastChunkBytes
+	}
+	secs := float64(chunk) / sim.GigabitBytesPerSec
+	return vtime.Duration(secs*1e9) + 150*time.Microsecond
+}
+
+// Broadcast writes data into b on every queue's node using a pipelined
+// node-to-node chain: the host sends one copy over its NIC to the first
+// node, which forwards chunks to the second while still receiving, and so
+// on. Completion at hop i trails hop i-1 by one chunk, so distributing to n
+// nodes costs one transfer plus n-1 pipeline fills instead of n full
+// transfers through the host NIC — one of the "complex inter-node data
+// transfer schemes" the backbone implements (paper §III-C).
+//
+// Functionally every node receives data through its own WriteBuffer
+// command; only the virtual-time charging differs from repeated
+// EnqueueWrite calls.
+func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, error) {
+	if len(queues) == 0 {
+		return nil, fmt.Errorf("core: broadcast needs at least one queue")
+	}
+	if int64(len(data)) != b.size {
+		return nil, fmt.Errorf("core: broadcast needs full buffer contents (%d bytes, got %d)",
+			b.size, len(data))
+	}
+	// One hop per distinct node, in queue order.
+	seen := make(map[*NodeHandle]bool, len(queues))
+	hops := make([]*Queue, 0, len(queues))
+	for _, q := range queues {
+		if !seen[q.dev.node] {
+			seen[q.dev.node] = true
+			hops = append(hops, q)
+		}
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.host == nil {
+		b.host = make([]byte, b.size)
+	}
+	copy(b.host, data)
+	b.hostValid = true
+
+	events := make([]*Event, 0, len(hops))
+	var prevArrival vtime.Time
+	for i, q := range hops {
+		node := q.dev.node
+		rb, err := b.remoteOn(node)
+		if err != nil {
+			return nil, err
+		}
+		var arrival vtime.Time
+		if i == 0 {
+			// First hop crosses the host NIC.
+			arrival = c.rt.chargeNIC(b.hostReadyAt, controlMsgBytes+b.modelSize)
+		} else {
+			// Chain hop: previous node forwards over its own link.
+			arrival = prevArrival.Add(hopDelay(b.modelSize))
+		}
+		prevArrival = arrival
+
+		var resp protocol.EventResp
+		err = c.rt.call(node, &protocol.WriteBufferReq{
+			QueueID:    q.remoteID,
+			BufferID:   rb.id,
+			Offset:     0,
+			Data:       data,
+			SimArrival: int64(arrival),
+			ModelBytes: b.modelSize,
+			WaitEvents: lastEventList(rb),
+		}, &resp)
+		if err != nil {
+			return nil, fmt.Errorf("core: broadcast to %q: %w", node.name, err)
+		}
+		rb.valid = true
+		rb.lastEvent = resp.EventID
+		rb.lastEnd = vtime.Time(resp.Profile.End)
+		c.rt.observeProfile(q.dev.key, resp.Profile, false)
+		events = append(events, &Event{dev: q.dev, remoteID: resp.EventID, profile: resp.Profile})
+	}
+	return events, nil
+}

@@ -1,0 +1,826 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/haocl-project/haocl/internal/clc"
+	"github.com/haocl-project/haocl/internal/kernel"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// Event is the host-side handle for a completed enqueue operation. Command
+// execution in this runtime is synchronous at the protocol level, so events
+// are born complete; their profiles carry the virtual-time interval the
+// command occupied.
+type Event struct {
+	dev      *DeviceRef
+	remoteID uint64
+	profile  protocol.Profile
+}
+
+// Profile returns the event's virtual-time profiling info
+// (clGetEventProfilingInfo).
+func (e *Event) Profile() protocol.Profile { return e.profile }
+
+// End returns the event's virtual completion instant.
+func (e *Event) End() vtime.Time { return vtime.Time(e.profile.End) }
+
+// Device returns the device the command ran on.
+func (e *Event) Device() *DeviceRef { return e.dev }
+
+// Release frees the remote event object (clReleaseEvent). Long-running
+// host programs release events they no longer wait on so node object
+// tables stay bounded.
+func (e *Event) Release(rt *Runtime) error {
+	return rt.call(e.dev.node, &protocol.ReleaseReq{Kind: protocol.ObjEvent, ID: e.remoteID}, nil)
+}
+
+// splitWaits partitions a wait list into remote event IDs local to node and
+// a virtual-time floor for events that completed on other nodes: a remote
+// node cannot wait on another node's event object, so cross-node
+// dependencies are folded into the command's arrival instant.
+func splitWaits(node *NodeHandle, waits []*Event) (local []int64, floor vtime.Time) {
+	for _, ev := range waits {
+		if ev == nil {
+			continue
+		}
+		if ev.dev.node == node {
+			local = append(local, int64(ev.remoteID))
+		} else if end := ev.End(); end > floor {
+			floor = end
+		}
+	}
+	return local, floor
+}
+
+// Context is a cluster-wide OpenCL context spanning devices on any number
+// of nodes. One remote context is created on each involved node.
+type Context struct {
+	rt      *Runtime
+	devices []*DeviceRef
+	remote  map[*NodeHandle]uint64
+
+	mu       sync.Mutex
+	svcQueue map[*NodeHandle]*Queue // hidden queues for buffer migration
+}
+
+// CreateContext builds a context over the given devices
+// (clCreateContext). Devices may live on different nodes; that is the
+// point of HaoCL.
+func (rt *Runtime) CreateContext(devices []*DeviceRef) (*Context, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("core: context needs at least one device")
+	}
+	ctx := &Context{
+		rt:       rt,
+		devices:  devices,
+		remote:   make(map[*NodeHandle]uint64),
+		svcQueue: make(map[*NodeHandle]*Queue),
+	}
+	perNode := make(map[*NodeHandle][]int64)
+	for _, d := range devices {
+		perNode[d.node] = append(perNode[d.node], int64(d.info.ID))
+	}
+	for node, ids := range perNode {
+		var resp protocol.ObjectResp
+		if err := rt.call(node, &protocol.CreateContextReq{DeviceIDs: ids}, &resp); err != nil {
+			return nil, fmt.Errorf("core: create context on %q: %w", node.name, err)
+		}
+		ctx.remote[node] = resp.ID
+	}
+	return ctx, nil
+}
+
+// Devices returns the context's devices.
+func (c *Context) Devices() []*DeviceRef { return c.devices }
+
+// Runtime returns the owning runtime.
+func (c *Context) Runtime() *Runtime { return c.rt }
+
+// deviceOnNode finds one context device hosted by node.
+func (c *Context) deviceOnNode(node *NodeHandle) (*DeviceRef, bool) {
+	for _, d := range c.devices {
+		if d.node == node {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// serviceQueue lazily creates the hidden migration queue for a node.
+func (c *Context) serviceQueue(node *NodeHandle) (*Queue, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q, ok := c.svcQueue[node]; ok {
+		return q, nil
+	}
+	dev, ok := c.deviceOnNode(node)
+	if !ok {
+		return nil, fmt.Errorf("core: context has no device on node %q", node.name)
+	}
+	q, err := c.CreateQueue(dev)
+	if err != nil {
+		return nil, err
+	}
+	c.svcQueue[node] = q
+	return q, nil
+}
+
+// Queue is an in-order command queue bound to one device
+// (clCreateCommandQueue with profiling enabled).
+type Queue struct {
+	ctx      *Context
+	dev      *DeviceRef
+	remoteID uint64
+}
+
+// CreateQueue creates a command queue on dev.
+func (c *Context) CreateQueue(dev *DeviceRef) (*Queue, error) {
+	if _, ok := c.remote[dev.node]; !ok {
+		return nil, fmt.Errorf("core: device %s is not in this context", dev.key)
+	}
+	var resp protocol.ObjectResp
+	err := c.rt.call(dev.node, &protocol.CreateQueueReq{
+		ContextID: c.remote[dev.node],
+		DeviceID:  dev.info.ID,
+		Profiling: true,
+	}, &resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: create queue on %s: %w", dev.key, err)
+	}
+	return &Queue{ctx: c, dev: dev, remoteID: resp.ID}, nil
+}
+
+// Device returns the queue's device.
+func (q *Queue) Device() *DeviceRef { return q.dev }
+
+// Finish drains the queue and returns its virtual completion instant
+// (clFinish).
+func (q *Queue) Finish() (vtime.Time, error) {
+	var resp protocol.FinishQueueResp
+	if err := q.ctx.rt.call(q.dev.node, &protocol.FinishQueueReq{QueueID: q.remoteID}, &resp); err != nil {
+		return 0, fmt.Errorf("core: finish queue on %s: %w", q.dev.key, err)
+	}
+	t := vtime.Time(resp.SimTime)
+	q.ctx.rt.mu.Lock()
+	if t > q.ctx.rt.metrics.Makespan {
+		q.ctx.rt.metrics.Makespan = t
+	}
+	q.ctx.rt.mu.Unlock()
+	return t, nil
+}
+
+// Release frees the remote queue object.
+func (q *Queue) Release() error {
+	return q.ctx.rt.call(q.dev.node,
+		&protocol.ReleaseReq{Kind: protocol.ObjQueue, ID: q.remoteID}, nil)
+}
+
+// remoteBuf tracks one node's replica of a buffer.
+type remoteBuf struct {
+	id        uint64
+	valid     bool
+	lastEvent uint64     // remote event ID of the last write, for ordering
+	lastEnd   vtime.Time // its completion instant
+}
+
+// Buffer is a cluster-wide memory object (clCreateBuffer). The host keeps a
+// shadow copy plus per-node replicas with write-invalidate coherence:
+// writing on one device invalidates the others, and using the buffer on a
+// different node triggers an automatic migration over the backbone — the
+// "complex inter-node data transfer schemes" of paper §III-C.
+type Buffer struct {
+	ctx  *Context
+	size int64
+	// modelSize is the buffer's logical size in the timing model; it
+	// defaults to size and is raised by SetModelSize when the functional
+	// payload is a scaled-down stand-in for a paper-scale input.
+	modelSize int64
+
+	mu          sync.Mutex
+	host        []byte
+	hostValid   bool
+	hostReadyAt vtime.Time
+	remote      map[*NodeHandle]*remoteBuf
+}
+
+// CreateBuffer allocates a buffer of the given size.
+func (c *Context) CreateBuffer(size int64) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: invalid buffer size %d", size)
+	}
+	return &Buffer{
+		ctx:       c,
+		size:      size,
+		modelSize: size,
+		remote:    make(map[*NodeHandle]*remoteBuf),
+	}, nil
+}
+
+// Size returns the buffer's size in bytes.
+func (b *Buffer) Size() int64 { return b.size }
+
+// SetModelSize declares the buffer's logical size for the timing model.
+// All transfer charges scale by modelSize/size, so a functional 1 MiB
+// stand-in for a logical 256 MiB matrix is charged as 256 MiB on the wire.
+func (b *Buffer) SetModelSize(modelSize int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if modelSize > 0 {
+		b.modelSize = modelSize
+	}
+}
+
+// ModelSize returns the buffer's logical size.
+func (b *Buffer) ModelSize() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.modelSize
+}
+
+// scaled converts an actual byte count to its logical-model equivalent.
+// Caller holds b.mu.
+func (b *Buffer) scaled(n int64) int64 {
+	if b.modelSize == b.size {
+		return n
+	}
+	return int64(float64(n) * float64(b.modelSize) / float64(b.size))
+}
+
+// remoteOn lazily allocates the buffer's replica on a node. Caller holds
+// b.mu.
+func (b *Buffer) remoteOn(node *NodeHandle) (*remoteBuf, error) {
+	if rb, ok := b.remote[node]; ok {
+		return rb, nil
+	}
+	ctxID, ok := b.ctx.remote[node]
+	if !ok {
+		return nil, fmt.Errorf("core: context spans no device on node %q", node.name)
+	}
+	var resp protocol.ObjectResp
+	err := b.ctx.rt.call(node, &protocol.CreateBufferReq{ContextID: ctxID, Size: b.size}, &resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocate buffer on %q: %w", node.name, err)
+	}
+	rb := &remoteBuf{id: resp.ID}
+	b.remote[node] = rb
+	return rb, nil
+}
+
+// EnqueueWrite transfers data into the buffer through q's device
+// (clEnqueueWriteBuffer). The host shadow is updated, every other replica
+// is invalidated, and the transfer is charged to the host NIC model.
+func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Event) (*Event, error) {
+	if offset < 0 || offset+int64(len(data)) > b.size {
+		return nil, fmt.Errorf("core: write [%d,%d) out of bounds (buffer %d bytes)",
+			offset, offset+int64(len(data)), b.size)
+	}
+	node := q.dev.node
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	// Update the host shadow.
+	if b.host == nil {
+		b.host = make([]byte, b.size)
+	}
+	copy(b.host[offset:], data)
+	full := offset == 0 && int64(len(data)) == b.size
+	if full {
+		b.hostValid = true
+	}
+
+	rb, err := b.remoteOn(node)
+	if err != nil {
+		return nil, err
+	}
+	localWaits, floor := splitWaits(node, waits)
+	if rb.lastEvent != 0 {
+		localWaits = append(localWaits, int64(rb.lastEvent))
+	}
+	modelBytes := b.scaled(int64(len(data)))
+	earliest := vtime.Max(b.hostReadyAt, floor)
+	arrival := q.ctx.rt.chargeNIC(earliest, controlMsgBytes+modelBytes)
+
+	var resp protocol.EventResp
+	err = q.ctx.rt.call(node, &protocol.WriteBufferReq{
+		QueueID:    q.remoteID,
+		BufferID:   rb.id,
+		Offset:     offset,
+		Data:       data,
+		SimArrival: int64(arrival),
+		ModelBytes: modelBytes,
+		WaitEvents: localWaits,
+	}, &resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: write buffer on %s: %w", q.dev.key, err)
+	}
+
+	// Coherence: this node and the host now hold the data; other replicas
+	// of the written range are stale. Partial writes conservatively
+	// invalidate whole remote replicas.
+	for other, orb := range b.remote {
+		if other != node {
+			orb.valid = false
+		}
+	}
+	rb.valid = true
+	rb.lastEvent = resp.EventID
+	rb.lastEnd = vtime.Time(resp.Profile.End)
+
+	q.ctx.rt.observeProfile(q.dev.key, resp.Profile, false)
+	return &Event{dev: q.dev, remoteID: resp.EventID, profile: resp.Profile}, nil
+}
+
+// ensureResident makes the buffer valid on node, migrating data from the
+// host shadow or from the owning node as needed. Caller holds b.mu. It
+// returns the replica and the remote event that any subsequent command on
+// node must wait for (0 if none).
+func (b *Buffer) ensureResident(node *NodeHandle) (*remoteBuf, error) {
+	rb, err := b.remoteOn(node)
+	if err != nil {
+		return nil, err
+	}
+	if rb.valid {
+		return rb, nil
+	}
+
+	// Refresh the host shadow from the owning node if the host is stale.
+	if !b.hostValid {
+		var owner *NodeHandle
+		var ownerRB *remoteBuf
+		for n, r := range b.remote {
+			if r.valid {
+				owner, ownerRB = n, r
+				break
+			}
+		}
+		if owner == nil {
+			// Nothing valid anywhere: the buffer was never written. Treat
+			// zero-fill as valid content, matching uninitialized OpenCL
+			// buffers deterministically.
+			if b.host == nil {
+				b.host = make([]byte, b.size)
+			}
+			b.hostValid = true
+		} else {
+			svc, err := b.ctx.serviceQueue(owner)
+			if err != nil {
+				return nil, err
+			}
+			arrival := b.ctx.rt.chargeNIC(0, controlMsgBytes)
+			var resp protocol.ReadBufferResp
+			err = b.ctx.rt.call(owner, &protocol.ReadBufferReq{
+				QueueID:    svc.remoteID,
+				BufferID:   ownerRB.id,
+				Offset:     0,
+				Size:       b.size,
+				SimArrival: int64(arrival),
+				ModelBytes: b.modelSize,
+				WaitEvents: lastEventList(ownerRB),
+			}, &resp)
+			if err != nil {
+				return nil, fmt.Errorf("core: migrate buffer from %q: %w", owner.name, err)
+			}
+			// Response data crosses the backbone back to the host.
+			hostArrival := b.ctx.rt.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+b.modelSize)
+			if b.host == nil {
+				b.host = make([]byte, b.size)
+			}
+			copy(b.host, resp.Data)
+			b.hostValid = true
+			b.hostReadyAt = hostArrival
+			b.ctx.rt.observeProfile(svc.dev.key, resp.Profile, false)
+		}
+	}
+
+	// Push the host shadow to the target node through its service queue.
+	svc, err := b.ctx.serviceQueue(node)
+	if err != nil {
+		return nil, err
+	}
+	arrival := b.ctx.rt.chargeNIC(b.hostReadyAt, controlMsgBytes+b.modelSize)
+	var resp protocol.EventResp
+	err = b.ctx.rt.call(node, &protocol.WriteBufferReq{
+		QueueID:    svc.remoteID,
+		BufferID:   rb.id,
+		Offset:     0,
+		Data:       b.host,
+		SimArrival: int64(arrival),
+		ModelBytes: b.modelSize,
+		WaitEvents: lastEventList(rb),
+	}, &resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: migrate buffer to %q: %w", node.name, err)
+	}
+	rb.valid = true
+	rb.lastEvent = resp.EventID
+	rb.lastEnd = vtime.Time(resp.Profile.End)
+	b.ctx.rt.observeProfile(svc.dev.key, resp.Profile, false)
+	return rb, nil
+}
+
+func lastEventList(rb *remoteBuf) []int64 {
+	if rb.lastEvent == 0 {
+		return nil
+	}
+	return []int64{int64(rb.lastEvent)}
+}
+
+// EnqueueRead transfers buffer contents back to the host
+// (clEnqueueReadBuffer), returning the data and the completion event.
+func (q *Queue) EnqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]byte, *Event, error) {
+	if offset < 0 || size < 0 || offset+size > b.size {
+		return nil, nil, fmt.Errorf("core: read [%d,%d) out of bounds (buffer %d bytes)",
+			offset, offset+size, b.size)
+	}
+	node := q.dev.node
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	rb, err := b.ensureResident(node)
+	if err != nil {
+		return nil, nil, err
+	}
+	localWaits, floor := splitWaits(node, waits)
+	if rb.lastEvent != 0 {
+		localWaits = append(localWaits, int64(rb.lastEvent))
+	}
+	modelBytes := b.scaled(size)
+	arrival := q.ctx.rt.chargeNIC(floor, controlMsgBytes)
+
+	var resp protocol.ReadBufferResp
+	err = q.ctx.rt.call(node, &protocol.ReadBufferReq{
+		QueueID:    q.remoteID,
+		BufferID:   rb.id,
+		Offset:     offset,
+		Size:       size,
+		SimArrival: int64(arrival),
+		ModelBytes: modelBytes,
+		WaitEvents: localWaits,
+	}, &resp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: read buffer on %s: %w", q.dev.key, err)
+	}
+	// The payload crosses the backbone to the host.
+	hostArrival := q.ctx.rt.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
+
+	if offset == 0 && size == b.size {
+		if b.host == nil {
+			b.host = make([]byte, b.size)
+		}
+		copy(b.host, resp.Data)
+		b.hostValid = true
+		b.hostReadyAt = hostArrival
+	}
+	prof := resp.Profile
+	q.ctx.rt.observeProfile(q.dev.key, prof, false)
+	q.ctx.rt.mu.Lock()
+	if hostArrival > q.ctx.rt.metrics.Makespan {
+		q.ctx.rt.metrics.Makespan = hostArrival
+	}
+	q.ctx.rt.mu.Unlock()
+	return resp.Data, &Event{dev: q.dev, remoteID: resp.EventID, profile: prof}, nil
+}
+
+// EnqueueCopy copies size bytes between two buffers on q's device
+// (clEnqueueCopyBuffer). Both buffers are made resident on the node first;
+// the copy happens device-side with no backbone traffic.
+func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, waits ...*Event) (*Event, error) {
+	if size < 0 || srcOffset < 0 || dstOffset < 0 ||
+		srcOffset+size > src.size || dstOffset+size > dst.size {
+		return nil, fmt.Errorf("core: copy range out of bounds")
+	}
+	if src == dst {
+		return nil, fmt.Errorf("core: copy within one buffer is not supported")
+	}
+	node := q.dev.node
+
+	// Lock in address order to avoid deadlock with concurrent copies.
+	first, second := src, dst
+	if fmt.Sprintf("%p", first) > fmt.Sprintf("%p", second) {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+
+	srcRB, err := src.ensureResident(node)
+	if err != nil {
+		return nil, err
+	}
+	dstRB, err := dst.remoteOn(node)
+	if err != nil {
+		return nil, err
+	}
+	localWaits, floor := splitWaits(node, waits)
+	localWaits = append(localWaits, lastEventList(srcRB)...)
+	localWaits = append(localWaits, lastEventList(dstRB)...)
+	_ = floor // device-side op: cross-node deps already folded into srcRB
+
+	var resp protocol.EventResp
+	err = q.ctx.rt.call(node, &protocol.CopyBufferReq{
+		QueueID:    q.remoteID,
+		SrcID:      srcRB.id,
+		DstID:      dstRB.id,
+		SrcOffset:  srcOffset,
+		DstOffset:  dstOffset,
+		Size:       size,
+		WaitEvents: localWaits,
+	}, &resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: copy buffer on %s: %w", q.dev.key, err)
+	}
+	// The destination replica on this node is now the only valid copy.
+	for other, orb := range dst.remote {
+		orb.valid = other == node
+	}
+	dst.hostValid = false
+	dstRB.valid = true
+	dstRB.lastEvent = resp.EventID
+	dstRB.lastEnd = vtime.Time(resp.Profile.End)
+	q.ctx.rt.observeProfile(q.dev.key, resp.Profile, false)
+	return &Event{dev: q.dev, remoteID: resp.EventID, profile: resp.Profile}, nil
+}
+
+// Program is OpenCL program source plus its per-node builds. The host
+// parses the source locally with the same front end the nodes use, so arg
+// validation and written-buffer analysis happen without a round trip.
+type Program struct {
+	ctx    *Context
+	source string
+	parsed *clc.Program
+
+	mu     sync.Mutex
+	remote map[*NodeHandle]uint64
+	log    string
+	built  bool
+}
+
+// CreateProgram parses source and returns an unbuilt program
+// (clCreateProgramWithSource).
+func (c *Context) CreateProgram(source string) (*Program, error) {
+	parsed, err := clc.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Program{
+		ctx:    c,
+		source: source,
+		parsed: parsed,
+		remote: make(map[*NodeHandle]uint64),
+	}, nil
+}
+
+// Build compiles the program on every node in the context (clBuildProgram).
+func (p *Program) Build() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.built {
+		return nil
+	}
+	for node, ctxID := range p.ctx.remote {
+		var resp protocol.BuildProgramResp
+		err := p.ctx.rt.call(node, &protocol.BuildProgramReq{
+			ContextID: ctxID,
+			Source:    p.source,
+		}, &resp)
+		p.log += resp.Log
+		if err != nil {
+			return fmt.Errorf("core: build on %q: %w", node.name, err)
+		}
+		p.remote[node] = resp.ProgramID
+	}
+	p.built = true
+	return nil
+}
+
+// BuildLog returns the accumulated build logs.
+func (p *Program) BuildLog() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.log
+}
+
+// KernelNames lists kernels found in the source.
+func (p *Program) KernelNames() []string { return p.parsed.KernelNames() }
+
+// argBinding is one argument set by SetArg, pending until launch.
+type argBinding struct {
+	kind     protocol.ArgKind
+	buf      *Buffer
+	scalar   []byte
+	localLen int64
+}
+
+// Kernel is one kernel instantiated from a program (clCreateKernel). Its
+// remote instances are created lazily on each node it launches on.
+type Kernel struct {
+	prog *Program
+	name string
+	sig  *clc.Kernel
+
+	mu     sync.Mutex
+	remote map[*NodeHandle]uint64
+	args   []argBinding
+}
+
+// CreateKernel instantiates the named kernel.
+func (p *Program) CreateKernel(name string) (*Kernel, error) {
+	p.mu.Lock()
+	built := p.built
+	p.mu.Unlock()
+	if !built {
+		return nil, fmt.Errorf("core: program must be built before creating kernel %q", name)
+	}
+	sig, ok := p.parsed.Kernel(name)
+	if !ok {
+		return nil, fmt.Errorf("core: program has no kernel %q (has %v)", name, p.KernelNames())
+	}
+	return &Kernel{
+		prog:   p,
+		name:   name,
+		sig:    sig,
+		remote: make(map[*NodeHandle]uint64),
+		args:   make([]argBinding, len(sig.Params)),
+	}, nil
+}
+
+// Name returns the kernel's name.
+func (k *Kernel) Name() string { return k.name }
+
+// NumArgs returns the kernel's parameter count.
+func (k *Kernel) NumArgs() int { return len(k.sig.Params) }
+
+// SetArg binds argument index to value (clSetKernelArg). Accepted values:
+// *Buffer for global/constant pointer parameters, LocalSpace for local
+// pointer parameters, and fixed-size scalars (int, int32, uint32, int64,
+// uint64, float32, float64, []byte) for by-value parameters.
+func (k *Kernel) SetArg(index int, value any) error {
+	if index < 0 || index >= len(k.sig.Params) {
+		return fmt.Errorf("core: kernel %q has no arg %d (takes %d)", k.name, index, len(k.sig.Params))
+	}
+	param := k.sig.Params[index]
+	var binding argBinding
+	switch v := value.(type) {
+	case *Buffer:
+		if !param.Pointer || param.Space == clc.SpaceLocal {
+			return fmt.Errorf("core: kernel %q arg %d (%s): buffer bound to non-buffer parameter",
+				k.name, index, param.Name)
+		}
+		binding = argBinding{kind: protocol.ArgBuffer, buf: v}
+	case LocalSpace:
+		if param.Space != clc.SpaceLocal {
+			return fmt.Errorf("core: kernel %q arg %d (%s): local memory bound to non-local parameter",
+				k.name, index, param.Name)
+		}
+		if v <= 0 {
+			return fmt.Errorf("core: kernel %q arg %d: local size must be positive", k.name, index)
+		}
+		binding = argBinding{kind: protocol.ArgLocal, localLen: int64(v)}
+	default:
+		if param.Pointer {
+			return fmt.Errorf("core: kernel %q arg %d (%s): scalar bound to pointer parameter",
+				k.name, index, param.Name)
+		}
+		scalar := kernel.EncodeScalar(value)
+		if want := clc.ScalarSize(param.Type); want != 0 && want != len(scalar) {
+			return fmt.Errorf("core: kernel %q arg %d (%s): %s wants %d bytes, got %d",
+				k.name, index, param.Name, param.Type, want, len(scalar))
+		}
+		binding = argBinding{kind: protocol.ArgScalar, scalar: scalar}
+	}
+	k.mu.Lock()
+	k.args[index] = binding
+	k.mu.Unlock()
+	return nil
+}
+
+// LocalSpace requests n bytes of per-work-group local memory when passed to
+// SetArg.
+type LocalSpace int64
+
+// remoteOn lazily instantiates the kernel on a node.
+func (k *Kernel) remoteOn(node *NodeHandle) (uint64, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if id, ok := k.remote[node]; ok {
+		return id, nil
+	}
+	k.prog.mu.Lock()
+	progID, ok := k.prog.remote[node]
+	k.prog.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("core: program not built on node %q", node.name)
+	}
+	var resp protocol.ObjectResp
+	err := k.prog.ctx.rt.call(node, &protocol.CreateKernelReq{ProgramID: progID, Name: k.name}, &resp)
+	if err != nil {
+		return 0, fmt.Errorf("core: create kernel %q on %q: %w", k.name, node.name, err)
+	}
+	k.remote[node] = resp.ID
+	return resp.ID, nil
+}
+
+// LaunchOptions tune one EnqueueKernel call.
+type LaunchOptions struct {
+	// CostFlops/CostBytes override the kernel's cost model, letting the
+	// experiment harness model paper-scale inputs while executing
+	// functionally on reduced data (DESIGN.md §1).
+	CostFlops int64
+	CostBytes int64
+}
+
+// EnqueueKernel launches the kernel over the NDRange on q's device
+// (clEnqueueNDRangeKernel). Buffer arguments are migrated to the device's
+// node as needed; written buffers (non-const global pointers in the
+// kernel's signature) invalidate other replicas.
+func (q *Queue) EnqueueKernel(k *Kernel, global, local []int, waits []*Event, opts *LaunchOptions) (*Event, error) {
+	node := q.dev.node
+	remoteKernel, err := k.remoteOn(node)
+	if err != nil {
+		return nil, err
+	}
+
+	k.mu.Lock()
+	bindings := make([]argBinding, len(k.args))
+	copy(bindings, k.args)
+	k.mu.Unlock()
+
+	localWaits, floor := splitWaits(node, waits)
+	wireArgs := make([]protocol.KernelArg, len(bindings))
+	var msgBytes int64 = controlMsgBytes
+	var written []*Buffer
+	for i, bind := range bindings {
+		param := k.sig.Params[i]
+		switch bind.kind {
+		case protocol.ArgBuffer:
+			bind.buf.mu.Lock()
+			rb, err := bind.buf.ensureResident(node)
+			if err != nil {
+				bind.buf.mu.Unlock()
+				return nil, fmt.Errorf("core: kernel %q arg %d: %w", k.name, i, err)
+			}
+			if rb.lastEvent != 0 {
+				localWaits = append(localWaits, int64(rb.lastEvent))
+			}
+			wireArgs[i] = protocol.KernelArg{Kind: protocol.ArgBuffer, BufferID: rb.id}
+			if param.Pointer && !param.Const && param.Space != clc.SpaceConstant {
+				written = append(written, bind.buf)
+			}
+			bind.buf.mu.Unlock()
+		case protocol.ArgScalar:
+			wireArgs[i] = protocol.KernelArg{Kind: protocol.ArgScalar, Scalar: bind.scalar}
+			msgBytes += int64(len(bind.scalar))
+		case protocol.ArgLocal:
+			wireArgs[i] = protocol.KernelArg{Kind: protocol.ArgLocal, LocalLen: bind.localLen}
+		default:
+			return nil, fmt.Errorf("core: kernel %q arg %d (%s) was never set", k.name, i, param.Name)
+		}
+	}
+
+	arrival := q.ctx.rt.chargeNIC(floor, msgBytes)
+	req := &protocol.EnqueueKernelReq{
+		QueueID:    q.remoteID,
+		KernelID:   remoteKernel,
+		Global:     toInt64s(global),
+		Local:      toInt64s(local),
+		Args:       wireArgs,
+		SimArrival: int64(arrival),
+		WaitEvents: localWaits,
+	}
+	if opts != nil {
+		req.CostFlops = opts.CostFlops
+		req.CostBytes = opts.CostBytes
+	}
+	var resp protocol.EventResp
+	if err := q.ctx.rt.call(node, req, &resp); err != nil {
+		return nil, fmt.Errorf("core: launch %q on %s: %w", k.name, q.dev.key, err)
+	}
+
+	ev := &Event{dev: q.dev, remoteID: resp.EventID, profile: resp.Profile}
+	for _, b := range written {
+		b.mu.Lock()
+		for other, orb := range b.remote {
+			orb.valid = other == node
+		}
+		b.hostValid = false
+		if rb := b.remote[node]; rb != nil {
+			rb.lastEvent = resp.EventID
+			rb.lastEnd = vtime.Time(resp.Profile.End)
+		}
+		b.mu.Unlock()
+	}
+	q.ctx.rt.observeProfile(q.dev.key, resp.Profile, true)
+	return ev, nil
+}
+
+func toInt64s(vs []int) []int64 {
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		out[i] = int64(v)
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+// Package core implements HaoCL's host-side runtime: the engine behind the
+// public wrapper API in package haocl.
+//
+// It owns the connections to every Node Management Process, the global
+// device table assembled from their handshakes (the clGetDeviceIDs mapping
+// mechanism of paper §III-C), buffer placement and migration across nodes,
+// the virtual-time network model for the Gigabit Ethernet backbone, and the
+// task-graph scheduler that places kernels through pluggable policies.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/haocl-project/haocl/internal/cluster"
+	"github.com/haocl-project/haocl/internal/profile"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/sched"
+	"github.com/haocl-project/haocl/internal/sim"
+	"github.com/haocl-project/haocl/internal/transport"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// controlMsgBytes approximates the wire size of a control message (no bulk
+// payload) for the network model.
+const controlMsgBytes = 256
+
+// Options configures a runtime.
+type Options struct {
+	// Config describes the cluster. Required.
+	Config *cluster.Config
+	// Dialer reaches the nodes; TCPDialer for real clusters, a MemNetwork
+	// for in-process ones. Required.
+	Dialer transport.Dialer
+	// Policy is the default scheduling policy for task graphs. Optional;
+	// defaults to the heterogeneity-aware policy.
+	Policy sched.Policy
+	// ClientName labels this host in node logs.
+	ClientName string
+}
+
+// NodeHandle is one connected device node.
+type NodeHandle struct {
+	name   string
+	addr   string
+	client *transport.Client
+}
+
+// Name returns the node's configured name.
+func (n *NodeHandle) Name() string { return n.name }
+
+// DeviceRef is one device in the cluster-wide table.
+type DeviceRef struct {
+	node *NodeHandle
+	info protocol.DeviceInfo
+	key  profile.DeviceKey
+}
+
+// Info returns the device's descriptor.
+func (d *DeviceRef) Info() protocol.DeviceInfo { return d.info }
+
+// Node returns the owning node.
+func (d *DeviceRef) Node() *NodeHandle { return d.node }
+
+// Key returns the device's cluster-wide key.
+func (d *DeviceRef) Key() profile.DeviceKey { return d.key }
+
+// Metrics aggregates the virtual-time accounting for one run, feeding the
+// Fig. 3 breakdown (DataCreate / DataTransfer / ComputeTime) and the Fig. 2
+// end-to-end times.
+type Metrics struct {
+	// DataCreate is host-side input materialization time.
+	DataCreate vtime.Duration
+	// Transfer is total occupancy of the host's network interface.
+	Transfer vtime.Duration
+	// ComputeBusy is per-device busy time executing kernels.
+	ComputeBusy map[profile.DeviceKey]vtime.Duration
+	// Makespan is the latest virtual completion instant observed.
+	Makespan vtime.Time
+	// Commands counts protocol round trips.
+	Commands int64
+}
+
+// Compute reports the busiest device's kernel time: with the workload
+// data-partitioned evenly, this is the compute component of the critical
+// path.
+func (m *Metrics) Compute() vtime.Duration {
+	var max vtime.Duration
+	for _, d := range m.ComputeBusy {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TotalCompute sums kernel time across devices.
+func (m *Metrics) TotalCompute() vtime.Duration {
+	var sum vtime.Duration
+	for _, d := range m.ComputeBusy {
+		sum += d
+	}
+	return sum
+}
+
+// Runtime is the host-side engine.
+type Runtime struct {
+	userID     string
+	clientName string
+	policy     sched.Policy
+
+	nodes   []*NodeHandle
+	devices []*DeviceRef
+	monitor *profile.Monitor
+
+	nicOut  *vtime.Link // host NIC egress (paper: single host node)
+	nicIn   *vtime.Link // host NIC ingress (full-duplex GbE)
+	hostMem *vtime.Link // host data-creation resource
+
+	mu      sync.Mutex
+	metrics Metrics
+}
+
+// Connect dials every node in the configuration, performs the Hello
+// handshake, and assembles the global device table.
+func Connect(opts Options) (*Runtime, error) {
+	if opts.Config == nil || opts.Dialer == nil {
+		return nil, fmt.Errorf("core: Config and Dialer are required")
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	policy := opts.Policy
+	if policy == nil {
+		policy = sched.HeteroAware{}
+	}
+	rt := &Runtime{
+		userID:     opts.Config.UserID,
+		clientName: opts.ClientName,
+		policy:     policy,
+		monitor:    profile.NewMonitor(),
+		nicOut:     sim.NewHostNIC(),
+		nicIn:      sim.NewHostNIC(),
+		hostMem:    sim.NewHostMemory(),
+	}
+	rt.metrics.ComputeBusy = make(map[profile.DeviceKey]vtime.Duration)
+
+	for _, spec := range opts.Config.Nodes {
+		client, err := opts.Dialer.Dial(spec.Addr)
+		if err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("core: connect node %q: %w", spec.Name, err)
+		}
+		nh := &NodeHandle{name: spec.Name, addr: spec.Addr, client: client}
+		var resp protocol.HelloResp
+		err = client.Call(&protocol.HelloReq{
+			UserID:      rt.userID,
+			ClientName:  rt.clientName,
+			WireVersion: protocol.Version,
+		}, &resp)
+		if err != nil {
+			rt.Close()
+			client.Close()
+			return nil, fmt.Errorf("core: handshake with node %q: %w", spec.Name, err)
+		}
+		rt.nodes = append(rt.nodes, nh)
+		for _, info := range resp.Devices {
+			ref := &DeviceRef{
+				node: nh,
+				info: info,
+				key:  profile.DeviceKey{Node: nh.name, DeviceID: info.ID},
+			}
+			rt.devices = append(rt.devices, ref)
+			rt.monitor.RegisterDevice(nh.name, info)
+		}
+	}
+	if len(rt.devices) == 0 {
+		rt.Close()
+		return nil, fmt.Errorf("core: cluster exposes no devices")
+	}
+	return rt, nil
+}
+
+// ShutdownCluster asks every Node Management Process to drain and exit,
+// then closes the connections — the orderly teardown of a dedicated
+// cluster (cmd/haocl-node exits on this signal).
+func (rt *Runtime) ShutdownCluster() error {
+	var firstErr error
+	for _, n := range rt.nodes {
+		if err := rt.call(n, &protocol.ShutdownReq{}, nil); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: shutdown %q: %w", n.name, err)
+		}
+	}
+	if err := rt.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Close shuts every node connection down.
+func (rt *Runtime) Close() error {
+	var firstErr error
+	for _, n := range rt.nodes {
+		if err := n.client.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Devices lists every device in the cluster, optionally filtered by type
+// (0 lists all) — the unified platform view the wrapper library exposes
+// through clGetDeviceIDs.
+func (rt *Runtime) Devices(t protocol.DeviceType) []*DeviceRef {
+	var out []*DeviceRef
+	for _, d := range rt.devices {
+		if t == 0 || d.info.Type == t {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Nodes lists the connected nodes.
+func (rt *Runtime) Nodes() []*NodeHandle { return rt.nodes }
+
+// Monitor exposes the runtime resource monitor.
+func (rt *Runtime) Monitor() *profile.Monitor { return rt.monitor }
+
+// Policy returns the default scheduling policy.
+func (rt *Runtime) Policy() sched.Policy { return rt.policy }
+
+// SetPolicy swaps the default scheduling policy (the "user customized
+// scheduling policies" hook).
+func (rt *Runtime) SetPolicy(p sched.Policy) {
+	if p != nil {
+		rt.policy = p
+	}
+}
+
+// call performs one protocol round trip and counts it.
+func (rt *Runtime) call(n *NodeHandle, req protocol.Message, resp protocol.Message) error {
+	rt.mu.Lock()
+	rt.metrics.Commands++
+	rt.mu.Unlock()
+	return n.client.Call(req, resp)
+}
+
+// ModelDataCreate charges host-side creation of n bytes of input data
+// against the virtual host-memory resource and returns the instant the
+// data is ready — the Fig. 3 DataCreate component. Workload generators
+// call this after materializing inputs.
+func (rt *Runtime) ModelDataCreate(n int64) vtime.Time {
+	cost := rt.hostMem.TransferCost(n)
+	_, end := rt.hostMem.Transfer(0, n)
+	rt.mu.Lock()
+	rt.metrics.DataCreate += cost
+	rt.mu.Unlock()
+	return end
+}
+
+// chargeNIC books an n-byte outbound message on the host NIC egress path
+// not starting before earliest, recording it in the transfer metric, and
+// returns its arrival instant at the far end.
+func (rt *Runtime) chargeNIC(earliest vtime.Time, n int64) vtime.Time {
+	cost := rt.nicOut.TransferCost(n)
+	_, end := rt.nicOut.Transfer(earliest, n)
+	rt.mu.Lock()
+	rt.metrics.Transfer += cost
+	rt.mu.Unlock()
+	return end
+}
+
+// chargeNICIn books an n-byte response payload on the host NIC ingress
+// path (GbE is full duplex, so reads do not contend with writes).
+func (rt *Runtime) chargeNICIn(earliest vtime.Time, n int64) vtime.Time {
+	cost := rt.nicIn.TransferCost(n)
+	_, end := rt.nicIn.Transfer(earliest, n)
+	rt.mu.Lock()
+	rt.metrics.Transfer += cost
+	rt.mu.Unlock()
+	return end
+}
+
+// observeProfile folds a completed command's profile into the metrics.
+func (rt *Runtime) observeProfile(key profile.DeviceKey, p protocol.Profile, isKernel bool) {
+	rt.mu.Lock()
+	if end := vtime.Time(p.End); end > rt.metrics.Makespan {
+		rt.metrics.Makespan = end
+	}
+	if isKernel {
+		rt.metrics.ComputeBusy[key] += vtime.Duration(p.DurationNS())
+	}
+	rt.mu.Unlock()
+	rt.monitor.ObserveCompletion(key, vtime.Time(p.End))
+}
+
+// Metrics returns a copy of the run's accumulated accounting.
+func (rt *Runtime) Metrics() Metrics {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := rt.metrics
+	out.ComputeBusy = make(map[profile.DeviceKey]vtime.Duration, len(rt.metrics.ComputeBusy))
+	for k, v := range rt.metrics.ComputeBusy {
+		out.ComputeBusy[k] = v
+	}
+	return out
+}
+
+// PollStatus refreshes the monitor from every node, as the periodic
+// profiling pull the scheduler relies on.
+func (rt *Runtime) PollStatus() error {
+	for _, n := range rt.nodes {
+		var resp protocol.NodeStatusResp
+		if err := rt.call(n, &protocol.NodeStatusReq{}, &resp); err != nil {
+			return fmt.Errorf("core: status poll %q: %w", n.name, err)
+		}
+		rt.monitor.UpdateStatus(n.name, resp.Devices)
+	}
+	return nil
+}
+
+// TotalEnergy polls the cluster and reports consumed energy in joules.
+func (rt *Runtime) TotalEnergy() (float64, error) {
+	if err := rt.PollStatus(); err != nil {
+		return 0, err
+	}
+	return rt.monitor.TotalEnergy(), nil
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/haocl-project/haocl/internal/kernel"
+	"github.com/haocl-project/haocl/internal/profile"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/sched"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// TaskGraph is the application-level task DAG of paper Fig. 1: kernels with
+// dependencies that the scheduling component places onto cluster devices.
+// Each task is one kernel launch; edges order producer before consumer and
+// the buffer coherence layer moves data along them automatically.
+type TaskGraph struct {
+	ctx *Context
+
+	mu     sync.Mutex
+	tasks  []*GraphTask
+	queues map[*DeviceRef]*Queue
+}
+
+// GraphTask is one node of a task graph.
+type GraphTask struct {
+	label    string
+	kernel   *Kernel
+	global   []int
+	local    []int
+	opts     *LaunchOptions
+	deps     []*GraphTask
+	typeMask uint8
+
+	assigned *DeviceRef
+	event    *Event
+}
+
+// Label returns the task's display name.
+func (t *GraphTask) Label() string { return t.label }
+
+// AssignedDevice returns where the scheduler placed the task (nil before
+// Run).
+func (t *GraphTask) AssignedDevice() *DeviceRef { return t.assigned }
+
+// Event returns the task's completion event (nil before Run).
+func (t *GraphTask) Event() *Event { return t.event }
+
+// RestrictTypes constrains the task to the given device types, the
+// user-guided placement hint of paper §III-B.
+func (t *GraphTask) RestrictTypes(types ...protocol.DeviceType) *GraphTask {
+	t.typeMask = sched.TypeMaskFor(types...)
+	return t
+}
+
+// NewTaskGraph returns an empty task graph over the context's devices.
+func (c *Context) NewTaskGraph() *TaskGraph {
+	return &TaskGraph{ctx: c, queues: make(map[*DeviceRef]*Queue)}
+}
+
+// Add appends a task launching k over the NDRange after deps complete.
+// Tasks must not share Kernel objects (each carries its own argument
+// bindings), matching how OpenCL applications create one cl_kernel per
+// concurrent use.
+func (g *TaskGraph) Add(label string, k *Kernel, global, local []int, opts *LaunchOptions, deps ...*GraphTask) *GraphTask {
+	t := &GraphTask{
+		label:  label,
+		kernel: k,
+		global: global,
+		local:  local,
+		opts:   opts,
+		deps:   deps,
+	}
+	g.mu.Lock()
+	g.tasks = append(g.tasks, t)
+	g.mu.Unlock()
+	return t
+}
+
+// queueFor caches one command queue per device used by the graph.
+func (g *TaskGraph) queueFor(dev *DeviceRef) (*Queue, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if q, ok := g.queues[dev]; ok {
+		return q, nil
+	}
+	q, err := g.ctx.CreateQueue(dev)
+	if err != nil {
+		return nil, err
+	}
+	g.queues[dev] = q
+	return q, nil
+}
+
+// deviceByKey resolves a scheduler assignment to a context device.
+func (g *TaskGraph) deviceByKey(key profile.DeviceKey) (*DeviceRef, error) {
+	for _, d := range g.ctx.devices {
+		if d.key == key {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("core: scheduler chose device %s outside the context", key)
+}
+
+// topoOrder returns the tasks in dependency order, rejecting cycles and
+// dependencies on tasks from other graphs.
+func (g *TaskGraph) topoOrder() ([]*GraphTask, error) {
+	g.mu.Lock()
+	tasks := make([]*GraphTask, len(g.tasks))
+	copy(tasks, g.tasks)
+	g.mu.Unlock()
+
+	index := make(map[*GraphTask]int, len(tasks))
+	for i, t := range tasks {
+		index[t] = i
+	}
+	indeg := make([]int, len(tasks))
+	out := make([][]int, len(tasks))
+	for i, t := range tasks {
+		for _, d := range t.deps {
+			j, ok := index[d]
+			if !ok {
+				return nil, fmt.Errorf("core: task %q depends on a task outside this graph", t.label)
+			}
+			out[j] = append(out[j], i)
+			indeg[i]++
+		}
+	}
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]*GraphTask, 0, len(tasks))
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, tasks[i])
+		for _, j := range out[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+	}
+	if len(order) != len(tasks) {
+		return nil, fmt.Errorf("core: task graph has a cycle")
+	}
+	return order, nil
+}
+
+// schedTask converts a graph task to the scheduler's view of it.
+func schedTask(t *GraphTask) sched.Task {
+	st := sched.Task{Kernel: t.kernel.Name(), TypeMask: t.typeMask}
+	if t.opts != nil && (t.opts.CostFlops > 0 || t.opts.CostBytes > 0) {
+		st.Cost = kernel.Cost{Flops: t.opts.CostFlops, Bytes: t.opts.CostBytes}
+	} else {
+		items := int64(1)
+		for _, gdim := range t.global {
+			items *= int64(gdim)
+		}
+		st.Cost = kernel.Cost{Flops: items}
+	}
+	t.kernel.mu.Lock()
+	for _, bind := range t.kernel.args {
+		if bind.kind == protocol.ArgBuffer && bind.buf != nil {
+			st.InputBytes += bind.buf.ModelSize()
+		}
+	}
+	t.kernel.mu.Unlock()
+	return st
+}
+
+// Run places and launches every task using policy (nil selects the
+// runtime's default policy). Placement happens task by task in dependency
+// order, consulting the live monitor snapshot before each decision.
+func (g *TaskGraph) Run(policy sched.Policy) error {
+	if policy == nil {
+		policy = g.ctx.rt.Policy()
+	}
+	order, err := g.topoOrder()
+	if err != nil {
+		return err
+	}
+	mon := g.ctx.rt.Monitor()
+	for _, t := range order {
+		st := schedTask(t)
+		view := mon.Snapshot()
+		assignment, err := policy.Assign(st, view)
+		if err != nil {
+			return fmt.Errorf("core: schedule task %q: %w", t.label, err)
+		}
+		dev, err := g.deviceByKey(assignment.Key)
+		if err != nil {
+			return err
+		}
+		q, err := g.queueFor(dev)
+		if err != nil {
+			return err
+		}
+		waits := make([]*Event, 0, len(t.deps))
+		for _, d := range t.deps {
+			if d.event == nil {
+				return fmt.Errorf("core: task %q ran before its dependency %q", t.label, d.label)
+			}
+			waits = append(waits, d.event)
+		}
+		// Charge the estimate as pending load so the next placement
+		// decision sees this one.
+		for _, v := range view {
+			if v.Key == assignment.Key {
+				mon.AddPending(assignment.Key, sched.EstimateDuration(st, v))
+				break
+			}
+		}
+		ev, err := q.EnqueueKernel(t.kernel, t.global, t.local, waits, t.opts)
+		if err != nil {
+			return fmt.Errorf("core: run task %q: %w", t.label, err)
+		}
+		t.assigned = dev
+		t.event = ev
+	}
+	return nil
+}
+
+// Makespan reports the latest completion instant across the graph's tasks.
+func (g *TaskGraph) Makespan() vtime.Time {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var end vtime.Time
+	for _, t := range g.tasks {
+		if t.event != nil && t.event.End() > end {
+			end = t.event.End()
+		}
+	}
+	return end
+}

@@ -1,0 +1,178 @@
+// Package device defines HaoCL's device driver abstraction and the
+// Installable Client Driver (ICD) registry through which Node Management
+// Processes open devices.
+//
+// The paper extends the OpenCL ICD mechanism so each call forwarded from
+// the wrapper library is executed "according to the remote devices and
+// vendor drivers" (§III-B). Here the ICD is a registry of driver factories;
+// the shipped drivers are the simulated CPU/GPU/FPGA devices in
+// internal/sim, and the interface is what a cgo-backed real-vendor driver
+// would implement instead.
+package device
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/haocl-project/haocl/internal/clc"
+	"github.com/haocl-project/haocl/internal/kernel"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// Type aliases the protocol device type so drivers do not import protocol.
+type Type = protocol.DeviceType
+
+// Device types re-exported for driver code.
+const (
+	CPU  = protocol.DeviceCPU
+	GPU  = protocol.DeviceGPU
+	FPGA = protocol.DeviceFPGA
+)
+
+// Info describes one opened device: the clGetDeviceInfo fields plus the
+// performance-model parameters the scheduler and simulators consume.
+type Info struct {
+	ID               uint32
+	Type             Type
+	Name             string
+	Vendor           string
+	ComputeUnits     int
+	ClockMHz         int
+	GlobalMemBytes   int64
+	MaxWorkGroupSize int
+	Shared           bool
+
+	// Performance model.
+	PeakGFLOPS     float64        // sustained arithmetic throughput
+	MemBWGBps      float64        // device memory bandwidth
+	LaunchOverhead vtime.Duration // fixed per-kernel-launch cost
+	PCIeGBps       float64        // host↔device staging bandwidth
+	TDPWatts       float64        // active power draw
+	IdleWatts      float64        // idle power draw
+}
+
+// Proto converts the info to its wire representation.
+func (i Info) Proto() protocol.DeviceInfo {
+	return protocol.DeviceInfo{
+		ID:               i.ID,
+		Type:             i.Type,
+		Name:             i.Name,
+		Vendor:           i.Vendor,
+		ComputeUnits:     uint32(i.ComputeUnits),
+		ClockMHz:         uint32(i.ClockMHz),
+		GlobalMemBytes:   i.GlobalMemBytes,
+		MaxWorkGroupSize: int64(i.MaxWorkGroupSize),
+		Shared:           i.Shared,
+		PeakGFLOPS:       i.PeakGFLOPS,
+		MemBWGBps:        i.MemBWGBps,
+		TDPWatts:         i.TDPWatts,
+	}
+}
+
+// Device is one compute device managed by an NMP. Execution is split into
+// the functional side (Execute runs the kernel's registered implementation
+// for real) and the modeling side (ModelKernel/ModelTransfer translate
+// analytic costs into virtual-time durations).
+type Device interface {
+	// Info returns the device descriptor.
+	Info() Info
+
+	// Kernels is the device's kernel binary store.
+	Kernels() *kernel.Registry
+
+	// CheckProgram validates that a parsed program can run on this device
+	// and returns a human-readable build log. FPGA drivers reject kernels
+	// that have no pre-built bitstream (paper §III-D).
+	CheckProgram(prog *clc.Program) (log string, err error)
+
+	// Execute functionally runs the named kernel over the launch range.
+	Execute(name string, l kernel.Launch) error
+
+	// ModelKernel reports the modeled duration of a launch with cost c.
+	ModelKernel(c kernel.Cost) vtime.Duration
+
+	// ModelTransfer reports the modeled duration of staging n bytes
+	// between node memory and device memory.
+	ModelTransfer(n int64) vtime.Duration
+
+	// EnergyRate reports the device's power draw in watts while busy.
+	EnergyRate() float64
+}
+
+// Config is the driver-independent description of one device to open,
+// taken from the cluster configuration file.
+type Config struct {
+	Driver string // ICD driver name, e.g. "sim-gpu"
+	Model  string // driver-specific model preset, e.g. "tesla-p4"
+	ID     uint32 // node-local device ID
+	Shared bool   // whether concurrent users may share the device
+	// Bitstreams lists pre-built kernel names for FPGA drivers.
+	Bitstreams []string
+	// Workers caps functional execution parallelism (0 = default).
+	Workers int
+}
+
+// Factory opens a device from its configuration.
+type Factory func(cfg Config) (Device, error)
+
+// ICD is the installable-client-driver registry: the common entry point
+// mapping driver names to factories.
+type ICD struct {
+	mu      sync.RWMutex
+	drivers map[string]Factory
+}
+
+// NewICD returns an empty driver registry.
+func NewICD() *ICD {
+	return &ICD{drivers: make(map[string]Factory)}
+}
+
+// Register adds a driver under name.
+func (r *ICD) Register(name string, f Factory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("icd: driver needs a name and a factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.drivers[name]; ok {
+		return fmt.Errorf("icd: driver %q already registered", name)
+	}
+	r.drivers[name] = f
+	return nil
+}
+
+// MustRegister is Register that panics on error, for setup code.
+func (r *ICD) MustRegister(name string, f Factory) {
+	if err := r.Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Open instantiates a device through its configured driver.
+func (r *ICD) Open(cfg Config) (Device, error) {
+	r.mu.RLock()
+	f, ok := r.drivers[cfg.Driver]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("icd: no driver %q (have %v)", cfg.Driver, r.Drivers())
+	}
+	dev, err := f(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("icd: open %s/%s: %w", cfg.Driver, cfg.Model, err)
+	}
+	return dev, nil
+}
+
+// Drivers lists registered driver names, sorted.
+func (r *ICD) Drivers() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.drivers))
+	for n := range r.drivers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,57 @@
+package device
+
+import (
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/protocol"
+)
+
+func TestInfoProto(t *testing.T) {
+	info := Info{
+		ID: 3, Type: GPU, Name: "Tesla P4", Vendor: "NVIDIA",
+		ComputeUnits: 20, ClockMHz: 1063, GlobalMemBytes: 8 << 30,
+		MaxWorkGroupSize: 1024, Shared: true,
+		PeakGFLOPS: 5500, MemBWGBps: 192, TDPWatts: 75,
+	}
+	p := info.Proto()
+	if p.ID != 3 || p.Type != protocol.DeviceGPU || p.Name != "Tesla P4" ||
+		p.ComputeUnits != 20 || p.ClockMHz != 1063 ||
+		p.GlobalMemBytes != 8<<30 || p.MaxWorkGroupSize != 1024 ||
+		!p.Shared || p.PeakGFLOPS != 5500 || p.MemBWGBps != 192 || p.TDPWatts != 75 {
+		t.Fatalf("Proto() = %+v", p)
+	}
+}
+
+func TestICDRegistration(t *testing.T) {
+	icd := NewICD()
+	factory := func(cfg Config) (Device, error) { return nil, nil }
+	if err := icd.Register("", factory); err == nil {
+		t.Fatal("nameless driver accepted")
+	}
+	if err := icd.Register("d", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	if err := icd.Register("d", factory); err != nil {
+		t.Fatal(err)
+	}
+	if err := icd.Register("d", factory); err == nil {
+		t.Fatal("duplicate driver accepted")
+	}
+	if got := icd.Drivers(); len(got) != 1 || got[0] != "d" {
+		t.Fatalf("Drivers = %v", got)
+	}
+	if _, err := icd.Open(Config{Driver: "other"}); err == nil {
+		t.Fatal("unknown driver opened")
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	icd := NewICD()
+	icd.MustRegister("x", func(cfg Config) (Device, error) { return nil, nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister did not panic")
+		}
+	}()
+	icd.MustRegister("x", func(cfg Config) (Device, error) { return nil, nil })
+}

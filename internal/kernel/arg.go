@@ -1,0 +1,149 @@
+// Package kernel implements HaoCL's kernel runtime: the registry that maps
+// kernel names to executable implementations, the typed argument system used
+// by clSetKernelArg, and an NDRange executor with OpenCL work-group,
+// barrier and local-memory semantics.
+//
+// Kernels execute functionally as Go work-item functions. Each registered
+// kernel also carries an analytic cost model (floating-point operations and
+// bytes of memory traffic) that the simulated devices translate into
+// virtual-time durations — the functional result is real, the reported
+// duration comes from the device model (see DESIGN.md §1).
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// ArgKind tags the flavor of one bound kernel argument.
+type ArgKind uint8
+
+// Argument kinds, mirroring protocol.ArgKind.
+const (
+	ArgBuffer ArgKind = iota + 1
+	ArgScalar
+	ArgLocal
+)
+
+// Arg is one kernel argument as seen by a work-item function. Buffer and
+// local arguments expose their backing bytes through typed views; scalar
+// arguments decode little-endian payloads.
+type Arg struct {
+	Kind ArgKind
+	// Data backs buffer and local arguments.
+	Data []byte
+	// LocalLen is the requested per-work-group local memory size.
+	LocalLen int
+}
+
+// BufferArg wraps backing storage as a global-memory argument.
+func BufferArg(data []byte) Arg { return Arg{Kind: ArgBuffer, Data: data} }
+
+// LocalArg requests n bytes of per-work-group local memory.
+func LocalArg(n int) Arg { return Arg{Kind: ArgLocal, LocalLen: n} }
+
+// ScalarArg encodes v as a by-value argument. Supported types: all
+// fixed-size integers, float32/float64, and raw []byte.
+func ScalarArg(v any) Arg {
+	return Arg{Kind: ArgScalar, Data: EncodeScalar(v)}
+}
+
+// EncodeScalar converts a Go scalar to its little-endian OpenCL
+// representation. It panics on unsupported types: argument encoding happens
+// at clSetKernelArg time with caller-controlled static types, so a bad type
+// is a programming error, not input.
+func EncodeScalar(v any) []byte {
+	switch x := v.(type) {
+	case int32:
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, uint32(x))
+		return b
+	case uint32:
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, x)
+		return b
+	case int:
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, uint32(int32(x)))
+		return b
+	case int64:
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, uint64(x))
+		return b
+	case uint64:
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, x)
+		return b
+	case float32:
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, math.Float32bits(x))
+		return b
+	case float64:
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, math.Float64bits(x))
+		return b
+	case []byte:
+		out := make([]byte, len(x))
+		copy(out, x)
+		return out
+	default:
+		panic(fmt.Sprintf("kernel: unsupported scalar type %T", v))
+	}
+}
+
+// Int returns a 4-byte scalar argument as an int.
+func (a Arg) Int() int { return int(int32(binary.LittleEndian.Uint32(a.Data))) }
+
+// Uint32 returns a 4-byte scalar argument as a uint32.
+func (a Arg) Uint32() uint32 { return binary.LittleEndian.Uint32(a.Data) }
+
+// Int64 returns an 8-byte scalar argument as an int64.
+func (a Arg) Int64() int64 { return int64(binary.LittleEndian.Uint64(a.Data)) }
+
+// Float32 returns a 4-byte scalar argument as a float32.
+func (a Arg) Float32() float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(a.Data))
+}
+
+// Float64 returns an 8-byte scalar argument as a float64.
+func (a Arg) Float64() float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(a.Data))
+}
+
+// Float32s views the argument's backing bytes as a float32 slice. The view
+// aliases device memory; writes through it are writes to the buffer.
+func (a Arg) Float32s() []float32 {
+	if len(a.Data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&a.Data[0])), len(a.Data)/4)
+}
+
+// Float64s views the backing bytes as a float64 slice.
+func (a Arg) Float64s() []float64 {
+	if len(a.Data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&a.Data[0])), len(a.Data)/8)
+}
+
+// Int32s views the backing bytes as an int32 slice.
+func (a Arg) Int32s() []int32 {
+	if len(a.Data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&a.Data[0])), len(a.Data)/4)
+}
+
+// Uint32s views the backing bytes as a uint32 slice.
+func (a Arg) Uint32s() []uint32 {
+	if len(a.Data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&a.Data[0])), len(a.Data)/4)
+}
+
+// Bytes returns the raw backing bytes.
+func (a Arg) Bytes() []byte { return a.Data }

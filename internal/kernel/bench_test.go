@@ -1,0 +1,53 @@
+package kernel
+
+import (
+	"testing"
+)
+
+// BenchmarkNDRangeExecutor measures the per-work-item dispatch overhead of
+// the functional executor on a trivial kernel.
+func BenchmarkNDRangeExecutor(b *testing.B) {
+	buf := BufferArg(make([]byte, 4*4096))
+	spec := &Spec{
+		Name: "bench",
+		Func: func(it *Item, args []Arg) {
+			args[0].Float32s()[it.GlobalID(0)] += 1
+		},
+	}
+	launch := Launch{Global: []int{4096}, Local: []int{64}, Args: []Arg{buf}, Workers: 1}
+	b.SetBytes(4 * 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Run(spec, launch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBarrierExecutor measures the goroutine-per-item barrier path.
+func BenchmarkBarrierExecutor(b *testing.B) {
+	buf := BufferArg(make([]byte, 4*256))
+	spec := &Spec{
+		Name:        "bench-barrier",
+		UsesBarrier: true,
+		Func: func(it *Item, args []Arg) {
+			scratch := args[1].Float32s()
+			scratch[it.LocalID(0)] = 1
+			it.Barrier()
+			if it.LocalID(0) == 0 {
+				args[0].Float32s()[it.GroupID(0)] = scratch[0]
+			}
+		},
+	}
+	launch := Launch{
+		Global: []int{256}, Local: []int{32},
+		Args:    []Arg{buf, LocalArg(4 * 32)},
+		Workers: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Run(spec, launch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Cost is the analytic execution cost of one kernel launch, consumed by the
+// device performance models (internal/sim): a device's modeled duration is
+// max(Flops/peak, Bytes/bandwidth) plus launch overhead.
+type Cost struct {
+	Flops int64 // floating-point (or equivalent integer) operations
+	Bytes int64 // global-memory traffic in bytes
+	// Items is the launch's work-item count, set by the runtime; device
+	// models use it for occupancy derating (a 16-item launch cannot fill
+	// a 2560-lane GPU regardless of its arithmetic).
+	Items int64
+}
+
+// CostFunc computes a launch's cost from its global NDRange and bound
+// arguments. global always has three entries (padded with 1s).
+type CostFunc func(global [3]int, args []Arg) Cost
+
+// Func is one kernel's work-item function: the body executed once per
+// work-item, exactly like the body of an OpenCL C kernel.
+type Func func(it *Item, args []Arg)
+
+// Spec describes one executable kernel registered with a driver.
+type Spec struct {
+	// Name matches the __kernel function name in program source.
+	Name string
+	// Func is the work-item body.
+	Func Func
+	// Cost models the launch for the device simulators. When nil, a
+	// default of one flop and zero traffic per work-item is used.
+	Cost CostFunc
+	// UsesBarrier declares that the kernel calls Item.Barrier. Work-items
+	// of a group then run as synchronized goroutines instead of a loop.
+	UsesBarrier bool
+	// NumArgs is the expected argument count, validated at launch.
+	NumArgs int
+}
+
+// CostOf evaluates the kernel's cost model.
+func (s *Spec) CostOf(global [3]int, args []Arg) Cost {
+	items := int64(global[0]) * int64(global[1]) * int64(global[2])
+	if s.Cost != nil {
+		c := s.Cost(global, args)
+		c.Items = items
+		return c
+	}
+	return Cost{Flops: items, Items: items}
+}
+
+// Registry maps kernel names to executable specs. It plays the role of the
+// device's kernel binary store: the paper's FPGA nodes only run pre-built
+// bitstreams selected by name (§III-D), and the simulated CPU/GPU drivers
+// reuse the same mechanism.
+type Registry struct {
+	mu    sync.RWMutex
+	specs map[string]*Spec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: make(map[string]*Spec)}
+}
+
+// ErrNotFound reports a kernel name with no registered implementation.
+var ErrNotFound = errors.New("kernel: not registered")
+
+// Register adds spec to the registry. Re-registering a name is an error:
+// two implementations for one kernel would make results driver-dependent.
+func (r *Registry) Register(spec *Spec) error {
+	if spec == nil || spec.Name == "" || spec.Func == nil {
+		return errors.New("kernel: spec must have a name and a function")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.specs[spec.Name]; ok {
+		return fmt.Errorf("kernel: %q already registered", spec.Name)
+	}
+	r.specs[spec.Name] = spec
+	return nil
+}
+
+// MustRegister is Register that panics on error, for use at program setup.
+func (r *Registry) MustRegister(spec *Spec) {
+	if err := r.Register(spec); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds the named kernel.
+func (r *Registry) Lookup(name string) (*Spec, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	spec, ok := r.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return spec, nil
+}
+
+// Has reports whether name is registered.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.specs[name]
+	return ok
+}
+
+// Names lists registered kernel names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.specs))
+	for n := range r.specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,63 @@
+// Package mem converts between Go numeric slices and the little-endian
+// byte representation used by device buffers. Host code uses these copying
+// conversions; device kernels use the zero-copy views on kernel.Arg.
+package mem
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// F32Bytes encodes float32 values to little-endian bytes.
+func F32Bytes(fs []float32) []byte {
+	out := make([]byte, 4*len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(f))
+	}
+	return out
+}
+
+// BytesF32 decodes little-endian bytes to float32 values.
+func BytesF32(bs []byte) []float32 {
+	out := make([]float32, len(bs)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(bs[i*4:]))
+	}
+	return out
+}
+
+// I32Bytes encodes int32 values to little-endian bytes.
+func I32Bytes(vs []int32) []byte {
+	out := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+	}
+	return out
+}
+
+// BytesI32 decodes little-endian bytes to int32 values.
+func BytesI32(bs []byte) []int32 {
+	out := make([]int32, len(bs)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(bs[i*4:]))
+	}
+	return out
+}
+
+// U32Bytes encodes uint32 values to little-endian bytes.
+func U32Bytes(vs []uint32) []byte {
+	out := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// BytesU32 decodes little-endian bytes to uint32 values.
+func BytesU32(bs []byte) []uint32 {
+	out := make([]uint32, len(bs)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(bs[i*4:])
+	}
+	return out
+}

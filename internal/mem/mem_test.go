@@ -1,0 +1,74 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestF32RoundTrip(t *testing.T) {
+	check := func(fs []float32) bool {
+		got := BytesF32(F32Bytes(fs))
+		if len(got) != len(fs) {
+			return false
+		}
+		for i := range fs {
+			if got[i] != fs[i] && !(fs[i] != fs[i] && got[i] != got[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestI32RoundTrip(t *testing.T) {
+	check := func(vs []int32) bool {
+		got := BytesI32(I32Bytes(vs))
+		if len(got) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU32RoundTrip(t *testing.T) {
+	check := func(vs []uint32) bool {
+		got := BytesU32(U32Bytes(vs))
+		if len(got) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	b := I32Bytes([]int32{1})
+	if b[0] != 1 || b[1] != 0 || b[2] != 0 || b[3] != 0 {
+		t.Fatalf("not little-endian: %v", b)
+	}
+	if len(F32Bytes(nil)) != 0 || len(BytesF32(nil)) != 0 {
+		t.Fatal("nil handling broken")
+	}
+	// Trailing partial words are dropped, not read out of bounds.
+	if got := BytesF32([]byte{1, 2, 3}); len(got) != 0 {
+		t.Fatalf("partial word decoded: %v", got)
+	}
+}

@@ -1,0 +1,214 @@
+// Package node implements HaoCL's Node Management Process (NMP): the daemon
+// that runs on every device node, receives forwarded OpenCL API calls from
+// the host's wrapper library, executes them against the node's devices
+// through the ICD driver layer, and reports runtime status to the host's
+// resource monitor (paper §III-D).
+//
+// One Node serves any number of sessions (connections); each session
+// carries a user identity from its Hello handshake, and exclusive
+// (non-shared) devices admit queues from only one user at a time.
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/haocl-project/haocl/internal/device"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/transport"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// Options configures a Node.
+type Options struct {
+	// Name identifies the node in logs and handshakes.
+	Name string
+	// Devices lists the devices to open through the ICD.
+	Devices []device.Config
+	// ICD resolves device drivers. Required.
+	ICD *device.ICD
+	// ExecWorkers caps functional kernel-execution parallelism per
+	// launch (0 = GOMAXPROCS). Experiment harnesses running many
+	// simulated nodes in one process set this to 1.
+	ExecWorkers int
+}
+
+// Node is one device node's management process.
+type Node struct {
+	name        string
+	devices     []device.Device
+	stats       []*deviceStats
+	execWorkers int
+
+	objects *objectTable
+
+	shutdownMu sync.Mutex
+	onShutdown func()
+}
+
+// deviceStats is the per-device slice of the runtime monitor.
+type deviceStats struct {
+	mu          sync.Mutex
+	busyUntil   vtime.Time
+	queuedCmds  int64
+	kernelsRun  int64
+	flopsDone   float64
+	bytesMoved  float64
+	energyJ     float64
+	users       map[string]int // userID -> live queue count
+	ewmaGFLOPS  float64
+	ewmaKernSec float64
+}
+
+const ewmaAlpha = 0.25
+
+func (s *deviceStats) observeKernel(flops, bytes int64, dur vtime.Duration, watts float64, end vtime.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.kernelsRun++
+	s.flopsDone += float64(flops)
+	s.bytesMoved += float64(bytes)
+	sec := dur.Seconds()
+	s.energyJ += watts * sec
+	if end > s.busyUntil {
+		s.busyUntil = end
+	}
+	if sec > 0 {
+		rate := float64(flops) / sec / 1e9
+		if s.ewmaGFLOPS == 0 {
+			s.ewmaGFLOPS = rate
+		} else {
+			s.ewmaGFLOPS = ewmaAlpha*rate + (1-ewmaAlpha)*s.ewmaGFLOPS
+		}
+		if s.ewmaKernSec == 0 {
+			s.ewmaKernSec = sec
+		} else {
+			s.ewmaKernSec = ewmaAlpha*sec + (1-ewmaAlpha)*s.ewmaKernSec
+		}
+	}
+}
+
+func (s *deviceStats) observeTransfer(bytes int64, watts float64, dur vtime.Duration, end vtime.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytesMoved += float64(bytes)
+	s.energyJ += watts * dur.Seconds()
+	if end > s.busyUntil {
+		s.busyUntil = end
+	}
+}
+
+func (s *deviceStats) snapshot(id uint32) protocol.DeviceStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return protocol.DeviceStatus{
+		DeviceID:      id,
+		BusyUntil:     int64(s.busyUntil),
+		QueuedCmds:    s.queuedCmds,
+		KernelsRun:    s.kernelsRun,
+		FlopsDone:     s.flopsDone,
+		BytesMoved:    s.bytesMoved,
+		EnergyJ:       s.energyJ,
+		ActiveUsers:   int64(len(s.users)),
+		EWMAGFLOPS:    s.ewmaGFLOPS,
+		EWMAKernelSec: s.ewmaKernSec,
+	}
+}
+
+// New opens the configured devices and returns a ready Node.
+func New(opts Options) (*Node, error) {
+	if opts.ICD == nil {
+		return nil, fmt.Errorf("node %q: ICD registry required", opts.Name)
+	}
+	if len(opts.Devices) == 0 {
+		return nil, fmt.Errorf("node %q: at least one device required", opts.Name)
+	}
+	n := &Node{
+		name:        opts.Name,
+		execWorkers: opts.ExecWorkers,
+		objects:     newObjectTable(),
+	}
+	for i, cfg := range opts.Devices {
+		if cfg.ID == 0 {
+			cfg.ID = uint32(i + 1)
+		}
+		if cfg.Workers == 0 {
+			cfg.Workers = opts.ExecWorkers
+		}
+		dev, err := opts.ICD.Open(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("node %q: %w", opts.Name, err)
+		}
+		n.devices = append(n.devices, dev)
+		n.stats = append(n.stats, &deviceStats{users: make(map[string]int)})
+	}
+	return n, nil
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Devices returns the opened devices, indexed by position.
+func (n *Node) Devices() []device.Device { return n.devices }
+
+// deviceByID resolves a node-local device ID.
+func (n *Node) deviceByID(id uint32) (device.Device, *deviceStats, error) {
+	for i, d := range n.devices {
+		if d.Info().ID == id {
+			return d, n.stats[i], nil
+		}
+	}
+	return nil, nil, remoteErr(protocol.CodeUnknownObject, "no device with ID %d on node %q", id, n.name)
+}
+
+// DeviceInfos lists the node's devices in wire form, optionally filtered by
+// a device-type bitmask.
+func (n *Node) DeviceInfos(typeMask uint8) []protocol.DeviceInfo {
+	var infos []protocol.DeviceInfo
+	for _, d := range n.devices {
+		info := d.Info()
+		if typeMask != 0 && typeMask&(1<<uint8(info.Type)) == 0 {
+			continue
+		}
+		infos = append(infos, info.Proto())
+	}
+	return infos
+}
+
+// Status snapshots the runtime monitor for every device.
+func (n *Node) Status() []protocol.DeviceStatus {
+	out := make([]protocol.DeviceStatus, len(n.devices))
+	for i, d := range n.devices {
+		out[i] = n.stats[i].snapshot(d.Info().ID)
+	}
+	return out
+}
+
+// OnShutdown registers a callback invoked when a session issues Shutdown.
+func (n *Node) OnShutdown(f func()) {
+	n.shutdownMu.Lock()
+	defer n.shutdownMu.Unlock()
+	n.onShutdown = f
+}
+
+func (n *Node) shutdown() {
+	n.shutdownMu.Lock()
+	f := n.onShutdown
+	n.shutdownMu.Unlock()
+	if f != nil {
+		go f()
+	}
+}
+
+// NewSession returns a transport handler bound to one connection.
+func (n *Node) NewSession() transport.Handler { return &Session{node: n} }
+
+// Serve returns a transport server for this node.
+func (n *Node) Serve() *transport.Server {
+	return transport.NewServer(func() transport.Handler { return n.NewSession() })
+}
+
+// remoteErr builds a protocol error with a code the host can match on.
+func remoteErr(code uint32, format string, args ...any) error {
+	return &protocol.RemoteError{Code: code, Message: fmt.Sprintf(format, args...)}
+}

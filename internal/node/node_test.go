@@ -1,0 +1,367 @@
+package node
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/device"
+	"github.com/haocl-project/haocl/internal/kernel"
+	"github.com/haocl-project/haocl/internal/mem"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/sim"
+)
+
+const doubleSource = `
+__kernel void double_it(__global float* x, const int n) {
+    int i = get_global_id(0);
+    if (i < n) x[i] *= 2.0f;
+}
+`
+
+func testNode(t *testing.T, devices ...device.Config) *Node {
+	t.Helper()
+	reg := kernel.NewRegistry()
+	reg.MustRegister(&kernel.Spec{
+		Name:    "double_it",
+		NumArgs: 2,
+		Func: func(it *kernel.Item, args []kernel.Arg) {
+			i := it.GlobalID(0)
+			if i >= args[1].Int() {
+				return
+			}
+			args[0].Float32s()[i] *= 2
+		},
+		Cost: func(g [3]int, _ []kernel.Arg) kernel.Cost {
+			return kernel.Cost{Flops: int64(g[0]), Bytes: int64(g[0]) * 8}
+		},
+	})
+	icd := device.NewICD()
+	sim.RegisterDrivers(icd, reg)
+	if len(devices) == 0 {
+		devices = []device.Config{{Driver: sim.DriverGPU, Shared: true}}
+	}
+	n, err := New(Options{Name: "test-node", Devices: devices, ICD: icd, ExecWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// call sends one decoded request through a session, expecting success.
+func call[T protocol.Message](t *testing.T, s *Session, req protocol.Message, resp T) T {
+	t.Helper()
+	got, err := s.HandleCall(req.Op(), protocol.EncodeMessage(req))
+	if err != nil {
+		t.Fatalf("%s: %v", req.Op(), err)
+	}
+	if err := protocol.DecodeMessage(resp, protocol.EncodeMessage(got)); err != nil {
+		t.Fatalf("re-decode %s: %v", req.Op(), err)
+	}
+	return resp
+}
+
+// callErr sends one request expecting a remote error with the given code.
+func callErr(t *testing.T, s *Session, req protocol.Message, wantCode uint32) {
+	t.Helper()
+	_, err := s.HandleCall(req.Op(), protocol.EncodeMessage(req))
+	if err == nil {
+		t.Fatalf("%s: expected error", req.Op())
+	}
+	var re *protocol.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("%s: error %v is not remote", req.Op(), err)
+	}
+	if re.Code != wantCode {
+		t.Fatalf("%s: code = %d, want %d (%v)", req.Op(), re.Code, wantCode, re)
+	}
+}
+
+func openSession(t *testing.T, n *Node, user string) *Session {
+	t.Helper()
+	s := n.NewSession().(*Session)
+	resp := call(t, s, &protocol.HelloReq{UserID: user, WireVersion: protocol.Version}, &protocol.HelloResp{})
+	if resp.NodeName != "test-node" || len(resp.Devices) == 0 {
+		t.Fatalf("handshake: %+v", resp)
+	}
+	return s
+}
+
+// buildPipeline creates context, queue, program and kernel, returning IDs.
+func buildPipeline(t *testing.T, s *Session) (ctxID, queueID, kernelID uint64) {
+	t.Helper()
+	ctx := call(t, s, &protocol.CreateContextReq{DeviceIDs: []int64{1}}, &protocol.ObjectResp{})
+	q := call(t, s, &protocol.CreateQueueReq{ContextID: ctx.ID, DeviceID: 1, Profiling: true}, &protocol.ObjectResp{})
+	prog := call(t, s, &protocol.BuildProgramReq{ContextID: ctx.ID, Source: doubleSource}, &protocol.BuildProgramResp{})
+	if len(prog.Kernels) != 1 || prog.Kernels[0] != "double_it" {
+		t.Fatalf("build kernels = %v", prog.Kernels)
+	}
+	if !strings.Contains(prog.Log, "double_it") {
+		t.Fatalf("build log = %q", prog.Log)
+	}
+	k := call(t, s, &protocol.CreateKernelReq{ProgramID: prog.ProgramID, Name: "double_it"}, &protocol.ObjectResp{})
+	return ctx.ID, q.ID, k.ID
+}
+
+func TestFullCommandPipeline(t *testing.T) {
+	n := testNode(t)
+	s := openSession(t, n, "alice")
+	ctxID, queueID, kernelID := buildPipeline(t, s)
+
+	buf := call(t, s, &protocol.CreateBufferReq{ContextID: ctxID, Size: 64}, &protocol.ObjectResp{})
+	in := mem.F32Bytes([]float32{1, 2, 3, 4, 5, 6, 7, 8})
+	wr := call(t, s, &protocol.WriteBufferReq{
+		QueueID: queueID, BufferID: buf.ID, Data: in, SimArrival: 1000,
+	}, &protocol.EventResp{})
+	if wr.Profile.Start < 1000 || wr.Profile.End <= wr.Profile.Start {
+		t.Fatalf("write profile %+v", wr.Profile)
+	}
+
+	launch := call(t, s, &protocol.EnqueueKernelReq{
+		QueueID: queueID, KernelID: kernelID,
+		Global: []int64{8},
+		Args: []protocol.KernelArg{
+			{Kind: protocol.ArgBuffer, BufferID: buf.ID},
+			{Kind: protocol.ArgScalar, Scalar: kernel.EncodeScalar(int32(8))},
+		},
+		WaitEvents: []int64{int64(wr.EventID)},
+	}, &protocol.EventResp{})
+	if launch.Profile.Start < wr.Profile.End {
+		t.Fatalf("launch started before its wait event: %+v vs %+v", launch.Profile, wr.Profile)
+	}
+
+	rd := call(t, s, &protocol.ReadBufferReq{
+		QueueID: queueID, BufferID: buf.ID, Size: 32,
+		WaitEvents: []int64{int64(launch.EventID)},
+	}, &protocol.ReadBufferResp{})
+	got := mem.BytesF32(rd.Data)
+	for i, v := range got {
+		if v != float32(2*(i+1)) {
+			t.Fatalf("element %d = %v", i, v)
+		}
+	}
+
+	fin := call(t, s, &protocol.FinishQueueReq{QueueID: queueID}, &protocol.FinishQueueResp{})
+	if fin.SimTime < rd.Profile.End {
+		t.Fatalf("finish time %d before last event %d", fin.SimTime, rd.Profile.End)
+	}
+
+	ev := call(t, s, &protocol.QueryEventReq{EventID: launch.EventID}, &protocol.QueryEventResp{})
+	if !ev.Complete || ev.Profile.End != launch.Profile.End {
+		t.Fatalf("query event: %+v", ev)
+	}
+
+	// Monitor accounting.
+	status := n.Status()
+	if len(status) != 1 {
+		t.Fatalf("status: %v", status)
+	}
+	st := status[0]
+	if st.KernelsRun != 1 || st.FlopsDone != 8 || st.EnergyJ <= 0 || st.EWMAGFLOPS <= 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestCopyBuffer(t *testing.T) {
+	n := testNode(t)
+	s := openSession(t, n, "alice")
+	ctxID, queueID, _ := buildPipeline(t, s)
+	src := call(t, s, &protocol.CreateBufferReq{ContextID: ctxID, Size: 16}, &protocol.ObjectResp{})
+	dst := call(t, s, &protocol.CreateBufferReq{ContextID: ctxID, Size: 16}, &protocol.ObjectResp{})
+	call(t, s, &protocol.WriteBufferReq{QueueID: queueID, BufferID: src.ID,
+		Data: mem.F32Bytes([]float32{9, 8, 7, 6})}, &protocol.EventResp{})
+	call(t, s, &protocol.CopyBufferReq{QueueID: queueID, SrcID: src.ID, DstID: dst.ID, Size: 16}, &protocol.EventResp{})
+	rd := call(t, s, &protocol.ReadBufferReq{QueueID: queueID, BufferID: dst.ID, Size: 16}, &protocol.ReadBufferResp{})
+	if got := mem.BytesF32(rd.Data); got[0] != 9 || got[3] != 6 {
+		t.Fatalf("copy result %v", got)
+	}
+	callErr(t, s, &protocol.CopyBufferReq{QueueID: queueID, SrcID: src.ID, DstID: dst.ID, Size: 99},
+		protocol.CodeBadRequest)
+}
+
+func TestErrorPaths(t *testing.T) {
+	n := testNode(t)
+	s := openSession(t, n, "alice")
+	ctxID, queueID, kernelID := buildPipeline(t, s)
+	buf := call(t, s, &protocol.CreateBufferReq{ContextID: ctxID, Size: 64}, &protocol.ObjectResp{})
+
+	callErr(t, s, &protocol.CreateContextReq{DeviceIDs: []int64{42}}, protocol.CodeUnknownObject)
+	callErr(t, s, &protocol.CreateContextReq{}, protocol.CodeBadRequest)
+	callErr(t, s, &protocol.CreateQueueReq{ContextID: 999, DeviceID: 1}, protocol.CodeUnknownObject)
+	callErr(t, s, &protocol.CreateQueueReq{ContextID: ctxID, DeviceID: 42}, protocol.CodeBadRequest)
+	callErr(t, s, &protocol.CreateBufferReq{ContextID: ctxID, Size: -1}, protocol.CodeBadRequest)
+	callErr(t, s, &protocol.WriteBufferReq{QueueID: queueID, BufferID: 999}, protocol.CodeUnknownObject)
+	callErr(t, s, &protocol.WriteBufferReq{QueueID: queueID, BufferID: buf.ID,
+		Offset: 60, Data: make([]byte, 16)}, protocol.CodeBadRequest)
+	callErr(t, s, &protocol.ReadBufferReq{QueueID: queueID, BufferID: buf.ID, Offset: 0, Size: 999},
+		protocol.CodeBadRequest)
+	callErr(t, s, &protocol.BuildProgramReq{ContextID: ctxID, Source: "not opencl at all"},
+		protocol.CodeBuildFailed)
+	callErr(t, s, &protocol.BuildProgramReq{ContextID: ctxID,
+		Source: `__kernel void nope(__global int* x) { }`}, protocol.CodeBuildFailed)
+	callErr(t, s, &protocol.CreateKernelReq{ProgramID: 999, Name: "double_it"}, protocol.CodeUnknownObject)
+
+	// Arg validation against the parsed OpenCL C signature.
+	callErr(t, s, &protocol.EnqueueKernelReq{
+		QueueID: queueID, KernelID: kernelID, Global: []int64{8},
+		Args: []protocol.KernelArg{{Kind: protocol.ArgBuffer, BufferID: buf.ID}},
+	}, protocol.CodeLaunchFailed) // missing scalar arg
+	callErr(t, s, &protocol.EnqueueKernelReq{
+		QueueID: queueID, KernelID: kernelID, Global: []int64{8},
+		Args: []protocol.KernelArg{
+			{Kind: protocol.ArgScalar, Scalar: kernel.EncodeScalar(int32(1))},
+			{Kind: protocol.ArgScalar, Scalar: kernel.EncodeScalar(int32(8))},
+		},
+	}, protocol.CodeLaunchFailed) // scalar bound to pointer param
+	callErr(t, s, &protocol.EnqueueKernelReq{
+		QueueID: queueID, KernelID: kernelID, Global: []int64{8},
+		Args: []protocol.KernelArg{
+			{Kind: protocol.ArgBuffer, BufferID: buf.ID},
+			{Kind: protocol.ArgScalar, Scalar: []byte{1}}, // int wants 4 bytes
+		},
+	}, protocol.CodeLaunchFailed)
+	callErr(t, s, &protocol.EnqueueKernelReq{
+		QueueID: queueID, KernelID: kernelID, Global: []int64{10}, Local: []int64{3},
+		Args: []protocol.KernelArg{
+			{Kind: protocol.ArgBuffer, BufferID: buf.ID},
+			{Kind: protocol.ArgScalar, Scalar: kernel.EncodeScalar(int32(8))},
+		},
+	}, protocol.CodeLaunchFailed) // indivisible NDRange
+
+	callErr(t, s, &protocol.QueryEventReq{EventID: 9999}, protocol.CodeUnknownObject)
+	callErr(t, s, &protocol.FinishQueueReq{QueueID: 9999}, protocol.CodeUnknownObject)
+}
+
+func TestReleaseSemantics(t *testing.T) {
+	n := testNode(t)
+	s := openSession(t, n, "alice")
+	ctxID, queueID, _ := buildPipeline(t, s)
+	buf := call(t, s, &protocol.CreateBufferReq{ContextID: ctxID, Size: 16}, &protocol.ObjectResp{})
+
+	call(t, s, &protocol.ReleaseReq{Kind: protocol.ObjBuffer, ID: buf.ID}, &protocol.EmptyResp{})
+	// Double release is an error, as in OpenCL.
+	callErr(t, s, &protocol.ReleaseReq{Kind: protocol.ObjBuffer, ID: buf.ID}, protocol.CodeUnknownObject)
+	// The released buffer is unusable.
+	callErr(t, s, &protocol.WriteBufferReq{QueueID: queueID, BufferID: buf.ID, Data: []byte{1}},
+		protocol.CodeUnknownObject)
+	call(t, s, &protocol.ReleaseReq{Kind: protocol.ObjQueue, ID: queueID}, &protocol.EmptyResp{})
+	callErr(t, s, &protocol.ReleaseReq{Kind: protocol.ObjectKind(99), ID: 1}, protocol.CodeBadRequest)
+}
+
+func TestHelloVersionMismatch(t *testing.T) {
+	n := testNode(t)
+	s := n.NewSession().(*Session)
+	callErr(t, s, &protocol.HelloReq{UserID: "x", WireVersion: 99}, protocol.CodeUnsupported)
+}
+
+func TestUnsupportedOp(t *testing.T) {
+	n := testNode(t)
+	s := openSession(t, n, "x")
+	if _, err := s.HandleCall(protocol.Op(200), nil); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestExclusiveDeviceMultiUser(t *testing.T) {
+	n := testNode(t, device.Config{Driver: sim.DriverGPU, Shared: false})
+	alice := openSession(t, n, "alice")
+	bob := openSession(t, n, "bob")
+
+	ctxA := call(t, alice, &protocol.CreateContextReq{DeviceIDs: []int64{1}}, &protocol.ObjectResp{})
+	qA := call(t, alice, &protocol.CreateQueueReq{ContextID: ctxA.ID, DeviceID: 1}, &protocol.ObjectResp{})
+
+	// Bob cannot queue on Alice's exclusive device.
+	ctxB := call(t, bob, &protocol.CreateContextReq{DeviceIDs: []int64{1}}, &protocol.ObjectResp{})
+	callErr(t, bob, &protocol.CreateQueueReq{ContextID: ctxB.ID, DeviceID: 1}, protocol.CodeDeviceBusy)
+
+	// Alice may create more queues on her own device.
+	call(t, alice, &protocol.CreateQueueReq{ContextID: ctxA.ID, DeviceID: 1}, &protocol.ObjectResp{})
+
+	// After Alice releases everything, Bob gets in.
+	call(t, alice, &protocol.ReleaseReq{Kind: protocol.ObjQueue, ID: qA.ID}, &protocol.EmptyResp{})
+	if err := alice.Close(); err != nil {
+		t.Fatal(err)
+	}
+	call(t, bob, &protocol.CreateQueueReq{ContextID: ctxB.ID, DeviceID: 1}, &protocol.ObjectResp{})
+}
+
+func TestSharedDeviceMultiUser(t *testing.T) {
+	n := testNode(t, device.Config{Driver: sim.DriverGPU, Shared: true})
+	alice := openSession(t, n, "alice")
+	bob := openSession(t, n, "bob")
+	ctxA := call(t, alice, &protocol.CreateContextReq{DeviceIDs: []int64{1}}, &protocol.ObjectResp{})
+	ctxB := call(t, bob, &protocol.CreateContextReq{DeviceIDs: []int64{1}}, &protocol.ObjectResp{})
+	call(t, alice, &protocol.CreateQueueReq{ContextID: ctxA.ID, DeviceID: 1}, &protocol.ObjectResp{})
+	call(t, bob, &protocol.CreateQueueReq{ContextID: ctxB.ID, DeviceID: 1}, &protocol.ObjectResp{})
+	st := n.Status()
+	if st[0].ActiveUsers != 2 {
+		t.Fatalf("active users = %d, want 2", st[0].ActiveUsers)
+	}
+}
+
+func TestSessionCloseReleasesQueues(t *testing.T) {
+	n := testNode(t, device.Config{Driver: sim.DriverFPGA, Shared: false, Bitstreams: []string{"double_it"}})
+	alice := openSession(t, n, "alice")
+	ctx := call(t, alice, &protocol.CreateContextReq{DeviceIDs: []int64{1}}, &protocol.ObjectResp{})
+	call(t, alice, &protocol.CreateQueueReq{ContextID: ctx.ID, DeviceID: 1}, &protocol.ObjectResp{})
+	if err := alice.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A disconnected session must free its exclusive device.
+	bob := openSession(t, n, "bob")
+	ctxB := call(t, bob, &protocol.CreateContextReq{DeviceIDs: []int64{1}}, &protocol.ObjectResp{})
+	call(t, bob, &protocol.CreateQueueReq{ContextID: ctxB.ID, DeviceID: 1}, &protocol.ObjectResp{})
+}
+
+func TestCostOverride(t *testing.T) {
+	n := testNode(t)
+	s := openSession(t, n, "alice")
+	ctxID, queueID, kernelID := buildPipeline(t, s)
+	buf := call(t, s, &protocol.CreateBufferReq{ContextID: ctxID, Size: 64}, &protocol.ObjectResp{})
+
+	args := []protocol.KernelArg{
+		{Kind: protocol.ArgBuffer, BufferID: buf.ID},
+		{Kind: protocol.ArgScalar, Scalar: kernel.EncodeScalar(int32(8))},
+	}
+	small := call(t, s, &protocol.EnqueueKernelReq{
+		QueueID: queueID, KernelID: kernelID, Global: []int64{8}, Args: args,
+	}, &protocol.EventResp{})
+	big := call(t, s, &protocol.EnqueueKernelReq{
+		QueueID: queueID, KernelID: kernelID, Global: []int64{8}, Args: args,
+		CostFlops: 1e12, CostBytes: 1e12,
+	}, &protocol.EventResp{})
+	if big.Profile.DurationNS() <= small.Profile.DurationNS()*1000 {
+		t.Fatalf("cost override ignored: small=%dns big=%dns",
+			small.Profile.DurationNS(), big.Profile.DurationNS())
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := New(Options{Name: "x"}); err == nil {
+		t.Fatal("node without ICD accepted")
+	}
+	icd := device.NewICD()
+	sim.RegisterDrivers(icd, kernel.NewRegistry())
+	if _, err := New(Options{Name: "x", ICD: icd}); err == nil {
+		t.Fatal("node without devices accepted")
+	}
+	if _, err := New(Options{Name: "x", ICD: icd,
+		Devices: []device.Config{{Driver: "nope"}}}); err == nil {
+		t.Fatal("node with bad driver accepted")
+	}
+}
+
+func TestDeviceInfosTypeMask(t *testing.T) {
+	n := testNode(t,
+		device.Config{Driver: sim.DriverGPU, ID: 1, Shared: true},
+		device.Config{Driver: sim.DriverCPU, ID: 2, Shared: true},
+	)
+	all := n.DeviceInfos(0)
+	if len(all) != 2 {
+		t.Fatalf("all = %d", len(all))
+	}
+	gpus := n.DeviceInfos(1 << uint8(protocol.DeviceGPU))
+	if len(gpus) != 1 || gpus[0].Type != protocol.DeviceGPU {
+		t.Fatalf("gpus = %+v", gpus)
+	}
+}

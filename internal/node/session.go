@@ -1,0 +1,560 @@
+package node
+
+import (
+	"sync"
+
+	"github.com/haocl-project/haocl/internal/clc"
+	"github.com/haocl-project/haocl/internal/kernel"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// Session is the per-connection handler: it parses each forwarded API call,
+// executes it, and packages the response (paper §III-D: the daemon
+// "receives the commands from the workload scheduler along with additional
+// information such as user ID, device ID, shared flag ... and parses them
+// for compilation and execution").
+type Session struct {
+	node *Node
+
+	mu     sync.Mutex
+	userID string
+	queues map[uint64]*queueObj // queues created by this session
+}
+
+// HandleCall implements transport.Handler.
+func (s *Session) HandleCall(op protocol.Op, body []byte) (protocol.Message, error) {
+	switch op {
+	case protocol.OpHello:
+		return s.handleHello(body)
+	case protocol.OpGetDeviceInfos:
+		return s.handleGetDeviceInfos(body)
+	case protocol.OpCreateContext:
+		return s.handleCreateContext(body)
+	case protocol.OpCreateQueue:
+		return s.handleCreateQueue(body)
+	case protocol.OpCreateBuffer:
+		return s.handleCreateBuffer(body)
+	case protocol.OpWriteBuffer:
+		return s.handleWriteBuffer(body)
+	case protocol.OpReadBuffer:
+		return s.handleReadBuffer(body)
+	case protocol.OpCopyBuffer:
+		return s.handleCopyBuffer(body)
+	case protocol.OpBuildProgram:
+		return s.handleBuildProgram(body)
+	case protocol.OpCreateKernel:
+		return s.handleCreateKernel(body)
+	case protocol.OpEnqueueKernel:
+		return s.handleEnqueueKernel(body)
+	case protocol.OpFinishQueue:
+		return s.handleFinishQueue(body)
+	case protocol.OpQueryEvent:
+		return s.handleQueryEvent(body)
+	case protocol.OpRelease:
+		return s.handleRelease(body)
+	case protocol.OpNodeStatus:
+		return &protocol.NodeStatusResp{Devices: s.node.Status()}, nil
+	case protocol.OpShutdown:
+		s.node.shutdown()
+		return &protocol.EmptyResp{}, nil
+	default:
+		return nil, remoteErr(protocol.CodeUnsupported, "unsupported op %s", op)
+	}
+}
+
+// Close implements the optional transport session-cleanup hook: queues the
+// session still owns are released so exclusive devices free up when a host
+// disconnects uncleanly.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	queues := s.queues
+	s.queues = nil
+	s.mu.Unlock()
+	for id, q := range queues {
+		if _, err := s.node.objects.release(protocol.ObjQueue, id); err == nil {
+			s.dropQueueUser(q)
+		}
+	}
+	return nil
+}
+
+func (s *Session) user() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.userID == "" {
+		return "anonymous"
+	}
+	return s.userID
+}
+
+func (s *Session) handleHello(body []byte) (protocol.Message, error) {
+	var req protocol.HelloReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	if req.WireVersion != protocol.Version {
+		return nil, remoteErr(protocol.CodeUnsupported,
+			"wire version mismatch: host %d, node %d", req.WireVersion, protocol.Version)
+	}
+	s.mu.Lock()
+	s.userID = req.UserID
+	s.mu.Unlock()
+	return &protocol.HelloResp{
+		NodeName: s.node.name,
+		Devices:  s.node.DeviceInfos(0),
+	}, nil
+}
+
+func (s *Session) handleGetDeviceInfos(body []byte) (protocol.Message, error) {
+	var req protocol.GetDeviceInfosReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	return &protocol.GetDeviceInfosResp{Devices: s.node.DeviceInfos(req.TypeMask)}, nil
+}
+
+func (s *Session) handleCreateContext(body []byte) (protocol.Message, error) {
+	var req protocol.CreateContextReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	if len(req.DeviceIDs) == 0 {
+		return nil, remoteErr(protocol.CodeBadRequest, "context needs at least one device")
+	}
+	devs := make([]uint32, 0, len(req.DeviceIDs))
+	for _, id := range req.DeviceIDs {
+		if _, _, err := s.node.deviceByID(uint32(id)); err != nil {
+			return nil, err
+		}
+		devs = append(devs, uint32(id))
+	}
+	id := s.node.objects.putContext(&contextObj{devices: devs})
+	return &protocol.ObjectResp{ID: id}, nil
+}
+
+func (s *Session) handleCreateQueue(body []byte) (protocol.Message, error) {
+	var req protocol.CreateQueueReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	ctx, err := s.node.objects.context(req.ContextID)
+	if err != nil {
+		return nil, err
+	}
+	inContext := false
+	for _, d := range ctx.devices {
+		if d == req.DeviceID {
+			inContext = true
+			break
+		}
+	}
+	if !inContext {
+		return nil, remoteErr(protocol.CodeBadRequest,
+			"device %d is not part of context %d", req.DeviceID, req.ContextID)
+	}
+	dev, stats, err := s.node.deviceByID(req.DeviceID)
+	if err != nil {
+		return nil, err
+	}
+
+	user := s.user()
+	stats.mu.Lock()
+	if !dev.Info().Shared {
+		for other, cnt := range stats.users {
+			if other != user && cnt > 0 {
+				stats.mu.Unlock()
+				return nil, remoteErr(protocol.CodeDeviceBusy,
+					"device %d (%s) is exclusive and held by user %q",
+					req.DeviceID, dev.Info().Name, other)
+			}
+		}
+	}
+	stats.users[user]++
+	stats.mu.Unlock()
+
+	q := &queueObj{dev: dev, stats: stats, owner: user, profiling: req.Profiling}
+	id := s.node.objects.putQueue(q)
+	s.mu.Lock()
+	if s.queues == nil {
+		s.queues = make(map[uint64]*queueObj)
+	}
+	s.queues[id] = q
+	s.mu.Unlock()
+	return &protocol.ObjectResp{ID: id}, nil
+}
+
+func (s *Session) dropQueueUser(q *queueObj) {
+	q.stats.mu.Lock()
+	defer q.stats.mu.Unlock()
+	if n := q.stats.users[q.owner]; n <= 1 {
+		delete(q.stats.users, q.owner)
+	} else {
+		q.stats.users[q.owner] = n - 1
+	}
+}
+
+func (s *Session) handleCreateBuffer(body []byte) (protocol.Message, error) {
+	var req protocol.CreateBufferReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	if _, err := s.node.objects.context(req.ContextID); err != nil {
+		return nil, err
+	}
+	if req.Size <= 0 || req.Size > protocol.MaxFrameSize {
+		return nil, remoteErr(protocol.CodeBadRequest, "invalid buffer size %d", req.Size)
+	}
+	id := s.node.objects.putBuffer(&bufferObj{data: make([]byte, req.Size)})
+	return &protocol.ObjectResp{ID: id}, nil
+}
+
+func (s *Session) handleWriteBuffer(body []byte) (protocol.Message, error) {
+	var req protocol.WriteBufferReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	q, err := s.node.objects.queue(req.QueueID)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := s.node.objects.buffer(req.BufferID)
+	if err != nil {
+		return nil, err
+	}
+	deadline, err := s.node.objects.eventDeadline(req.WaitEvents)
+	if err != nil {
+		return nil, err
+	}
+	if req.Offset < 0 || req.Offset+int64(len(req.Data)) > int64(len(buf.data)) {
+		return nil, remoteErr(protocol.CodeBadRequest,
+			"write [%d,%d) out of bounds for buffer of %d bytes",
+			req.Offset, req.Offset+int64(len(req.Data)), len(buf.data))
+	}
+
+	modelBytes := int64(len(req.Data))
+	if req.ModelBytes > 0 {
+		modelBytes = req.ModelBytes
+	}
+	arrival := vtime.Max(vtime.Time(req.SimArrival), deadline)
+	dur := q.dev.ModelTransfer(modelBytes)
+	q.execMu.Lock()
+	start, end := q.clock.Reserve(arrival, dur)
+	buf.mu.Lock()
+	copy(buf.data[req.Offset:], req.Data)
+	buf.mu.Unlock()
+	q.execMu.Unlock()
+
+	q.stats.observeTransfer(modelBytes, q.dev.EnergyRate(), dur, end)
+	prof := protocol.Profile{
+		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
+	}
+	evID := s.node.objects.putEvent(&eventObj{profile: prof})
+	return &protocol.EventResp{EventID: evID, Profile: prof}, nil
+}
+
+func (s *Session) handleReadBuffer(body []byte) (protocol.Message, error) {
+	var req protocol.ReadBufferReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	q, err := s.node.objects.queue(req.QueueID)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := s.node.objects.buffer(req.BufferID)
+	if err != nil {
+		return nil, err
+	}
+	deadline, err := s.node.objects.eventDeadline(req.WaitEvents)
+	if err != nil {
+		return nil, err
+	}
+	if req.Offset < 0 || req.Size < 0 || req.Offset+req.Size > int64(len(buf.data)) {
+		return nil, remoteErr(protocol.CodeBadRequest,
+			"read [%d,%d) out of bounds for buffer of %d bytes",
+			req.Offset, req.Offset+req.Size, len(buf.data))
+	}
+
+	modelBytes := req.Size
+	if req.ModelBytes > 0 {
+		modelBytes = req.ModelBytes
+	}
+	arrival := vtime.Max(vtime.Time(req.SimArrival), deadline)
+	dur := q.dev.ModelTransfer(modelBytes)
+	q.execMu.Lock()
+	start, end := q.clock.Reserve(arrival, dur)
+	out := make([]byte, req.Size)
+	buf.mu.RLock()
+	copy(out, buf.data[req.Offset:req.Offset+req.Size])
+	buf.mu.RUnlock()
+	q.execMu.Unlock()
+
+	q.stats.observeTransfer(modelBytes, q.dev.EnergyRate(), dur, end)
+	prof := protocol.Profile{
+		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
+	}
+	evID := s.node.objects.putEvent(&eventObj{profile: prof})
+	return &protocol.ReadBufferResp{Data: out, EventID: evID, Profile: prof}, nil
+}
+
+func (s *Session) handleCopyBuffer(body []byte) (protocol.Message, error) {
+	var req protocol.CopyBufferReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	q, err := s.node.objects.queue(req.QueueID)
+	if err != nil {
+		return nil, err
+	}
+	src, err := s.node.objects.buffer(req.SrcID)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := s.node.objects.buffer(req.DstID)
+	if err != nil {
+		return nil, err
+	}
+	deadline, err := s.node.objects.eventDeadline(req.WaitEvents)
+	if err != nil {
+		return nil, err
+	}
+	if req.Size < 0 ||
+		req.SrcOffset < 0 || req.SrcOffset+req.Size > int64(len(src.data)) ||
+		req.DstOffset < 0 || req.DstOffset+req.Size > int64(len(dst.data)) {
+		return nil, remoteErr(protocol.CodeBadRequest, "copy range out of bounds")
+	}
+
+	dur := q.dev.ModelTransfer(req.Size)
+	q.execMu.Lock()
+	start, end := q.clock.Reserve(deadline, dur)
+	if src == dst {
+		src.mu.Lock()
+		copy(dst.data[req.DstOffset:req.DstOffset+req.Size], src.data[req.SrcOffset:req.SrcOffset+req.Size])
+		src.mu.Unlock()
+	} else {
+		src.mu.RLock()
+		dst.mu.Lock()
+		copy(dst.data[req.DstOffset:req.DstOffset+req.Size], src.data[req.SrcOffset:req.SrcOffset+req.Size])
+		dst.mu.Unlock()
+		src.mu.RUnlock()
+	}
+	q.execMu.Unlock()
+
+	q.stats.observeTransfer(req.Size, q.dev.EnergyRate(), dur, end)
+	prof := protocol.Profile{
+		Queued: int64(deadline), Submit: int64(start), Start: int64(start), End: int64(end),
+	}
+	evID := s.node.objects.putEvent(&eventObj{profile: prof})
+	return &protocol.EventResp{EventID: evID, Profile: prof}, nil
+}
+
+func (s *Session) handleBuildProgram(body []byte) (protocol.Message, error) {
+	var req protocol.BuildProgramReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	ctx, err := s.node.objects.context(req.ContextID)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := clc.Parse(req.Source)
+	if err != nil {
+		return nil, remoteErr(protocol.CodeBuildFailed, "build failed: %v", err)
+	}
+	// Build against every device in the context, concatenating per-device
+	// logs as a vendor toolchain would.
+	var log string
+	for _, devID := range ctx.devices {
+		dev, _, err := s.node.deviceByID(devID)
+		if err != nil {
+			return nil, err
+		}
+		devLog, err := dev.CheckProgram(prog)
+		log += devLog
+		if err != nil {
+			return &protocol.BuildProgramResp{Log: log}, remoteErr(protocol.CodeBuildFailed, "%v", err)
+		}
+	}
+	id := s.node.objects.putProgram(&programObj{prog: prog, log: log, source: req.Source})
+	return &protocol.BuildProgramResp{ProgramID: id, Log: log, Kernels: prog.KernelNames()}, nil
+}
+
+func (s *Session) handleCreateKernel(body []byte) (protocol.Message, error) {
+	var req protocol.CreateKernelReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	prog, err := s.node.objects.program(req.ProgramID)
+	if err != nil {
+		return nil, err
+	}
+	sig, ok := prog.prog.Kernel(req.Name)
+	if !ok {
+		return nil, remoteErr(protocol.CodeUnknownObject,
+			"program %d has no kernel %q (has %v)", req.ProgramID, req.Name, prog.prog.KernelNames())
+	}
+	// Resolve the executable implementation from the first device; all
+	// node devices share one registry.
+	spec, err := s.node.devices[0].Kernels().Lookup(req.Name)
+	if err != nil {
+		return nil, remoteErr(protocol.CodeBuildFailed, "%v", err)
+	}
+	id := s.node.objects.putKernel(&kernelObj{name: req.Name, sig: sig, spec: spec})
+	return &protocol.ObjectResp{ID: id}, nil
+}
+
+// buildLaunchArgs validates wire arguments against the kernel's parsed
+// OpenCL C signature and resolves buffer handles to backing storage.
+func (s *Session) buildLaunchArgs(k *kernelObj, wire []protocol.KernelArg) ([]kernel.Arg, error) {
+	if len(wire) != len(k.sig.Params) {
+		return nil, remoteErr(protocol.CodeLaunchFailed,
+			"kernel %q takes %d args, got %d", k.name, len(k.sig.Params), len(wire))
+	}
+	args := make([]kernel.Arg, len(wire))
+	for i, wa := range wire {
+		param := k.sig.Params[i]
+		switch wa.Kind {
+		case protocol.ArgBuffer:
+			if !param.Pointer || param.Space == clc.SpaceLocal {
+				return nil, remoteErr(protocol.CodeLaunchFailed,
+					"kernel %q arg %d (%s): buffer bound to non-buffer parameter", k.name, i, param.Name)
+			}
+			buf, err := s.node.objects.buffer(wa.BufferID)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = kernel.BufferArg(buf.data)
+		case protocol.ArgScalar:
+			if param.Pointer {
+				return nil, remoteErr(protocol.CodeLaunchFailed,
+					"kernel %q arg %d (%s): scalar bound to pointer parameter", k.name, i, param.Name)
+			}
+			if want := clc.ScalarSize(param.Type); want != 0 && want != len(wa.Scalar) {
+				return nil, remoteErr(protocol.CodeLaunchFailed,
+					"kernel %q arg %d (%s): %s wants %d bytes, got %d",
+					k.name, i, param.Name, param.Type, want, len(wa.Scalar))
+			}
+			args[i] = kernel.Arg{Kind: kernel.ArgScalar, Data: wa.Scalar}
+		case protocol.ArgLocal:
+			if param.Space != clc.SpaceLocal {
+				return nil, remoteErr(protocol.CodeLaunchFailed,
+					"kernel %q arg %d (%s): local memory bound to non-local parameter", k.name, i, param.Name)
+			}
+			args[i] = kernel.LocalArg(int(wa.LocalLen))
+		default:
+			return nil, remoteErr(protocol.CodeBadRequest, "unknown arg kind %d", wa.Kind)
+		}
+	}
+	return args, nil
+}
+
+func (s *Session) handleEnqueueKernel(body []byte) (protocol.Message, error) {
+	var req protocol.EnqueueKernelReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	q, err := s.node.objects.queue(req.QueueID)
+	if err != nil {
+		return nil, err
+	}
+	k, err := s.node.objects.kernel(req.KernelID)
+	if err != nil {
+		return nil, err
+	}
+	deadline, err := s.node.objects.eventDeadline(req.WaitEvents)
+	if err != nil {
+		return nil, err
+	}
+	args, err := s.buildLaunchArgs(k, req.Args)
+	if err != nil {
+		return nil, err
+	}
+
+	global := make([]int, len(req.Global))
+	for i, g := range req.Global {
+		global[i] = int(g)
+	}
+	local := make([]int, len(req.Local))
+	for i, l := range req.Local {
+		local[i] = int(l)
+	}
+	g3, _, err := kernel.NormalizeRange(global, local)
+	if err != nil {
+		return nil, remoteErr(protocol.CodeLaunchFailed, "%v", err)
+	}
+
+	cost := k.spec.CostOf(g3, args)
+	if req.CostFlops > 0 || req.CostBytes > 0 {
+		// Cost override models a paper-scale launch: occupancy derating
+		// does not apply to the reduced functional NDRange, so Items is
+		// left unset (full occupancy assumed at logical scale).
+		cost = kernel.Cost{Flops: req.CostFlops, Bytes: req.CostBytes}
+	}
+	dur := q.dev.ModelKernel(cost)
+
+	arrival := vtime.Max(vtime.Time(req.SimArrival), deadline)
+	q.execMu.Lock()
+	start, end := q.clock.Reserve(arrival, dur)
+	execErr := q.dev.Execute(k.name, kernel.Launch{
+		Global: global, Local: local, Args: args, Workers: s.node.execWorkers,
+	})
+	q.execMu.Unlock()
+	if execErr != nil {
+		return nil, remoteErr(protocol.CodeLaunchFailed, "kernel %q: %v", k.name, execErr)
+	}
+
+	q.stats.observeKernel(cost.Flops, cost.Bytes, dur, q.dev.EnergyRate(), end)
+	prof := protocol.Profile{
+		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
+	}
+	evID := s.node.objects.putEvent(&eventObj{profile: prof})
+	return &protocol.EventResp{EventID: evID, Profile: prof}, nil
+}
+
+func (s *Session) handleFinishQueue(body []byte) (protocol.Message, error) {
+	var req protocol.FinishQueueReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	q, err := s.node.objects.queue(req.QueueID)
+	if err != nil {
+		return nil, err
+	}
+	// Execution is synchronous under execMu, so taking it proves the
+	// queue has drained; the clock frontier is the completion instant.
+	q.execMu.Lock()
+	now := q.clock.Now()
+	q.execMu.Unlock()
+	return &protocol.FinishQueueResp{SimTime: int64(now)}, nil
+}
+
+func (s *Session) handleQueryEvent(body []byte) (protocol.Message, error) {
+	var req protocol.QueryEventReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	e, err := s.node.objects.event(req.EventID)
+	if err != nil {
+		return nil, err
+	}
+	return &protocol.QueryEventResp{Complete: true, Profile: e.profile}, nil
+}
+
+func (s *Session) handleRelease(body []byte) (protocol.Message, error) {
+	var req protocol.ReleaseReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	q, err := s.node.objects.release(req.Kind, req.ID)
+	if err != nil {
+		return nil, err
+	}
+	if q != nil {
+		s.dropQueueUser(q)
+		s.mu.Lock()
+		delete(s.queues, req.ID)
+		s.mu.Unlock()
+	}
+	return &protocol.EmptyResp{}, nil
+}

@@ -1,0 +1,136 @@
+// Package profile implements HaoCL's run-time resource monitoring
+// component: the host-side view of every device in the cluster, fed by
+// NodeStatus polls and by the scheduler's own assignment bookkeeping.
+//
+// The paper positions this as the substrate for heterogeneity-aware
+// scheduling: "an extensible run-time resource monitoring and scheduling
+// component that supports both built-in and user customized scheduling
+// policies" (§I). Policies in internal/sched consume Snapshot views.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// DeviceKey names one device cluster-wide.
+type DeviceKey struct {
+	Node     string
+	DeviceID uint32
+}
+
+// String renders the key as node/devN.
+func (k DeviceKey) String() string { return fmt.Sprintf("%s/dev%d", k.Node, k.DeviceID) }
+
+// DeviceView is a point-in-time view of one device for scheduling
+// decisions.
+type DeviceView struct {
+	Key    DeviceKey
+	Info   protocol.DeviceInfo
+	Status protocol.DeviceStatus
+	// Pending is virtual work the host has assigned but the node has not
+	// yet reported, so back-to-back scheduling decisions spread load
+	// instead of dog-piling the device that last reported idle.
+	Pending vtime.Duration
+}
+
+// ExpectedFree estimates when the device drains: reported busy frontier
+// plus locally assigned pending work.
+func (v DeviceView) ExpectedFree() vtime.Time {
+	return vtime.Time(v.Status.BusyUntil).Add(v.Pending)
+}
+
+// Monitor aggregates device state for the scheduler.
+type Monitor struct {
+	mu      sync.Mutex
+	devices map[DeviceKey]*entry
+}
+
+type entry struct {
+	info    protocol.DeviceInfo
+	status  protocol.DeviceStatus
+	pending vtime.Duration
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{devices: make(map[DeviceKey]*entry)}
+}
+
+// RegisterDevice records a device discovered during the handshake.
+func (m *Monitor) RegisterDevice(node string, info protocol.DeviceInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := DeviceKey{Node: node, DeviceID: info.ID}
+	m.devices[key] = &entry{info: info}
+}
+
+// UpdateStatus ingests a NodeStatus response. Pending work is decayed to
+// zero for devices whose report has caught up with local assignments.
+func (m *Monitor) UpdateStatus(node string, statuses []protocol.DeviceStatus) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range statuses {
+		key := DeviceKey{Node: node, DeviceID: st.DeviceID}
+		e, ok := m.devices[key]
+		if !ok {
+			continue // unknown device: a stale or misrouted report
+		}
+		e.status = st
+		e.pending = 0
+	}
+}
+
+// AddPending charges d of anticipated work to a device at assignment time.
+func (m *Monitor) AddPending(key DeviceKey, d vtime.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.devices[key]; ok {
+		e.pending += d
+	}
+}
+
+// ObserveCompletion moves a device's known busy frontier forward when the
+// host sees an event completion, keeping the view fresh without a status
+// round-trip.
+func (m *Monitor) ObserveCompletion(key DeviceKey, end vtime.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.devices[key]; ok {
+		if int64(end) > e.status.BusyUntil {
+			e.status.BusyUntil = int64(end)
+		}
+	}
+}
+
+// Snapshot returns a stable, sorted copy of the device views.
+func (m *Monitor) Snapshot() []DeviceView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]DeviceView, 0, len(m.devices))
+	for key, e := range m.devices {
+		out = append(out, DeviceView{Key: key, Info: e.info, Status: e.status, Pending: e.pending})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Node != out[j].Key.Node {
+			return out[i].Key.Node < out[j].Key.Node
+		}
+		return out[i].Key.DeviceID < out[j].Key.DeviceID
+	})
+	return out
+}
+
+// TotalEnergy sums reported energy across the cluster, in joules.
+func (m *Monitor) TotalEnergy() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var j float64
+	for _, e := range m.devices {
+		j += e.status.EnergyJ
+	}
+	return j
+}

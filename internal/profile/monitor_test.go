@@ -1,0 +1,102 @@
+package profile
+
+import (
+	"testing"
+	"time"
+
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+func info(id uint32) protocol.DeviceInfo {
+	return protocol.DeviceInfo{ID: id, Type: protocol.DeviceGPU, PeakGFLOPS: 5500}
+}
+
+func TestRegisterAndSnapshot(t *testing.T) {
+	m := NewMonitor()
+	m.RegisterDevice("node-b", info(1))
+	m.RegisterDevice("node-a", info(2))
+	m.RegisterDevice("node-a", info(1))
+
+	snap := m.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot size %d", len(snap))
+	}
+	// Sorted by node, then device ID.
+	if snap[0].Key != (DeviceKey{Node: "node-a", DeviceID: 1}) ||
+		snap[1].Key != (DeviceKey{Node: "node-a", DeviceID: 2}) ||
+		snap[2].Key != (DeviceKey{Node: "node-b", DeviceID: 1}) {
+		t.Fatalf("order: %v %v %v", snap[0].Key, snap[1].Key, snap[2].Key)
+	}
+	if snap[0].Info.PeakGFLOPS != 5500 {
+		t.Fatal("info lost")
+	}
+}
+
+func TestUpdateStatusClearsPending(t *testing.T) {
+	m := NewMonitor()
+	key := DeviceKey{Node: "n", DeviceID: 1}
+	m.RegisterDevice("n", info(1))
+	m.AddPending(key, 5*time.Second)
+
+	snap := m.Snapshot()
+	if snap[0].Pending != 5*time.Second {
+		t.Fatalf("pending = %v", snap[0].Pending)
+	}
+	if got := snap[0].ExpectedFree(); got != vtime.Time(5e9) {
+		t.Fatalf("expected free = %v", got)
+	}
+
+	m.UpdateStatus("n", []protocol.DeviceStatus{{DeviceID: 1, BusyUntil: 7e9, EnergyJ: 42}})
+	snap = m.Snapshot()
+	if snap[0].Pending != 0 {
+		t.Fatal("status update did not clear pending")
+	}
+	if snap[0].ExpectedFree() != vtime.Time(7e9) {
+		t.Fatalf("expected free = %v", snap[0].ExpectedFree())
+	}
+	if m.TotalEnergy() != 42 {
+		t.Fatalf("energy = %v", m.TotalEnergy())
+	}
+}
+
+func TestUpdateStatusIgnoresUnknownDevices(t *testing.T) {
+	m := NewMonitor()
+	m.RegisterDevice("n", info(1))
+	m.UpdateStatus("n", []protocol.DeviceStatus{{DeviceID: 99, EnergyJ: 1000}})
+	if m.TotalEnergy() != 0 {
+		t.Fatal("stale report accepted")
+	}
+}
+
+func TestObserveCompletion(t *testing.T) {
+	m := NewMonitor()
+	key := DeviceKey{Node: "n", DeviceID: 1}
+	m.RegisterDevice("n", info(1))
+	m.ObserveCompletion(key, vtime.Time(3e9))
+	if got := m.Snapshot()[0].Status.BusyUntil; got != 3e9 {
+		t.Fatalf("busyUntil = %d", got)
+	}
+	// Completions never move the frontier backwards.
+	m.ObserveCompletion(key, vtime.Time(1e9))
+	if got := m.Snapshot()[0].Status.BusyUntil; got != 3e9 {
+		t.Fatalf("busyUntil moved backwards: %d", got)
+	}
+}
+
+func TestDeviceKeyString(t *testing.T) {
+	k := DeviceKey{Node: "gpu-07", DeviceID: 2}
+	if k.String() != "gpu-07/dev2" {
+		t.Fatalf("String = %q", k.String())
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	m := NewMonitor()
+	m.RegisterDevice("n", info(1))
+	snap := m.Snapshot()
+	snap[0].Pending = time.Hour
+	if m.Snapshot()[0].Pending != 0 {
+		t.Fatal("snapshot mutation leaked into monitor")
+	}
+}

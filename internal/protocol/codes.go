@@ -1,0 +1,13 @@
+package protocol
+
+// Remote error codes carried by ErrorResp, so the host can distinguish
+// recoverable conditions (a busy exclusive device) from programming errors.
+const (
+	CodeInternal      uint32 = 1
+	CodeUnknownObject uint32 = 2
+	CodeBuildFailed   uint32 = 3
+	CodeLaunchFailed  uint32 = 4
+	CodeUnsupported   uint32 = 5
+	CodeDeviceBusy    uint32 = 6
+	CodeBadRequest    uint32 = 7
+)

@@ -1,0 +1,971 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op identifies the remote operation a request frame carries. Each op
+// corresponds to one OpenCL API call forwarded by the wrapper library, plus
+// a handful of session-management operations the paper's NMP handles
+// (hello/handshake, status for the resource monitor, shutdown).
+type Op uint16
+
+// Operation codes. The numbering is part of the wire protocol; append only.
+const (
+	OpHello Op = iota + 1
+	OpGetDeviceInfos
+	OpCreateContext
+	OpCreateQueue
+	OpCreateBuffer
+	OpWriteBuffer
+	OpReadBuffer
+	OpCopyBuffer
+	OpBuildProgram
+	OpCreateKernel
+	OpEnqueueKernel
+	OpFinishQueue
+	OpQueryEvent
+	OpRelease
+	OpNodeStatus
+	OpShutdown
+	OpError // response-only: carries a remote error string
+)
+
+var opNames = map[Op]string{
+	OpHello:          "Hello",
+	OpGetDeviceInfos: "GetDeviceInfos",
+	OpCreateContext:  "CreateContext",
+	OpCreateQueue:    "CreateQueue",
+	OpCreateBuffer:   "CreateBuffer",
+	OpWriteBuffer:    "WriteBuffer",
+	OpReadBuffer:     "ReadBuffer",
+	OpCopyBuffer:     "CopyBuffer",
+	OpBuildProgram:   "BuildProgram",
+	OpCreateKernel:   "CreateKernel",
+	OpEnqueueKernel:  "EnqueueKernel",
+	OpFinishQueue:    "FinishQueue",
+	OpQueryEvent:     "QueryEvent",
+	OpRelease:        "Release",
+	OpNodeStatus:     "NodeStatus",
+	OpShutdown:       "Shutdown",
+	OpError:          "Error",
+}
+
+// String names the op for logs and errors.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint16(o))
+}
+
+// Message is the interface implemented by every protocol message body.
+type Message interface {
+	// Op reports which operation this message belongs to.
+	Op() Op
+	// MarshalBody appends the message to the encoder.
+	MarshalBody(e *Encoder)
+	// UnmarshalBody decodes the message from the decoder.
+	UnmarshalBody(d *Decoder)
+}
+
+// DeviceType mirrors the OpenCL device-type bitfield restricted to the
+// hardware classes HaoCL manages.
+type DeviceType uint8
+
+// Device types.
+const (
+	DeviceCPU DeviceType = iota + 1
+	DeviceGPU
+	DeviceFPGA
+)
+
+// String names the device type as in clinfo output.
+func (t DeviceType) String() string {
+	switch t {
+	case DeviceCPU:
+		return "CPU"
+	case DeviceGPU:
+		return "GPU"
+	case DeviceFPGA:
+		return "FPGA"
+	default:
+		return fmt.Sprintf("DeviceType(%d)", uint8(t))
+	}
+}
+
+// DeviceInfo describes one device exported by a node, combining the fields
+// clGetDeviceInfo exposes with the performance-model parameters the
+// heterogeneity-aware scheduler consumes (paper §I: "a scheduler requires
+// device model and run-time information").
+type DeviceInfo struct {
+	ID               uint32
+	Type             DeviceType
+	Name             string
+	Vendor           string
+	ComputeUnits     uint32
+	ClockMHz         uint32
+	GlobalMemBytes   int64
+	MaxWorkGroupSize int64
+	// Shared reports whether multiple users may hold the device at once
+	// (paper §III-D: the NMP receives a shared flag with each request).
+	Shared bool
+
+	// Performance-model parameters.
+	PeakGFLOPS float64 // sustained arithmetic throughput, GFLOP/s
+	MemBWGBps  float64 // device memory bandwidth, GB/s
+	TDPWatts   float64 // board power for the energy model
+}
+
+func (i *DeviceInfo) marshal(e *Encoder) {
+	e.U32(i.ID)
+	e.U8(uint8(i.Type))
+	e.Str(i.Name)
+	e.Str(i.Vendor)
+	e.U32(i.ComputeUnits)
+	e.U32(i.ClockMHz)
+	e.I64(i.GlobalMemBytes)
+	e.I64(i.MaxWorkGroupSize)
+	e.Bool(i.Shared)
+	e.F64(i.PeakGFLOPS)
+	e.F64(i.MemBWGBps)
+	e.F64(i.TDPWatts)
+}
+
+func (i *DeviceInfo) unmarshal(d *Decoder) {
+	i.ID = d.U32()
+	i.Type = DeviceType(d.U8())
+	i.Name = d.Str()
+	i.Vendor = d.Str()
+	i.ComputeUnits = d.U32()
+	i.ClockMHz = d.U32()
+	i.GlobalMemBytes = d.I64()
+	i.MaxWorkGroupSize = d.I64()
+	i.Shared = d.Bool()
+	i.PeakGFLOPS = d.F64()
+	i.MemBWGBps = d.F64()
+	i.TDPWatts = d.F64()
+}
+
+// Profile carries the four OpenCL event-profiling timestamps, in virtual
+// nanoseconds (clGetEventProfilingInfo equivalents).
+type Profile struct {
+	Queued int64
+	Submit int64
+	Start  int64
+	End    int64
+}
+
+func (p *Profile) marshal(e *Encoder) {
+	e.I64(p.Queued)
+	e.I64(p.Submit)
+	e.I64(p.Start)
+	e.I64(p.End)
+}
+
+func (p *Profile) unmarshal(d *Decoder) {
+	p.Queued = d.I64()
+	p.Submit = d.I64()
+	p.Start = d.I64()
+	p.End = d.I64()
+}
+
+// DurationNS reports the modeled execution span (END-START) in nanoseconds.
+func (p *Profile) DurationNS() int64 { return p.End - p.Start }
+
+// ArgKind tags one kernel argument in an EnqueueKernel request.
+type ArgKind uint8
+
+// Argument kinds: a device buffer handle, an inline scalar value, or a
+// request for per-work-group local memory (clSetKernelArg with nil pointer).
+const (
+	ArgBuffer ArgKind = iota + 1
+	ArgScalar
+	ArgLocal
+)
+
+// KernelArg is one bound kernel argument, as set by clSetKernelArg and
+// shipped with the launch message.
+type KernelArg struct {
+	Kind     ArgKind
+	BufferID uint64 // ArgBuffer: remote buffer handle
+	Scalar   []byte // ArgScalar: raw little-endian value bytes
+	LocalLen int64  // ArgLocal: bytes of local memory per work-group
+}
+
+func (a *KernelArg) marshal(e *Encoder) {
+	e.U8(uint8(a.Kind))
+	e.U64(a.BufferID)
+	e.Blob(a.Scalar)
+	e.I64(a.LocalLen)
+}
+
+func (a *KernelArg) unmarshal(d *Decoder) {
+	a.Kind = ArgKind(d.U8())
+	a.BufferID = d.U64()
+	a.Scalar = d.Blob()
+	a.LocalLen = d.I64()
+}
+
+// --- Session management -----------------------------------------------
+
+// HelloReq opens a session with a node. The user identity travels with the
+// session so the NMP can enforce shared-device policies per user.
+type HelloReq struct {
+	UserID      string
+	ClientName  string
+	WireVersion uint32
+}
+
+// Op implements Message.
+func (*HelloReq) Op() Op { return OpHello }
+
+// MarshalBody implements Message.
+func (m *HelloReq) MarshalBody(e *Encoder) {
+	e.Str(m.UserID)
+	e.Str(m.ClientName)
+	e.U32(m.WireVersion)
+}
+
+// UnmarshalBody implements Message.
+func (m *HelloReq) UnmarshalBody(d *Decoder) {
+	m.UserID = d.Str()
+	m.ClientName = d.Str()
+	m.WireVersion = d.U32()
+}
+
+// HelloResp acknowledges a session and advertises the node's devices.
+type HelloResp struct {
+	NodeName string
+	Devices  []DeviceInfo
+}
+
+// Op implements Message.
+func (*HelloResp) Op() Op { return OpHello }
+
+// MarshalBody implements Message.
+func (m *HelloResp) MarshalBody(e *Encoder) {
+	e.Str(m.NodeName)
+	e.U32(uint32(len(m.Devices)))
+	for i := range m.Devices {
+		m.Devices[i].marshal(e)
+	}
+}
+
+// UnmarshalBody implements Message.
+func (m *HelloResp) UnmarshalBody(d *Decoder) {
+	m.NodeName = d.Str()
+	n := int(d.U32())
+	if !d.Need(n) {
+		return
+	}
+	m.Devices = make([]DeviceInfo, n)
+	for i := range m.Devices {
+		m.Devices[i].unmarshal(d)
+	}
+}
+
+// GetDeviceInfosReq re-queries the device list (clGetDeviceIDs forwarding:
+// the wrapper lib sends a device-ID request to every node and records the
+// returned mapping, paper §III-C).
+type GetDeviceInfosReq struct {
+	TypeMask uint8 // bitwise OR of 1<<DeviceType values; 0 means all
+}
+
+// Op implements Message.
+func (*GetDeviceInfosReq) Op() Op { return OpGetDeviceInfos }
+
+// MarshalBody implements Message.
+func (m *GetDeviceInfosReq) MarshalBody(e *Encoder) { e.U8(m.TypeMask) }
+
+// UnmarshalBody implements Message.
+func (m *GetDeviceInfosReq) UnmarshalBody(d *Decoder) { m.TypeMask = d.U8() }
+
+// GetDeviceInfosResp lists matching devices.
+type GetDeviceInfosResp struct {
+	Devices []DeviceInfo
+}
+
+// Op implements Message.
+func (*GetDeviceInfosResp) Op() Op { return OpGetDeviceInfos }
+
+// MarshalBody implements Message.
+func (m *GetDeviceInfosResp) MarshalBody(e *Encoder) {
+	e.U32(uint32(len(m.Devices)))
+	for i := range m.Devices {
+		m.Devices[i].marshal(e)
+	}
+}
+
+// UnmarshalBody implements Message.
+func (m *GetDeviceInfosResp) UnmarshalBody(d *Decoder) {
+	n := int(d.U32())
+	if !d.Need(n) {
+		return
+	}
+	m.Devices = make([]DeviceInfo, n)
+	for i := range m.Devices {
+		m.Devices[i].unmarshal(d)
+	}
+}
+
+// --- Object lifecycle ---------------------------------------------------
+
+// ObjectKind tags a remote object handle for Release.
+type ObjectKind uint8
+
+// Remote object kinds.
+const (
+	ObjContext ObjectKind = iota + 1
+	ObjQueue
+	ObjBuffer
+	ObjProgram
+	ObjKernel
+	ObjEvent
+)
+
+// String names the object kind.
+func (k ObjectKind) String() string {
+	switch k {
+	case ObjContext:
+		return "context"
+	case ObjQueue:
+		return "queue"
+	case ObjBuffer:
+		return "buffer"
+	case ObjProgram:
+		return "program"
+	case ObjKernel:
+		return "kernel"
+	case ObjEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("ObjectKind(%d)", uint8(k))
+	}
+}
+
+// CreateContextReq creates a context over a set of node-local devices.
+type CreateContextReq struct {
+	DeviceIDs []int64
+}
+
+// Op implements Message.
+func (*CreateContextReq) Op() Op { return OpCreateContext }
+
+// MarshalBody implements Message.
+func (m *CreateContextReq) MarshalBody(e *Encoder) { e.Ints(m.DeviceIDs) }
+
+// UnmarshalBody implements Message.
+func (m *CreateContextReq) UnmarshalBody(d *Decoder) { m.DeviceIDs = d.Ints() }
+
+// ObjectResp returns a freshly created remote object handle.
+type ObjectResp struct {
+	ID uint64
+}
+
+// Op implements Message. ObjectResp answers several create ops; the op on
+// the frame envelope disambiguates, so this reports 0.
+func (*ObjectResp) Op() Op { return 0 }
+
+// MarshalBody implements Message.
+func (m *ObjectResp) MarshalBody(e *Encoder) { e.U64(m.ID) }
+
+// UnmarshalBody implements Message.
+func (m *ObjectResp) UnmarshalBody(d *Decoder) { m.ID = d.U64() }
+
+// CreateQueueReq creates an in-order command queue on one device.
+type CreateQueueReq struct {
+	ContextID uint64
+	DeviceID  uint32
+	Profiling bool
+}
+
+// Op implements Message.
+func (*CreateQueueReq) Op() Op { return OpCreateQueue }
+
+// MarshalBody implements Message.
+func (m *CreateQueueReq) MarshalBody(e *Encoder) {
+	e.U64(m.ContextID)
+	e.U32(m.DeviceID)
+	e.Bool(m.Profiling)
+}
+
+// UnmarshalBody implements Message.
+func (m *CreateQueueReq) UnmarshalBody(d *Decoder) {
+	m.ContextID = d.U64()
+	m.DeviceID = d.U32()
+	m.Profiling = d.Bool()
+}
+
+// CreateBufferReq allocates a device buffer.
+type CreateBufferReq struct {
+	ContextID uint64
+	Size      int64
+}
+
+// Op implements Message.
+func (*CreateBufferReq) Op() Op { return OpCreateBuffer }
+
+// MarshalBody implements Message.
+func (m *CreateBufferReq) MarshalBody(e *Encoder) {
+	e.U64(m.ContextID)
+	e.I64(m.Size)
+}
+
+// UnmarshalBody implements Message.
+func (m *CreateBufferReq) UnmarshalBody(d *Decoder) {
+	m.ContextID = d.U64()
+	m.Size = d.I64()
+}
+
+// ReleaseReq drops one reference to a remote object.
+type ReleaseReq struct {
+	Kind ObjectKind
+	ID   uint64
+}
+
+// Op implements Message.
+func (*ReleaseReq) Op() Op { return OpRelease }
+
+// MarshalBody implements Message.
+func (m *ReleaseReq) MarshalBody(e *Encoder) {
+	e.U8(uint8(m.Kind))
+	e.U64(m.ID)
+}
+
+// UnmarshalBody implements Message.
+func (m *ReleaseReq) UnmarshalBody(d *Decoder) {
+	m.Kind = ObjectKind(d.U8())
+	m.ID = d.U64()
+}
+
+// EmptyResp is the body of acknowledgement-only responses.
+type EmptyResp struct{}
+
+// Op implements Message.
+func (*EmptyResp) Op() Op { return 0 }
+
+// MarshalBody implements Message.
+func (*EmptyResp) MarshalBody(*Encoder) {}
+
+// UnmarshalBody implements Message.
+func (*EmptyResp) UnmarshalBody(*Decoder) {}
+
+// --- Data movement -------------------------------------------------------
+
+// WriteBufferReq transfers host data into a device buffer
+// (clEnqueueWriteBuffer). SimArrival is the virtual instant at which the
+// data finishes crossing the host NIC; the node starts the device-side copy
+// no earlier than this, which is how network time composes with device time
+// across the distributed virtual clocks.
+type WriteBufferReq struct {
+	QueueID    uint64
+	BufferID   uint64
+	Offset     int64
+	Data       []byte
+	SimArrival int64
+	// ModelBytes, when positive, sizes the transfer in the device's
+	// timing model instead of len(Data) — the logical-scale counterpart
+	// of EnqueueKernelReq's cost override.
+	ModelBytes int64
+	// WaitEvents lists remote event IDs that must complete first.
+	WaitEvents []int64
+}
+
+// Op implements Message.
+func (*WriteBufferReq) Op() Op { return OpWriteBuffer }
+
+// MarshalBody implements Message.
+func (m *WriteBufferReq) MarshalBody(e *Encoder) {
+	e.U64(m.QueueID)
+	e.U64(m.BufferID)
+	e.I64(m.Offset)
+	e.Blob(m.Data)
+	e.I64(m.SimArrival)
+	e.I64(m.ModelBytes)
+	e.Ints(m.WaitEvents)
+}
+
+// UnmarshalBody implements Message.
+func (m *WriteBufferReq) UnmarshalBody(d *Decoder) {
+	m.QueueID = d.U64()
+	m.BufferID = d.U64()
+	m.Offset = d.I64()
+	m.Data = d.Blob()
+	m.SimArrival = d.I64()
+	m.ModelBytes = d.I64()
+	m.WaitEvents = d.Ints()
+}
+
+// EventResp returns the event created by an enqueue operation.
+type EventResp struct {
+	EventID uint64
+	Profile Profile
+}
+
+// Op implements Message.
+func (*EventResp) Op() Op { return 0 }
+
+// MarshalBody implements Message.
+func (m *EventResp) MarshalBody(e *Encoder) {
+	e.U64(m.EventID)
+	m.Profile.marshal(e)
+}
+
+// UnmarshalBody implements Message.
+func (m *EventResp) UnmarshalBody(d *Decoder) {
+	m.EventID = d.U64()
+	m.Profile.unmarshal(d)
+}
+
+// ReadBufferReq transfers device data back to the host
+// (clEnqueueReadBuffer).
+type ReadBufferReq struct {
+	QueueID    uint64
+	BufferID   uint64
+	Offset     int64
+	Size       int64
+	SimArrival int64
+	// ModelBytes, when positive, sizes the transfer in the timing model.
+	ModelBytes int64
+	WaitEvents []int64
+}
+
+// Op implements Message.
+func (*ReadBufferReq) Op() Op { return OpReadBuffer }
+
+// MarshalBody implements Message.
+func (m *ReadBufferReq) MarshalBody(e *Encoder) {
+	e.U64(m.QueueID)
+	e.U64(m.BufferID)
+	e.I64(m.Offset)
+	e.I64(m.Size)
+	e.I64(m.SimArrival)
+	e.I64(m.ModelBytes)
+	e.Ints(m.WaitEvents)
+}
+
+// UnmarshalBody implements Message.
+func (m *ReadBufferReq) UnmarshalBody(d *Decoder) {
+	m.QueueID = d.U64()
+	m.BufferID = d.U64()
+	m.Offset = d.I64()
+	m.Size = d.I64()
+	m.SimArrival = d.I64()
+	m.ModelBytes = d.I64()
+	m.WaitEvents = d.Ints()
+}
+
+// ReadBufferResp carries the data and the completion event.
+type ReadBufferResp struct {
+	Data    []byte
+	EventID uint64
+	Profile Profile
+}
+
+// Op implements Message.
+func (*ReadBufferResp) Op() Op { return OpReadBuffer }
+
+// MarshalBody implements Message.
+func (m *ReadBufferResp) MarshalBody(e *Encoder) {
+	e.Blob(m.Data)
+	e.U64(m.EventID)
+	m.Profile.marshal(e)
+}
+
+// UnmarshalBody implements Message.
+func (m *ReadBufferResp) UnmarshalBody(d *Decoder) {
+	m.Data = d.Blob()
+	m.EventID = d.U64()
+	m.Profile.unmarshal(d)
+}
+
+// CopyBufferReq copies between two buffers on the same node
+// (clEnqueueCopyBuffer).
+type CopyBufferReq struct {
+	QueueID    uint64
+	SrcID      uint64
+	DstID      uint64
+	SrcOffset  int64
+	DstOffset  int64
+	Size       int64
+	WaitEvents []int64
+}
+
+// Op implements Message.
+func (*CopyBufferReq) Op() Op { return OpCopyBuffer }
+
+// MarshalBody implements Message.
+func (m *CopyBufferReq) MarshalBody(e *Encoder) {
+	e.U64(m.QueueID)
+	e.U64(m.SrcID)
+	e.U64(m.DstID)
+	e.I64(m.SrcOffset)
+	e.I64(m.DstOffset)
+	e.I64(m.Size)
+	e.Ints(m.WaitEvents)
+}
+
+// UnmarshalBody implements Message.
+func (m *CopyBufferReq) UnmarshalBody(d *Decoder) {
+	m.QueueID = d.U64()
+	m.SrcID = d.U64()
+	m.DstID = d.U64()
+	m.SrcOffset = d.I64()
+	m.DstOffset = d.I64()
+	m.Size = d.I64()
+	m.WaitEvents = d.Ints()
+}
+
+// --- Programs and kernels -------------------------------------------------
+
+// BuildProgramReq ships OpenCL C source for compilation on the node
+// (clCreateProgramWithSource + clBuildProgram). The node's front end parses
+// the source and resolves each kernel against its driver's kernel binaries.
+type BuildProgramReq struct {
+	ContextID uint64
+	Source    string
+	Options   string
+}
+
+// Op implements Message.
+func (*BuildProgramReq) Op() Op { return OpBuildProgram }
+
+// MarshalBody implements Message.
+func (m *BuildProgramReq) MarshalBody(e *Encoder) {
+	e.U64(m.ContextID)
+	e.Str(m.Source)
+	e.Str(m.Options)
+}
+
+// UnmarshalBody implements Message.
+func (m *BuildProgramReq) UnmarshalBody(d *Decoder) {
+	m.ContextID = d.U64()
+	m.Source = d.Str()
+	m.Options = d.Str()
+}
+
+// BuildProgramResp reports the program handle and build log.
+type BuildProgramResp struct {
+	ProgramID uint64
+	Log       string
+	Kernels   []string // kernel names found in the source
+}
+
+// Op implements Message.
+func (*BuildProgramResp) Op() Op { return OpBuildProgram }
+
+// MarshalBody implements Message.
+func (m *BuildProgramResp) MarshalBody(e *Encoder) {
+	e.U64(m.ProgramID)
+	e.Str(m.Log)
+	e.U32(uint32(len(m.Kernels)))
+	for _, k := range m.Kernels {
+		e.Str(k)
+	}
+}
+
+// UnmarshalBody implements Message.
+func (m *BuildProgramResp) UnmarshalBody(d *Decoder) {
+	m.ProgramID = d.U64()
+	m.Log = d.Str()
+	n := int(d.U32())
+	if !d.Need(n) {
+		return
+	}
+	m.Kernels = make([]string, n)
+	for i := range m.Kernels {
+		m.Kernels[i] = d.Str()
+	}
+}
+
+// CreateKernelReq instantiates one kernel from a built program.
+type CreateKernelReq struct {
+	ProgramID uint64
+	Name      string
+}
+
+// Op implements Message.
+func (*CreateKernelReq) Op() Op { return OpCreateKernel }
+
+// MarshalBody implements Message.
+func (m *CreateKernelReq) MarshalBody(e *Encoder) {
+	e.U64(m.ProgramID)
+	e.Str(m.Name)
+}
+
+// UnmarshalBody implements Message.
+func (m *CreateKernelReq) UnmarshalBody(d *Decoder) {
+	m.ProgramID = d.U64()
+	m.Name = d.Str()
+}
+
+// EnqueueKernelReq launches an NDRange (clEnqueueNDRangeKernel). Arguments
+// travel with the launch, matching the paper's message-per-API-call design.
+type EnqueueKernelReq struct {
+	QueueID    uint64
+	KernelID   uint64
+	Global     []int64
+	Local      []int64
+	Args       []KernelArg
+	SimArrival int64
+	WaitEvents []int64
+	// CostFlops/CostBytes, when positive, override the kernel's own cost
+	// model. The experiment harness uses this to model paper-scale
+	// problem sizes while executing functionally on reduced data.
+	CostFlops int64
+	CostBytes int64
+}
+
+// Op implements Message.
+func (*EnqueueKernelReq) Op() Op { return OpEnqueueKernel }
+
+// MarshalBody implements Message.
+func (m *EnqueueKernelReq) MarshalBody(e *Encoder) {
+	e.U64(m.QueueID)
+	e.U64(m.KernelID)
+	e.Ints(m.Global)
+	e.Ints(m.Local)
+	e.U32(uint32(len(m.Args)))
+	for i := range m.Args {
+		m.Args[i].marshal(e)
+	}
+	e.I64(m.SimArrival)
+	e.Ints(m.WaitEvents)
+	e.I64(m.CostFlops)
+	e.I64(m.CostBytes)
+}
+
+// UnmarshalBody implements Message.
+func (m *EnqueueKernelReq) UnmarshalBody(d *Decoder) {
+	m.QueueID = d.U64()
+	m.KernelID = d.U64()
+	m.Global = d.Ints()
+	m.Local = d.Ints()
+	n := int(d.U32())
+	if !d.Need(n) {
+		return
+	}
+	m.Args = make([]KernelArg, n)
+	for i := range m.Args {
+		m.Args[i].unmarshal(d)
+	}
+	m.SimArrival = d.I64()
+	m.WaitEvents = d.Ints()
+	m.CostFlops = d.I64()
+	m.CostBytes = d.I64()
+}
+
+// --- Synchronization and status -------------------------------------------
+
+// FinishQueueReq blocks until all commands on a queue complete (clFinish).
+type FinishQueueReq struct {
+	QueueID uint64
+}
+
+// Op implements Message.
+func (*FinishQueueReq) Op() Op { return OpFinishQueue }
+
+// MarshalBody implements Message.
+func (m *FinishQueueReq) MarshalBody(e *Encoder) { e.U64(m.QueueID) }
+
+// UnmarshalBody implements Message.
+func (m *FinishQueueReq) UnmarshalBody(d *Decoder) { m.QueueID = d.U64() }
+
+// FinishQueueResp reports the queue's virtual completion time.
+type FinishQueueResp struct {
+	SimTime int64
+}
+
+// Op implements Message.
+func (*FinishQueueResp) Op() Op { return OpFinishQueue }
+
+// MarshalBody implements Message.
+func (m *FinishQueueResp) MarshalBody(e *Encoder) { e.I64(m.SimTime) }
+
+// UnmarshalBody implements Message.
+func (m *FinishQueueResp) UnmarshalBody(d *Decoder) { m.SimTime = d.I64() }
+
+// QueryEventReq fetches an event's status and profiling timestamps.
+type QueryEventReq struct {
+	EventID uint64
+}
+
+// Op implements Message.
+func (*QueryEventReq) Op() Op { return OpQueryEvent }
+
+// MarshalBody implements Message.
+func (m *QueryEventReq) MarshalBody(e *Encoder) { e.U64(m.EventID) }
+
+// UnmarshalBody implements Message.
+func (m *QueryEventReq) UnmarshalBody(d *Decoder) { m.EventID = d.U64() }
+
+// QueryEventResp carries the event state.
+type QueryEventResp struct {
+	Complete bool
+	Profile  Profile
+}
+
+// Op implements Message.
+func (*QueryEventResp) Op() Op { return OpQueryEvent }
+
+// MarshalBody implements Message.
+func (m *QueryEventResp) MarshalBody(e *Encoder) {
+	e.Bool(m.Complete)
+	m.Profile.marshal(e)
+}
+
+// UnmarshalBody implements Message.
+func (m *QueryEventResp) UnmarshalBody(d *Decoder) {
+	m.Complete = d.Bool()
+	m.Profile.unmarshal(d)
+}
+
+// NodeStatusReq polls the node for the resource monitor.
+type NodeStatusReq struct{}
+
+// Op implements Message.
+func (*NodeStatusReq) Op() Op { return OpNodeStatus }
+
+// MarshalBody implements Message.
+func (*NodeStatusReq) MarshalBody(*Encoder) {}
+
+// UnmarshalBody implements Message.
+func (*NodeStatusReq) UnmarshalBody(*Decoder) {}
+
+// DeviceStatus is one device's runtime load snapshot.
+type DeviceStatus struct {
+	DeviceID      uint32
+	BusyUntil     int64 // virtual instant the device's queues drain
+	QueuedCmds    int64
+	KernelsRun    int64
+	FlopsDone     float64
+	BytesMoved    float64
+	EnergyJ       float64
+	ActiveUsers   int64
+	EWMAGFLOPS    float64 // observed sustained rate, for the scheduler
+	EWMAKernelSec float64 // observed mean kernel duration
+}
+
+func (s *DeviceStatus) marshal(e *Encoder) {
+	e.U32(s.DeviceID)
+	e.I64(s.BusyUntil)
+	e.I64(s.QueuedCmds)
+	e.I64(s.KernelsRun)
+	e.F64(s.FlopsDone)
+	e.F64(s.BytesMoved)
+	e.F64(s.EnergyJ)
+	e.I64(s.ActiveUsers)
+	e.F64(s.EWMAGFLOPS)
+	e.F64(s.EWMAKernelSec)
+}
+
+func (s *DeviceStatus) unmarshal(d *Decoder) {
+	s.DeviceID = d.U32()
+	s.BusyUntil = d.I64()
+	s.QueuedCmds = d.I64()
+	s.KernelsRun = d.I64()
+	s.FlopsDone = d.F64()
+	s.BytesMoved = d.F64()
+	s.EnergyJ = d.F64()
+	s.ActiveUsers = d.I64()
+	s.EWMAGFLOPS = d.F64()
+	s.EWMAKernelSec = d.F64()
+}
+
+// NodeStatusResp is the monitor snapshot for every device on the node.
+type NodeStatusResp struct {
+	Devices []DeviceStatus
+}
+
+// Op implements Message.
+func (*NodeStatusResp) Op() Op { return OpNodeStatus }
+
+// MarshalBody implements Message.
+func (m *NodeStatusResp) MarshalBody(e *Encoder) {
+	e.U32(uint32(len(m.Devices)))
+	for i := range m.Devices {
+		m.Devices[i].marshal(e)
+	}
+}
+
+// UnmarshalBody implements Message.
+func (m *NodeStatusResp) UnmarshalBody(d *Decoder) {
+	n := int(d.U32())
+	if !d.Need(n) {
+		return
+	}
+	m.Devices = make([]DeviceStatus, n)
+	for i := range m.Devices {
+		m.Devices[i].unmarshal(d)
+	}
+}
+
+// ShutdownReq asks the NMP to drain and exit.
+type ShutdownReq struct{}
+
+// Op implements Message.
+func (*ShutdownReq) Op() Op { return OpShutdown }
+
+// MarshalBody implements Message.
+func (*ShutdownReq) MarshalBody(*Encoder) {}
+
+// UnmarshalBody implements Message.
+func (*ShutdownReq) UnmarshalBody(*Decoder) {}
+
+// ErrorResp carries a remote failure back to the caller.
+type ErrorResp struct {
+	Code    uint32
+	Message string
+}
+
+// Op implements Message.
+func (*ErrorResp) Op() Op { return OpError }
+
+// MarshalBody implements Message.
+func (m *ErrorResp) MarshalBody(e *Encoder) {
+	e.U32(m.Code)
+	e.Str(m.Message)
+}
+
+// UnmarshalBody implements Message.
+func (m *ErrorResp) UnmarshalBody(d *Decoder) {
+	m.Code = d.U32()
+	m.Message = d.Str()
+}
+
+// RemoteError is the host-side error produced from an ErrorResp.
+type RemoteError struct {
+	Op      Op
+	Code    uint32
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote %s: %s (code %d)", e.Op, e.Message, e.Code)
+}
+
+// ErrRemote matches any remote error with errors.Is.
+var ErrRemote = errors.New("protocol: remote error")
+
+// Is reports whether target is ErrRemote.
+func (e *RemoteError) Is(target error) bool { return target == ErrRemote }
+
+// EncodeMessage marshals m into a fresh body slice.
+func EncodeMessage(m Message) []byte {
+	e := NewEncoder()
+	m.MarshalBody(e)
+	return e.Bytes()
+}
+
+// DecodeMessage unmarshals body into m, reporting truncation errors.
+func DecodeMessage(m Message, body []byte) error {
+	d := NewDecoder(body)
+	m.UnmarshalBody(d)
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("decode %T: %w", m, err)
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/haocl-project/haocl/internal/kernel"
+	"github.com/haocl-project/haocl/internal/profile"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+func view(node string, id uint32, t protocol.DeviceType, peak, bw, tdp float64, busy int64) profile.DeviceView {
+	return profile.DeviceView{
+		Key:    profile.DeviceKey{Node: node, DeviceID: id},
+		Info:   protocol.DeviceInfo{ID: id, Type: t, PeakGFLOPS: peak, MemBWGBps: bw, TDPWatts: tdp},
+		Status: protocol.DeviceStatus{DeviceID: id, BusyUntil: busy},
+	}
+}
+
+func testCluster() []profile.DeviceView {
+	return []profile.DeviceView{
+		view("cpu-0", 1, protocol.DeviceCPU, 1320, 76.8, 145, 0),
+		view("gpu-0", 1, protocol.DeviceGPU, 5500, 192, 75, 0),
+		view("gpu-1", 1, protocol.DeviceGPU, 5500, 192, 75, 0),
+		view("fpga-0", 1, protocol.DeviceFPGA, 1800, 34, 45, 0),
+	}
+}
+
+func TestTypeMask(t *testing.T) {
+	task := Task{TypeMask: TypeMaskFor(protocol.DeviceGPU, protocol.DeviceFPGA)}
+	if !task.WantsType(protocol.DeviceGPU) || !task.WantsType(protocol.DeviceFPGA) {
+		t.Fatal("mask excludes wanted types")
+	}
+	if task.WantsType(protocol.DeviceCPU) {
+		t.Fatal("mask includes CPU")
+	}
+	if !(Task{}).WantsType(protocol.DeviceCPU) {
+		t.Fatal("empty mask must admit everything")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := &RoundRobin{}
+	vw := testCluster()
+	seen := make(map[profile.DeviceKey]int)
+	for i := 0; i < 8; i++ {
+		a, err := p.Assign(Task{Kernel: "k"}, vw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[a.Key]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("visited %d devices, want 4", len(seen))
+	}
+	for k, c := range seen {
+		if c != 2 {
+			t.Fatalf("device %s assigned %d times, want 2", k, c)
+		}
+	}
+}
+
+func TestRoundRobinRespectsMask(t *testing.T) {
+	p := &RoundRobin{}
+	task := Task{Kernel: "k", TypeMask: TypeMaskFor(protocol.DeviceGPU)}
+	for i := 0; i < 6; i++ {
+		a, err := p.Assign(task, testCluster())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Key.Node != "gpu-0" && a.Key.Node != "gpu-1" {
+			t.Fatalf("assigned to %s", a.Key)
+		}
+	}
+}
+
+func TestNoEligibleDevice(t *testing.T) {
+	for _, p := range []Policy{&RoundRobin{}, LeastLoaded{}, HeteroAware{}, PowerAware{}} {
+		_, err := p.Assign(Task{Kernel: "k", TypeMask: 1 << 7}, testCluster())
+		if !errors.Is(err, ErrNoDevice) {
+			t.Errorf("%s: err = %v", p.Name(), err)
+		}
+	}
+}
+
+func TestLeastLoadedPicksIdle(t *testing.T) {
+	vw := testCluster()
+	vw[1].Status.BusyUntil = 1e9 // gpu-0 busy for a second
+	vw[2].Pending = 0            // gpu-1 idle
+	a, err := LeastLoaded{}.Assign(Task{Kernel: "k", TypeMask: TypeMaskFor(protocol.DeviceGPU)}, vw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key.Node != "gpu-1" {
+		t.Fatalf("assigned to %s, want gpu-1", a.Key)
+	}
+	// Pending load counts toward the expected-free instant.
+	vw[2].Pending = vtime.Duration(2e9)
+	a, err = LeastLoaded{}.Assign(Task{Kernel: "k", TypeMask: TypeMaskFor(protocol.DeviceGPU)}, vw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key.Node != "gpu-0" {
+		t.Fatalf("pending ignored: assigned to %s", a.Key)
+	}
+}
+
+func TestHeteroAwarePrefersFasterDevice(t *testing.T) {
+	// Compute-heavy task, idle cluster: the GPU's higher peak wins over
+	// CPU and FPGA.
+	task := Task{Kernel: "k", Cost: kernel.Cost{Flops: 1e12}}
+	a, err := HeteroAware{}.Assign(task, testCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key.Node != "gpu-0" && a.Key.Node != "gpu-1" {
+		t.Fatalf("assigned to %s, want a GPU", a.Key)
+	}
+}
+
+func TestHeteroAwareAvoidsBusyDevice(t *testing.T) {
+	vw := testCluster()
+	// Both GPUs deeply busy; the CPU finishes this small task sooner.
+	vw[1].Status.BusyUntil = int64(100e9)
+	vw[2].Status.BusyUntil = int64(100e9)
+	task := Task{Kernel: "k", Cost: kernel.Cost{Flops: 1e9}}
+	a, err := HeteroAware{}.Assign(task, vw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key.Node == "gpu-0" || a.Key.Node == "gpu-1" {
+		t.Fatalf("assigned to busy device %s", a.Key)
+	}
+}
+
+func TestHeteroAwareUsesObservedRates(t *testing.T) {
+	vw := []profile.DeviceView{
+		view("slowpeak", 1, protocol.DeviceGPU, 100, 192, 75, 0),
+		view("fastpeak", 1, protocol.DeviceGPU, 9999, 192, 75, 0),
+	}
+	// Runtime profiling says the slow-peak device actually sustains far
+	// more than the fast-peak one (e.g. the fast one is thermally
+	// throttled): observations must dominate the static model.
+	vw[0].Status.EWMAGFLOPS = 5000
+	vw[1].Status.EWMAGFLOPS = 10
+	task := Task{Kernel: "k", Cost: kernel.Cost{Flops: 1e12}}
+	a, err := HeteroAware{}.Assign(task, vw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key.Node != "slowpeak" {
+		t.Fatalf("observed rate ignored: assigned to %s", a.Key)
+	}
+}
+
+func TestHeteroAwareTransferPenalty(t *testing.T) {
+	vw := []profile.DeviceView{
+		view("near", 1, protocol.DeviceGPU, 5500, 192, 75, 0),
+		view("far", 1, protocol.DeviceGPU, 5500, 192, 75, 0),
+	}
+	// Equal devices: any pick is fine. With the far device pre-loaded,
+	// the near one must win even with input movement.
+	vw[1].Status.BusyUntil = int64(10e9)
+	task := Task{Kernel: "k", Cost: kernel.Cost{Flops: 1e9}, InputBytes: 1 << 20}
+	a, err := HeteroAware{}.Assign(task, vw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key.Node != "near" {
+		t.Fatalf("assigned to %s", a.Key)
+	}
+}
+
+func TestPowerAwarePicksFPGA(t *testing.T) {
+	// Against a 250 W datacenter GPU the 45 W FPGA wins on energy even
+	// though the GPU finishes sooner: the paper's power-efficiency
+	// motivation for FPGA compute stages.
+	vw := []profile.DeviceView{
+		view("big-gpu", 1, protocol.DeviceGPU, 5500, 900, 250, 0),
+		view("fpga-0", 1, protocol.DeviceFPGA, 1800, 34, 45, 0),
+	}
+	task := Task{Kernel: "stream", Cost: kernel.Cost{Flops: 1e11}}
+	a, err := PowerAware{}.Assign(task, vw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key.Node != "fpga-0" {
+		t.Fatalf("assigned to %s, want fpga-0", a.Key)
+	}
+	// The same pick under hetero-aware (time-optimal) goes to the GPU.
+	a, err = HeteroAware{}.Assign(task, vw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key.Node != "big-gpu" {
+		t.Fatalf("hetero-aware assigned to %s, want big-gpu", a.Key)
+	}
+}
+
+func TestPowerAwareSlackBound(t *testing.T) {
+	// With a tight slack factor the FPGA (slower than GPU) is excluded.
+	task := Task{Kernel: "stream", Cost: kernel.Cost{Flops: 1e12}}
+	a, err := PowerAware{SlackFactor: 1.05}.Assign(task, testCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key.Node != "gpu-0" && a.Key.Node != "gpu-1" {
+		t.Fatalf("slack bound ignored: %s", a.Key)
+	}
+}
+
+func TestUserDirected(t *testing.T) {
+	p := NewUserDirected()
+	gpuKey := profile.DeviceKey{Node: "gpu-1", DeviceID: 1}
+	p.Place("pinned", gpuKey)
+	p.PlaceType("typed", protocol.DeviceFPGA)
+
+	a, err := p.Assign(Task{Kernel: "pinned"}, testCluster())
+	if err != nil || a.Key != gpuKey {
+		t.Fatalf("pin: %v %v", a, err)
+	}
+	a, err = p.Assign(Task{Kernel: "typed"}, testCluster())
+	if err != nil || a.Key.Node != "fpga-0" {
+		t.Fatalf("type placement: %v %v", a, err)
+	}
+	// Unmapped kernel without fallback fails.
+	if _, err := p.Assign(Task{Kernel: "unmapped"}, testCluster()); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("err = %v", err)
+	}
+	// With a fallback it succeeds.
+	p.Fallback = LeastLoaded{}
+	if _, err := p.Assign(Task{Kernel: "unmapped"}, testCluster()); err != nil {
+		t.Fatal(err)
+	}
+	// A pin to a vanished device fails loudly rather than misplacing.
+	p.Place("ghost", profile.DeviceKey{Node: "gone", DeviceID: 9})
+	if _, err := p.Assign(Task{Kernel: "ghost"}, testCluster()); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestAssignmentsAlwaysEligible: every policy must only ever pick devices
+// matching the task's type mask.
+func TestAssignmentsAlwaysEligible(t *testing.T) {
+	policies := []Policy{&RoundRobin{}, LeastLoaded{}, HeteroAware{}, PowerAware{SlackFactor: 2}}
+	check := func(maskBits uint8, flops uint32, busy0, busy1 uint32) bool {
+		mask := maskBits % 8
+		vw := testCluster()
+		vw[0].Status.BusyUntil = int64(busy0)
+		vw[1].Status.BusyUntil = int64(busy1)
+		task := Task{Kernel: "k", TypeMask: mask, Cost: kernel.Cost{Flops: int64(flops)}}
+		for _, p := range policies {
+			a, err := p.Assign(task, vw)
+			if err != nil {
+				continue // no eligible device for this mask
+			}
+			for _, v := range vw {
+				if v.Key == a.Key && !task.WantsType(v.Info.Type) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateDuration(t *testing.T) {
+	v := view("gpu", 1, protocol.DeviceGPU, 5500, 192, 75, 0)
+	task := Task{Cost: kernel.Cost{Flops: int64(5500 * 0.35 * 1e9)}} // ~1s of derated work
+	d := EstimateDuration(task, v)
+	if d < vtime.Duration(0.9e9) || d > vtime.Duration(1.1e9) {
+		t.Fatalf("estimate = %v, want ~1s", d)
+	}
+	if EstimateDuration(Task{}, v) != 0 {
+		t.Fatal("zero-cost estimate should be zero")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{NewUserDirected(), &RoundRobin{}, LeastLoaded{}, HeteroAware{}, PowerAware{}} {
+		if p.Name() == "" {
+			t.Fatalf("%T has no name", p)
+		}
+	}
+}

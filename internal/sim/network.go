@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"time"
+
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// Network model constants, calibrated to the paper's testbed: all nodes
+// connected through Gigabit Ethernet (§IV-A), message delivery handled by
+// the communication backbone with one message per OpenCL API call.
+const (
+	// GigabitBytesPerSec is the sustained goodput of one 1 GbE link after
+	// framing overhead (~94% of 125 MB/s).
+	GigabitBytesPerSec = 117.5e6
+
+	// MessageLatency is the one-way latency of a backbone message:
+	// kernel-bypass-free TCP on a cloud LAN.
+	MessageLatency = 150 * time.Microsecond
+
+	// HostCreateBytesPerSec is the rate at which the host program
+	// materializes benchmark input data in memory (Fig. 3 "DataCreate"):
+	// generation plus one memory write pass.
+	HostCreateBytesPerSec = 800e6
+)
+
+// NewEthernetLink returns a fresh Gigabit Ethernet link model. Each
+// host↔node pair gets its own link; the host's NIC is modeled by a shared
+// uplink (see HostNIC) so total egress bandwidth is bounded as on the real
+// single-homed host node.
+func NewEthernetLink() *vtime.Link {
+	return vtime.NewLink(MessageLatency, GigabitBytesPerSec)
+}
+
+// NewHostNIC returns the host node's shared network interface. All
+// host-originated transfers serialize through it, which is why Fig. 3's
+// DataTransfer component stays nearly flat as GPU count grows.
+func NewHostNIC() *vtime.Link {
+	return vtime.NewLink(MessageLatency, GigabitBytesPerSec)
+}
+
+// NewHostMemory returns the host-side data-creation resource.
+func NewHostMemory() *vtime.Link {
+	return vtime.NewLink(time.Microsecond, HostCreateBytesPerSec)
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/haocl-project/haocl/internal/clc"
+	"github.com/haocl-project/haocl/internal/device"
+	"github.com/haocl-project/haocl/internal/kernel"
+)
+
+func testRegistry(t *testing.T) *kernel.Registry {
+	t.Helper()
+	reg := kernel.NewRegistry()
+	reg.MustRegister(&kernel.Spec{
+		Name:    "noop",
+		NumArgs: 1,
+		Func: func(it *kernel.Item, args []kernel.Arg) {
+			args[0].Int32s()[it.GlobalID(0)] = int32(it.GlobalID(0))
+		},
+	})
+	return reg
+}
+
+func TestPresets(t *testing.T) {
+	cpu := XeonE5Params(1)
+	gpu := TeslaP4Params(2)
+	fpga := VU9PParams(3, []string{"noop"})
+	if cpu.Info.Type != device.CPU || gpu.Info.Type != device.GPU || fpga.Info.Type != device.FPGA {
+		t.Fatal("preset types wrong")
+	}
+	if gpu.Info.ID != 2 || fpga.Info.ID != 3 {
+		t.Fatal("preset IDs not honored")
+	}
+	if !fpga.PrebuiltOnly || !fpga.Bitstreams["noop"] {
+		t.Fatal("FPGA bitstream table wrong")
+	}
+	// The paper's power story: the FPGA draws less than the GPU.
+	if fpga.Info.TDPWatts >= gpu.Info.TDPWatts {
+		t.Fatal("FPGA TDP should undercut the GPU")
+	}
+	if _, err := ParamsForModel("nonsense", 1, nil); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	for _, m := range []string{ModelXeonE5, ModelTeslaP4, ModelVU9P, "cpu", "gpu", "fpga"} {
+		if _, err := ParamsForModel(m, 1, nil); err != nil {
+			t.Fatalf("ParamsForModel(%q): %v", m, err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	reg := testRegistry(t)
+	if _, err := New(TeslaP4Params(1), nil); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+	bad := TeslaP4Params(1)
+	bad.EffCompute = 1.5
+	if _, err := New(bad, reg); err == nil {
+		t.Fatal("efficiency > 1 accepted")
+	}
+	bad2 := TeslaP4Params(1)
+	bad2.Info.PeakGFLOPS = 0
+	if _, err := New(bad2, reg); err == nil {
+		t.Fatal("zero peak accepted")
+	}
+}
+
+func TestRooflineModel(t *testing.T) {
+	dev, err := New(TeslaP4Params(1), testRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := TeslaP4Params(1)
+	// Compute-bound: flops dominate.
+	flops := int64(p.Info.PeakGFLOPS * p.EffCompute * 1e9) // exactly 1 second of work
+	d := dev.ModelKernel(kernel.Cost{Flops: flops})
+	if d < time.Second || d > time.Second+time.Millisecond {
+		t.Fatalf("compute-bound duration = %v, want ~1s", d)
+	}
+	// Memory-bound: bytes dominate.
+	bytes := int64(p.Info.MemBWGBps * p.EffMem * 1e9) // 1 second of traffic
+	d = dev.ModelKernel(kernel.Cost{Flops: 1, Bytes: bytes})
+	if d < time.Second || d > time.Second+time.Millisecond {
+		t.Fatalf("memory-bound duration = %v, want ~1s", d)
+	}
+	// Launch overhead floors tiny kernels.
+	if d := dev.ModelKernel(kernel.Cost{}); d < p.Info.LaunchOverhead {
+		t.Fatalf("tiny kernel %v < launch overhead", d)
+	}
+	// Transfers follow PCIe bandwidth.
+	xfer := dev.ModelTransfer(int64(p.Info.PCIeGBps * 1e9))
+	if xfer < time.Second || xfer > time.Second+time.Millisecond {
+		t.Fatalf("transfer = %v, want ~1s", xfer)
+	}
+	if dev.ModelTransfer(0) != 0 || dev.ModelTransfer(-1) != 0 {
+		t.Fatal("empty transfer should cost nothing")
+	}
+	if dev.EnergyRate() != p.Info.TDPWatts {
+		t.Fatal("energy rate mismatch")
+	}
+}
+
+func TestFPGAStreamFill(t *testing.T) {
+	reg := testRegistry(t)
+	fpga, err := New(VU9PParams(1, []string{"noop"}), testRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = reg
+	base := VU9PParams(1, nil)
+	d := fpga.ModelKernel(kernel.Cost{})
+	if d < base.StreamFill+base.Info.LaunchOverhead {
+		t.Fatalf("FPGA launch %v misses pipeline fill", d)
+	}
+}
+
+func TestExecuteFunctional(t *testing.T) {
+	dev, err := New(TeslaP4Params(1), testRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4*16)
+	err = dev.Execute("noop", kernel.Launch{Global: []int{16}, Args: []kernel.Arg{kernel.BufferArg(buf)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kernel.BufferArg(buf).Int32s()
+	for i, v := range got {
+		if v != int32(i) {
+			t.Fatalf("element %d = %d", i, v)
+		}
+	}
+	if err := dev.Execute("missing", kernel.Launch{Global: []int{1}}); err == nil {
+		t.Fatal("missing kernel executed")
+	}
+}
+
+func TestFPGAPrebuiltEnforcement(t *testing.T) {
+	reg := testRegistry(t)
+	reg.MustRegister(&kernel.Spec{Name: "other", Func: func(*kernel.Item, []kernel.Arg) {}})
+	fpga, err := New(VU9PParams(1, []string{"noop"}), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "other" is registered but has no bitstream: execution must fail.
+	if err := fpga.Execute("other", kernel.Launch{Global: []int{1}}); err == nil {
+		t.Fatal("FPGA ran a kernel without a bitstream")
+	}
+
+	progOK, err := clc.Parse(`__kernel void noop(__global int* x) { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log, err := fpga.CheckProgram(progOK); err != nil {
+		t.Fatalf("CheckProgram: %v\n%s", err, log)
+	}
+	progBad, err := clc.Parse(`__kernel void other(__global int* x) { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := fpga.CheckProgram(progBad)
+	if err == nil {
+		t.Fatal("CheckProgram accepted a kernel without a bitstream")
+	}
+	if !strings.Contains(log, "no pre-built bitstream") {
+		t.Fatalf("log = %q", log)
+	}
+}
+
+func TestCheckProgramMissingBinary(t *testing.T) {
+	gpu, err := New(TeslaP4Params(1), testRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := clc.Parse(`__kernel void unknown_kernel(__global int* x) { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gpu.CheckProgram(prog); err == nil {
+		t.Fatal("CheckProgram accepted a kernel with no device binary")
+	}
+}
+
+func TestICDIntegration(t *testing.T) {
+	icd := device.NewICD()
+	RegisterDrivers(icd, testRegistry(t))
+	drivers := icd.Drivers()
+	if len(drivers) != 3 {
+		t.Fatalf("drivers = %v", drivers)
+	}
+	dev, err := icd.Open(device.Config{Driver: DriverGPU, ID: 5, Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Info().ID != 5 || !dev.Info().Shared || dev.Info().Type != device.GPU {
+		t.Fatalf("opened info = %+v", dev.Info())
+	}
+	if _, err := icd.Open(device.Config{Driver: "missing"}); err == nil {
+		t.Fatal("unknown driver opened")
+	}
+	if _, err := icd.Open(device.Config{Driver: DriverGPU, Model: "bogus"}); err == nil {
+		t.Fatal("bogus model opened")
+	}
+	if DriverForType(device.CPU) != DriverCPU || DriverForType(device.GPU) != DriverGPU ||
+		DriverForType(device.FPGA) != DriverFPGA {
+		t.Fatal("DriverForType mapping wrong")
+	}
+}
+
+func TestNetworkPresets(t *testing.T) {
+	link := NewEthernetLink()
+	// 117.5 MB over a 1 GbE link takes about a second.
+	if cost := link.TransferCost(int64(GigabitBytesPerSec)); cost < time.Second || cost > 1100*time.Millisecond {
+		t.Fatalf("ethernet cost = %v", cost)
+	}
+	mem := NewHostMemory()
+	if cost := mem.TransferCost(int64(HostCreateBytesPerSec)); cost < time.Second || cost > 1100*time.Millisecond {
+		t.Fatalf("host memory cost = %v", cost)
+	}
+	if NewHostNIC() == nil {
+		t.Fatal("nil NIC")
+	}
+}
+
+func TestOccupancyDerating(t *testing.T) {
+	dev, err := New(TeslaP4Params(1), testRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := kernel.Cost{Flops: 1e9}
+	full := dev.ModelKernel(kernel.Cost{Flops: cost.Flops, Items: 1 << 20})
+	tiny := dev.ModelKernel(kernel.Cost{Flops: cost.Flops, Items: 16})
+	if tiny <= full {
+		t.Fatalf("16-item launch (%v) not slower than full launch (%v)", tiny, full)
+	}
+	// Unknown item counts (cost overrides) assume full occupancy.
+	unknown := dev.ModelKernel(kernel.Cost{Flops: cost.Flops})
+	if unknown != full {
+		t.Fatalf("unknown occupancy (%v) differs from full (%v)", unknown, full)
+	}
+}

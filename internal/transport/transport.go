@@ -1,0 +1,328 @@
+// Package transport implements HaoCL's communication backbone: an
+// asynchronous, length-framed message layer over which the host runtime
+// talks to the Node Management Processes.
+//
+// The design follows paper §III-C. Each node runs an acceptor that listens
+// asynchronously; every incoming message is unpacked and handled on its own
+// goroutine, after which the listener keeps reading — the Go equivalent of
+// the Boost.Asio acceptor/thread-per-message structure the paper describes.
+// The host side issues synchronous calls (it "waits for the response
+// message and then takes the next action"), but multiple outstanding calls
+// from different host goroutines are multiplexed over one connection via
+// request-ID correlation.
+//
+// Two transports are provided: real TCP (used by cmd/haocl-node and the
+// integration tests) and an in-process pipe network (used by unit tests and
+// the experiment harness, where spawning dozens of OS processes would only
+// add noise).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/haocl-project/haocl/internal/protocol"
+)
+
+// Handler processes one decoded request on the server (node) side and
+// returns the response message. Returning an error sends an ErrorResp to
+// the caller; the connection stays usable.
+type Handler interface {
+	HandleCall(op protocol.Op, body []byte) (protocol.Message, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(op protocol.Op, body []byte) (protocol.Message, error)
+
+// HandleCall implements Handler.
+func (f HandlerFunc) HandleCall(op protocol.Op, body []byte) (protocol.Message, error) {
+	return f(op, body)
+}
+
+// ErrClosed is returned by calls issued on a closed client.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Client is the host side of one host↔node connection.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan *protocol.Frame
+	closed  bool
+	readErr error
+
+	nextID atomic.Uint64
+}
+
+// Dial connects to a node's message listener over TCP.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial node %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (TCP or in-memory pipe) as a
+// client and starts its response reader.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan *protocol.Frame),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		f, err := protocol.ReadFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ReqID]
+		if ok {
+			delete(c.pending, f.ReqID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+		// Responses with no waiter are dropped: the caller timed out or
+		// the connection is shutting down.
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	c.closed = true
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+}
+
+// Call sends req and blocks until the matching response arrives, decoding
+// it into resp. A remote failure surfaces as a *protocol.RemoteError.
+// resp may be nil when the caller only needs the acknowledgement.
+func (c *Client) Call(req protocol.Message, resp protocol.Message) error {
+	id := c.nextID.Add(1)
+	ch := make(chan *protocol.Frame, 1)
+
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	frame := &protocol.Frame{
+		Kind:  protocol.FrameRequest,
+		ReqID: id,
+		Op:    req.Op(),
+		Body:  protocol.EncodeMessage(req),
+	}
+	c.writeMu.Lock()
+	err := protocol.WriteFrame(c.conn, frame)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("send %s: %w", req.Op(), err)
+	}
+
+	f, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return fmt.Errorf("call %s: %w", req.Op(), err)
+	}
+	if f.Op == protocol.OpError {
+		var er protocol.ErrorResp
+		if derr := protocol.DecodeMessage(&er, f.Body); derr != nil {
+			return derr
+		}
+		return &protocol.RemoteError{Op: req.Op(), Code: er.Code, Message: er.Message}
+	}
+	if resp == nil {
+		return nil
+	}
+	return protocol.DecodeMessage(resp, f.Body)
+}
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.failAll(ErrClosed)
+	return c.conn.Close()
+}
+
+// Server is the node side of the backbone: an acceptor plus one reader per
+// connection, with each request handled on its own goroutine.
+//
+// Each accepted connection gets its own Handler from the factory, so the
+// NMP can maintain per-session state (user identity, owned objects). A
+// handler that also implements io.Closer is closed when its connection
+// ends, giving the session a hook to release abandoned resources.
+type Server struct {
+	factory func() Handler
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer returns a server creating one handler per connection.
+func NewServer(factory func() Handler) *Server {
+	return &Server{
+		factory: factory,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// NewStaticServer returns a server dispatching every connection to the same
+// handler, for tests and single-session tools.
+func NewStaticServer(h Handler) *Server {
+	return NewServer(func() Handler { return h })
+}
+
+// Listen starts accepting on a TCP address and returns the bound address
+// (useful with ":0" for tests). Serving happens on background goroutines.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.ServeConn(conn)
+	}
+}
+
+// ServeConn registers conn and serves requests from it on background
+// goroutines. The in-memory network uses this directly with pipe ends.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+
+	handler := s.factory()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+			if closer, ok := handler.(interface{ Close() error }); ok {
+				// Session cleanup failures have no caller to report to.
+				_ = closer.Close()
+			}
+		}()
+		var writeMu sync.Mutex
+		var reqWG sync.WaitGroup
+		for {
+			f, err := protocol.ReadFrame(conn)
+			if err != nil {
+				break
+			}
+			reqWG.Add(1)
+			go func(f *protocol.Frame) {
+				defer reqWG.Done()
+				s.dispatch(conn, handler, &writeMu, f)
+			}(f)
+		}
+		reqWG.Wait()
+	}()
+}
+
+func (s *Server) dispatch(conn net.Conn, handler Handler, writeMu *sync.Mutex, f *protocol.Frame) {
+	resp, err := handler.HandleCall(f.Op, f.Body)
+	out := &protocol.Frame{Kind: protocol.FrameResponse, ReqID: f.ReqID, Op: f.Op}
+	if err != nil {
+		out.Op = protocol.OpError
+		var re *protocol.RemoteError
+		code := uint32(1)
+		if errors.As(err, &re) {
+			code = re.Code
+		}
+		out.Body = protocol.EncodeMessage(&protocol.ErrorResp{Code: code, Message: err.Error()})
+	} else if resp != nil {
+		out.Body = protocol.EncodeMessage(resp)
+	}
+	writeMu.Lock()
+	defer writeMu.Unlock()
+	// A write failure means the peer vanished; the read loop notices and
+	// cleans the connection up, so the error needs no second handling.
+	_ = protocol.WriteFrame(conn, out)
+}
+
+// Close stops accepting, closes every connection and waits for in-flight
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,210 @@
+// Package vtime provides the virtual-time primitives used by the simulated
+// devices and the network model.
+//
+// Every experiment in this repository reports durations measured on a
+// virtual clock rather than the wall clock: functional execution is real Go
+// code, but the time a command "takes" is computed by an analytic
+// performance model (see internal/sim). This makes every figure
+// deterministic and independent of the machine running the reproduction.
+package vtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Time is an instant on the virtual timeline, in nanoseconds since the
+// start of the run. The zero Time is the beginning of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is layout-compatible
+// with time.Duration so model code can use time.Duration literals.
+type Duration = time.Duration
+
+// Add returns t shifted forward by d. Negative durations are clamped so a
+// model bug can never move the clock backwards past zero.
+func (t Time) Add(d Duration) Time {
+	nt := t + Time(d)
+	if nt < 0 {
+		return 0
+	}
+	return nt
+}
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the instant as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Max returns the later of the two instants.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clock is a monotonically advancing virtual clock. One Clock models one
+// serialized resource: a device command queue, a network link, the host
+// memory subsystem. Reserving a span returns the interval the work occupies
+// on that resource.
+//
+// The zero value is a clock at virtual time zero, ready to use.
+type Clock struct {
+	mu  sync.Mutex
+	now Time
+}
+
+// Now returns the clock's current frontier: the virtual instant at which the
+// resource next becomes free.
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Reserve books d units of work that may not start before earliest. It
+// returns the interval [start, end) that the work occupies and advances the
+// clock frontier to end. Negative durations count as zero.
+func (c *Clock) Reserve(earliest Time, d Duration) (start, end Time) {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start = Max(c.now, earliest)
+	end = start.Add(d)
+	c.now = end
+	return start, end
+}
+
+// AdvanceTo moves the frontier forward to at least t. Used when an external
+// dependency (an event on another resource) holds the resource idle.
+func (c *Clock) AdvanceTo(t Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero. Only tests and fresh experiment runs use
+// this.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+}
+
+// Link models a serialized communication or memory channel with fixed
+// per-message latency and finite bandwidth. It is used for the Gigabit
+// Ethernet links between the host and device nodes and for the host memory
+// subsystem during data creation.
+//
+// Unlike Clock, a Link backfills: a transfer that becomes ready at a late
+// virtual instant does not push the channel frontier for earlier idle
+// time, so independent command streams interleave on the shared channel
+// the way packets do on a real NIC. Booked intervals are kept in a sorted
+// list and coalesced.
+type Link struct {
+	// Latency is charged once per transfer, before any byte moves.
+	Latency Duration
+	// BytesPerSec is the sustained bandwidth of the channel.
+	BytesPerSec float64
+
+	mu   sync.Mutex
+	busy []interval // sorted by start, non-overlapping
+}
+
+type interval struct {
+	start, end Time
+}
+
+// NewLink returns a link with the given per-message latency and bandwidth.
+// It panics if bandwidth is not positive; links are constructed from static
+// model presets, so a bad value is a programming error.
+func NewLink(latency Duration, bytesPerSec float64) *Link {
+	if bytesPerSec <= 0 {
+		panic("vtime: link bandwidth must be positive")
+	}
+	return &Link{Latency: latency, BytesPerSec: bytesPerSec}
+}
+
+// TransferCost returns the modeled duration of moving n bytes, excluding
+// queueing behind other transfers.
+func (l *Link) TransferCost(n int64) Duration {
+	if n < 0 {
+		n = 0
+	}
+	secs := float64(n) / l.BytesPerSec
+	return l.Latency + Duration(secs*1e9)
+}
+
+// Transfer books an n-byte transfer that may not begin before earliest,
+// placing it in the first idle gap that fits, and returns the interval it
+// occupies on the link.
+func (l *Link) Transfer(earliest Time, n int64) (start, end Time) {
+	dur := l.TransferCost(n)
+	if dur <= 0 {
+		return earliest, earliest
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	start = earliest
+	insertAt := len(l.busy)
+	for i, iv := range l.busy {
+		if iv.start.Sub(start) >= dur {
+			// The gap before this interval fits.
+			insertAt = i
+			break
+		}
+		if iv.end > start {
+			start = iv.end
+		}
+	}
+	end = start.Add(dur)
+	l.busy = append(l.busy, interval{})
+	copy(l.busy[insertAt+1:], l.busy[insertAt:])
+	l.busy[insertAt] = interval{start: start, end: end}
+	l.coalesce()
+	return start, end
+}
+
+// coalesce merges touching intervals to keep the busy list short. Caller
+// holds l.mu.
+func (l *Link) coalesce() {
+	out := l.busy[:0]
+	for _, iv := range l.busy {
+		if n := len(out); n > 0 && iv.start <= out[n-1].end {
+			if iv.end > out[n-1].end {
+				out[n-1].end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	l.busy = out
+}
+
+// Now reports the link's latest booked instant.
+func (l *Link) Now() Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.busy) == 0 {
+		return 0
+	}
+	return l.busy[len(l.busy)-1].end
+}
+
+// Reset clears all bookings.
+func (l *Link) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.busy = nil
+}

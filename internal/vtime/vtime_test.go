@@ -1,0 +1,192 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(0)
+	tm = tm.Add(3 * time.Second)
+	if tm.Seconds() != 3 {
+		t.Fatalf("Seconds() = %v, want 3", tm.Seconds())
+	}
+	if got := tm.Sub(Time(1e9)); got != 2*time.Second {
+		t.Fatalf("Sub = %v, want 2s", got)
+	}
+	if got := Time(5).Add(-100 * time.Second); got != 0 {
+		t.Fatalf("negative clamp: got %v, want 0", got)
+	}
+	if Max(Time(3), Time(7)) != Time(7) || Max(Time(7), Time(3)) != Time(7) {
+		t.Fatal("Max broken")
+	}
+	if Time(1500).String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestClockReserve(t *testing.T) {
+	var c Clock
+	s1, e1 := c.Reserve(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first reserve [%d,%d), want [0,10)", s1, e1)
+	}
+	// Earlier request still serializes behind the frontier.
+	s2, e2 := c.Reserve(5, 10)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second reserve [%d,%d), want [10,20)", s2, e2)
+	}
+	// Later earliest leaves a gap.
+	s3, e3 := c.Reserve(100, 10)
+	if s3 != 100 || e3 != 110 {
+		t.Fatalf("third reserve [%d,%d), want [100,110)", s3, e3)
+	}
+	if c.Now() != 110 {
+		t.Fatalf("Now = %v, want 110", c.Now())
+	}
+	// Negative durations count as zero.
+	s4, e4 := c.Reserve(0, -5)
+	if s4 != e4 {
+		t.Fatalf("negative duration reserved nonzero span [%d,%d)", s4, e4)
+	}
+	c.AdvanceTo(500)
+	if c.Now() != 500 {
+		t.Fatalf("AdvanceTo: Now = %v", c.Now())
+	}
+	c.AdvanceTo(100) // backwards is a no-op
+	if c.Now() != 500 {
+		t.Fatalf("AdvanceTo went backwards: %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+// TestClockMonotonic checks under concurrency that reservations never
+// overlap and the clock never moves backwards.
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	var mu sync.Mutex
+	spans := make([][2]Time, 0, 400)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s, e := c.Reserve(0, 3)
+				mu.Lock()
+				spans = append(spans, [2]Time{s, e})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	seen := make(map[Time]bool)
+	for _, sp := range spans {
+		if sp[1]-sp[0] != 3 {
+			t.Fatalf("span length %d", sp[1]-sp[0])
+		}
+		if seen[sp[0]] {
+			t.Fatalf("overlapping reservation at %d", sp[0])
+		}
+		seen[sp[0]] = true
+	}
+}
+
+func TestLinkCost(t *testing.T) {
+	l := NewLink(time.Millisecond, 1e6) // 1 MB/s
+	if got := l.TransferCost(1e6); got != time.Millisecond+time.Second {
+		t.Fatalf("TransferCost = %v", got)
+	}
+	if got := l.TransferCost(-5); got != time.Millisecond {
+		t.Fatalf("negative bytes: %v", got)
+	}
+}
+
+func TestLinkBackfill(t *testing.T) {
+	l := NewLink(0, 1e9) // 1 B/ns
+	// Book a late transfer first.
+	s1, e1 := l.Transfer(1000, 100)
+	if s1 != 1000 || e1 != 1100 {
+		t.Fatalf("late transfer [%v,%v)", s1, e1)
+	}
+	// An earlier-ready transfer must backfill the idle gap before it.
+	s2, e2 := l.Transfer(0, 100)
+	if s2 != 0 || e2 != 100 {
+		t.Fatalf("backfill failed: [%v,%v), want [0,100)", s2, e2)
+	}
+	// A transfer too big for the gap goes after the booked interval.
+	s3, _ := l.Transfer(200, 900)
+	if s3 != 1100 {
+		t.Fatalf("oversized gap fill started at %v, want 1100", s3)
+	}
+	// Exact-fit gap is used.
+	s4, e4 := l.Transfer(100, 900)
+	if s4 != 100 || e4 != 1000 {
+		t.Fatalf("exact fit [%v,%v), want [100,1000)", s4, e4)
+	}
+}
+
+func TestLinkPanicsOnBadBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLink accepted non-positive bandwidth")
+		}
+	}()
+	NewLink(0, 0)
+}
+
+// TestLinkNoOverlapProperty books random transfers and asserts none of the
+// returned intervals overlap.
+func TestLinkNoOverlapProperty(t *testing.T) {
+	check := func(seed uint8, sizes []uint16) bool {
+		l := NewLink(0, 1e9)
+		type span struct{ s, e Time }
+		var spans []span
+		for i, raw := range sizes {
+			n := int64(raw%997) + 1
+			earliest := Time((int(seed) + i*131) % 5000)
+			s, e := l.Transfer(earliest, n)
+			if s < earliest || e.Sub(s) != l.TransferCost(n) {
+				return false
+			}
+			spans = append(spans, span{s, e})
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.s < b.e && b.s < a.e {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkCoalesceKeepsBusyListSmall(t *testing.T) {
+	l := NewLink(0, 1e9)
+	for i := 0; i < 1000; i++ {
+		l.Transfer(0, 10) // contiguous back-to-back bookings
+	}
+	l.mu.Lock()
+	n := len(l.busy)
+	l.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("busy list has %d intervals after contiguous bookings, want 1", n)
+	}
+	if l.Now() != Time(10*1000) {
+		t.Fatalf("Now = %v", l.Now())
+	}
+	l.Reset()
+	if l.Now() != 0 {
+		t.Fatal("Reset did not clear bookings")
+	}
+}

@@ -1,0 +1,34 @@
+package haocl
+
+import (
+	"github.com/haocl-project/haocl/internal/kernel"
+)
+
+// Kernel-runtime types, exposed as aliases so applications can register
+// device kernel implementations against the names appearing in their
+// OpenCL C program source. This mirrors the paper's FPGA deployment model —
+// kernels are pre-built binaries resolved by name at clCreateKernel time
+// (§III-D) — extended to every simulated device class.
+type (
+	// WorkItem carries a work-item's NDRange identity (get_global_id and
+	// friends).
+	WorkItem = kernel.Item
+	// KernelArg is one bound argument as seen by a work-item function.
+	KernelArg = kernel.Arg
+	// KernelFunc is a kernel's work-item body.
+	KernelFunc = kernel.Func
+	// KernelCost is the analytic cost of one launch.
+	KernelCost = kernel.Cost
+	// KernelSpec describes one registrable kernel implementation.
+	KernelSpec = kernel.Spec
+	// KernelRegistry stores kernel implementations by name.
+	KernelRegistry = kernel.Registry
+)
+
+// NewKernelRegistry returns an empty kernel registry for node daemons that
+// want full control over their kernel set.
+func NewKernelRegistry() *KernelRegistry { return kernel.NewRegistry() }
+
+// BufferArg wraps backing storage as a global-memory argument, for tests
+// and custom drivers.
+func BufferArg(data []byte) KernelArg { return kernel.BufferArg(data) }

@@ -1,0 +1,42 @@
+package haocl
+
+import (
+	"github.com/haocl-project/haocl/internal/sched"
+)
+
+// Scheduling types, exposed as aliases so applications can plug custom
+// policies into the extendable scheduling component (paper §I: "supports
+// both built-in and user customized scheduling policies").
+type (
+	// Policy decides kernel placement from the monitor's cluster view.
+	Policy = sched.Policy
+	// SchedTask is the scheduler's view of one kernel launch.
+	SchedTask = sched.Task
+	// Assignment is a placement decision.
+	Assignment = sched.Assignment
+	// UserDirectedPolicy maps kernels to devices by explicit instruction,
+	// the paper's shipped scheduling mode.
+	UserDirectedPolicy = sched.UserDirected
+)
+
+// NewUserDirectedPolicy returns an empty user-directed policy; pin kernels
+// with Place or PlaceType.
+func NewUserDirectedPolicy() *UserDirectedPolicy { return sched.NewUserDirected() }
+
+// RoundRobinPolicy cycles eligible devices, a heterogeneity-oblivious
+// baseline.
+func RoundRobinPolicy() Policy { return &sched.RoundRobin{} }
+
+// LeastLoadedPolicy picks the device that drains earliest.
+func LeastLoadedPolicy() Policy { return sched.LeastLoaded{} }
+
+// HeteroAwarePolicy minimizes estimated completion time using the device
+// model plus runtime profiling — the automatic scheduler the paper's
+// component is designed to grow into.
+func HeteroAwarePolicy() Policy { return sched.HeteroAware{} }
+
+// PowerAwarePolicy minimizes estimated energy; slackFactor bounds the
+// acceptable slowdown versus the fastest candidate (0 = unbounded).
+func PowerAwarePolicy(slackFactor float64) Policy {
+	return sched.PowerAware{SlackFactor: slackFactor}
+}
