@@ -10,6 +10,7 @@
 //	haocl-bench -exp fig3       # §IV-D MatrixMul breakdown analysis
 //	haocl-bench -exp overhead   # §IV-B single-node overhead
 //	haocl-bench -exp ablation   # design-choice ablations (DESIGN.md)
+//	haocl-bench -exp pipeline   # async pipelining: sync vs pipelined enqueue
 //	haocl-bench -exp fig2 -quick  # reduced sweeps
 //
 // All reported durations are virtual time from the calibrated device and
@@ -34,7 +35,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("haocl-bench", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, all")
+		exp   = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, pipeline, all")
 		quick = fs.Bool("quick", false, "reduced sweeps for a fast look")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,6 +69,8 @@ func run(args []string) error {
 			return bench.Overhead(w)
 		case "ablation":
 			return bench.Ablations(w)
+		case "pipeline":
+			return bench.Pipeline(w, *quick)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -76,7 +79,7 @@ func run(args []string) error {
 	if *exp != "all" {
 		return runOne(*exp)
 	}
-	for _, name := range []string{"table1", "overhead", "fig2", "hetero", "fig3", "ablation"} {
+	for _, name := range []string{"table1", "overhead", "fig2", "hetero", "fig3", "ablation", "pipeline"} {
 		if err := runOne(name); err != nil {
 			return err
 		}

@@ -1,0 +1,3 @@
+module github.com/haocl-project/haocl
+
+go 1.22

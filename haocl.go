@@ -26,7 +26,15 @@
 //	clEnqueueNDRangeKernel    → Queue.EnqueueKernel
 //	clEnqueueReadBuffer       → Queue.EnqueueRead
 //	clFinish                  → Queue.Finish
+//	clWaitForEvents           → Event.Wait
 //	clGetEventProfilingInfo   → Event.Profile
+//
+// Enqueue operations are pipelined, matching the paper's asynchronous
+// communication backbone (§III-C): they return once the command is on the
+// wire, per-queue ordering is preserved end to end, and Event.Wait,
+// Event.Profile and Queue.Finish are the synchronization points where
+// completions — and any command failure, which is sticky per queue —
+// surface. See DESIGN.md §2 for the pipeline invariants.
 //
 // Kernel bodies are Go work-item functions registered against the kernel
 // names appearing in OpenCL C program source (see RegisterKernel); devices

@@ -35,7 +35,10 @@ func hopDelay(modelBytes int64) vtime.Duration {
 //
 // Functionally every node receives data through its own WriteBuffer
 // command; only the virtual-time charging differs from repeated
-// EnqueueWrite calls.
+// EnqueueWrite calls. The hop arrival instants are computed host-side, so
+// every hop is issued through the async path without waiting for any
+// response: fan-out to n nodes costs zero round trips instead of n. The
+// returned events resolve as the nodes answer.
 func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, error) {
 	if len(queues) == 0 {
 		return nil, fmt.Errorf("core: broadcast needs at least one queue")
@@ -65,6 +68,9 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 	events := make([]*Event, 0, len(hops))
 	var prevArrival vtime.Time
 	for i, q := range hops {
+		if err := q.stickyErr(); err != nil {
+			return nil, err
+		}
 		node := q.dev.node
 		rb, err := b.remoteOn(node)
 		if err != nil {
@@ -80,8 +86,8 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 		}
 		prevArrival = arrival
 
-		var resp protocol.EventResp
-		err = c.rt.call(node, &protocol.WriteBufferReq{
+		resp := new(protocol.EventResp)
+		id, pend := c.rt.issue(node, &protocol.WriteBufferReq{
 			QueueID:    q.remoteID,
 			BufferID:   rb.id,
 			Offset:     0,
@@ -89,15 +95,12 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 			SimArrival: int64(arrival),
 			ModelBytes: b.modelSize,
 			WaitEvents: lastEventList(rb),
-		}, &resp)
-		if err != nil {
-			return nil, fmt.Errorf("core: broadcast to %q: %w", node.name, err)
-		}
+		}, resp)
+		ev := &Event{dev: q.dev, remoteID: id, queue: q, pending: pend, resp: resp}
+		q.track(ev)
 		rb.valid = true
-		rb.lastEvent = resp.EventID
-		rb.lastEnd = vtime.Time(resp.Profile.End)
-		c.rt.observeProfile(q.dev.key, resp.Profile, false)
-		events = append(events, &Event{dev: q.dev, remoteID: resp.EventID, profile: resp.Profile})
+		rb.lastEvent = id
+		events = append(events, ev)
 	}
 	return events, nil
 }

@@ -7,32 +7,84 @@ import (
 	"github.com/haocl-project/haocl/internal/clc"
 	"github.com/haocl-project/haocl/internal/kernel"
 	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/transport"
 	"github.com/haocl-project/haocl/internal/vtime"
 )
 
-// Event is the host-side handle for a completed enqueue operation. Command
-// execution in this runtime is synchronous at the protocol level, so events
-// are born complete; their profiles carry the virtual-time interval the
-// command occupied.
+// Event is the host-side handle for an enqueued command. Commands are
+// pipelined over the backbone: the enqueue call returns once the request
+// is on the wire, carrying a host-assigned event ID that later commands
+// may wait on immediately, and the event's profile resolves lazily when
+// the node's response arrives. Wait, Profile and End are synchronization
+// points; a command that failed remotely surfaces its error there and
+// marks its queue's sticky error (see Queue.Finish).
 type Event struct {
 	dev      *DeviceRef
 	remoteID uint64
-	profile  protocol.Profile
+
+	// Pipelined events carry the issuing queue, the in-flight future and
+	// the response body it decodes into; events born resolved (reads, which
+	// must block for their data anyway) leave pending nil.
+	queue    *Queue
+	pending  *transport.Pending
+	resp     *protocol.EventResp
+	isKernel bool
+
+	once    sync.Once
+	profile protocol.Profile
+	err     error
 }
 
-// Profile returns the event's virtual-time profiling info
-// (clGetEventProfilingInfo).
-func (e *Event) Profile() protocol.Profile { return e.profile }
+// resolve consumes the command's response exactly once: on success it
+// publishes the profile into the runtime metrics and monitor, on failure
+// it records the error here and as the queue's sticky error.
+func (e *Event) resolve() {
+	e.once.Do(func() {
+		if e.pending == nil {
+			return // born resolved
+		}
+		rt := e.queue.ctx.rt
+		defer rt.forgetEvent(e)
+		defer e.queue.forget(e)
+		if err := e.pending.Wait(); err != nil {
+			e.err = fmt.Errorf("core: command on %s: %w", e.dev.key, err)
+			e.queue.fail(e.err)
+			return
+		}
+		e.profile = e.resp.Profile
+		rt.observeProfile(e.dev.key, e.profile, e.isKernel)
+	})
+}
 
-// End returns the event's virtual completion instant.
-func (e *Event) End() vtime.Time { return vtime.Time(e.profile.End) }
+// Wait blocks until the command completed and reports its error, if any
+// (clWaitForEvents).
+func (e *Event) Wait() error {
+	e.resolve()
+	return e.err
+}
+
+// Profile returns the event's virtual-time profiling info, waiting for the
+// command's response if it is still in flight (clGetEventProfilingInfo).
+// A failed command reports a zero profile; use Wait to observe the error.
+func (e *Event) Profile() protocol.Profile {
+	e.resolve()
+	return e.profile
+}
+
+// End returns the event's virtual completion instant, waiting for the
+// response if necessary.
+func (e *Event) End() vtime.Time {
+	e.resolve()
+	return vtime.Time(e.profile.End)
+}
 
 // Device returns the device the command ran on.
 func (e *Event) Device() *DeviceRef { return e.dev }
 
 // Release frees the remote event object (clReleaseEvent). Long-running
 // host programs release events they no longer wait on so node object
-// tables stay bounded.
+// tables stay bounded. The release rides the same ordered connection as
+// the command that creates the event, so it needs no synchronization.
 func (e *Event) Release(rt *Runtime) error {
 	return rt.call(e.dev.node, &protocol.ReleaseReq{Kind: protocol.ObjEvent, ID: e.remoteID}, nil)
 }
@@ -129,11 +181,67 @@ func (c *Context) serviceQueue(node *NodeHandle) (*Queue, error) {
 }
 
 // Queue is an in-order command queue bound to one device
-// (clCreateCommandQueue with profiling enabled).
+// (clCreateCommandQueue with profiling enabled). Enqueue operations are
+// pipelined: they return without waiting for the node's response, and the
+// queue's sticky error records the first command failure so it surfaces at
+// the next synchronization point (Finish, or Wait on an event), matching
+// OpenCL's in-order queue semantics.
 type Queue struct {
 	ctx      *Context
 	dev      *DeviceRef
 	remoteID uint64
+
+	mu          sync.Mutex
+	outstanding map[*Event]struct{}
+	err         error // sticky: first pipelined command failure
+}
+
+// track registers a pipelined command with the queue and runtime so the
+// synchronization points can drain it.
+func (q *Queue) track(ev *Event) {
+	q.mu.Lock()
+	if q.outstanding == nil {
+		q.outstanding = make(map[*Event]struct{})
+	}
+	q.outstanding[ev] = struct{}{}
+	q.mu.Unlock()
+	q.ctx.rt.trackEvent(ev)
+}
+
+func (q *Queue) forget(ev *Event) {
+	q.mu.Lock()
+	delete(q.outstanding, ev)
+	q.mu.Unlock()
+}
+
+// fail records the queue's first command failure.
+func (q *Queue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.mu.Unlock()
+}
+
+// stickyErr reports the queue's first failure, if any. Enqueues on a
+// failed queue refuse immediately with that error.
+func (q *Queue) stickyErr() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// drain resolves every outstanding pipelined command on the queue.
+func (q *Queue) drain() {
+	q.mu.Lock()
+	evs := make([]*Event, 0, len(q.outstanding))
+	for e := range q.outstanding {
+		evs = append(evs, e)
+	}
+	q.mu.Unlock()
+	for _, e := range evs {
+		e.resolve()
+	}
 }
 
 // CreateQueue creates a command queue on dev.
@@ -156,9 +264,16 @@ func (c *Context) CreateQueue(dev *DeviceRef) (*Queue, error) {
 // Device returns the queue's device.
 func (q *Queue) Device() *DeviceRef { return q.dev }
 
-// Finish drains the queue and returns its virtual completion instant
-// (clFinish).
+// Finish drains the queue's pipeline and returns its virtual completion
+// instant (clFinish). It is the queue's primary synchronization point: all
+// in-flight responses are consumed, and the first failure of any pipelined
+// command on the queue — including one whose enqueue call returned nil —
+// is reported here.
 func (q *Queue) Finish() (vtime.Time, error) {
+	q.drain()
+	if err := q.stickyErr(); err != nil {
+		return 0, err
+	}
 	var resp protocol.FinishQueueResp
 	if err := q.ctx.rt.call(q.dev.node, &protocol.FinishQueueReq{QueueID: q.remoteID}, &resp); err != nil {
 		return 0, fmt.Errorf("core: finish queue on %s: %w", q.dev.key, err)
@@ -178,12 +293,14 @@ func (q *Queue) Release() error {
 		&protocol.ReleaseReq{Kind: protocol.ObjQueue, ID: q.remoteID}, nil)
 }
 
-// remoteBuf tracks one node's replica of a buffer.
+// remoteBuf tracks one node's replica of a buffer. lastEvent chains the
+// replica's most recent writer: because event IDs are host-assigned at
+// issue time, a dependent command can be pipelined behind the writer
+// without waiting for the writer's response.
 type remoteBuf struct {
 	id        uint64
 	valid     bool
-	lastEvent uint64     // remote event ID of the last write, for ordering
-	lastEnd   vtime.Time // its completion instant
+	lastEvent uint64 // event ID of the last write, for ordering
 }
 
 // Buffer is a cluster-wide memory object (clCreateBuffer). The host keeps a
@@ -271,8 +388,13 @@ func (b *Buffer) remoteOn(node *NodeHandle) (*remoteBuf, error) {
 
 // EnqueueWrite transfers data into the buffer through q's device
 // (clEnqueueWriteBuffer). The host shadow is updated, every other replica
-// is invalidated, and the transfer is charged to the host NIC model.
+// is invalidated, and the transfer is charged to the host NIC model. The
+// command is pipelined: the call returns once the request is on the wire,
+// and the returned event resolves when the node responds.
 func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Event) (*Event, error) {
+	if err := q.stickyErr(); err != nil {
+		return nil, err
+	}
 	if offset < 0 || offset+int64(len(data)) > b.size {
 		return nil, fmt.Errorf("core: write [%d,%d) out of bounds (buffer %d bytes)",
 			offset, offset+int64(len(data)), b.size)
@@ -303,8 +425,8 @@ func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	earliest := vtime.Max(b.hostReadyAt, floor)
 	arrival := q.ctx.rt.chargeNIC(earliest, controlMsgBytes+modelBytes)
 
-	var resp protocol.EventResp
-	err = q.ctx.rt.call(node, &protocol.WriteBufferReq{
+	resp := new(protocol.EventResp)
+	id, pend := q.ctx.rt.issue(node, &protocol.WriteBufferReq{
 		QueueID:    q.remoteID,
 		BufferID:   rb.id,
 		Offset:     offset,
@@ -312,25 +434,21 @@ func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 		SimArrival: int64(arrival),
 		ModelBytes: modelBytes,
 		WaitEvents: localWaits,
-	}, &resp)
-	if err != nil {
-		return nil, fmt.Errorf("core: write buffer on %s: %w", q.dev.key, err)
-	}
+	}, resp)
+	ev := &Event{dev: q.dev, remoteID: id, queue: q, pending: pend, resp: resp}
+	q.track(ev)
 
-	// Coherence: this node and the host now hold the data; other replicas
-	// of the written range are stale. Partial writes conservatively
-	// invalidate whole remote replicas.
+	// Coherence at issue time (wire order is event-ID order): this node and
+	// the host now hold the data; other replicas of the written range are
+	// stale. Partial writes conservatively invalidate whole remote replicas.
 	for other, orb := range b.remote {
 		if other != node {
 			orb.valid = false
 		}
 	}
 	rb.valid = true
-	rb.lastEvent = resp.EventID
-	rb.lastEnd = vtime.Time(resp.Profile.End)
-
-	q.ctx.rt.observeProfile(q.dev.key, resp.Profile, false)
-	return &Event{dev: q.dev, remoteID: resp.EventID, profile: resp.Profile}, nil
+	rb.lastEvent = id
+	return ev, nil
 }
 
 // ensureResident makes the buffer valid on node, migrating data from the
@@ -370,8 +488,10 @@ func (b *Buffer) ensureResident(node *NodeHandle) (*remoteBuf, error) {
 				return nil, err
 			}
 			arrival := b.ctx.rt.chargeNIC(0, controlMsgBytes)
+			// The pull is pipelined behind the owner's pending writes (the
+			// wait on lastEvent), but the host must block for the data.
 			var resp protocol.ReadBufferResp
-			err = b.ctx.rt.call(owner, &protocol.ReadBufferReq{
+			_, pend := b.ctx.rt.issue(owner, &protocol.ReadBufferReq{
 				QueueID:    svc.remoteID,
 				BufferID:   ownerRB.id,
 				Offset:     0,
@@ -380,7 +500,7 @@ func (b *Buffer) ensureResident(node *NodeHandle) (*remoteBuf, error) {
 				ModelBytes: b.modelSize,
 				WaitEvents: lastEventList(ownerRB),
 			}, &resp)
-			if err != nil {
+			if err := pend.Wait(); err != nil {
 				return nil, fmt.Errorf("core: migrate buffer from %q: %w", owner.name, err)
 			}
 			// Response data crosses the backbone back to the host.
@@ -395,14 +515,19 @@ func (b *Buffer) ensureResident(node *NodeHandle) (*remoteBuf, error) {
 		}
 	}
 
-	// Push the host shadow to the target node through its service queue.
+	// Push the host shadow to the target node through its service queue,
+	// pipelined: the consumer command that triggered the migration waits on
+	// the push's event ID, so neither response is needed before issuing it.
 	svc, err := b.ctx.serviceQueue(node)
 	if err != nil {
 		return nil, err
 	}
+	if err := svc.stickyErr(); err != nil {
+		return nil, err
+	}
 	arrival := b.ctx.rt.chargeNIC(b.hostReadyAt, controlMsgBytes+b.modelSize)
-	var resp protocol.EventResp
-	err = b.ctx.rt.call(node, &protocol.WriteBufferReq{
+	resp := new(protocol.EventResp)
+	id, pend := b.ctx.rt.issue(node, &protocol.WriteBufferReq{
 		QueueID:    svc.remoteID,
 		BufferID:   rb.id,
 		Offset:     0,
@@ -410,14 +535,10 @@ func (b *Buffer) ensureResident(node *NodeHandle) (*remoteBuf, error) {
 		SimArrival: int64(arrival),
 		ModelBytes: b.modelSize,
 		WaitEvents: lastEventList(rb),
-	}, &resp)
-	if err != nil {
-		return nil, fmt.Errorf("core: migrate buffer to %q: %w", node.name, err)
-	}
+	}, resp)
+	svc.track(&Event{dev: svc.dev, remoteID: id, queue: svc, pending: pend, resp: resp})
 	rb.valid = true
-	rb.lastEvent = resp.EventID
-	rb.lastEnd = vtime.Time(resp.Profile.End)
-	b.ctx.rt.observeProfile(svc.dev.key, resp.Profile, false)
+	rb.lastEvent = id
 	return rb, nil
 }
 
@@ -429,8 +550,15 @@ func lastEventList(rb *remoteBuf) []int64 {
 }
 
 // EnqueueRead transfers buffer contents back to the host
-// (clEnqueueReadBuffer), returning the data and the completion event.
+// (clEnqueueReadBuffer), returning the data and the completion event. The
+// read is issued through the pipeline — it rides behind any in-flight
+// commands it depends on without waiting for their responses — but the
+// call itself blocks until the data arrives, making it a natural
+// synchronization point for the buffer's command chain.
 func (q *Queue) EnqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]byte, *Event, error) {
+	if err := q.stickyErr(); err != nil {
+		return nil, nil, err
+	}
 	if offset < 0 || size < 0 || offset+size > b.size {
 		return nil, nil, fmt.Errorf("core: read [%d,%d) out of bounds (buffer %d bytes)",
 			offset, offset+size, b.size)
@@ -451,7 +579,7 @@ func (q *Queue) EnqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	arrival := q.ctx.rt.chargeNIC(floor, controlMsgBytes)
 
 	var resp protocol.ReadBufferResp
-	err = q.ctx.rt.call(node, &protocol.ReadBufferReq{
+	id, pend := q.ctx.rt.issue(node, &protocol.ReadBufferReq{
 		QueueID:    q.remoteID,
 		BufferID:   rb.id,
 		Offset:     offset,
@@ -460,7 +588,7 @@ func (q *Queue) EnqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 		ModelBytes: modelBytes,
 		WaitEvents: localWaits,
 	}, &resp)
-	if err != nil {
+	if err := pend.Wait(); err != nil {
 		return nil, nil, fmt.Errorf("core: read buffer on %s: %w", q.dev.key, err)
 	}
 	// The payload crosses the backbone to the host.
@@ -481,13 +609,17 @@ func (q *Queue) EnqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 		q.ctx.rt.metrics.Makespan = hostArrival
 	}
 	q.ctx.rt.mu.Unlock()
-	return resp.Data, &Event{dev: q.dev, remoteID: resp.EventID, profile: prof}, nil
+	// The event is born resolved: the read blocked for its response.
+	return resp.Data, &Event{dev: q.dev, remoteID: id, profile: prof}, nil
 }
 
 // EnqueueCopy copies size bytes between two buffers on q's device
 // (clEnqueueCopyBuffer). Both buffers are made resident on the node first;
 // the copy happens device-side with no backbone traffic.
 func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, waits ...*Event) (*Event, error) {
+	if err := q.stickyErr(); err != nil {
+		return nil, err
+	}
 	if size < 0 || srcOffset < 0 || dstOffset < 0 ||
 		srcOffset+size > src.size || dstOffset+size > dst.size {
 		return nil, fmt.Errorf("core: copy range out of bounds")
@@ -520,8 +652,8 @@ func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	localWaits = append(localWaits, lastEventList(dstRB)...)
 	_ = floor // device-side op: cross-node deps already folded into srcRB
 
-	var resp protocol.EventResp
-	err = q.ctx.rt.call(node, &protocol.CopyBufferReq{
+	resp := new(protocol.EventResp)
+	id, pend := q.ctx.rt.issue(node, &protocol.CopyBufferReq{
 		QueueID:    q.remoteID,
 		SrcID:      srcRB.id,
 		DstID:      dstRB.id,
@@ -529,20 +661,17 @@ func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 		DstOffset:  dstOffset,
 		Size:       size,
 		WaitEvents: localWaits,
-	}, &resp)
-	if err != nil {
-		return nil, fmt.Errorf("core: copy buffer on %s: %w", q.dev.key, err)
-	}
+	}, resp)
+	ev := &Event{dev: q.dev, remoteID: id, queue: q, pending: pend, resp: resp}
+	q.track(ev)
 	// The destination replica on this node is now the only valid copy.
 	for other, orb := range dst.remote {
 		orb.valid = other == node
 	}
 	dst.hostValid = false
 	dstRB.valid = true
-	dstRB.lastEvent = resp.EventID
-	dstRB.lastEnd = vtime.Time(resp.Profile.End)
-	q.ctx.rt.observeProfile(q.dev.key, resp.Profile, false)
-	return &Event{dev: q.dev, remoteID: resp.EventID, profile: resp.Profile}, nil
+	dstRB.lastEvent = id
+	return ev, nil
 }
 
 // Program is OpenCL program source plus its per-node builds. The host
@@ -736,8 +865,13 @@ type LaunchOptions struct {
 // EnqueueKernel launches the kernel over the NDRange on q's device
 // (clEnqueueNDRangeKernel). Buffer arguments are migrated to the device's
 // node as needed; written buffers (non-const global pointers in the
-// kernel's signature) invalidate other replicas.
+// kernel's signature) invalidate other replicas. The launch is pipelined:
+// the call returns once the request — and any migration writes it depends
+// on — are on the wire, without a round trip.
 func (q *Queue) EnqueueKernel(k *Kernel, global, local []int, waits []*Event, opts *LaunchOptions) (*Event, error) {
+	if err := q.stickyErr(); err != nil {
+		return nil, err
+	}
 	node := q.dev.node
 	remoteKernel, err := k.remoteOn(node)
 	if err != nil {
@@ -795,25 +929,25 @@ func (q *Queue) EnqueueKernel(k *Kernel, global, local []int, waits []*Event, op
 		req.CostFlops = opts.CostFlops
 		req.CostBytes = opts.CostBytes
 	}
-	var resp protocol.EventResp
-	if err := q.ctx.rt.call(node, req, &resp); err != nil {
-		return nil, fmt.Errorf("core: launch %q on %s: %w", k.name, q.dev.key, err)
-	}
+	resp := new(protocol.EventResp)
+	id, pend := q.ctx.rt.issue(node, req, resp)
+	ev := &Event{dev: q.dev, remoteID: id, queue: q, pending: pend, resp: resp, isKernel: true}
+	q.track(ev)
 
-	ev := &Event{dev: q.dev, remoteID: resp.EventID, profile: resp.Profile}
+	// Written-buffer coherence at issue time. The monotonic guard keeps a
+	// concurrent later-issued writer's chain intact: event IDs are assigned
+	// in wire order, so a smaller ID must never overwrite a larger one.
 	for _, b := range written {
 		b.mu.Lock()
 		for other, orb := range b.remote {
 			orb.valid = other == node
 		}
 		b.hostValid = false
-		if rb := b.remote[node]; rb != nil {
-			rb.lastEvent = resp.EventID
-			rb.lastEnd = vtime.Time(resp.Profile.End)
+		if rb := b.remote[node]; rb != nil && id > rb.lastEvent {
+			rb.lastEvent = id
 		}
 		b.mu.Unlock()
 	}
-	q.ctx.rt.observeProfile(q.dev.key, resp.Profile, true)
 	return ev, nil
 }
 

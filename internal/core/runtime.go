@@ -44,6 +44,13 @@ type NodeHandle struct {
 	name   string
 	addr   string
 	client *transport.Client
+
+	// issueMu makes (event-ID assignment, frame write) atomic so that wire
+	// order equals event-ID order — the ordering contract the node's FIFO
+	// dispatch turns into in-order command execution. eventID counts the
+	// host-assigned completion-event IDs for this connection.
+	issueMu sync.Mutex
+	eventID uint64
 }
 
 // Name returns the node's configured name.
@@ -119,6 +126,11 @@ type Runtime struct {
 
 	mu      sync.Mutex
 	metrics Metrics
+
+	// pendMu guards the set of pipelined commands whose responses have not
+	// been consumed yet; Metrics drains it so accounting is complete.
+	pendMu  sync.Mutex
+	pendSet map[*Event]struct{}
 }
 
 // Connect dials every node in the configuration, performs the Hello
@@ -144,6 +156,7 @@ func Connect(opts Options) (*Runtime, error) {
 		hostMem:    sim.NewHostMemory(),
 	}
 	rt.metrics.ComputeBusy = make(map[profile.DeviceKey]vtime.Duration)
+	rt.pendSet = make(map[*Event]struct{})
 
 	for _, spec := range opts.Config.Nodes {
 		client, err := opts.Dialer.Dial(spec.Addr)
@@ -238,12 +251,59 @@ func (rt *Runtime) SetPolicy(p sched.Policy) {
 	}
 }
 
-// call performs one protocol round trip and counts it.
+// call performs one protocol round trip and counts it. Object lifecycle
+// operations (creates, builds, releases, status polls) stay synchronous:
+// they are control-path and their results are needed immediately.
 func (rt *Runtime) call(n *NodeHandle, req protocol.Message, resp protocol.Message) error {
 	rt.mu.Lock()
 	rt.metrics.Commands++
 	rt.mu.Unlock()
 	return n.client.Call(req, resp)
+}
+
+// issue ships one enqueue command to n without waiting for the response:
+// it assigns the command's host-side completion-event ID and writes the
+// frame atomically, so the node observes commands in event-ID order and a
+// later command may wait on this one before it has been answered. The
+// returned future resolves when the node's response arrives.
+func (rt *Runtime) issue(n *NodeHandle, req protocol.CommandReq, resp protocol.Message) (uint64, *transport.Pending) {
+	rt.mu.Lock()
+	rt.metrics.Commands++
+	rt.mu.Unlock()
+	n.issueMu.Lock()
+	defer n.issueMu.Unlock()
+	n.eventID++
+	req.SetEventID(n.eventID)
+	return n.eventID, n.client.Go(req, resp)
+}
+
+// trackEvent registers an unresolved pipelined command so Metrics can
+// drain it; resolve removes it again.
+func (rt *Runtime) trackEvent(e *Event) {
+	rt.pendMu.Lock()
+	rt.pendSet[e] = struct{}{}
+	rt.pendMu.Unlock()
+}
+
+func (rt *Runtime) forgetEvent(e *Event) {
+	rt.pendMu.Lock()
+	delete(rt.pendSet, e)
+	rt.pendMu.Unlock()
+}
+
+// Flush resolves every outstanding pipelined command, waiting for the
+// in-flight responses. Command failures do not surface here; they stay
+// sticky on their queues and are reported by the next Finish/Wait on them.
+func (rt *Runtime) Flush() {
+	rt.pendMu.Lock()
+	evs := make([]*Event, 0, len(rt.pendSet))
+	for e := range rt.pendSet {
+		evs = append(evs, e)
+	}
+	rt.pendMu.Unlock()
+	for _, e := range evs {
+		e.resolve()
+	}
 }
 
 // ModelDataCreate charges host-side creation of n bytes of input data
@@ -295,8 +355,11 @@ func (rt *Runtime) observeProfile(key profile.DeviceKey, p protocol.Profile, isK
 	rt.monitor.ObserveCompletion(key, vtime.Time(p.End))
 }
 
-// Metrics returns a copy of the run's accumulated accounting.
+// Metrics returns a copy of the run's accumulated accounting. It is a
+// synchronization point: outstanding pipelined commands are drained first
+// so the numbers cover every command issued so far.
 func (rt *Runtime) Metrics() Metrics {
+	rt.Flush()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	out := rt.metrics

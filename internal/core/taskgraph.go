@@ -176,6 +176,13 @@ func schedTask(t *GraphTask) sched.Task {
 // Run places and launches every task using policy (nil selects the
 // runtime's default policy). Placement happens task by task in dependency
 // order, consulting the live monitor snapshot before each decision.
+//
+// Dispatch is pipelined: every launch goes out through the async command
+// path, so independent tasks — and same-node dependency chains, whose
+// ordering travels as host-assigned event IDs — are issued without a
+// single round trip. Run returns once every task is on the wire; Wait,
+// Makespan or a task event's Profile block until execution completed, and
+// a launch that fails remotely surfaces there (and on its queue's Finish).
 func (g *TaskGraph) Run(policy sched.Policy) error {
 	if policy == nil {
 		policy = g.ctx.rt.Policy()
@@ -225,14 +232,39 @@ func (g *TaskGraph) Run(policy sched.Policy) error {
 	return nil
 }
 
-// Makespan reports the latest completion instant across the graph's tasks.
+// Wait blocks until every dispatched task's launch completed, returning
+// the first task failure (the task-graph synchronization point).
+func (g *TaskGraph) Wait() error {
+	g.mu.Lock()
+	tasks := make([]*GraphTask, len(g.tasks))
+	copy(tasks, g.tasks)
+	g.mu.Unlock()
+	var firstErr error
+	for _, t := range tasks {
+		if t.event == nil {
+			continue
+		}
+		if err := t.event.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: task %q: %w", t.label, err)
+		}
+	}
+	return firstErr
+}
+
+// Makespan reports the latest completion instant across the graph's
+// tasks, waiting for in-flight launches outside the graph lock.
 func (g *TaskGraph) Makespan() vtime.Time {
 	g.mu.Lock()
-	defer g.mu.Unlock()
+	tasks := make([]*GraphTask, len(g.tasks))
+	copy(tasks, g.tasks)
+	g.mu.Unlock()
 	var end vtime.Time
-	for _, t := range g.tasks {
-		if t.event != nil && t.event.End() > end {
-			end = t.event.End()
+	for _, t := range tasks {
+		if t.event == nil {
+			continue
+		}
+		if e := t.event.End(); e > end {
+			end = e
 		}
 	}
 	return end

@@ -14,6 +14,11 @@ import (
 // are node-global (the host may reach the same object over several
 // connections), but queue objects remember their owning user so exclusive
 // devices can be enforced and sessions can clean up on disconnect.
+//
+// Events are the exception: they live in the Session, not here. Their IDs
+// are host-assigned (so the host can pipeline commands that wait on events
+// whose creating command has not responded yet), and host counters are
+// only unique per connection.
 type objectTable struct {
 	mu     sync.Mutex
 	nextID uint64
@@ -23,7 +28,6 @@ type objectTable struct {
 	buffers  map[uint64]*bufferObj
 	programs map[uint64]*programObj
 	kernels  map[uint64]*kernelObj
-	events   map[uint64]*eventObj
 }
 
 func newObjectTable() *objectTable {
@@ -33,7 +37,6 @@ func newObjectTable() *objectTable {
 		buffers:  make(map[uint64]*bufferObj),
 		programs: make(map[uint64]*programObj),
 		kernels:  make(map[uint64]*kernelObj),
-		events:   make(map[uint64]*eventObj),
 	}
 }
 
@@ -176,40 +179,6 @@ func (t *objectTable) kernel(id uint64) (*kernelObj, error) {
 	return k, nil
 }
 
-func (t *objectTable) putEvent(e *eventObj) uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e.id = t.newID()
-	t.events[e.id] = e
-	return e.id
-}
-
-func (t *objectTable) event(id uint64) (*eventObj, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e, ok := t.events[id]
-	if !ok {
-		return nil, remoteErr(protocol.CodeUnknownObject, "unknown event %d", id)
-	}
-	return e, nil
-}
-
-// eventDeadline returns the latest completion instant among the listed
-// events, used to resolve wait-list dependencies.
-func (t *objectTable) eventDeadline(ids []int64) (vtime.Time, error) {
-	var deadline vtime.Time
-	for _, id := range ids {
-		e, err := t.event(uint64(id))
-		if err != nil {
-			return 0, err
-		}
-		if end := vtime.Time(e.profile.End); end > deadline {
-			deadline = end
-		}
-	}
-	return deadline, nil
-}
-
 // release removes one object, returning whether it existed, plus the queue
 // object when a queue was released so the caller can update user counts.
 func (t *objectTable) release(kind protocol.ObjectKind, id uint64) (*queueObj, error) {
@@ -243,11 +212,6 @@ func (t *objectTable) release(kind protocol.ObjectKind, id uint64) (*queueObj, e
 			return nil, remoteErr(protocol.CodeUnknownObject, "release: unknown kernel %d", id)
 		}
 		delete(t.kernels, id)
-	case protocol.ObjEvent:
-		if _, ok := t.events[id]; !ok {
-			return nil, remoteErr(protocol.CodeUnknownObject, "release: unknown event %d", id)
-		}
-		delete(t.events, id)
 	default:
 		return nil, remoteErr(protocol.CodeBadRequest, "release: unknown object kind %d", kind)
 	}

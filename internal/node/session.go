@@ -20,6 +20,61 @@ type Session struct {
 	mu     sync.Mutex
 	userID string
 	queues map[uint64]*queueObj // queues created by this session
+	// events are session-local because their IDs are host-assigned: the
+	// pipelining host names each command's completion event up front so a
+	// later command's wait list can reference it before the response
+	// exists, and those counters are only unique per connection.
+	events map[uint64]*eventObj
+	// synthEventID assigns IDs for requests that carry none (direct
+	// session drivers and tests); the high range keeps them clear of
+	// host-assigned counters.
+	synthEventID uint64
+}
+
+// putEvent registers a completion event under the host-assigned ID, or
+// under a synthesized one when the request carried none.
+func (s *Session) putEvent(id uint64, e *eventObj) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == 0 {
+		s.synthEventID++
+		id = 1<<62 + s.synthEventID
+	}
+	e.id = id
+	if s.events == nil {
+		s.events = make(map[uint64]*eventObj)
+	}
+	s.events[id] = e
+	return id
+}
+
+func (s *Session) event(id uint64) (*eventObj, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.events[id]
+	if !ok {
+		return nil, remoteErr(protocol.CodeUnknownObject, "unknown event %d", id)
+	}
+	return e, nil
+}
+
+// eventDeadline returns the latest completion instant among the listed
+// events, resolving a command's wait-list dependencies. Commands execute
+// in connection arrival order, so every referenced event — even one whose
+// enqueue has not been answered yet from the host's perspective — has
+// already been registered here.
+func (s *Session) eventDeadline(ids []int64) (vtime.Time, error) {
+	var deadline vtime.Time
+	for _, id := range ids {
+		e, err := s.event(uint64(id))
+		if err != nil {
+			return 0, err
+		}
+		if end := vtime.Time(e.profile.End); end > deadline {
+			deadline = end
+		}
+	}
+	return deadline, nil
 }
 
 // HandleCall implements transport.Handler.
@@ -222,7 +277,7 @@ func (s *Session) handleWriteBuffer(body []byte) (protocol.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	deadline, err := s.node.objects.eventDeadline(req.WaitEvents)
+	deadline, err := s.eventDeadline(req.WaitEvents)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +304,7 @@ func (s *Session) handleWriteBuffer(body []byte) (protocol.Message, error) {
 	prof := protocol.Profile{
 		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
 	}
-	evID := s.node.objects.putEvent(&eventObj{profile: prof})
+	evID := s.putEvent(req.EventID, &eventObj{profile: prof})
 	return &protocol.EventResp{EventID: evID, Profile: prof}, nil
 }
 
@@ -266,7 +321,7 @@ func (s *Session) handleReadBuffer(body []byte) (protocol.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	deadline, err := s.node.objects.eventDeadline(req.WaitEvents)
+	deadline, err := s.eventDeadline(req.WaitEvents)
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +349,7 @@ func (s *Session) handleReadBuffer(body []byte) (protocol.Message, error) {
 	prof := protocol.Profile{
 		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
 	}
-	evID := s.node.objects.putEvent(&eventObj{profile: prof})
+	evID := s.putEvent(req.EventID, &eventObj{profile: prof})
 	return &protocol.ReadBufferResp{Data: out, EventID: evID, Profile: prof}, nil
 }
 
@@ -315,7 +370,7 @@ func (s *Session) handleCopyBuffer(body []byte) (protocol.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	deadline, err := s.node.objects.eventDeadline(req.WaitEvents)
+	deadline, err := s.eventDeadline(req.WaitEvents)
 	if err != nil {
 		return nil, err
 	}
@@ -345,7 +400,7 @@ func (s *Session) handleCopyBuffer(body []byte) (protocol.Message, error) {
 	prof := protocol.Profile{
 		Queued: int64(deadline), Submit: int64(start), Start: int64(start), End: int64(end),
 	}
-	evID := s.node.objects.putEvent(&eventObj{profile: prof})
+	evID := s.putEvent(req.EventID, &eventObj{profile: prof})
 	return &protocol.EventResp{EventID: evID, Profile: prof}, nil
 }
 
@@ -462,7 +517,7 @@ func (s *Session) handleEnqueueKernel(body []byte) (protocol.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	deadline, err := s.node.objects.eventDeadline(req.WaitEvents)
+	deadline, err := s.eventDeadline(req.WaitEvents)
 	if err != nil {
 		return nil, err
 	}
@@ -508,7 +563,7 @@ func (s *Session) handleEnqueueKernel(body []byte) (protocol.Message, error) {
 	prof := protocol.Profile{
 		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
 	}
-	evID := s.node.objects.putEvent(&eventObj{profile: prof})
+	evID := s.putEvent(req.EventID, &eventObj{profile: prof})
 	return &protocol.EventResp{EventID: evID, Profile: prof}, nil
 }
 
@@ -534,7 +589,7 @@ func (s *Session) handleQueryEvent(body []byte) (protocol.Message, error) {
 	if err := protocol.DecodeMessage(&req, body); err != nil {
 		return nil, err
 	}
-	e, err := s.node.objects.event(req.EventID)
+	e, err := s.event(req.EventID)
 	if err != nil {
 		return nil, err
 	}
@@ -545,6 +600,18 @@ func (s *Session) handleRelease(body []byte) (protocol.Message, error) {
 	var req protocol.ReleaseReq
 	if err := protocol.DecodeMessage(&req, body); err != nil {
 		return nil, err
+	}
+	if req.Kind == protocol.ObjEvent {
+		s.mu.Lock()
+		_, ok := s.events[req.ID]
+		if ok {
+			delete(s.events, req.ID)
+		}
+		s.mu.Unlock()
+		if !ok {
+			return nil, remoteErr(protocol.CodeUnknownObject, "release: unknown event %d", req.ID)
+		}
+		return &protocol.EmptyResp{}, nil
 	}
 	q, err := s.node.objects.release(req.Kind, req.ID)
 	if err != nil {

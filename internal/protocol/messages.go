@@ -454,6 +454,15 @@ func (*EmptyResp) UnmarshalBody(*Decoder) {}
 
 // --- Data movement -------------------------------------------------------
 
+// CommandReq is implemented by the enqueue requests that create an event:
+// the host names the event itself (SetEventID) so it can pipeline further
+// commands referencing that event before the node has responded. A zero
+// EventID asks the node to assign one (used by direct-session tests).
+type CommandReq interface {
+	Message
+	SetEventID(id uint64)
+}
+
 // WriteBufferReq transfers host data into a device buffer
 // (clEnqueueWriteBuffer). SimArrival is the virtual instant at which the
 // data finishes crossing the host NIC; the node starts the device-side copy
@@ -465,6 +474,9 @@ type WriteBufferReq struct {
 	Offset     int64
 	Data       []byte
 	SimArrival int64
+	// EventID, when non-zero, is the host-assigned ID for the completion
+	// event (see CommandReq).
+	EventID uint64
 	// ModelBytes, when positive, sizes the transfer in the device's
 	// timing model instead of len(Data) — the logical-scale counterpart
 	// of EnqueueKernelReq's cost override.
@@ -476,6 +488,9 @@ type WriteBufferReq struct {
 // Op implements Message.
 func (*WriteBufferReq) Op() Op { return OpWriteBuffer }
 
+// SetEventID implements CommandReq.
+func (m *WriteBufferReq) SetEventID(id uint64) { m.EventID = id }
+
 // MarshalBody implements Message.
 func (m *WriteBufferReq) MarshalBody(e *Encoder) {
 	e.U64(m.QueueID)
@@ -483,6 +498,7 @@ func (m *WriteBufferReq) MarshalBody(e *Encoder) {
 	e.I64(m.Offset)
 	e.Blob(m.Data)
 	e.I64(m.SimArrival)
+	e.U64(m.EventID)
 	e.I64(m.ModelBytes)
 	e.Ints(m.WaitEvents)
 }
@@ -494,6 +510,7 @@ func (m *WriteBufferReq) UnmarshalBody(d *Decoder) {
 	m.Offset = d.I64()
 	m.Data = d.Blob()
 	m.SimArrival = d.I64()
+	m.EventID = d.U64()
 	m.ModelBytes = d.I64()
 	m.WaitEvents = d.Ints()
 }
@@ -527,6 +544,8 @@ type ReadBufferReq struct {
 	Offset     int64
 	Size       int64
 	SimArrival int64
+	// EventID, when non-zero, is the host-assigned completion event ID.
+	EventID uint64
 	// ModelBytes, when positive, sizes the transfer in the timing model.
 	ModelBytes int64
 	WaitEvents []int64
@@ -535,6 +554,9 @@ type ReadBufferReq struct {
 // Op implements Message.
 func (*ReadBufferReq) Op() Op { return OpReadBuffer }
 
+// SetEventID implements CommandReq.
+func (m *ReadBufferReq) SetEventID(id uint64) { m.EventID = id }
+
 // MarshalBody implements Message.
 func (m *ReadBufferReq) MarshalBody(e *Encoder) {
 	e.U64(m.QueueID)
@@ -542,6 +564,7 @@ func (m *ReadBufferReq) MarshalBody(e *Encoder) {
 	e.I64(m.Offset)
 	e.I64(m.Size)
 	e.I64(m.SimArrival)
+	e.U64(m.EventID)
 	e.I64(m.ModelBytes)
 	e.Ints(m.WaitEvents)
 }
@@ -553,6 +576,7 @@ func (m *ReadBufferReq) UnmarshalBody(d *Decoder) {
 	m.Offset = d.I64()
 	m.Size = d.I64()
 	m.SimArrival = d.I64()
+	m.EventID = d.U64()
 	m.ModelBytes = d.I64()
 	m.WaitEvents = d.Ints()
 }
@@ -584,17 +608,22 @@ func (m *ReadBufferResp) UnmarshalBody(d *Decoder) {
 // CopyBufferReq copies between two buffers on the same node
 // (clEnqueueCopyBuffer).
 type CopyBufferReq struct {
-	QueueID    uint64
-	SrcID      uint64
-	DstID      uint64
-	SrcOffset  int64
-	DstOffset  int64
-	Size       int64
+	QueueID   uint64
+	SrcID     uint64
+	DstID     uint64
+	SrcOffset int64
+	DstOffset int64
+	Size      int64
+	// EventID, when non-zero, is the host-assigned completion event ID.
+	EventID    uint64
 	WaitEvents []int64
 }
 
 // Op implements Message.
 func (*CopyBufferReq) Op() Op { return OpCopyBuffer }
+
+// SetEventID implements CommandReq.
+func (m *CopyBufferReq) SetEventID(id uint64) { m.EventID = id }
 
 // MarshalBody implements Message.
 func (m *CopyBufferReq) MarshalBody(e *Encoder) {
@@ -604,6 +633,7 @@ func (m *CopyBufferReq) MarshalBody(e *Encoder) {
 	e.I64(m.SrcOffset)
 	e.I64(m.DstOffset)
 	e.I64(m.Size)
+	e.U64(m.EventID)
 	e.Ints(m.WaitEvents)
 }
 
@@ -615,6 +645,7 @@ func (m *CopyBufferReq) UnmarshalBody(d *Decoder) {
 	m.SrcOffset = d.I64()
 	m.DstOffset = d.I64()
 	m.Size = d.I64()
+	m.EventID = d.U64()
 	m.WaitEvents = d.Ints()
 }
 
@@ -710,6 +741,8 @@ type EnqueueKernelReq struct {
 	Local      []int64
 	Args       []KernelArg
 	SimArrival int64
+	// EventID, when non-zero, is the host-assigned completion event ID.
+	EventID    uint64
 	WaitEvents []int64
 	// CostFlops/CostBytes, when positive, override the kernel's own cost
 	// model. The experiment harness uses this to model paper-scale
@@ -720,6 +753,9 @@ type EnqueueKernelReq struct {
 
 // Op implements Message.
 func (*EnqueueKernelReq) Op() Op { return OpEnqueueKernel }
+
+// SetEventID implements CommandReq.
+func (m *EnqueueKernelReq) SetEventID(id uint64) { m.EventID = id }
 
 // MarshalBody implements Message.
 func (m *EnqueueKernelReq) MarshalBody(e *Encoder) {
@@ -732,6 +768,7 @@ func (m *EnqueueKernelReq) MarshalBody(e *Encoder) {
 		m.Args[i].marshal(e)
 	}
 	e.I64(m.SimArrival)
+	e.U64(m.EventID)
 	e.Ints(m.WaitEvents)
 	e.I64(m.CostFlops)
 	e.I64(m.CostBytes)
@@ -752,6 +789,7 @@ func (m *EnqueueKernelReq) UnmarshalBody(d *Decoder) {
 		m.Args[i].unmarshal(d)
 	}
 	m.SimArrival = d.I64()
+	m.EventID = d.U64()
 	m.WaitEvents = d.Ints()
 	m.CostFlops = d.I64()
 	m.CostBytes = d.I64()
@@ -913,6 +951,14 @@ func (*ShutdownReq) MarshalBody(*Encoder) {}
 
 // UnmarshalBody implements Message.
 func (*ShutdownReq) UnmarshalBody(*Decoder) {}
+
+// The enqueue requests all carry host-assignable event IDs.
+var (
+	_ CommandReq = (*WriteBufferReq)(nil)
+	_ CommandReq = (*ReadBufferReq)(nil)
+	_ CommandReq = (*CopyBufferReq)(nil)
+	_ CommandReq = (*EnqueueKernelReq)(nil)
+)
 
 // ErrorResp carries a remote failure back to the caller.
 type ErrorResp struct {

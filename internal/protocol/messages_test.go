@@ -52,6 +52,7 @@ func TestEnqueueKernelRoundTrip(t *testing.T) {
 			{Kind: ArgLocal, LocalLen: 2048},
 		},
 		SimArrival: 123456,
+		EventID:    42,
 		WaitEvents: []int64{5, 6},
 		CostFlops:  1e12,
 		CostBytes:  1e11,
@@ -88,19 +89,20 @@ func TestAllMessagesRoundTripProperty(t *testing.T) {
 		},
 		func() (Message, Message) {
 			return &WriteBufferReq{QueueID: rng.Uint64(), BufferID: rng.Uint64(), Offset: rng.Int63(),
-				Data: randBlob(rng), SimArrival: rng.Int63(), ModelBytes: rng.Int63(),
+				Data: randBlob(rng), SimArrival: rng.Int63(), EventID: rng.Uint64(), ModelBytes: rng.Int63(),
 				WaitEvents: []int64{rng.Int63()}}, &WriteBufferReq{}
 		},
 		func() (Message, Message) {
 			return &ReadBufferReq{QueueID: rng.Uint64(), BufferID: rng.Uint64(), Offset: rng.Int63(),
-				Size: rng.Int63(), SimArrival: rng.Int63(), ModelBytes: rng.Int63()}, &ReadBufferReq{}
+				Size: rng.Int63(), SimArrival: rng.Int63(), EventID: rng.Uint64(), ModelBytes: rng.Int63()}, &ReadBufferReq{}
 		},
 		func() (Message, Message) {
 			return &ReadBufferResp{Data: randBlob(rng), EventID: rng.Uint64(),
 				Profile: Profile{Queued: 1, Submit: 2, Start: 3, End: 4}}, &ReadBufferResp{}
 		},
 		func() (Message, Message) {
-			return &CopyBufferReq{QueueID: 1, SrcID: 2, DstID: 3, SrcOffset: 4, DstOffset: 5, Size: 6}, &CopyBufferReq{}
+			return &CopyBufferReq{QueueID: 1, SrcID: 2, DstID: 3, SrcOffset: 4, DstOffset: 5, Size: 6,
+				EventID: rng.Uint64()}, &CopyBufferReq{}
 		},
 		func() (Message, Message) {
 			return &BuildProgramReq{ContextID: rng.Uint64(), Source: randStr(rng), Options: randStr(rng)}, &BuildProgramReq{}

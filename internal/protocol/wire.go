@@ -26,8 +26,9 @@ const (
 	Magic = 0x4841 // "HA"
 
 	// Version is the wire protocol version. Peers with different versions
-	// refuse to talk.
-	Version = 1
+	// refuse to talk. Version 2 added host-assigned event IDs to the
+	// enqueue requests, the basis of command pipelining.
+	Version = 2
 
 	// MaxFrameSize is the largest permitted frame body (1 GiB), sized to
 	// hold the largest Table I benchmark input with headroom.

@@ -89,6 +89,63 @@ func TestTruncatedFrameDropsConnection(t *testing.T) {
 	}
 }
 
+// TestNodeDeathFailsInFlightFutures kills the server while pipelined Go
+// futures are in flight: every pending future must resolve to the sticky
+// connection error, and futures issued afterwards must fail the same way
+// without hanging.
+func TestNodeDeathFailsInFlightFutures(t *testing.T) {
+	block := make(chan struct{})
+	srv := NewStaticServer(HandlerFunc(func(op protocol.Op, body []byte) (protocol.Message, error) {
+		<-block // hold the dispatch worker so responses never go out
+		return &protocol.EmptyResp{}, nil
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const inFlight = 8
+	futures := make([]*Pending, inFlight)
+	for i := range futures {
+		futures[i] = client.Go(&protocol.HelloReq{UserID: "doomed"}, nil)
+	}
+
+	// Kill the server. Close waits for the blocked handler, so release it
+	// once the teardown has started closing connections.
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(block)
+	<-closed
+
+	for i, p := range futures {
+		done := make(chan error, 1)
+		go func() { done <- p.Wait() }()
+		select {
+		case err := <-done:
+			if err == nil {
+				// A future that raced the close may have its response; the
+				// rest must consistently fail below.
+				continue
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("future %d hung after node death", i)
+		}
+	}
+	// The connection error is sticky: new futures fail immediately too.
+	if err := client.Go(&protocol.HelloReq{}, nil).Wait(); err == nil {
+		t.Fatal("future on dead connection resolved successfully")
+	}
+}
+
 // TestNodeDeathFailsPendingCalls kills the server while calls are in
 // flight; every caller must get an error, not a hang.
 func TestNodeDeathFailsPendingCalls(t *testing.T) {

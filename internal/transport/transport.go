@@ -3,13 +3,20 @@
 // talks to the Node Management Processes.
 //
 // The design follows paper §III-C. Each node runs an acceptor that listens
-// asynchronously; every incoming message is unpacked and handled on its own
-// goroutine, after which the listener keeps reading — the Go equivalent of
-// the Boost.Asio acceptor/thread-per-message structure the paper describes.
-// The host side issues synchronous calls (it "waits for the response
-// message and then takes the next action"), but multiple outstanding calls
-// from different host goroutines are multiplexed over one connection via
-// request-ID correlation.
+// asynchronously; every accepted connection gets a reader goroutine plus a
+// dispatch worker — the Go equivalent of the Boost.Asio acceptor structure
+// the paper describes. Requests from one connection are executed in arrival
+// order (FIFO): the host runtime pipelines commands without waiting for
+// their responses, and in-order execution is what lets a later command
+// reference the host-assigned event ID of an earlier one that has not
+// produced a response yet.
+//
+// The host side issues calls through Go, which ships the request and
+// returns a Pending future; Call is Go followed by Wait. Any number of
+// outstanding futures from any number of host goroutines are multiplexed
+// over one connection via request-ID correlation, and a connection failure
+// is sticky: every in-flight and subsequent future resolves to the same
+// error.
 //
 // Two transports are provided: real TCP (used by cmd/haocl-node and the
 // integration tests) and an in-process pipe network (used by unit tests and
@@ -113,12 +120,29 @@ func (c *Client) failAll(err error) {
 	}
 }
 
-// Call sends req and blocks until the matching response arrives, decoding
-// it into resp. A remote failure surfaces as a *protocol.RemoteError.
-// resp may be nil when the caller only needs the acknowledgement.
-func (c *Client) Call(req protocol.Message, resp protocol.Message) error {
+// Pending is one in-flight call: a future that resolves when the matching
+// response frame arrives, when the request could not be sent, or when the
+// connection dies (all in-flight futures then fail with the same sticky
+// connection error). Wait is safe to call from any goroutine, any number
+// of times; the first call blocks and every call returns the same result.
+type Pending struct {
+	c    *Client
+	op   protocol.Op
+	resp protocol.Message
+	ch   chan *protocol.Frame
+
+	once sync.Once
+	err  error
+}
+
+// Go sends req without waiting for the response and returns the call's
+// future. When the response arrives, Wait decodes it into resp (which may
+// be nil when the caller only needs the acknowledgement). Frames from
+// concurrent Go calls are written whole, but callers needing a defined
+// wire order across several Go calls must serialize the calls themselves.
+func (c *Client) Go(req protocol.Message, resp protocol.Message) *Pending {
+	p := &Pending{c: c, op: req.Op(), resp: resp, ch: make(chan *protocol.Frame, 1)}
 	id := c.nextID.Add(1)
-	ch := make(chan *protocol.Frame, 1)
 
 	c.mu.Lock()
 	if c.closed {
@@ -127,9 +151,10 @@ func (c *Client) Call(req protocol.Message, resp protocol.Message) error {
 		if err == nil {
 			err = ErrClosed
 		}
-		return err
+		p.settle(err)
+		return p
 	}
-	c.pending[id] = ch
+	c.pending[id] = p.ch
 	c.mu.Unlock()
 
 	frame := &protocol.Frame{
@@ -145,30 +170,52 @@ func (c *Client) Call(req protocol.Message, resp protocol.Message) error {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return fmt.Errorf("send %s: %w", req.Op(), err)
+		p.settle(fmt.Errorf("send %s: %w", req.Op(), err))
 	}
+	return p
+}
 
-	f, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.readErr
-		c.mu.Unlock()
-		if err == nil {
-			err = ErrClosed
+// settle resolves the future before Wait ever ran (send-side failures).
+func (p *Pending) settle(err error) {
+	p.once.Do(func() { p.err = err })
+}
+
+// Wait blocks until the call completes and returns its error, decoding the
+// response into the resp passed to Go. A remote failure surfaces as a
+// *protocol.RemoteError; a dead connection as its sticky error.
+func (p *Pending) Wait() error {
+	p.once.Do(func() {
+		f, ok := <-p.ch
+		if !ok {
+			p.c.mu.Lock()
+			err := p.c.readErr
+			p.c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			p.err = fmt.Errorf("call %s: %w", p.op, err)
+			return
 		}
-		return fmt.Errorf("call %s: %w", req.Op(), err)
-	}
-	if f.Op == protocol.OpError {
-		var er protocol.ErrorResp
-		if derr := protocol.DecodeMessage(&er, f.Body); derr != nil {
-			return derr
+		if f.Op == protocol.OpError {
+			var er protocol.ErrorResp
+			if derr := protocol.DecodeMessage(&er, f.Body); derr != nil {
+				p.err = derr
+				return
+			}
+			p.err = &protocol.RemoteError{Op: p.op, Code: er.Code, Message: er.Message}
+			return
 		}
-		return &protocol.RemoteError{Op: req.Op(), Code: er.Code, Message: er.Message}
-	}
-	if resp == nil {
-		return nil
-	}
-	return protocol.DecodeMessage(resp, f.Body)
+		if p.resp != nil {
+			p.err = protocol.DecodeMessage(p.resp, f.Body)
+		}
+	})
+	return p.err
+}
+
+// Call sends req and blocks until the matching response arrives, decoding
+// it into resp: Go followed by Wait.
+func (c *Client) Call(req protocol.Message, resp protocol.Message) error {
+	return c.Go(req, resp).Wait()
 }
 
 // Close tears the connection down; in-flight calls fail with ErrClosed.
@@ -177,8 +224,22 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// Server is the node side of the backbone: an acceptor plus one reader per
-// connection, with each request handled on its own goroutine.
+// Server is the node side of the backbone: an acceptor plus, per
+// connection, a reader goroutine and a dispatch worker that executes the
+// connection's requests strictly in arrival order.
+//
+// FIFO execution per connection is a protocol guarantee, not an
+// implementation detail: the host pipelines enqueue commands without
+// waiting for responses, naming each command's event with a host-assigned
+// ID, and a later command's wait list may reference an earlier command
+// whose response has not been produced yet. In-order execution makes that
+// reference valid by construction. Different connections execute
+// concurrently.
+//
+// The single lane trades away cross-queue execution concurrency within
+// one connection (it only matters for multi-device nodes doing heavy
+// functional work); per-queue dispatch lanes with in-order event
+// registration are the known refinement — see ROADMAP.md.
 //
 // Each accepted connection gets its own Handler from the factory, so the
 // NMP can maintain per-session state (user identity, owned objects). A
@@ -254,7 +315,22 @@ func (s *Server) ServeConn(conn net.Conn) {
 	s.mu.Unlock()
 
 	handler := s.factory()
-	s.wg.Add(1)
+	// The reader keeps draining the socket while the worker executes, so a
+	// pipelining host can stream frames into the job queue without waiting
+	// for earlier commands to finish.
+	jobs := make(chan *protocol.Frame, 128)
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		defer close(jobs)
+		for {
+			f, err := protocol.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			jobs <- f
+		}
+	}()
 	go func() {
 		defer s.wg.Done()
 		defer func() {
@@ -267,24 +343,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 				_ = closer.Close()
 			}
 		}()
-		var writeMu sync.Mutex
-		var reqWG sync.WaitGroup
-		for {
-			f, err := protocol.ReadFrame(conn)
-			if err != nil {
-				break
-			}
-			reqWG.Add(1)
-			go func(f *protocol.Frame) {
-				defer reqWG.Done()
-				s.dispatch(conn, handler, &writeMu, f)
-			}(f)
+		for f := range jobs {
+			s.dispatch(conn, handler, f)
 		}
-		reqWG.Wait()
 	}()
 }
 
-func (s *Server) dispatch(conn net.Conn, handler Handler, writeMu *sync.Mutex, f *protocol.Frame) {
+func (s *Server) dispatch(conn net.Conn, handler Handler, f *protocol.Frame) {
 	resp, err := handler.HandleCall(f.Op, f.Body)
 	out := &protocol.Frame{Kind: protocol.FrameResponse, ReqID: f.ReqID, Op: f.Op}
 	if err != nil {
@@ -298,8 +363,6 @@ func (s *Server) dispatch(conn net.Conn, handler Handler, writeMu *sync.Mutex, f
 	} else if resp != nil {
 		out.Body = protocol.EncodeMessage(resp)
 	}
-	writeMu.Lock()
-	defer writeMu.Unlock()
 	// A write failure means the peer vanished; the read loop notices and
 	// cleans the connection up, so the error needs no second handling.
 	_ = protocol.WriteFrame(conn, out)
