@@ -11,13 +11,19 @@
 //	haocl-bench -exp overhead   # §IV-B single-node overhead
 //	haocl-bench -exp ablation   # design-choice ablations (DESIGN.md)
 //	haocl-bench -exp pipeline   # async pipelining: sync vs pipelined enqueue
+//	haocl-bench -exp batch      # wire-frame batching: sync vs pipelined vs batched
 //	haocl-bench -exp fig2 -quick  # reduced sweeps
+//	haocl-bench -exp pipeline -json  # machine-readable result (pipeline/batch only)
 //
 // All reported durations are virtual time from the calibrated device and
-// network models; see DESIGN.md §1 for the methodology.
+// network models; see DESIGN.md §1 for the methodology. The -json output
+// of the pipeline and batch experiments is the format committed as the
+// BENCH_*.json perf baselines at the repository root and uploaded as a CI
+// artifact by the bench-smoke job.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,11 +41,33 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("haocl-bench", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, pipeline, all")
-		quick = fs.Bool("quick", false, "reduced sweeps for a fast look")
+		exp     = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, pipeline, batch, all")
+		quick   = fs.Bool("quick", false, "reduced sweeps for a fast look")
+		jsonOut = fs.Bool("json", false, "emit the result as JSON (pipeline and batch experiments)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *jsonOut {
+		var (
+			rep *bench.Report
+			err error
+		)
+		switch *exp {
+		case "pipeline":
+			rep, err = bench.PipelineReport(*quick)
+		case "batch":
+			rep, err = bench.BatchReport(*quick)
+		default:
+			return fmt.Errorf("-json supports -exp pipeline and -exp batch, not %q", *exp)
+		}
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
 
 	opts := bench.DefaultFig2Options()
@@ -71,6 +99,8 @@ func run(args []string) error {
 			return bench.Ablations(w)
 		case "pipeline":
 			return bench.Pipeline(w, *quick)
+		case "batch":
+			return bench.Batch(w, *quick)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -79,7 +109,7 @@ func run(args []string) error {
 	if *exp != "all" {
 		return runOne(*exp)
 	}
-	for _, name := range []string{"table1", "overhead", "fig2", "hetero", "fig3", "ablation", "pipeline"} {
+	for _, name := range []string{"table1", "overhead", "fig2", "hetero", "fig3", "ablation", "pipeline", "batch"} {
 		if err := runOne(name); err != nil {
 			return err
 		}

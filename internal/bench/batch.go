@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file measures wire-frame batching on top of the pipelined command
+// path: with round trips already gone (-exp pipeline), the per-frame write
+// syscall and header overhead dominate the host→node control path, and the
+// wire v3 coalescer amortizes both by enveloping bursts of small frames.
+// The sync and pipelined cells run against nodes pinned at wire v2, so
+// "pipelined" reproduces the pre-batching runtime exactly and "batched"
+// isolates the coalescer's contribution; it also exercises the v2↔v3
+// negotiation fallback for real, since the v2-pinned nodes make the host
+// drop back to one-frame-per-write.
+
+// BatchReport measures sync vs pipelined (v2 fallback) vs batched (v3
+// coalescing) on the MatrixMul tile stream and the BFS frontier chain.
+func BatchReport(quick bool) (*Report, error) {
+	return streamReport("batch", quick, []StreamMode{ModeSync, ModePipelined, ModeBatched})
+}
+
+// Batch runs the three-mode comparison on loopback TCP and prints it.
+func Batch(w io.Writer, quick bool) error {
+	gpus, launches, levels := streamSizes(quick)
+	fmt.Fprintln(w, "=== Wire-frame batching: sync vs pipelined vs batched enqueue ===")
+	fmt.Fprintf(w, "(MatrixMul: %d tiles x 3 commands across %d GPU nodes; BFS: %d-level frontier chain)\n",
+		gpus*launches, gpus, levels)
+	fmt.Fprintln(w, "(loopback TCP; sync/pipelined nodes pinned at wire v2, batched nodes negotiate v3)")
+	rep, err := BatchReport(quick)
+	if err != nil {
+		return err
+	}
+	printReport(w, rep)
+	return nil
+}

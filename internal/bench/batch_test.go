@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBatchedBeatsSyncMatmul is the acceptance gate for the wire-frame
+// batching layer: on the MatrixMul tile stream over loopback TCP, the
+// batched mode must beat the synchronous baseline while virtual time stays
+// identical across all three modes (batching changes syscalls, never the
+// modeled hardware). The batched-vs-pipelined margin is asserted loosely
+// (not < the pipelined rate) because CI machines are noisy; the committed
+// BENCH_batch.json baseline records the real gap.
+func TestBatchedBeatsSyncMatmul(t *testing.T) {
+	const gpus, launches = 2, 150
+	rows := map[StreamMode]PipelineRow{}
+	for _, mode := range []StreamMode{ModeSync, ModePipelined, ModeBatched} {
+		row, err := PipelineMatmul(gpus, launches, mode, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[mode] = row
+		t.Logf("%v", row)
+	}
+	if rows[ModeBatched].CmdsPerSec <= rows[ModeSync].CmdsPerSec {
+		t.Fatalf("batched rate %.0f cmds/s does not beat sync %.0f cmds/s",
+			rows[ModeBatched].CmdsPerSec, rows[ModeSync].CmdsPerSec)
+	}
+	if rows[ModeBatched].VirtualSec != rows[ModeSync].VirtualSec ||
+		rows[ModePipelined].VirtualSec != rows[ModeSync].VirtualSec {
+		t.Fatalf("virtual makespans diverged: sync=%v pipelined=%v batched=%v",
+			rows[ModeSync].VirtualSec, rows[ModePipelined].VirtualSec, rows[ModeBatched].VirtualSec)
+	}
+}
+
+// TestBatchReportShape checks the machine-readable report carries every
+// (workload, mode) cell and the comparisons the JSON baseline relies on.
+func TestBatchReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in short mode")
+	}
+	rep, err := BatchReport(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != "batch" {
+		t.Fatalf("experiment = %q", rep.Experiment)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 2 workloads x 3 modes", len(rep.Rows))
+	}
+	if len(rep.Comparisons) != 6 {
+		t.Fatalf("comparisons = %d, want 3 per workload", len(rep.Comparisons))
+	}
+	for _, c := range rep.Comparisons {
+		if !c.VirtualMatch {
+			t.Fatalf("virtual time diverged in %s/%s", c.Workload, c.Mode)
+		}
+		if c.Speedup <= 0 {
+			t.Fatalf("speedup %v in %s/%s", c.Speedup, c.Workload, c.Mode)
+		}
+	}
+}
+
+// TestBatchReportPrints smoke-tests the printed experiment.
+func TestBatchReportPrints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in short mode")
+	}
+	var sb strings.Builder
+	if err := Batch(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"MatrixMul", "BFS", "batched", "pipelined", "sync"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

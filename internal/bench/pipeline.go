@@ -11,35 +11,76 @@ import (
 	"github.com/haocl-project/haocl/internal/device"
 	"github.com/haocl-project/haocl/internal/mem"
 	"github.com/haocl-project/haocl/internal/node"
+	"github.com/haocl-project/haocl/internal/protocol"
 	"github.com/haocl-project/haocl/internal/sim"
 	"github.com/haocl-project/haocl/internal/transport"
 )
 
-// This file measures the asynchronous command pipelining of the backbone
+// This file measures the asynchronous command path of the backbone
 // (paper §III-C: the wrapper library ships every API call as a message over
-// an async communication layer). The same command stream is issued twice:
+// an async communication layer). The same command stream is issued in up to
+// three modes:
 //
 //	sync       — the host waits for every command's response before issuing
 //	             the next one, the behavior of the pre-pipelining runtime
 //	             (one full round trip per command);
 //	pipelined  — commands stream out back to back and the host synchronizes
-//	             only at Queue.Finish, the runtime's current behavior.
+//	             only at Queue.Finish; each frame still pays its own write
+//	             (the wire v2 path, emulated by pinning the node at v2);
+//	batched    — pipelined, plus the wire v3 coalescer packing bursts of
+//	             small frames into Batch envelopes written in one syscall,
+//	             with symmetric batched responses.
 //
-// Virtual time is identical in both modes — pipelining changes when the
-// host learns about completions, not when the simulated hardware works —
-// so the number that moves is the host-side wall-clock enqueue rate
-// (commands/second) and with it the end-to-end makespan of command-heavy
-// workloads on real deployments.
+// Virtual time is identical in every mode — neither pipelining nor
+// batching changes when the simulated hardware works — so the number that
+// moves is the host-side wall-clock enqueue rate (commands/second) and
+// with it the end-to-end makespan of command-heavy workloads on real
+// deployments.
+
+// StreamMode selects how the benchmark issues its command stream.
+type StreamMode int
+
+// Stream modes.
+const (
+	ModeSync StreamMode = iota
+	ModePipelined
+	ModeBatched
+)
+
+// String names the mode as reported in rows.
+func (m StreamMode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModePipelined:
+		return "pipelined"
+	case ModeBatched:
+		return "batched"
+	default:
+		return fmt.Sprintf("StreamMode(%d)", int(m))
+	}
+}
+
+// nodeWireVersion returns the wire version the benchmark's nodes advertise
+// for a mode: sync and pipelined pin the node at v2 so the host falls back
+// to the one-frame-per-write path (the PR 1 baseline), while batched runs
+// the full v3 negotiation.
+func (m StreamMode) nodeWireVersion() uint32 {
+	if m == ModeBatched {
+		return protocol.Version
+	}
+	return protocol.MinVersion
+}
 
 // PipelineRow is one (workload, transport, mode) measurement.
 type PipelineRow struct {
-	Workload   string
-	Transport  string // "mem" (in-process pipes) or "tcp" (loopback sockets)
-	Mode       string // "sync" or "pipelined"
-	Commands   int64
-	WallMS     float64
-	CmdsPerSec float64
-	VirtualSec float64 // virtual makespan, identical across modes
+	Workload   string  `json:"workload"`
+	Transport  string  `json:"transport"` // "mem" (in-process pipes) or "tcp" (loopback sockets)
+	Mode       string  `json:"mode"`      // "sync", "pipelined" or "batched"
+	Commands   int64   `json:"commands"`
+	WallMS     float64 `json:"wall_ms"`
+	CmdsPerSec float64 `json:"cmds_per_sec"`
+	VirtualSec float64 `json:"virtual_sec"` // virtual makespan, identical across modes
 }
 
 func (r PipelineRow) String() string {
@@ -50,10 +91,12 @@ func (r PipelineRow) String() string {
 // pipelinePlatform builds a gpus-node cluster either on the in-process
 // pipe network or on real loopback TCP sockets — the latter is the
 // deployment shape where the per-command round trip actually costs what
-// the paper's GbE backbone charges.
-func pipelinePlatform(gpus int, tcp bool) (*haocl.Platform, func(), error) {
+// the paper's GbE backbone charges. wire caps the nodes' advertised
+// protocol version (0 = current), letting sync/pipelined runs emulate a
+// pre-batching peer.
+func pipelinePlatform(gpus int, tcp bool, wire uint32) (*haocl.Platform, func(), error) {
 	if !tcp {
-		lc, err := cluster(gpus, 0)
+		lc, err := clusterAtWire(gpus, 0, wire)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -75,6 +118,7 @@ func pipelinePlatform(gpus int, tcp bool) (*haocl.Platform, func(), error) {
 			Devices:     []device.Config{{Driver: sim.DriverGPU, ID: 1, Shared: true}},
 			ICD:         icd,
 			ExecWorkers: 1,
+			WireVersion: wire,
 		})
 		if err != nil {
 			cleanup()
@@ -101,8 +145,8 @@ func pipelinePlatform(gpus int, tcp bool) (*haocl.Platform, func(), error) {
 }
 
 // syncPoint waits for ev when the stream runs in synchronous mode.
-func syncPoint(ev *haocl.Event, pipelined bool) error {
-	if pipelined || ev == nil {
+func syncPoint(ev *haocl.Event, mode StreamMode) error {
+	if mode != ModeSync || ev == nil {
 		return nil
 	}
 	return ev.Wait()
@@ -112,9 +156,9 @@ func syncPoint(ev *haocl.Event, pipelined bool) error {
 // tile, the host writes the A and B sub-blocks and launches the tile
 // kernel — three commands per tile, the command-heavy shape that makes
 // enqueue latency the bottleneck of a blocking protocol.
-func PipelineMatmul(gpus, launches int, pipelined, tcp bool) (PipelineRow, error) {
-	row := PipelineRow{Workload: "MatrixMul", Transport: transportName(tcp), Mode: mode(pipelined)}
-	p, cleanup, err := pipelinePlatform(gpus, tcp)
+func PipelineMatmul(gpus, launches int, mode StreamMode, tcp bool) (PipelineRow, error) {
+	row := PipelineRow{Workload: "MatrixMul", Transport: transportName(tcp), Mode: mode.String()}
+	p, cleanup, err := pipelinePlatform(gpus, tcp, mode.nodeWireVersion())
 	if err != nil {
 		return row, err
 	}
@@ -197,14 +241,14 @@ func PipelineMatmul(gpus, launches int, pipelined, tcp bool) (PipelineRow, error
 			if err != nil {
 				return row, err
 			}
-			if err := syncPoint(evA, pipelined); err != nil {
+			if err := syncPoint(evA, mode); err != nil {
 				return row, err
 			}
 			evB, err := st.q.EnqueueWrite(st.b, 0, tileBytes)
 			if err != nil {
 				return row, err
 			}
-			if err := syncPoint(evB, pipelined); err != nil {
+			if err := syncPoint(evB, mode); err != nil {
 				return row, err
 			}
 			// One work-group per tile: the in-order queue plus the buffer
@@ -213,7 +257,7 @@ func PipelineMatmul(gpus, launches int, pipelined, tcp bool) (PipelineRow, error
 			if err != nil {
 				return row, err
 			}
-			if err := syncPoint(ev, pipelined); err != nil {
+			if err := syncPoint(ev, mode); err != nil {
 				return row, err
 			}
 		}
@@ -236,9 +280,9 @@ func PipelineMatmul(gpus, launches int, pipelined, tcp bool) (PipelineRow, error
 // dependent kernel launches in a row, each waiting on its predecessor —
 // the worst case for a blocking protocol because nothing can overlap with
 // the round trips.
-func PipelineBFS(levels int, pipelined, tcp bool) (PipelineRow, error) {
-	row := PipelineRow{Workload: "BFS", Transport: transportName(tcp), Mode: mode(pipelined)}
-	p, cleanup, err := pipelinePlatform(1, tcp)
+func PipelineBFS(levels int, mode StreamMode, tcp bool) (PipelineRow, error) {
+	row := PipelineRow{Workload: "BFS", Transport: transportName(tcp), Mode: mode.String()}
+	p, cleanup, err := pipelinePlatform(1, tcp, mode.nodeWireVersion())
 	if err != nil {
 		return row, err
 	}
@@ -312,7 +356,7 @@ func PipelineBFS(levels int, pipelined, tcp bool) (PipelineRow, error) {
 	if err != nil {
 		return row, err
 	}
-	if err := syncPoint(prev, pipelined); err != nil {
+	if err := syncPoint(prev, mode); err != nil {
 		return row, err
 	}
 	for level := 0; level < levels; level++ {
@@ -325,7 +369,7 @@ func PipelineBFS(levels int, pipelined, tcp bool) (PipelineRow, error) {
 		if err != nil {
 			return row, err
 		}
-		if err := syncPoint(ev, pipelined); err != nil {
+		if err := syncPoint(ev, mode); err != nil {
 			return row, err
 		}
 		prev = ev
@@ -342,13 +386,6 @@ func PipelineBFS(levels int, pipelined, tcp bool) (PipelineRow, error) {
 	return row, nil
 }
 
-func mode(pipelined bool) string {
-	if pipelined {
-		return "pipelined"
-	}
-	return "sync"
-}
-
 func transportName(tcp bool) string {
 	if tcp {
 		return "tcp"
@@ -356,61 +393,136 @@ func transportName(tcp bool) string {
 	return "mem"
 }
 
-// Pipeline runs both workloads in both modes on both transports and
-// prints the comparison.
-func Pipeline(w io.Writer, quick bool) error {
-	gpus, launches, levels := 4, 400, 600
+// Comparison relates one mode's enqueue rate to a baseline mode on the
+// same workload.
+type Comparison struct {
+	Workload     string  `json:"workload"`
+	Baseline     string  `json:"baseline"`
+	Mode         string  `json:"mode"`
+	Speedup      float64 `json:"speedup"`
+	VirtualMatch bool    `json:"virtual_match"` // virtual makespans identical, as required
+}
+
+// Report is a machine-readable experiment result, the payload behind
+// `haocl-bench -json` and the committed BENCH_*.json baselines.
+type Report struct {
+	Experiment  string        `json:"experiment"`
+	Quick       bool          `json:"quick"`
+	Rows        []PipelineRow `json:"rows"`
+	Comparisons []Comparison  `json:"comparisons"`
+}
+
+// streamSizes returns the workload sizes for the command-stream
+// experiments.
+func streamSizes(quick bool) (gpus, launches, levels int) {
 	if quick {
-		gpus, launches, levels = 2, 100, 150
+		return 2, 100, 150
 	}
+	return 4, 400, 600
+}
+
+// bestOf samples a cell several times and keeps the fastest run: the
+// streams run a handful of milliseconds, so a single scheduler hiccup on a
+// small machine can swamp one sample.
+func bestOf(reps int, sample func() (PipelineRow, error)) (PipelineRow, error) {
+	var best PipelineRow
+	for i := 0; i < reps; i++ {
+		r, err := sample()
+		if err != nil {
+			return r, err
+		}
+		if i == 0 || r.CmdsPerSec > best.CmdsPerSec {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// streamReport measures both workloads in the given modes on loopback TCP
+// — the deployment shape where per-command round trips and per-frame
+// writes cost what the paper's GbE backbone charges (the in-process pipe
+// harness keeps the modes equivalent and is not a meaningful baseline) —
+// and compares every mode against the first.
+func streamReport(experiment string, quick bool, modes []StreamMode) (*Report, error) {
+	gpus, launches, levels := streamSizes(quick)
+	const tcp, reps = true, 3
+	rep := &Report{Experiment: experiment, Quick: quick}
+
+	type workload struct {
+		name   string
+		sample func(mode StreamMode) (PipelineRow, error)
+	}
+	workloads := []workload{
+		{"MatrixMul", func(mode StreamMode) (PipelineRow, error) {
+			return PipelineMatmul(gpus, launches, mode, tcp)
+		}},
+		{"BFS", func(mode StreamMode) (PipelineRow, error) {
+			return PipelineBFS(levels, mode, tcp)
+		}},
+	}
+	for _, wl := range workloads {
+		var cells []PipelineRow
+		for _, mode := range modes {
+			mode := mode
+			r, err := bestOf(reps, func() (PipelineRow, error) { return wl.sample(mode) })
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, r)
+			// Compare against every earlier mode, so a three-mode run
+			// reports batched-vs-pipelined (the number that isolates the
+			// coalescer) as well as everything-vs-sync.
+			for _, base := range cells {
+				rep.Comparisons = append(rep.Comparisons, Comparison{
+					Workload: wl.name,
+					Baseline: base.Mode,
+					Mode:     r.Mode,
+					Speedup:  r.CmdsPerSec / base.CmdsPerSec,
+					// Virtual makespans are float64 seconds derived from
+					// integer virtual nanoseconds; equality is exact.
+					VirtualMatch: r.VirtualSec == base.VirtualSec,
+				})
+			}
+			cells = append(cells, r)
+		}
+	}
+	return rep, nil
+}
+
+// printReport renders a report the way the text experiments always have.
+func printReport(w io.Writer, rep *Report) {
+	for _, r := range rep.Rows {
+		fmt.Fprintln(w, r)
+	}
+	for _, c := range rep.Comparisons {
+		match := "virtual makespan unchanged"
+		if !c.VirtualMatch {
+			match = "VIRTUAL MAKESPAN DIVERGED"
+		}
+		fmt.Fprintf(w, "%s: %s enqueue rate %.1fx %s (%s)\n",
+			c.Workload, c.Mode, c.Speedup, c.Baseline, match)
+	}
+}
+
+// PipelineReport measures sync vs pipelined enqueue (both against
+// v2-pinned nodes, isolating pipelining from batching).
+func PipelineReport(quick bool) (*Report, error) {
+	return streamReport("pipeline", quick, []StreamMode{ModeSync, ModePipelined})
+}
+
+// Pipeline runs both workloads in sync and pipelined modes on loopback
+// TCP and prints the comparison.
+func Pipeline(w io.Writer, quick bool) error {
+	gpus, launches, levels := streamSizes(quick)
 	fmt.Fprintln(w, "=== Async command pipelining: sync vs pipelined enqueue ===")
 	fmt.Fprintf(w, "(MatrixMul: %d tiles x 3 commands across %d GPU nodes; BFS: %d-level frontier chain)\n",
 		gpus*launches, gpus, levels)
-	fmt.Fprintln(w, "(loopback TCP nodes — the deployment shape where each blocked enqueue pays a real round trip;")
-	fmt.Fprintln(w, " the in-process pipe harness keeps both modes equivalent and is not a meaningful baseline)")
-
-	// Best of three samples per cell: the streams run a handful of
-	// milliseconds, so a single scheduler hiccup on a small machine can
-	// swamp one sample.
-	const tcp, reps = true, 3
-	best := func(sample func() (PipelineRow, error)) (PipelineRow, error) {
-		var best PipelineRow
-		for i := 0; i < reps; i++ {
-			r, err := sample()
-			if err != nil {
-				return r, err
-			}
-			if i == 0 || r.CmdsPerSec > best.CmdsPerSec {
-				best = r
-			}
-		}
-		return best, nil
+	fmt.Fprintln(w, "(loopback TCP nodes pinned at wire v2 — the pre-batching deployment shape where each")
+	fmt.Fprintln(w, " blocked enqueue pays a real round trip and every frame its own write)")
+	rep, err := PipelineReport(quick)
+	if err != nil {
+		return err
 	}
-	var rows []PipelineRow
-	for _, pipelined := range []bool{false, true} {
-		pipelined := pipelined
-		r, err := best(func() (PipelineRow, error) { return PipelineMatmul(gpus, launches, pipelined, tcp) })
-		if err != nil {
-			return err
-		}
-		rows = append(rows, r)
-	}
-	for _, pipelined := range []bool{false, true} {
-		pipelined := pipelined
-		r, err := best(func() (PipelineRow, error) { return PipelineBFS(levels, pipelined, tcp) })
-		if err != nil {
-			return err
-		}
-		rows = append(rows, r)
-	}
-	for _, r := range rows {
-		fmt.Fprintln(w, r)
-	}
-	for i := 0; i+1 < len(rows); i += 2 {
-		syncRow, pipeRow := rows[i], rows[i+1]
-		fmt.Fprintf(w, "%s/%s: pipelined enqueue rate %.1fx sync (virtual makespan unchanged: %.3fs vs %.3fs)\n",
-			syncRow.Workload, syncRow.Transport, pipeRow.CmdsPerSec/syncRow.CmdsPerSec,
-			syncRow.VirtualSec, pipeRow.VirtualSec)
-	}
+	printReport(w, rep)
 	return nil
 }

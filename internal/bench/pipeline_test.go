@@ -14,11 +14,11 @@ func TestPipelineBeatsSyncMatmul(t *testing.T) {
 	// Loopback TCP is the deployment shape: socket buffering lets the
 	// pipeline stream while the blocking baseline pays each round trip.
 	const gpus, launches = 2, 150
-	syncRow, err := PipelineMatmul(gpus, launches, false, true)
+	syncRow, err := PipelineMatmul(gpus, launches, ModeSync, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pipeRow, err := PipelineMatmul(gpus, launches, true, true)
+	pipeRow, err := PipelineMatmul(gpus, launches, ModePipelined, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,8 +38,8 @@ func TestPipelineBeatsSyncMatmul(t *testing.T) {
 // modes and reports sane numbers (the chain is fully serialized in virtual
 // time, so only the wall-clock rate may differ).
 func TestPipelineBFSChain(t *testing.T) {
-	for _, pipelined := range []bool{false, true} {
-		row, err := PipelineBFS(60, pipelined, false)
+	for _, mode := range []StreamMode{ModeSync, ModePipelined, ModeBatched} {
+		row, err := PipelineBFS(60, mode, false)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,7 +9,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"github.com/haocl-project/haocl/internal/cluster"
@@ -45,6 +47,11 @@ type NodeHandle struct {
 	addr   string
 	client *transport.Client
 
+	// wireVersion is the protocol version the Hello handshake negotiated
+	// for this connection; batching is active iff it is at least
+	// protocol.VersionBatch.
+	wireVersion uint32
+
 	// issueMu makes (event-ID assignment, frame write) atomic so that wire
 	// order equals event-ID order — the ordering contract the node's FIFO
 	// dispatch turns into in-order command execution. eventID counts the
@@ -55,6 +62,9 @@ type NodeHandle struct {
 
 // Name returns the node's configured name.
 func (n *NodeHandle) Name() string { return n.name }
+
+// WireVersion reports the protocol version negotiated with this node.
+func (n *NodeHandle) WireVersion() uint32 { return n.wireVersion }
 
 // DeviceRef is one device in the cluster-wide table.
 type DeviceRef struct {
@@ -165,16 +175,17 @@ func Connect(opts Options) (*Runtime, error) {
 			return nil, fmt.Errorf("core: connect node %q: %w", spec.Name, err)
 		}
 		nh := &NodeHandle{name: spec.Name, addr: spec.Addr, client: client}
-		var resp protocol.HelloResp
-		err = client.Call(&protocol.HelloReq{
-			UserID:      rt.userID,
-			ClientName:  rt.clientName,
-			WireVersion: protocol.Version,
-		}, &resp)
+		resp, err := hello(client, rt.userID, rt.clientName)
 		if err != nil {
 			rt.Close()
 			client.Close()
 			return nil, fmt.Errorf("core: handshake with node %q: %w", spec.Name, err)
+		}
+		nh.wireVersion = resp.WireVersion
+		if resp.WireVersion >= protocol.VersionBatch {
+			// Both ends speak v3: coalesce small control frames into
+			// Batch envelopes. Older nodes keep the plain v2 write path.
+			client.EnableBatching()
 		}
 		rt.nodes = append(rt.nodes, nh)
 		for _, info := range resp.Devices {
@@ -192,6 +203,42 @@ func Connect(opts Options) (*Runtime, error) {
 		return nil, fmt.Errorf("core: cluster exposes no devices")
 	}
 	return rt, nil
+}
+
+// hello performs the handshake, negotiating the wire version. Nodes that
+// predate negotiation (wire v2 with a strict equality check) reject any
+// offer other than their own version instead of negotiating down, so a
+// version rejection is retried once pinned at MinVersion — that keeps a
+// current host interoperable with a pre-batching node binary, not just
+// with a current node capped at v2.
+func hello(client *transport.Client, userID, clientName string) (protocol.HelloResp, error) {
+	req := protocol.HelloReq{
+		UserID:      userID,
+		ClientName:  clientName,
+		WireVersion: protocol.Version,
+	}
+	var resp protocol.HelloResp
+	err := client.Call(&req, &resp)
+	if isVersionReject(err) {
+		req.WireVersion = protocol.MinVersion
+		resp = protocol.HelloResp{}
+		if err = client.Call(&req, &resp); err == nil {
+			// The session runs at what was offered, whatever the legacy
+			// response claims (pre-v3 responses lack the field entirely).
+			resp.WireVersion = protocol.MinVersion
+		}
+	}
+	return resp, err
+}
+
+// isVersionReject reports whether a Hello failure is a version mismatch,
+// as opposed to an auth/transport problem worth surfacing directly.
+func isVersionReject(err error) bool {
+	var re *protocol.RemoteError
+	return errors.As(err, &re) &&
+		re.Op == protocol.OpHello &&
+		re.Code == protocol.CodeUnsupported &&
+		strings.Contains(re.Message, "wire version")
 }
 
 // ShutdownCluster asks every Node Management Process to drain and exit,

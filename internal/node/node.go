@@ -31,6 +31,10 @@ type Options struct {
 	// launch (0 = GOMAXPROCS). Experiment harnesses running many
 	// simulated nodes in one process set this to 1.
 	ExecWorkers int
+	// WireVersion caps the wire protocol version this node negotiates in
+	// Hello handshakes (0 = protocol.Version). Benchmarks and interop
+	// tests set protocol.MinVersion to stand in for a pre-batching peer.
+	WireVersion uint32
 }
 
 // Node is one device node's management process.
@@ -39,6 +43,7 @@ type Node struct {
 	devices     []device.Device
 	stats       []*deviceStats
 	execWorkers int
+	wireVersion uint32
 
 	objects *objectTable
 
@@ -123,9 +128,18 @@ func New(opts Options) (*Node, error) {
 	if len(opts.Devices) == 0 {
 		return nil, fmt.Errorf("node %q: at least one device required", opts.Name)
 	}
+	wireVersion := opts.WireVersion
+	if wireVersion == 0 {
+		wireVersion = protocol.Version
+	}
+	if wireVersion < protocol.MinVersion || wireVersion > protocol.Version {
+		return nil, fmt.Errorf("node %q: wire version %d outside supported range %d..%d",
+			opts.Name, wireVersion, protocol.MinVersion, protocol.Version)
+	}
 	n := &Node{
 		name:        opts.Name,
 		execWorkers: opts.ExecWorkers,
+		wireVersion: wireVersion,
 		objects:     newObjectTable(),
 	}
 	for i, cfg := range opts.Devices {
@@ -203,9 +217,12 @@ func (n *Node) shutdown() {
 // NewSession returns a transport handler bound to one connection.
 func (n *Node) NewSession() transport.Handler { return &Session{node: n} }
 
-// Serve returns a transport server for this node.
+// Serve returns a transport server for this node, enforcing the node's
+// wire-version cap at the framing layer.
 func (n *Node) Serve() *transport.Server {
-	return transport.NewServer(func() transport.Handler { return n.NewSession() })
+	srv := transport.NewServer(func() transport.Handler { return n.NewSession() })
+	srv.LimitWireVersion(n.wireVersion)
+	return srv
 }
 
 // remoteErr builds a protocol error with a code the host can match on.

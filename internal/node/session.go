@@ -148,16 +148,26 @@ func (s *Session) handleHello(body []byte) (protocol.Message, error) {
 	if err := protocol.DecodeMessage(&req, body); err != nil {
 		return nil, err
 	}
-	if req.WireVersion != protocol.Version {
+	// Version negotiation: the session runs at the highest version both
+	// sides speak. A host newer than the node falls back to the node's
+	// version (so a v3 host interoperates with a v2-only node, minus
+	// batching); a host older than MinVersion cannot be spoken to at all.
+	if req.WireVersion < protocol.MinVersion {
 		return nil, remoteErr(protocol.CodeUnsupported,
-			"wire version mismatch: host %d, node %d", req.WireVersion, protocol.Version)
+			"wire version %d unsupported: node speaks %d through %d",
+			req.WireVersion, protocol.MinVersion, s.node.wireVersion)
+	}
+	negotiated := s.node.wireVersion
+	if req.WireVersion < negotiated {
+		negotiated = req.WireVersion
 	}
 	s.mu.Lock()
 	s.userID = req.UserID
 	s.mu.Unlock()
 	return &protocol.HelloResp{
-		NodeName: s.node.name,
-		Devices:  s.node.DeviceInfos(0),
+		NodeName:    s.node.name,
+		Devices:     s.node.DeviceInfos(0),
+		WireVersion: negotiated,
 	}, nil
 }
 

@@ -30,6 +30,7 @@ const (
 	OpNodeStatus
 	OpShutdown
 	OpError // response-only: carries a remote error string
+	OpBatch // wire v3: envelope op carried by FrameBatch frames
 )
 
 var opNames = map[Op]string{
@@ -50,6 +51,7 @@ var opNames = map[Op]string{
 	OpNodeStatus:     "NodeStatus",
 	OpShutdown:       "Shutdown",
 	OpError:          "Error",
+	OpBatch:          "Batch",
 }
 
 // String names the op for logs and errors.
@@ -239,6 +241,12 @@ func (m *HelloReq) UnmarshalBody(d *Decoder) {
 type HelloResp struct {
 	NodeName string
 	Devices  []DeviceInfo
+	// WireVersion is the protocol version the node negotiated for this
+	// session: min(host's offered version, node's own). The host enables
+	// Batch coalescing only when it is at least VersionBatch. The field
+	// was appended in v3; responses from v2 nodes lack it and decode as
+	// MinVersion.
+	WireVersion uint32
 }
 
 // Op implements Message.
@@ -251,6 +259,7 @@ func (m *HelloResp) MarshalBody(e *Encoder) {
 	for i := range m.Devices {
 		m.Devices[i].marshal(e)
 	}
+	e.U32(m.WireVersion)
 }
 
 // UnmarshalBody implements Message.
@@ -263,6 +272,11 @@ func (m *HelloResp) UnmarshalBody(d *Decoder) {
 	m.Devices = make([]DeviceInfo, n)
 	for i := range m.Devices {
 		m.Devices[i].unmarshal(d)
+	}
+	if d.Err() == nil && d.Remaining() >= 4 {
+		m.WireVersion = d.U32()
+	} else if d.Err() == nil {
+		m.WireVersion = MinVersion // pre-v3 response without the field
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 )
 
 // Protocol limits. MaxFrameSize bounds a single message so a corrupted
@@ -25,10 +26,20 @@ const (
 	// (something else dialing the NMP port) fails fast.
 	Magic = 0x4841 // "HA"
 
-	// Version is the wire protocol version. Peers with different versions
-	// refuse to talk. Version 2 added host-assigned event IDs to the
-	// enqueue requests, the basis of command pipelining.
-	Version = 2
+	// Version is the highest wire protocol version this build speaks.
+	// Version 2 added host-assigned event IDs to the enqueue requests,
+	// the basis of command pipelining; version 3 added the Batch frame
+	// that coalesces small control messages. Peers negotiate the working
+	// version in the Hello handshake (min of both sides) and fall back to
+	// the v2 one-frame-per-message path against older peers.
+	Version = 3
+
+	// MinVersion is the oldest version this build interoperates with.
+	MinVersion = 2
+
+	// VersionBatch is the first version whose peers understand Batch
+	// envelopes; the host only coalesces after negotiating at least this.
+	VersionBatch = 3
 
 	// MaxFrameSize is the largest permitted frame body (1 GiB), sized to
 	// hold the largest Table I benchmark input with headroom.
@@ -40,11 +51,24 @@ const (
 // FrameKind distinguishes requests from responses on a connection.
 type FrameKind uint8
 
-// Frame kinds.
+// Frame kinds. FrameBatch (wire v3) envelopes a sequence of request or
+// response frames in one wire frame; see EncodeBatch.
 const (
 	FrameRequest FrameKind = iota + 1
 	FrameResponse
+	FrameBatch
 )
+
+// frameVersion is the version byte stamped on a frame: the minimum wire
+// version able to decode that frame kind. Plain frames carry MinVersion so
+// a v2 peer accepts them before and after negotiation; Batch frames carry
+// VersionBatch and are only sent once the peer has negotiated v3.
+func frameVersion(k FrameKind) byte {
+	if k == FrameBatch {
+		return VersionBatch
+	}
+	return MinVersion
+}
 
 // Errors returned by the framing layer.
 var (
@@ -63,26 +87,67 @@ type Frame struct {
 	Body  []byte
 }
 
+// FrameWireSize reports the bytes f occupies on the wire (header + body),
+// the unit coalescing writers budget their queues in.
+func FrameWireSize(f *Frame) int { return headerSize + len(f.Body) }
+
+// appendHeader appends f's frame header to buf.
+func appendHeader(buf []byte, f *Frame) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, headerSize)...)
+	binary.BigEndian.PutUint16(buf[off:off+2], Magic)
+	buf[off+2] = frameVersion(f.Kind)
+	buf[off+3] = byte(f.Kind)
+	binary.BigEndian.PutUint64(buf[off+4:off+12], f.ReqID)
+	binary.BigEndian.PutUint16(buf[off+12:off+14], uint16(f.Op))
+	binary.BigEndian.PutUint32(buf[off+14:off+18], uint32(len(f.Body)))
+	return buf
+}
+
+// AppendFrame appends f's wire encoding (header + body) to buf and returns
+// the extended slice, so a coalescing writer can stack several frames into
+// one buffer and hand them to a single Write call.
+func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
+	if len(f.Body) > MaxFrameSize {
+		return buf, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(f.Body))
+	}
+	return append(appendHeader(buf, f), f.Body...), nil
+}
+
+// WriteFrameTo writes f without copying its body, using vectored I/O when
+// w supports it (net.Buffers uses writev on real sockets). Coalescing
+// writers use it for bulk frames, where WriteFrame's single-buffer copy
+// would double the payload's memory footprint for no syscall win.
+func WriteFrameTo(w io.Writer, f *Frame) error {
+	if len(f.Body) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(f.Body))
+	}
+	hdr := appendHeader(make([]byte, 0, headerSize), f)
+	if len(f.Body) == 0 {
+		_, err := w.Write(hdr)
+		return err
+	}
+	bufs := net.Buffers{hdr, f.Body}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
 // WriteFrame serializes f to w with the fixed header. The body is written
 // in the same syscall batch as the header via a single buffer to keep the
 // backbone's per-message overhead low.
 func WriteFrame(w io.Writer, f *Frame) error {
-	if len(f.Body) > MaxFrameSize {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(f.Body))
+	buf, err := AppendFrame(make([]byte, 0, headerSize+len(f.Body)), f)
+	if err != nil {
+		return err
 	}
-	buf := make([]byte, headerSize+len(f.Body))
-	binary.BigEndian.PutUint16(buf[0:2], Magic)
-	buf[2] = Version
-	buf[3] = byte(f.Kind)
-	binary.BigEndian.PutUint64(buf[4:12], f.ReqID)
-	binary.BigEndian.PutUint16(buf[12:14], uint16(f.Op))
-	binary.BigEndian.PutUint32(buf[14:18], uint32(len(f.Body)))
-	copy(buf[headerSize:], f.Body)
-	_, err := w.Write(buf)
+	_, err = w.Write(buf)
 	return err
 }
 
 // ReadFrame reads one frame from r, validating magic, version and size.
+// Any version in [MinVersion, Version] is accepted: plain frames are
+// identical across both, and Batch frames only arrive from peers that
+// negotiated v3.
 func ReadFrame(r io.Reader) (*Frame, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -91,8 +156,8 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
 		return nil, ErrBadMagic
 	}
-	if hdr[2] != Version {
-		return nil, fmt.Errorf("%w: got %d want %d", ErrBadVersion, hdr[2], Version)
+	if hdr[2] < MinVersion || hdr[2] > Version {
+		return nil, fmt.Errorf("%w: got %d want %d through %d", ErrBadVersion, hdr[2], MinVersion, Version)
 	}
 	f := &Frame{
 		Kind:  FrameKind(hdr[3]),
@@ -128,6 +193,11 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 
 // U8 appends a uint8.
 func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a uint16.
+func (e *Encoder) U16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
 
 // U32 appends a uint32.
 func (e *Encoder) U32(v uint32) {
@@ -234,6 +304,15 @@ func (d *Decoder) U8() uint8 {
 		return 0
 	}
 	return b[0]
+}
+
+// U16 reads a uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
 }
 
 // U32 reads a uint32.

@@ -18,6 +18,16 @@
 // is sticky: every in-flight and subsequent future resolves to the same
 // error.
 //
+// Once the Hello handshake negotiates wire v3, the client's write side
+// coalesces: requests queue to a writer goroutine that drains whatever has
+// accumulated, packs runs of small frames into Batch envelopes, and ships
+// them with one write — flushing whenever the queue drains, so an idle
+// connection never waits on a timer. The server unpacks envelopes into the
+// same per-connection FIFO dispatch (preserving the pipeline's ordering
+// invariant) and coalesces the responses of each envelope symmetrically.
+// Against a v2 peer the write path is byte-identical to the pre-batching
+// runtime: one frame, one write.
+//
 // Two transports are provided: real TCP (used by cmd/haocl-node and the
 // integration tests) and an in-process pipe network (used by unit tests and
 // the experiment harness, where spawning dozens of OS processes would only
@@ -27,6 +37,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -56,7 +67,17 @@ var ErrClosed = errors.New("transport: connection closed")
 type Client struct {
 	conn net.Conn
 
-	writeMu sync.Mutex // serializes frame writes
+	// writeMu serializes direct frame writes (pre-negotiation v2 path)
+	// and guards the coalescer state. The writer goroutine itself writes
+	// without holding it: once batching is on, every frame goes through
+	// the queue, so the two write paths never overlap.
+	writeMu    sync.Mutex
+	writeCh    *sync.Cond // wakes the writer when frames are queued
+	spaceCh    *sync.Cond // wakes producers when the queue drains
+	queue      []*protocol.Frame
+	queueBytes int
+	batching   bool
+	sendDead   bool // write side failed or closed; queue is abandoned
 
 	mu      sync.Mutex
 	pending map[uint64]chan *protocol.Frame
@@ -82,8 +103,28 @@ func NewClient(conn net.Conn) *Client {
 		conn:    conn,
 		pending: make(map[uint64]chan *protocol.Frame),
 	}
+	c.writeCh = sync.NewCond(&c.writeMu)
+	c.spaceCh = sync.NewCond(&c.writeMu)
 	go c.readLoop()
+	go c.writeLoop()
 	return c
+}
+
+// maxQueuedBytes bounds the body bytes buffered in the coalescer queue.
+// Producers block once it is reached, restoring the write backpressure the
+// blocking one-frame-per-write path provided naturally — without it a host
+// pipelining bulk writes over a slow link could queue without bound.
+const maxQueuedBytes = 8 << 20
+
+// EnableBatching switches the write side to the wire v3 coalescer. Call it
+// once, after the Hello handshake negotiates VersionBatch and before
+// further traffic; frames already being written directly and frames queued
+// afterwards are serialized by writeMu, so the switch cannot reorder or
+// interleave them.
+func (c *Client) EnableBatching() {
+	c.writeMu.Lock()
+	c.batching = true
+	c.writeMu.Unlock()
 }
 
 func (c *Client) readLoop() {
@@ -93,21 +134,170 @@ func (c *Client) readLoop() {
 			c.failAll(err)
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[f.ReqID]
-		if ok {
-			delete(c.pending, f.ReqID)
+		if f.Kind == protocol.FrameBatch {
+			subs, err := protocol.DecodeBatch(f)
+			if err != nil {
+				// A malformed envelope poisons the stream's framing.
+				c.failAll(err)
+				c.conn.Close()
+				return
+			}
+			for _, sub := range subs {
+				c.deliver(sub)
+			}
+			continue
 		}
-		c.mu.Unlock()
-		if ok {
-			ch <- f
-		}
-		// Responses with no waiter are dropped: the caller timed out or
-		// the connection is shutting down.
+		c.deliver(f)
 	}
 }
 
+// deliver hands one response frame to its waiting future. Responses with
+// no waiter are dropped: the caller timed out or the connection is
+// shutting down.
+func (c *Client) deliver(f *protocol.Frame) {
+	c.mu.Lock()
+	ch, ok := c.pending[f.ReqID]
+	if ok {
+		delete(c.pending, f.ReqID)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- f
+	}
+}
+
+// writeLoop drains the coalescer queue: it sleeps until frames are queued,
+// grabs everything that accumulated while the previous write was in
+// flight, and ships the whole run in one write. Flushing is purely
+// drain-driven — a lone frame on an idle connection goes out immediately;
+// batches only form when the producer outpaces the writer, which is
+// exactly when coalescing pays.
+func (c *Client) writeLoop() {
+	for {
+		c.writeMu.Lock()
+		for len(c.queue) == 0 && !c.sendDead {
+			c.writeCh.Wait()
+		}
+		if c.sendDead {
+			c.writeMu.Unlock()
+			return
+		}
+		run := c.queue
+		c.queue = nil
+		c.queueBytes = 0
+		c.spaceCh.Broadcast()
+		c.writeMu.Unlock()
+		if err := writeCoalesced(c.conn, run); err != nil {
+			// Queued frames are pre-validated, so this is an I/O failure:
+			// the connection is gone. Close it so the read side unwinds
+			// and the peer's session is released.
+			c.failAll(fmt.Errorf("transport: send: %w", err))
+			c.conn.Close()
+			return
+		}
+	}
+}
+
+// runCoalescer accumulates a run of small frames up to the envelope
+// thresholds. Both directions of the batching path — the client's
+// coalescing writer and the server's batched-response flush — share it,
+// so the packing policy exists exactly once.
+type runCoalescer struct {
+	run      []*protocol.Frame
+	runBytes int
+}
+
+// add appends one batchable frame to the run.
+func (r *runCoalescer) add(f *protocol.Frame) {
+	r.run = append(r.run, f)
+	r.runBytes += len(f.Body)
+}
+
+// full reports whether the run must flush before taking more frames.
+func (r *runCoalescer) full() bool {
+	return len(r.run) >= protocol.MaxBatchMessages || r.runBytes >= protocol.MaxBatchBytes
+}
+
+// take returns the accumulated run and resets the coalescer.
+func (r *runCoalescer) take() []*protocol.Frame {
+	run := r.run
+	r.run, r.runBytes = nil, 0
+	return run
+}
+
+// appendRun appends run to buf as one wire unit: a single frame goes
+// plain, several become a Batch envelope.
+func appendRun(buf []byte, run []*protocol.Frame) ([]byte, error) {
+	switch len(run) {
+	case 0:
+		return buf, nil
+	case 1:
+		return protocol.AppendFrame(buf, run[0])
+	}
+	env, err := protocol.EncodeBatch(run)
+	if err != nil {
+		return buf, err
+	}
+	return protocol.AppendFrame(buf, env)
+}
+
+// writeCoalesced writes frames in order, packing runs of small frames
+// into Batch envelopes shipped with one Write each. Frames with bodies
+// above BatchableBodyLimit are written plain, in place, without copying
+// the body into a staging buffer (vectored I/O): bulk payloads amortize
+// their own syscall, would blow up envelope sizes, and a staging copy
+// would double their memory footprint.
+func writeCoalesced(w io.Writer, frames []*protocol.Frame) error {
+	var out []byte
+	var rc runCoalescer
+	flush := func() error {
+		var err error
+		if out, err = appendRun(out[:0], rc.take()); err != nil {
+			return err
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		_, err = w.Write(out)
+		return err
+	}
+	for _, f := range frames {
+		if len(f.Body) > protocol.BatchableBodyLimit {
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := protocol.WriteFrameTo(w, f); err != nil {
+				return err
+			}
+			continue
+		}
+		rc.add(f)
+		if rc.full() {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// killWrites abandons the write side; queued frames die with the
+// connection (their futures fail through failAll's sticky error).
+func (c *Client) killWrites() {
+	c.writeMu.Lock()
+	c.sendDead = true
+	c.queue = nil
+	c.queueBytes = 0
+	c.writeCh.Broadcast()
+	c.spaceCh.Broadcast()
+	c.writeMu.Unlock()
+}
+
 func (c *Client) failAll(err error) {
+	// The write side dies with the connection: without this, a client
+	// whose peer vanished would park its writer goroutine forever unless
+	// the caller remembered to Close.
+	c.killWrites()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.readErr == nil {
@@ -140,6 +330,8 @@ type Pending struct {
 // be nil when the caller only needs the acknowledgement). Frames from
 // concurrent Go calls are written whole, but callers needing a defined
 // wire order across several Go calls must serialize the calls themselves.
+// With batching negotiated, Go returns once the frame is queued to the
+// coalescing writer; the queue preserves Go-call order.
 func (c *Client) Go(req protocol.Message, resp protocol.Message) *Pending {
 	p := &Pending{c: c, op: req.Op(), resp: resp, ch: make(chan *protocol.Frame, 1)}
 	id := c.nextID.Add(1)
@@ -163,16 +355,58 @@ func (c *Client) Go(req protocol.Message, resp protocol.Message) *Pending {
 		Op:    req.Op(),
 		Body:  protocol.EncodeMessage(req),
 	}
+	if len(frame.Body) > protocol.MaxFrameSize {
+		// Reject before queueing so an unsendable frame fails only its
+		// own call — on the coalescing path a late size error would be
+		// connection-fatal.
+		c.forget(id)
+		p.settle(fmt.Errorf("send %s: %w: %d bytes", req.Op(), protocol.ErrFrameTooBig, len(frame.Body)))
+		return p
+	}
 	c.writeMu.Lock()
+	for c.batching && c.queueBytes >= maxQueuedBytes && !c.sendDead {
+		c.spaceCh.Wait()
+	}
+	if c.sendDead {
+		c.writeMu.Unlock()
+		c.forget(id)
+		p.settle(fmt.Errorf("send %s: %w", req.Op(), c.sticky()))
+		return p
+	}
+	if c.batching {
+		c.queue = append(c.queue, frame)
+		// Count the wire size, not just the body: zero-body control
+		// frames (status polls, shutdown) must still hit the cap, or a
+		// producer outpacing a stalled writer queues without bound.
+		c.queueBytes += protocol.FrameWireSize(frame)
+		c.writeCh.Signal()
+		c.writeMu.Unlock()
+		return p
+	}
 	err := protocol.WriteFrame(c.conn, frame)
 	c.writeMu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		c.forget(id)
 		p.settle(fmt.Errorf("send %s: %w", req.Op(), err))
 	}
 	return p
+}
+
+// forget drops a registered pending entry after a send-side failure.
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// sticky reports the connection's sticky error, defaulting to ErrClosed.
+func (c *Client) sticky() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return ErrClosed
 }
 
 // settle resolves the future before Wait ever ran (send-side failures).
@@ -248,6 +482,13 @@ func (c *Client) Close() error {
 type Server struct {
 	factory func() Handler
 
+	// wireVersion caps the wire version this server accepts on its
+	// connections (0 = protocol.Version). A server capped below
+	// VersionBatch drops connections that send Batch envelopes, so a
+	// v2-pinned node behaves like a genuine pre-batching peer instead of
+	// relying on host-side self-restraint.
+	wireVersion uint32
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -268,6 +509,15 @@ func NewServer(factory func() Handler) *Server {
 // handler, for tests and single-session tools.
 func NewStaticServer(h Handler) *Server {
 	return NewServer(func() Handler { return h })
+}
+
+// LimitWireVersion caps the wire version the server accepts (0 = current).
+// Call before Listen/ServeConn.
+func (s *Server) LimitWireVersion(v uint32) { s.wireVersion = v }
+
+// acceptsBatches reports whether connections may send Batch envelopes.
+func (s *Server) acceptsBatches() bool {
+	return s.wireVersion == 0 || s.wireVersion >= protocol.VersionBatch
 }
 
 // Listen starts accepting on a TCP address and returns the bound address
@@ -317,8 +567,11 @@ func (s *Server) ServeConn(conn net.Conn) {
 	handler := s.factory()
 	// The reader keeps draining the socket while the worker executes, so a
 	// pipelining host can stream frames into the job queue without waiting
-	// for earlier commands to finish.
-	jobs := make(chan *protocol.Frame, 128)
+	// for earlier commands to finish. Batch envelopes are unpacked here,
+	// in envelope order, into the same queue — the FIFO dispatch worker
+	// never sees the difference, which is what keeps the pipeline's
+	// in-order execution invariant intact.
+	jobs := make(chan serverJob, 128)
 	s.wg.Add(2)
 	go func() {
 		defer s.wg.Done()
@@ -328,7 +581,20 @@ func (s *Server) ServeConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
-			jobs <- f
+			if f.Kind == protocol.FrameBatch {
+				if !s.acceptsBatches() {
+					return // batch traffic beyond the negotiated version
+				}
+				subs, err := protocol.DecodeBatch(f)
+				if err != nil {
+					return // malformed envelope: framing is poisoned
+				}
+				for i, sub := range subs {
+					jobs <- serverJob{frame: sub, batched: true, last: i == len(subs)-1}
+				}
+				continue
+			}
+			jobs <- serverJob{frame: f}
 		}
 	}()
 	go func() {
@@ -343,13 +609,66 @@ func (s *Server) ServeConn(conn net.Conn) {
 				_ = closer.Close()
 			}
 		}()
-		for f := range jobs {
-			s.dispatch(conn, handler, f)
-		}
+		s.dispatchLoop(conn, handler, jobs)
 	}()
 }
 
-func (s *Server) dispatch(conn net.Conn, handler Handler, f *protocol.Frame) {
+// serverJob is one request awaiting FIFO dispatch. batched marks frames
+// that arrived inside a Batch envelope; last marks the envelope's final
+// sub-frame, the natural flush point for the coalesced responses.
+type serverJob struct {
+	frame   *protocol.Frame
+	batched bool
+	last    bool
+}
+
+// dispatchLoop executes the connection's requests strictly in arrival
+// order. Responses to a Batch envelope's requests are coalesced and
+// written as one response envelope when the request envelope has been
+// fully executed (or earlier, if the run crosses the batch thresholds);
+// plain requests keep the one-frame-per-response path, so a v2 peer sees
+// exactly the pre-batching wire behavior.
+func (s *Server) dispatchLoop(conn net.Conn, handler Handler, jobs <-chan serverJob) {
+	var rc runCoalescer
+	var buf []byte // reused across flushes, like the client's writer
+	// Write failures mean the peer vanished; the read loop notices and
+	// cleans the connection up, so the errors need no second handling.
+	flush := func() {
+		run := rc.take()
+		var err error
+		buf, err = appendRun(buf[:0], run)
+		if err != nil {
+			// Cannot envelope (unreachable within the thresholds): fall
+			// back to plain frames so no response is ever dropped —
+			// a lost response would hang its future forever.
+			for _, f := range run {
+				_ = protocol.WriteFrame(conn, f)
+			}
+			return
+		}
+		if len(buf) > 0 {
+			_, _ = conn.Write(buf)
+		}
+	}
+	for j := range jobs {
+		out := s.respond(handler, j.frame)
+		if !j.batched || len(out.Body) > protocol.BatchableBodyLimit {
+			// Plain requests answer plain; bulk responses (e.g. large
+			// reads) travel alone even inside a batch.
+			flush()
+			_ = protocol.WriteFrame(conn, out)
+			continue
+		}
+		rc.add(out)
+		if j.last || rc.full() {
+			flush()
+		}
+	}
+	flush()
+}
+
+// respond executes one request and packages its response frame.
+func (s *Server) respond(handler Handler, f *protocol.Frame) *protocol.Frame {
 	resp, err := handler.HandleCall(f.Op, f.Body)
 	out := &protocol.Frame{Kind: protocol.FrameResponse, ReqID: f.ReqID, Op: f.Op}
 	if err != nil {
@@ -363,9 +682,7 @@ func (s *Server) dispatch(conn net.Conn, handler Handler, f *protocol.Frame) {
 	} else if resp != nil {
 		out.Body = protocol.EncodeMessage(resp)
 	}
-	// A write failure means the peer vanished; the read loop notices and
-	// cleans the connection up, so the error needs no second handling.
-	_ = protocol.WriteFrame(conn, out)
+	return out
 }
 
 // Close stops accepting, closes every connection and waits for in-flight

@@ -36,6 +36,10 @@ type LocalClusterSpec struct {
 	// simulated nodes share one OS process; 1 keeps them fair).
 	ExecWorkers int
 
+	// WireVersion caps the wire protocol version the nodes negotiate
+	// (0 = current). Benchmarks pin it to emulate pre-batching peers.
+	WireVersion uint32
+
 	// Policy is the default scheduling policy.
 	Policy Policy
 }
@@ -85,6 +89,7 @@ func StartLocalCluster(spec LocalClusterSpec) (*LocalCluster, error) {
 			Devices:     devCfgs,
 			ICD:         icd,
 			ExecWorkers: spec.ExecWorkers,
+			WireVersion: spec.WireVersion,
 		})
 		if err != nil {
 			lc.Close()
