@@ -12,8 +12,9 @@
 //	haocl-bench -exp ablation   # design-choice ablations (DESIGN.md)
 //	haocl-bench -exp pipeline   # async pipelining: sync vs pipelined enqueue
 //	haocl-bench -exp batch      # wire-frame batching: sync vs pipelined vs batched
+//	haocl-bench -exp lanes      # per-queue dispatch lanes: 1-lane vs per-queue node
 //	haocl-bench -exp fig2 -quick  # reduced sweeps
-//	haocl-bench -exp pipeline -json  # machine-readable result (pipeline/batch only)
+//	haocl-bench -exp pipeline -json  # machine-readable result (pipeline/batch/lanes)
 //
 // All reported durations are virtual time from the calibrated device and
 // network models; see DESIGN.md §1 for the methodology. The -json output
@@ -41,7 +42,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("haocl-bench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, pipeline, batch, all")
+		exp     = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, pipeline, batch, lanes, all")
 		quick   = fs.Bool("quick", false, "reduced sweeps for a fast look")
 		jsonOut = fs.Bool("json", false, "emit the result as JSON (pipeline and batch experiments)")
 	)
@@ -59,8 +60,10 @@ func run(args []string) error {
 			rep, err = bench.PipelineReport(*quick)
 		case "batch":
 			rep, err = bench.BatchReport(*quick)
+		case "lanes":
+			rep, err = bench.LanesReport(*quick)
 		default:
-			return fmt.Errorf("-json supports -exp pipeline and -exp batch, not %q", *exp)
+			return fmt.Errorf("-json supports -exp pipeline, batch and lanes, not %q", *exp)
 		}
 		if err != nil {
 			return err
@@ -101,6 +104,8 @@ func run(args []string) error {
 			return bench.Pipeline(w, *quick)
 		case "batch":
 			return bench.Batch(w, *quick)
+		case "lanes":
+			return bench.Lanes(w, *quick)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -109,7 +114,7 @@ func run(args []string) error {
 	if *exp != "all" {
 		return runOne(*exp)
 	}
-	for _, name := range []string{"table1", "overhead", "fig2", "hetero", "fig3", "ablation", "pipeline", "batch"} {
+	for _, name := range []string{"table1", "overhead", "fig2", "hetero", "fig3", "ablation", "pipeline", "batch", "lanes"} {
 		if err := runOne(name); err != nil {
 			return err
 		}

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/apps/matmul"
+	"github.com/haocl-project/haocl/internal/device"
+	"github.com/haocl-project/haocl/internal/mem"
+	"github.com/haocl-project/haocl/internal/node"
+	"github.com/haocl-project/haocl/internal/sim"
+)
+
+// This file measures the node's per-queue dispatch lanes (DESIGN.md §4).
+// The pipelined command path removed round trips and batching removed
+// per-frame writes, but one bottleneck remained: the node executed every
+// command of a connection single-file, so a multi-device node ran its
+// queues like a single-lane device. Per-queue lanes execute queues
+// concurrently while events are still registered in wire-arrival order.
+//
+// The experiment streams an identical pipelined workload — per-device
+// MatrixMul tiles with real functional compute — at one multi-GPU node in
+// two node configurations:
+//
+//	1-lane     — node.Options.SingleLane: every command executes on one
+//	             lane, the serialized dispatch of the pre-lane runtime;
+//	per-queue  — one lane per command queue, the default.
+//
+// Virtual time must be bit-identical between the two: lanes change when
+// the node's CPU does the functional work, never when the simulated
+// hardware does it (per-queue clocks reserve the same intervals in both
+// configs). The number that moves is wall-clock — with D devices the
+// per-queue node approaches D-way overlap of functional execution.
+
+// laneModeName names a lane configuration in report rows.
+func laneModeName(single bool) string {
+	if single {
+		return "1-lane"
+	}
+	return "per-queue"
+}
+
+// lanesPlatform builds one TCP node exposing devs GPU devices, with the
+// node's dispatch forced to a single lane when single is set. Loopback TCP
+// keeps the deployment shape honest (real sockets between host and node);
+// the lane split itself is node-internal, so the transport choice only
+// affects constants, not the comparison.
+func lanesPlatform(devs int, single bool) (*haocl.Platform, func(), error) {
+	icd := device.NewICD()
+	sim.RegisterDrivers(icd, Registry())
+
+	devCfgs := make([]device.Config, devs)
+	nodeSpec := haocl.NodeSpec{Name: "lanes-node"}
+	for i := 0; i < devs; i++ {
+		devCfgs[i] = device.Config{Driver: sim.DriverGPU, ID: uint32(i + 1), Shared: true}
+		nodeSpec.Devices = append(nodeSpec.Devices, haocl.DeviceSpec{Type: "gpu", Shared: true})
+	}
+	n, err := node.New(node.Options{
+		Name:        "lanes-node",
+		Devices:     devCfgs,
+		ICD:         icd,
+		ExecWorkers: 1,
+		SingleLane:  single,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := n.Serve()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	nodeSpec.Addr = addr
+	cfg := &haocl.ClusterConfig{UserID: "bench-lanes", Nodes: []haocl.NodeSpec{nodeSpec}}
+	p, err := haocl.Connect(cfg, haocl.WithClientName("bench-lanes"))
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	return p, func() { p.Close(); srv.Close() }, nil
+}
+
+// LanesMatmul streams per-device MatrixMul tiles at one devs-GPU node:
+// for every tile the host writes the input block and launches the tile
+// kernel on that device's queue, fully pipelined, synchronizing only at
+// the final per-queue Finish. The functional tile is large enough that
+// node-side compute dominates the wall clock — exactly the regime where
+// serialized dispatch wastes a multi-device node.
+func LanesMatmul(devs, launches int, single bool) (PipelineRow, error) {
+	row := PipelineRow{Workload: "MatrixMul", Transport: "tcp", Mode: laneModeName(single)}
+	p, cleanup, err := lanesPlatform(devs, single)
+	if err != nil {
+		return row, err
+	}
+	defer cleanup()
+
+	devices := p.Devices(haocl.GPU)
+	if len(devices) != devs {
+		return row, fmt.Errorf("lanes: node exposes %d devices, want %d", len(devices), devs)
+	}
+	ctx, err := p.CreateContext(devices)
+	if err != nil {
+		return row, err
+	}
+	prog, err := ctx.CreateProgram(matmul.Source)
+	if err != nil {
+		return row, err
+	}
+	if err := prog.Build(); err != nil {
+		return row, err
+	}
+
+	// Functional tile edge: big enough that the lane worker spends its
+	// time in real kernel execution, not protocol handling.
+	const n = 64
+	tile := make([]float32, n*n)
+	for i := range tile {
+		tile[i] = float32(i%13) * 0.5
+	}
+	tileBytes := mem.F32Bytes(tile)
+	costs := matmul.Cost(1000, 1000, 1000)
+	opts := &haocl.LaunchOptions{CostFlops: costs.Flops, CostBytes: costs.Bytes}
+
+	type deviceState struct {
+		q    *haocl.Queue
+		k    *haocl.Kernel
+		a, b *haocl.Buffer
+	}
+	states := make([]deviceState, len(devices))
+	for i, dev := range devices {
+		q, err := ctx.CreateQueue(dev)
+		if err != nil {
+			return row, err
+		}
+		a, err := ctx.CreateBuffer(int64(len(tileBytes)))
+		if err != nil {
+			return row, err
+		}
+		b, err := ctx.CreateBuffer(int64(len(tileBytes)))
+		if err != nil {
+			return row, err
+		}
+		c, err := ctx.CreateBuffer(int64(len(tileBytes)))
+		if err != nil {
+			return row, err
+		}
+		k, err := prog.CreateKernel("matmul")
+		if err != nil {
+			return row, err
+		}
+		for idx, v := range []any{a, b, c, int32(n), int32(n), int32(n)} {
+			if err := k.SetArg(idx, v); err != nil {
+				return row, err
+			}
+		}
+		if _, err := q.EnqueueWrite(b, 0, tileBytes); err != nil {
+			return row, err
+		}
+		if _, err := q.Finish(); err != nil {
+			return row, err
+		}
+		states[i] = deviceState{q: q, k: k, a: a, b: b}
+	}
+
+	start := time.Now()
+	// Interleave the devices' streams the way a data-partitioned host
+	// does: registration stays strictly in wire order while the lanes
+	// execute the per-device work concurrently.
+	for t := 0; t < launches; t++ {
+		for _, st := range states {
+			if _, err := st.q.EnqueueWrite(st.a, 0, tileBytes); err != nil {
+				return row, err
+			}
+			if _, err := st.q.EnqueueKernel(st.k, []int{n, n}, []int{8, 8}, nil, opts); err != nil {
+				return row, err
+			}
+		}
+	}
+	for _, st := range states {
+		if _, err := st.q.Finish(); err != nil {
+			return row, err
+		}
+	}
+	wall := time.Since(start)
+
+	row.Commands = int64(len(states) * launches * 2)
+	row.WallMS = float64(wall.Microseconds()) / 1000
+	row.CmdsPerSec = float64(row.Commands) / wall.Seconds()
+	row.VirtualSec = p.Metrics().Makespan.Seconds()
+	return row, nil
+}
+
+// lanesSizes returns the node shape for the lane experiment.
+func lanesSizes(quick bool) (devs, launches int) {
+	if quick {
+		return 2, 40
+	}
+	return 4, 100
+}
+
+// LanesReport measures the 1-lane and per-queue configurations and
+// compares them; the virtual makespans must match bit for bit. The
+// wall-clock speedup scales with min(GOMAXPROCS, devices): functional
+// kernel execution is CPU-bound, so a single-core host times-shares the
+// lanes and reports parity (the report records GOMAXPROCS so baselines
+// from different machines stay comparable).
+func LanesReport(quick bool) (*Report, error) {
+	devs, launches := lanesSizes(quick)
+	rep := &Report{Experiment: "lanes", Quick: quick, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	var base PipelineRow
+	for i, single := range []bool{true, false} {
+		r, err := bestOf(3, func() (PipelineRow, error) {
+			return LanesMatmul(devs, launches, single)
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, r)
+		if i == 0 {
+			base = r
+			continue
+		}
+		rep.Comparisons = append(rep.Comparisons, Comparison{
+			Workload:     r.Workload,
+			Baseline:     base.Mode,
+			Mode:         r.Mode,
+			Speedup:      r.CmdsPerSec / base.CmdsPerSec,
+			VirtualMatch: r.VirtualSec == base.VirtualSec,
+		})
+	}
+	return rep, nil
+}
+
+// Lanes runs the 1-lane vs per-queue comparison and prints it.
+func Lanes(w io.Writer, quick bool) error {
+	devs, launches := lanesSizes(quick)
+	fmt.Fprintln(w, "=== Per-queue dispatch lanes: serialized vs concurrent node execution ===")
+	fmt.Fprintf(w, "(MatrixMul: %d tiles x 2 commands across %d queues of ONE %d-GPU node over loopback TCP;\n",
+		devs*launches, devs, devs)
+	fmt.Fprintln(w, " 1-lane pins the node to the pre-lane serialized dispatch, per-queue is the default)")
+	rep, err := LanesReport(quick)
+	if err != nil {
+		return err
+	}
+	printReport(w, rep)
+	if rep.GOMAXPROCS < devs {
+		fmt.Fprintf(w, "note: GOMAXPROCS=%d < %d queues — lanes time-share this host's cores, so the\n",
+			rep.GOMAXPROCS, devs)
+		fmt.Fprintln(w, "wall-clock gain is bounded by available parallelism (virtual time is unaffected)")
+	}
+	return nil
+}

@@ -410,6 +410,12 @@ type Report struct {
 	Quick       bool          `json:"quick"`
 	Rows        []PipelineRow `json:"rows"`
 	Comparisons []Comparison  `json:"comparisons"`
+	// GOMAXPROCS records the measuring host's parallelism for experiments
+	// whose wall-clock gain depends on it (lanes: functional execution is
+	// CPU-bound, so a 1-core host shows parity where a multi-core host
+	// shows near-linear overlap). Zero for experiments where it is
+	// irrelevant.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 }
 
 // streamSizes returns the workload sizes for the command-stream

@@ -86,6 +86,10 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 		}
 		prevArrival = arrival
 
+		chain, err := rb.chainWaits()
+		if err != nil {
+			return nil, err
+		}
 		resp := new(protocol.EventResp)
 		id, pend := c.rt.issue(node, &protocol.WriteBufferReq{
 			QueueID:    q.remoteID,
@@ -94,12 +98,13 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 			Data:       data,
 			SimArrival: int64(arrival),
 			ModelBytes: b.modelSize,
-			WaitEvents: lastEventList(rb),
+			WaitEvents: chain,
 		}, resp)
 		ev := &Event{dev: q.dev, remoteID: id, queue: q, pending: pend, resp: resp}
 		q.track(ev)
 		rb.valid = true
 		rb.lastEvent = id
+		rb.lastEv = ev
 		events = append(events, ev)
 	}
 	return events, nil

@@ -576,9 +576,22 @@ func TestEventRelease(t *testing.T) {
 	if err := ev.Release(rt); err != nil {
 		t.Fatal(err)
 	}
-	// Double release fails like any unknown object.
-	if err := ev.Release(rt); err == nil {
-		t.Fatal("double event release accepted")
+	if err := rt.Flush(); err != nil {
+		t.Fatalf("first release failed: %v", err)
+	}
+	// Double release fails like any unknown object; releases are
+	// fire-and-forget, so the failure surfaces at the next Flush as the
+	// runtime's sticky release error.
+	if err := ev.Release(rt); err != nil {
+		t.Fatal(err)
+	}
+	var re *protocol.RemoteError
+	if err := rt.Flush(); !errors.As(err, &re) || re.Code != protocol.CodeUnknownObject {
+		t.Fatalf("double release error = %v, want unknown-object", err)
+	}
+	// The sticky release error keeps being reported.
+	if err := rt.Flush(); err == nil {
+		t.Fatal("sticky release error forgotten")
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/haocl-project/haocl/internal/clc"
 	"github.com/haocl-project/haocl/internal/kernel"
@@ -33,6 +34,11 @@ type Event struct {
 	once    sync.Once
 	profile protocol.Profile
 	err     error
+
+	// released marks the remote event object freed (fire-and-forget). A
+	// released event must not appear on the wire again: its node-side
+	// record is gone, so a wait referencing it could never resolve.
+	released atomic.Bool
 }
 
 // resolve consumes the command's response exactly once: on success it
@@ -84,27 +90,38 @@ func (e *Event) Device() *DeviceRef { return e.dev }
 // Release frees the remote event object (clReleaseEvent). Long-running
 // host programs release events they no longer wait on so node object
 // tables stay bounded. The release rides the same ordered connection as
-// the command that creates the event, so it needs no synchronization.
+// the command that creates the event, so it needs no synchronization —
+// and it is fire-and-forget: teardown releases objects in storms, so the
+// acknowledgement is drained at the next Flush (or Close), where a
+// failure surfaces as the runtime's sticky release error.
 func (e *Event) Release(rt *Runtime) error {
-	return rt.call(e.dev.node, &protocol.ReleaseReq{Kind: protocol.ObjEvent, ID: e.remoteID}, nil)
+	e.released.Store(true)
+	rt.releaseAsync(e.dev.node, protocol.ObjEvent, e.remoteID)
+	return nil
 }
 
 // splitWaits partitions a wait list into remote event IDs local to node and
 // a virtual-time floor for events that completed on other nodes: a remote
 // node cannot wait on another node's event object, so cross-node
 // dependencies are folded into the command's arrival instant.
-func splitWaits(node *NodeHandle, waits []*Event) (local []int64, floor vtime.Time) {
+func splitWaits(node *NodeHandle, waits []*Event) (local []int64, floor vtime.Time, err error) {
 	for _, ev := range waits {
 		if ev == nil {
 			continue
 		}
 		if ev.dev.node == node {
+			if ev.released.Load() {
+				// The node-side record is gone; a wire wait on it would
+				// never resolve. The pre-lane runtime failed the same
+				// sequence with "unknown event" — keep it fail-fast.
+				return nil, 0, fmt.Errorf("core: wait list references released event %d", ev.remoteID)
+			}
 			local = append(local, int64(ev.remoteID))
 		} else if end := ev.End(); end > floor {
 			floor = end
 		}
 	}
-	return local, floor
+	return local, floor, nil
 }
 
 // Context is a cluster-wide OpenCL context spanning devices on any number
@@ -287,10 +304,14 @@ func (q *Queue) Finish() (vtime.Time, error) {
 	return t, nil
 }
 
-// Release frees the remote queue object.
+// Release frees the remote queue object. Like every release it is
+// fire-and-forget, drained at the next Flush/Close; it rides the ordered
+// connection behind the queue's in-flight commands, which keep executing
+// (they resolved the queue at dispatch), but new commands enqueued after
+// a Release are refused by the node.
 func (q *Queue) Release() error {
-	return q.ctx.rt.call(q.dev.node,
-		&protocol.ReleaseReq{Kind: protocol.ObjQueue, ID: q.remoteID}, nil)
+	q.ctx.rt.releaseAsync(q.dev.node, protocol.ObjQueue, q.remoteID)
+	return nil
 }
 
 // remoteBuf tracks one node's replica of a buffer. lastEvent chains the
@@ -301,6 +322,7 @@ type remoteBuf struct {
 	id        uint64
 	valid     bool
 	lastEvent uint64 // event ID of the last write, for ordering
+	lastEv    *Event // the chained event itself, to detect released chains
 }
 
 // Buffer is a cluster-wide memory object (clCreateBuffer). The host keeps a
@@ -321,6 +343,7 @@ type Buffer struct {
 	hostValid   bool
 	hostReadyAt vtime.Time
 	remote      map[*NodeHandle]*remoteBuf
+	released    bool
 }
 
 // CreateBuffer allocates a buffer of the given size.
@@ -369,6 +392,9 @@ func (b *Buffer) scaled(n int64) int64 {
 // remoteOn lazily allocates the buffer's replica on a node. Caller holds
 // b.mu.
 func (b *Buffer) remoteOn(node *NodeHandle) (*remoteBuf, error) {
+	if b.released {
+		return nil, fmt.Errorf("core: buffer was released")
+	}
 	if rb, ok := b.remote[node]; ok {
 		return rb, nil
 	}
@@ -384,6 +410,25 @@ func (b *Buffer) remoteOn(node *NodeHandle) (*remoteBuf, error) {
 	rb := &remoteBuf{id: resp.ID}
 	b.remote[node] = rb
 	return rb, nil
+}
+
+// Release frees the buffer's remote replicas on every node that holds one
+// (clReleaseMemObject). The releases are fire-and-forget, drained at the
+// next Flush/Close; commands already pipelined against a replica keep
+// executing, because nodes resolve a command's objects when it is
+// registered, before the release arrives behind it. The host shadow is
+// dropped too — the buffer is unusable afterwards.
+func (b *Buffer) Release() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for node, rb := range b.remote {
+		b.ctx.rt.releaseAsync(node, protocol.ObjBuffer, rb.id)
+	}
+	b.remote = make(map[*NodeHandle]*remoteBuf)
+	b.host = nil
+	b.hostValid = false
+	b.released = true
+	return nil
 }
 
 // EnqueueWrite transfers data into the buffer through q's device
@@ -417,10 +462,15 @@ func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	if err != nil {
 		return nil, err
 	}
-	localWaits, floor := splitWaits(node, waits)
-	if rb.lastEvent != 0 {
-		localWaits = append(localWaits, int64(rb.lastEvent))
+	localWaits, floor, err := splitWaits(node, waits)
+	if err != nil {
+		return nil, err
 	}
+	chain, err := rb.chainWaits()
+	if err != nil {
+		return nil, err
+	}
+	localWaits = append(localWaits, chain...)
 	modelBytes := b.scaled(int64(len(data)))
 	earliest := vtime.Max(b.hostReadyAt, floor)
 	arrival := q.ctx.rt.chargeNIC(earliest, controlMsgBytes+modelBytes)
@@ -448,6 +498,7 @@ func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	}
 	rb.valid = true
 	rb.lastEvent = id
+	rb.lastEv = ev
 	return ev, nil
 }
 
@@ -488,6 +539,10 @@ func (b *Buffer) ensureResident(node *NodeHandle) (*remoteBuf, error) {
 				return nil, err
 			}
 			arrival := b.ctx.rt.chargeNIC(0, controlMsgBytes)
+			ownerChain, err := ownerRB.chainWaits()
+			if err != nil {
+				return nil, err
+			}
 			// The pull is pipelined behind the owner's pending writes (the
 			// wait on lastEvent), but the host must block for the data.
 			var resp protocol.ReadBufferResp
@@ -498,7 +553,7 @@ func (b *Buffer) ensureResident(node *NodeHandle) (*remoteBuf, error) {
 				Size:       b.size,
 				SimArrival: int64(arrival),
 				ModelBytes: b.modelSize,
-				WaitEvents: lastEventList(ownerRB),
+				WaitEvents: ownerChain,
 			}, &resp)
 			if err := pend.Wait(); err != nil {
 				return nil, fmt.Errorf("core: migrate buffer from %q: %w", owner.name, err)
@@ -525,6 +580,10 @@ func (b *Buffer) ensureResident(node *NodeHandle) (*remoteBuf, error) {
 	if err := svc.stickyErr(); err != nil {
 		return nil, err
 	}
+	chain, err := rb.chainWaits()
+	if err != nil {
+		return nil, err
+	}
 	arrival := b.ctx.rt.chargeNIC(b.hostReadyAt, controlMsgBytes+b.modelSize)
 	resp := new(protocol.EventResp)
 	id, pend := b.ctx.rt.issue(node, &protocol.WriteBufferReq{
@@ -534,19 +593,29 @@ func (b *Buffer) ensureResident(node *NodeHandle) (*remoteBuf, error) {
 		Data:       b.host,
 		SimArrival: int64(arrival),
 		ModelBytes: b.modelSize,
-		WaitEvents: lastEventList(rb),
+		WaitEvents: chain,
 	}, resp)
-	svc.track(&Event{dev: svc.dev, remoteID: id, queue: svc, pending: pend, resp: resp})
+	pushEv := &Event{dev: svc.dev, remoteID: id, queue: svc, pending: pend, resp: resp}
+	svc.track(pushEv)
 	rb.valid = true
 	rb.lastEvent = id
+	rb.lastEv = pushEv
 	return rb, nil
 }
 
-func lastEventList(rb *remoteBuf) []int64 {
+// chainWaits returns the wait-list entry for the replica's last writer.
+// Reusing a buffer whose chained event was released is refused: the
+// node-side record is gone, so a wire wait on it could never resolve (the
+// pre-lane runtime failed the same sequence with "unknown event"; release
+// events only after the buffer's chain has quiesced at a sync point).
+func (rb *remoteBuf) chainWaits() ([]int64, error) {
 	if rb.lastEvent == 0 {
-		return nil
+		return nil, nil
 	}
-	return []int64{int64(rb.lastEvent)}
+	if rb.lastEv != nil && rb.lastEv.released.Load() {
+		return nil, fmt.Errorf("core: buffer chain references released event %d (quiesce with Finish/Flush before releasing chained events)", rb.lastEvent)
+	}
+	return []int64{int64(rb.lastEvent)}, nil
 }
 
 // EnqueueRead transfers buffer contents back to the host
@@ -571,10 +640,15 @@ func (q *Queue) EnqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	if err != nil {
 		return nil, nil, err
 	}
-	localWaits, floor := splitWaits(node, waits)
-	if rb.lastEvent != 0 {
-		localWaits = append(localWaits, int64(rb.lastEvent))
+	localWaits, floor, err := splitWaits(node, waits)
+	if err != nil {
+		return nil, nil, err
 	}
+	chain, err := rb.chainWaits()
+	if err != nil {
+		return nil, nil, err
+	}
+	localWaits = append(localWaits, chain...)
 	modelBytes := b.scaled(size)
 	arrival := q.ctx.rt.chargeNIC(floor, controlMsgBytes)
 
@@ -647,9 +721,20 @@ func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	if err != nil {
 		return nil, err
 	}
-	localWaits, floor := splitWaits(node, waits)
-	localWaits = append(localWaits, lastEventList(srcRB)...)
-	localWaits = append(localWaits, lastEventList(dstRB)...)
+	localWaits, floor, err := splitWaits(node, waits)
+	if err != nil {
+		return nil, err
+	}
+	srcChain, err := srcRB.chainWaits()
+	if err != nil {
+		return nil, err
+	}
+	dstChain, err := dstRB.chainWaits()
+	if err != nil {
+		return nil, err
+	}
+	localWaits = append(localWaits, srcChain...)
+	localWaits = append(localWaits, dstChain...)
 	_ = floor // device-side op: cross-node deps already folded into srcRB
 
 	resp := new(protocol.EventResp)
@@ -671,6 +756,7 @@ func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	dst.hostValid = false
 	dstRB.valid = true
 	dstRB.lastEvent = id
+	dstRB.lastEv = ev
 	return ev, nil
 }
 
@@ -751,9 +837,10 @@ type Kernel struct {
 	name string
 	sig  *clc.Kernel
 
-	mu     sync.Mutex
-	remote map[*NodeHandle]uint64
-	args   []argBinding
+	mu       sync.Mutex
+	remote   map[*NodeHandle]uint64
+	args     []argBinding
+	released bool
 }
 
 // CreateKernel instantiates the named kernel.
@@ -835,6 +922,9 @@ type LocalSpace int64
 func (k *Kernel) remoteOn(node *NodeHandle) (uint64, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	if k.released {
+		return 0, fmt.Errorf("core: kernel %q was released", k.name)
+	}
 	if id, ok := k.remote[node]; ok {
 		return id, nil
 	}
@@ -851,6 +941,21 @@ func (k *Kernel) remoteOn(node *NodeHandle) (uint64, error) {
 	}
 	k.remote[node] = resp.ID
 	return resp.ID, nil
+}
+
+// Release frees the kernel's remote instances on every node that created
+// one (clReleaseKernel), fire-and-forget like every release; the kernel is
+// unusable afterwards — a later launch refuses instead of silently
+// recreating the remote instances.
+func (k *Kernel) Release() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for node, id := range k.remote {
+		k.prog.ctx.rt.releaseAsync(node, protocol.ObjKernel, id)
+	}
+	k.remote = make(map[*NodeHandle]uint64)
+	k.released = true
+	return nil
 }
 
 // LaunchOptions tune one EnqueueKernel call.
@@ -883,7 +988,10 @@ func (q *Queue) EnqueueKernel(k *Kernel, global, local []int, waits []*Event, op
 	copy(bindings, k.args)
 	k.mu.Unlock()
 
-	localWaits, floor := splitWaits(node, waits)
+	localWaits, floor, err := splitWaits(node, waits)
+	if err != nil {
+		return nil, err
+	}
 	wireArgs := make([]protocol.KernelArg, len(bindings))
 	var msgBytes int64 = controlMsgBytes
 	var written []*Buffer
@@ -897,9 +1005,12 @@ func (q *Queue) EnqueueKernel(k *Kernel, global, local []int, waits []*Event, op
 				bind.buf.mu.Unlock()
 				return nil, fmt.Errorf("core: kernel %q arg %d: %w", k.name, i, err)
 			}
-			if rb.lastEvent != 0 {
-				localWaits = append(localWaits, int64(rb.lastEvent))
+			chain, err := rb.chainWaits()
+			if err != nil {
+				bind.buf.mu.Unlock()
+				return nil, fmt.Errorf("core: kernel %q arg %d: %w", k.name, i, err)
 			}
+			localWaits = append(localWaits, chain...)
 			wireArgs[i] = protocol.KernelArg{Kind: protocol.ArgBuffer, BufferID: rb.id}
 			if param.Pointer && !param.Const && param.Space != clc.SpaceConstant {
 				written = append(written, bind.buf)
@@ -945,6 +1056,7 @@ func (q *Queue) EnqueueKernel(k *Kernel, global, local []int, waits []*Event, op
 		b.hostValid = false
 		if rb := b.remote[node]; rb != nil && id > rb.lastEvent {
 			rb.lastEvent = id
+			rb.lastEv = ev
 		}
 		b.mu.Unlock()
 	}

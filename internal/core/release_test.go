@@ -1,0 +1,203 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/core"
+	"github.com/haocl-project/haocl/internal/mem"
+)
+
+// TestPollStatusFanout is the regression test for the serial status poll:
+// with one node dead, the poll must still refresh the monitor from the
+// nodes that answered and report the failure — aggregated, naming the dead
+// node — instead of aborting at the first error.
+func TestPollStatusFanout(t *testing.T) {
+	rt, servers, cleanup := startRuntimeWithServers(t, 2)
+	defer cleanup()
+
+	// Put some observable state on node gpu-00.
+	devs := rt.Devices(0)
+	ctx, err := rt.CreateContext(devs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := ctx.CreateBuffer(16)
+	if _, err := q.EnqueueWrite(buf, 0, mem.F32Bytes([]float32{1, 2, 3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the second node and poll.
+	servers[1].Close()
+	err = rt.PollStatus()
+	if err == nil {
+		t.Fatal("poll with a dead node reported success")
+	}
+	if !strings.Contains(err.Error(), "gpu-01") {
+		t.Fatalf("poll error does not name the dead node: %v", err)
+	}
+
+	// The healthy node's status still landed in the monitor.
+	for _, v := range rt.Monitor().Snapshot() {
+		if v.Key.Node == "gpu-00" && v.Status.BytesMoved > 0 {
+			return
+		}
+	}
+	t.Fatal("healthy node's status was not refreshed")
+}
+
+// TestQueueReleasePipelined checks the teardown-storm path: a Release
+// issued fire-and-forget behind pipelined commands must not disturb them
+// (nodes resolve a command's objects at registration, so in-flight work
+// holds references), and the release's own ack drains cleanly at Flush.
+func TestQueueReleasePipelined(t *testing.T) {
+	rt, cleanup := startRuntime(t, 1)
+	defer cleanup()
+	ctx, err := rt.CreateContext(rt.Devices(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ctx.CreateQueue(rt.Devices(0)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := ctx.CreateBuffer(64)
+	evs := make([]*core.Event, 0, 8)
+	for i := 0; i < 8; i++ {
+		ev, err := q.EnqueueWrite(buf, 0, mem.F32Bytes([]float32{1, 2, 3, 4}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+	// Release rides the wire behind the writes without a round trip.
+	if err := q.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Flush(); err != nil {
+		t.Fatalf("pipelined release failed: %v", err)
+	}
+	for i, ev := range evs {
+		if err := ev.Wait(); err != nil {
+			t.Fatalf("write %d behind the release failed: %v", i, err)
+		}
+	}
+}
+
+// TestReleasedChainedEventFailsFast pins the failure mode of releasing an
+// event a buffer's write chain still references: the next enqueue on that
+// buffer must refuse immediately (the node-side event record is gone, and
+// a wire wait on it could never resolve — the pre-lane runtime failed the
+// same sequence with "unknown event", and it must not regress into a
+// parked node lane).
+func TestReleasedChainedEventFailsFast(t *testing.T) {
+	rt, cleanup := startRuntime(t, 1)
+	defer cleanup()
+	ctx, err := rt.CreateContext(rt.Devices(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ctx.CreateQueue(rt.Devices(0)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := ctx.CreateBuffer(16)
+	ev, err := q.EnqueueWrite(buf, 0, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Release(rt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueWrite(buf, 0, make([]byte, 16)); err == nil {
+		t.Fatal("enqueue on a buffer chained to a released event accepted")
+	}
+	// Explicit wait lists referencing the released event refuse the same way.
+	other, _ := ctx.CreateBuffer(16)
+	if _, err := q.EnqueueWrite(other, 0, make([]byte, 16), ev); err == nil {
+		t.Fatal("wait list referencing a released event accepted")
+	}
+}
+
+// TestBufferKernelRelease exercises the new Buffer.Release and
+// Kernel.Release: replicas and instances are freed fire-and-forget, the
+// released buffer refuses further use, and the drained acks report no
+// errors.
+func TestBufferKernelRelease(t *testing.T) {
+	rt, cleanup := startRuntime(t, 2)
+	defer cleanup()
+	devs := rt.Devices(0)
+	ctx, err := rt.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ctx.CreateProgram(incrSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("incr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := ctx.CreateBuffer(32)
+	if err := k.SetArg(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArg(1, int32(8)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Touch both nodes so the buffer has two replicas and the kernel two
+	// instances.
+	for _, dev := range devs {
+		q, err := ctx.CreateQueue(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.EnqueueKernel(k, []int{8}, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := buf.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Flush(); err != nil {
+		t.Fatalf("release storm failed: %v", err)
+	}
+
+	// The released objects are unusable — no silent remote recreation.
+	q, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueWrite(buf, 0, make([]byte, 8)); err == nil {
+		t.Fatal("write to released buffer accepted")
+	}
+	buf2, _ := ctx.CreateBuffer(32)
+	if err := k.SetArg(0, buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueKernel(k, []int{8}, nil, nil, nil); err == nil {
+		t.Fatal("launch of released kernel accepted")
+	}
+}

@@ -141,6 +141,22 @@ type Runtime struct {
 	// been consumed yet; Metrics drains it so accounting is complete.
 	pendMu  sync.Mutex
 	pendSet map[*Event]struct{}
+
+	// relMu guards the fire-and-forget Release calls still awaiting their
+	// acknowledgements, plus the sticky error of the first failed release.
+	// Teardown storms (one Release per event/queue/buffer/kernel) pipeline
+	// instead of paying a round trip each; Flush and Close drain them.
+	relMu      sync.Mutex
+	relPending []*pendingRelease
+	relErr     error
+}
+
+// pendingRelease is one fire-and-forget Release awaiting its ack.
+type pendingRelease struct {
+	node *NodeHandle
+	kind protocol.ObjectKind
+	id   uint64
+	pend *transport.Pending
 }
 
 // Connect dials every node in the configuration, performs the Hello
@@ -257,9 +273,10 @@ func (rt *Runtime) ShutdownCluster() error {
 	return firstErr
 }
 
-// Close shuts every node connection down.
+// Close shuts every node connection down, draining outstanding releases
+// first so their failures are reported instead of dying with the sockets.
 func (rt *Runtime) Close() error {
-	var firstErr error
+	firstErr := rt.drainReleases()
 	for _, n := range rt.nodes {
 		if err := n.client.Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -324,6 +341,59 @@ func (rt *Runtime) issue(n *NodeHandle, req protocol.CommandReq, resp protocol.M
 	return n.eventID, n.client.Go(req, resp)
 }
 
+// maxPendingReleases bounds the un-reaped fire-and-forget releases: a
+// long-running host that releases objects but never hits a Flush/Close
+// must not grow the pending list without limit, so crossing the threshold
+// drains it in place. The acks being waited on were pipelined long ago,
+// so the amortized cost stays far below one round trip per release.
+const maxPendingReleases = 256
+
+// releaseAsync ships one Release without waiting for its acknowledgement:
+// teardown releases objects in storms, and a synchronous round trip per
+// object makes teardown latency linear in object count. The ack is drained
+// at the next Flush (or Close), where a failure becomes the sticky release
+// error.
+func (rt *Runtime) releaseAsync(n *NodeHandle, kind protocol.ObjectKind, id uint64) {
+	rt.mu.Lock()
+	rt.metrics.Commands++
+	rt.mu.Unlock()
+	pr := &pendingRelease{
+		node: n, kind: kind, id: id,
+		pend: n.client.Go(&protocol.ReleaseReq{Kind: kind, ID: id}, nil),
+	}
+	rt.relMu.Lock()
+	rt.relPending = append(rt.relPending, pr)
+	full := len(rt.relPending) >= maxPendingReleases
+	rt.relMu.Unlock()
+	if full {
+		rt.drainReleases()
+	}
+}
+
+// drainReleases waits for every outstanding release acknowledgement and
+// returns the sticky release error: the first release that ever failed on
+// this runtime, kept so a fire-and-forget failure (double release, unknown
+// object, dead node) is reported rather than lost.
+func (rt *Runtime) drainReleases() error {
+	rt.relMu.Lock()
+	pending := rt.relPending
+	rt.relPending = nil
+	rt.relMu.Unlock()
+	for _, pr := range pending {
+		if err := pr.pend.Wait(); err != nil {
+			rt.relMu.Lock()
+			if rt.relErr == nil {
+				rt.relErr = fmt.Errorf("core: release %s %d on %q: %w",
+					pr.kind, pr.id, pr.node.name, err)
+			}
+			rt.relMu.Unlock()
+		}
+	}
+	rt.relMu.Lock()
+	defer rt.relMu.Unlock()
+	return rt.relErr
+}
+
 // trackEvent registers an unresolved pipelined command so Metrics can
 // drain it; resolve removes it again.
 func (rt *Runtime) trackEvent(e *Event) {
@@ -338,10 +408,12 @@ func (rt *Runtime) forgetEvent(e *Event) {
 	rt.pendMu.Unlock()
 }
 
-// Flush resolves every outstanding pipelined command, waiting for the
-// in-flight responses. Command failures do not surface here; they stay
-// sticky on their queues and are reported by the next Finish/Wait on them.
-func (rt *Runtime) Flush() {
+// Flush resolves every outstanding pipelined command and release, waiting
+// for the in-flight responses. Command failures do not surface here; they
+// stay sticky on their queues and are reported by the next Finish/Wait on
+// them. Release failures have no queue to stick to, so Flush returns the
+// runtime's sticky release error (the first release that ever failed).
+func (rt *Runtime) Flush() error {
 	rt.pendMu.Lock()
 	evs := make([]*Event, 0, len(rt.pendSet))
 	for e := range rt.pendSet {
@@ -351,6 +423,7 @@ func (rt *Runtime) Flush() {
 	for _, e := range evs {
 		e.resolve()
 	}
+	return rt.drainReleases()
 }
 
 // ModelDataCreate charges host-side creation of n bytes of input data
@@ -418,16 +491,35 @@ func (rt *Runtime) Metrics() Metrics {
 }
 
 // PollStatus refreshes the monitor from every node, as the periodic
-// profiling pull the scheduler relies on.
+// profiling pull the scheduler relies on. The polls fan out as pipelined
+// futures — one blocking round trip per node would make monitor freshness
+// degrade linearly with cluster size, and a single slow node would stall
+// the whole poll. Nodes that answer update the monitor even when others
+// fail; the failures come back aggregated.
 func (rt *Runtime) PollStatus() error {
-	for _, n := range rt.nodes {
-		var resp protocol.NodeStatusResp
-		if err := rt.call(n, &protocol.NodeStatusReq{}, &resp); err != nil {
-			return fmt.Errorf("core: status poll %q: %w", n.name, err)
-		}
-		rt.monitor.UpdateStatus(n.name, resp.Devices)
+	type poll struct {
+		node *NodeHandle
+		resp protocol.NodeStatusResp
+		pend *transport.Pending
 	}
-	return nil
+	polls := make([]*poll, 0, len(rt.nodes))
+	for _, n := range rt.nodes {
+		p := &poll{node: n}
+		rt.mu.Lock()
+		rt.metrics.Commands++
+		rt.mu.Unlock()
+		p.pend = n.client.Go(&protocol.NodeStatusReq{}, &p.resp)
+		polls = append(polls, p)
+	}
+	var errs []error
+	for _, p := range polls {
+		if err := p.pend.Wait(); err != nil {
+			errs = append(errs, fmt.Errorf("core: status poll %q: %w", p.node.name, err))
+			continue
+		}
+		rt.monitor.UpdateStatus(p.node.name, p.resp.Devices)
+	}
+	return errors.Join(errs...)
 }
 
 // TotalEnergy polls the cluster and reports consumed energy in joules.

@@ -35,6 +35,11 @@ type Options struct {
 	// Hello handshakes (0 = protocol.Version). Benchmarks and interop
 	// tests set protocol.MinVersion to stand in for a pre-batching peer.
 	WireVersion uint32
+	// SingleLane folds every command onto one dispatch lane per session,
+	// restoring the serialized per-connection execution of the pre-lane
+	// runtime. Benchmarks use it as the baseline when measuring per-queue
+	// lane concurrency (haocl-bench -exp lanes); see DESIGN.md §4.
+	SingleLane bool
 }
 
 // Node is one device node's management process.
@@ -44,6 +49,7 @@ type Node struct {
 	stats       []*deviceStats
 	execWorkers int
 	wireVersion uint32
+	singleLane  bool
 
 	objects *objectTable
 
@@ -140,6 +146,7 @@ func New(opts Options) (*Node, error) {
 		name:        opts.Name,
 		execWorkers: opts.ExecWorkers,
 		wireVersion: wireVersion,
+		singleLane:  opts.SingleLane,
 		objects:     newObjectTable(),
 	}
 	for i, cfg := range opts.Devices {
@@ -214,8 +221,11 @@ func (n *Node) shutdown() {
 	}
 }
 
-// NewSession returns a transport handler bound to one connection.
-func (n *Node) NewSession() transport.Handler { return &Session{node: n} }
+// NewSession returns a transport handler bound to one connection. The
+// session implements transport.AsyncHandler: the transport's dispatch
+// goroutine registers commands in arrival order and per-queue lanes
+// execute them concurrently.
+func (n *Node) NewSession() transport.Handler { return newSession(n) }
 
 // Serve returns a transport server for this node, enforcing the node's
 // wire-version cap at the framing layer.

@@ -79,9 +79,36 @@ type kernelObj struct {
 	spec *kernel.Spec
 }
 
+// eventObj is one completion event in a session's table. Its lifecycle is
+// split in two (DESIGN.md §4): *registration* claims the ID in wire-arrival
+// order (claimed, guarded by Session.mu), and *completion* happens when the
+// command finishes executing on its lane — done is closed exactly once,
+// after which profile and err are immutable. An eventObj may also be born
+// as an unclaimed placeholder by a wait-list lookup that ran ahead of the
+// creating command; waiters block on done either way.
 type eventObj struct {
 	id      uint64
+	claimed bool          // guarded by Session.mu
+	done    chan struct{} // closed on completion or failure
 	profile protocol.Profile
+	err     error
+}
+
+func newEvent(id uint64) *eventObj {
+	return &eventObj{id: id, done: make(chan struct{})}
+}
+
+// complete publishes the command's profile and wakes every waiter.
+func (e *eventObj) complete(p protocol.Profile) {
+	e.profile = p
+	close(e.done)
+}
+
+// fail marks the command failed; waiters observe the error instead of a
+// deadline.
+func (e *eventObj) fail(err error) {
+	e.err = err
+	close(e.done)
 }
 
 func (t *objectTable) newID() uint64 {

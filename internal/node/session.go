@@ -1,6 +1,7 @@
 package node
 
 import (
+	"errors"
 	"sync"
 
 	"github.com/haocl-project/haocl/internal/clc"
@@ -14,6 +15,16 @@ import (
 // "receives the commands from the workload scheduler along with additional
 // information such as user ID, device ID, shared flag ... and parses them
 // for compilation and execution").
+//
+// Dispatch is split into two stages (DESIGN.md §4). The *registration*
+// stage runs in the transport's per-connection dispatch goroutine, strictly
+// in wire-arrival order: it parses the command, claims its host-assigned
+// completion event, resolves the target queue, and routes the command to a
+// *lane*. Lanes — one per target queue, plus a control lane for everything
+// that has no queue — execute concurrently, so a multi-device node runs its
+// queues in parallel instead of single-file. Cross-queue dependencies are
+// real synchronization edges: a wait-list lookup blocks until the
+// referenced event's command has completed on its own lane.
 type Session struct {
 	node *Node
 
@@ -23,52 +34,231 @@ type Session struct {
 	// events are session-local because their IDs are host-assigned: the
 	// pipelining host names each command's completion event up front so a
 	// later command's wait list can reference it before the response
-	// exists, and those counters are only unique per connection.
+	// exists, and those counters are only unique per connection. Entries
+	// are created at registration (claimed) or by a wait-list lookup that
+	// ran ahead of the creating command (unclaimed placeholder).
 	events map[uint64]*eventObj
 	// synthEventID assigns IDs for requests that carry none (direct
 	// session drivers and tests); the high range keeps them clear of
 	// host-assigned counters.
 	synthEventID uint64
+
+	laneMu    sync.Mutex
+	lanes     map[uint64]*lane
+	lanesDead bool
+	laneWG    sync.WaitGroup
+
+	// closedCh unblocks event waiters when the session tears down, so a
+	// lane draining on Close can never hang on a dependency whose creating
+	// command was lost with the connection.
+	closedCh  chan struct{}
+	closeOnce sync.Once
 }
 
-// putEvent registers a completion event under the host-assigned ID, or
-// under a synthesized one when the request carried none.
-func (s *Session) putEvent(id uint64, e *eventObj) uint64 {
+func newSession(n *Node) *Session {
+	return &Session{
+		node:     n,
+		closedCh: make(chan struct{}),
+	}
+}
+
+// controlLane is the lane key for ops that target no queue.
+const controlLane uint64 = 0
+
+// synthEventBase is the first synthetic event ID; host-assigned IDs must
+// stay below it.
+const synthEventBase = uint64(1) << 62
+
+// lane is one in-order execution stream. The registration stage appends
+// jobs; a dedicated worker goroutine runs them one at a time, so commands
+// for one queue still execute in arrival order while different lanes
+// proceed concurrently. The queue is unbounded on purpose: a bounded lane
+// would stall the registration stage when full, and a stalled registration
+// stage can deadlock a cross-lane wait whose creating command is still
+// behind it (backpressure remains at the transport's job channel and the
+// host's own flow control).
+type lane struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []func()
+	closed bool
+}
+
+func newLane() *lane {
+	l := &lane{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// push appends one job, reporting false if the lane is closed.
+func (l *lane) push(job func()) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	l.jobs = append(l.jobs, job)
+	l.cond.Signal()
+	return true
+}
+
+// close stops the lane accepting jobs; the worker drains what is queued.
+func (l *lane) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// run is the lane worker: it executes queued jobs in order and exits once
+// the lane is closed and drained.
+func (l *lane) run() {
+	for {
+		l.mu.Lock()
+		for len(l.jobs) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.jobs) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		job := l.jobs[0]
+		l.jobs = l.jobs[1:]
+		l.mu.Unlock()
+		job()
+	}
+}
+
+// laneKey maps a target queue to its lane. A node in single-lane mode
+// (benchmarks comparing against the serialized dispatch of the pre-lane
+// runtime) folds everything onto the control lane.
+func (s *Session) laneKey(queueID uint64) uint64 {
+	if s.node.singleLane {
+		return controlLane
+	}
+	return queueID
+}
+
+// submit routes one job to its lane, starting the lane worker lazily.
+func (s *Session) submit(key uint64, job func()) bool {
+	s.laneMu.Lock()
+	if s.lanesDead {
+		s.laneMu.Unlock()
+		return false
+	}
+	if s.lanes == nil {
+		s.lanes = make(map[uint64]*lane)
+	}
+	ln := s.lanes[key]
+	if ln == nil {
+		ln = newLane()
+		s.lanes[key] = ln
+		s.laneWG.Add(1)
+		go func() {
+			defer s.laneWG.Done()
+			ln.run()
+		}()
+	}
+	s.laneMu.Unlock()
+	return ln.push(job)
+}
+
+// registerEvent claims the completion event for one command, under the
+// host-assigned ID or a synthesized one when the request carried none. It
+// runs in the registration stage, in wire-arrival order, which is what
+// makes a later command's wait on the ID valid before this command has
+// executed. A wait-list lookup that ran ahead (concurrent direct drivers)
+// may already have left an unclaimed placeholder; claiming adopts it, so
+// its waiters resolve when this command completes.
+func (s *Session) registerEvent(id uint64) (*eventObj, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if id == 0 {
 		s.synthEventID++
-		id = 1<<62 + s.synthEventID
+		id = synthEventBase + s.synthEventID
+	} else if id >= synthEventBase {
+		// A host counter can never legitimately reach the synthetic range;
+		// letting it through would silently collide with node-assigned IDs.
+		return nil, remoteErr(protocol.CodeBadRequest,
+			"host-assigned event ID %d lands in the reserved synthetic range", id)
 	}
-	e.id = id
 	if s.events == nil {
 		s.events = make(map[uint64]*eventObj)
 	}
-	s.events[id] = e
-	return id
-}
-
-func (s *Session) event(id uint64) (*eventObj, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.events[id]
-	if !ok {
-		return nil, remoteErr(protocol.CodeUnknownObject, "unknown event %d", id)
+	e := s.events[id]
+	if e == nil {
+		e = newEvent(id)
+		s.events[id] = e
+	} else if e.claimed {
+		return nil, remoteErr(protocol.CodeBadRequest, "duplicate event ID %d", id)
 	}
+	e.claimed = true
 	return e, nil
 }
 
-// eventDeadline returns the latest completion instant among the listed
-// events, resolving a command's wait-list dependencies. Commands execute
-// in connection arrival order, so every referenced event — even one whose
-// enqueue has not been answered yet from the host's perspective — has
-// already been registered here.
-func (s *Session) eventDeadline(ids []int64) (vtime.Time, error) {
-	var deadline vtime.Time
+// resolveWaits resolves a command's wait list to event records. It runs
+// in the registration stage, which matters for releases: a waiter holds
+// its dependencies' records from registration on, so an event Release
+// arriving behind it on the wire (fire-and-forget teardown) can drop the
+// table entry without orphaning the waiter. IDs outside the valid range
+// are rejected up front — a zero or negative ID would otherwise wrap
+// through the uint64 cast and surface as a misleading "unknown event".
+//
+// In lane mode (strict=false) an ID with no record yet becomes an
+// unclaimed placeholder the waiter blocks on: the creating command may
+// legitimately still be ahead in another driver's registration. The flip
+// side is that waiting on an ID nothing will ever claim — e.g. an event
+// the host already released — parks the lane until session close;
+// distinguishing "future" from "never" would take an unbounded tombstone
+// table, and waiting on a released event is undefined in OpenCL too. In
+// strict mode (the synchronous HandleCall path, where registration and
+// execution are one step and nothing concurrent can still claim the ID)
+// an unclaimed ID is the pre-lane "unknown event" error — not a hang.
+func (s *Session) resolveWaits(ids []int64, strict bool) ([]*eventObj, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	events := make([]*eventObj, 0, len(ids))
 	for _, id := range ids {
-		e, err := s.event(uint64(id))
-		if err != nil {
-			return 0, err
+		if id <= 0 {
+			return nil, remoteErr(protocol.CodeBadRequest, "invalid wait-list event ID %d", id)
+		}
+		s.mu.Lock()
+		if s.events == nil {
+			s.events = make(map[uint64]*eventObj)
+		}
+		e := s.events[uint64(id)]
+		if e == nil && !strict {
+			e = newEvent(uint64(id))
+			s.events[uint64(id)] = e
+		}
+		claimed := e != nil && e.claimed
+		s.mu.Unlock()
+		if strict && !claimed {
+			return nil, remoteErr(protocol.CodeUnknownObject, "unknown event %d", id)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// awaitDeadline returns the latest completion instant among the resolved
+// dependencies. Events whose commands are still executing on other lanes
+// (or not yet registered, for concurrent direct drivers) block until they
+// complete — the cross-queue synchronization edge that replaces the old
+// FIFO assumption that every referenced event had already run. A failed
+// dependency fails the waiter.
+func (s *Session) awaitDeadline(events []*eventObj) (vtime.Time, error) {
+	var deadline vtime.Time
+	for _, e := range events {
+		select {
+		case <-e.done:
+		case <-s.closedCh:
+			return 0, remoteErr(protocol.CodeBadRequest,
+				"session closed while waiting for event %d", e.id)
+		}
+		if e.err != nil {
+			return 0, remoteErr(errCode(e.err), "wait event %d: %v", e.id, e.err)
 		}
 		if end := vtime.Time(e.profile.End); end > deadline {
 			deadline = end
@@ -77,8 +267,199 @@ func (s *Session) eventDeadline(ids []int64) (vtime.Time, error) {
 	return deadline, nil
 }
 
-// HandleCall implements transport.Handler.
+// errCode extracts a protocol code from an error, defaulting to 1.
+func errCode(err error) uint32 {
+	var re *protocol.RemoteError
+	if errors.As(err, &re) {
+		return re.Code
+	}
+	return 1
+}
+
+// failCommand marks a command's completion event failed — waiters observe
+// the failure instead of hanging — and passes the error through.
+func (s *Session) failCommand(ev *eventObj, err error) error {
+	ev.fail(err)
+	return err
+}
+
+// HandleCall implements transport.Handler: registration plus inline
+// execution in the caller's goroutine. Direct session drivers (tests,
+// tools) use it; the transport prefers HandleCallAsync. Wait lists are
+// resolved strictly — an unregistered ID errors instead of parking the
+// caller's goroutine on an edge nothing concurrent will complete.
 func (s *Session) HandleCall(op protocol.Op, body []byte) (protocol.Message, error) {
+	_, exec, err := s.prepare(op, body, true)
+	if err != nil {
+		return nil, err
+	}
+	return exec()
+}
+
+// HandleCallAsync implements transport.AsyncHandler: the registration
+// stage runs here, in the transport's arrival-order dispatch goroutine,
+// and execution is handed to the command's lane.
+func (s *Session) HandleCallAsync(op protocol.Op, body []byte, done func(protocol.Message, error)) {
+	key, exec, err := s.prepare(op, body, false)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	if !s.submit(key, func() { done(exec()) }) {
+		done(nil, remoteErr(protocol.CodeBadRequest, "session is shutting down"))
+	}
+}
+
+// prepare is the registration stage for one command: it parses the body,
+// claims the command's completion event, resolves every object the command
+// touches (queue, buffers, kernel, wait-list events), and returns the lane
+// key plus the execution step. Resolving objects here — not in the lane —
+// is what makes fire-and-forget releases sound: a command registered
+// before a Release arrived holds references and keeps executing, while one
+// registered after deterministically sees the object gone. strictWaits
+// selects how unregistered wait-list IDs resolve (see resolveWaits). Ops
+// with no queue ride the control lane; Release itself is special-cased to
+// run inline (it is a pure table mutation, and later-arriving commands
+// must observe it deterministically, which only the arrival-ordered
+// registration stage can guarantee).
+func (s *Session) prepare(op protocol.Op, body []byte, strictWaits bool) (uint64, func() (protocol.Message, error), error) {
+	switch op {
+	case protocol.OpWriteBuffer:
+		req := new(protocol.WriteBufferReq)
+		if err := protocol.DecodeMessage(req, body); err != nil {
+			return 0, nil, err
+		}
+		q, ev, err := s.registerCommand(req.QueueID, req.EventID)
+		if err != nil {
+			return 0, nil, err
+		}
+		buf, err := s.node.objects.buffer(req.BufferID)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		return s.laneKey(req.QueueID), func() (protocol.Message, error) {
+			return s.execWriteBuffer(req, q, ev, buf, waits)
+		}, nil
+	case protocol.OpReadBuffer:
+		req := new(protocol.ReadBufferReq)
+		if err := protocol.DecodeMessage(req, body); err != nil {
+			return 0, nil, err
+		}
+		q, ev, err := s.registerCommand(req.QueueID, req.EventID)
+		if err != nil {
+			return 0, nil, err
+		}
+		buf, err := s.node.objects.buffer(req.BufferID)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		return s.laneKey(req.QueueID), func() (protocol.Message, error) {
+			return s.execReadBuffer(req, q, ev, buf, waits)
+		}, nil
+	case protocol.OpCopyBuffer:
+		req := new(protocol.CopyBufferReq)
+		if err := protocol.DecodeMessage(req, body); err != nil {
+			return 0, nil, err
+		}
+		q, ev, err := s.registerCommand(req.QueueID, req.EventID)
+		if err != nil {
+			return 0, nil, err
+		}
+		src, err := s.node.objects.buffer(req.SrcID)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		dst, err := s.node.objects.buffer(req.DstID)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		return s.laneKey(req.QueueID), func() (protocol.Message, error) {
+			return s.execCopyBuffer(req, q, ev, src, dst, waits)
+		}, nil
+	case protocol.OpEnqueueKernel:
+		req := new(protocol.EnqueueKernelReq)
+		if err := protocol.DecodeMessage(req, body); err != nil {
+			return 0, nil, err
+		}
+		q, ev, err := s.registerCommand(req.QueueID, req.EventID)
+		if err != nil {
+			return 0, nil, err
+		}
+		k, err := s.node.objects.kernel(req.KernelID)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		args, err := s.buildLaunchArgs(k, req.Args)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		return s.laneKey(req.QueueID), func() (protocol.Message, error) {
+			return s.execEnqueueKernel(req, q, ev, k, args, waits)
+		}, nil
+	case protocol.OpFinishQueue:
+		req := new(protocol.FinishQueueReq)
+		if err := protocol.DecodeMessage(req, body); err != nil {
+			return 0, nil, err
+		}
+		q, err := s.node.objects.queue(req.QueueID)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Finish rides the queue's lane: by lane order it executes after
+		// every previously arrived command on the queue, which is exactly
+		// the drain it reports.
+		return s.laneKey(req.QueueID), func() (protocol.Message, error) {
+			q.execMu.Lock()
+			now := q.clock.Now()
+			q.execMu.Unlock()
+			return &protocol.FinishQueueResp{SimTime: int64(now)}, nil
+		}, nil
+	case protocol.OpRelease:
+		// Inline: see the doc comment above.
+		resp, err := s.handleRelease(body)
+		return controlLane, func() (protocol.Message, error) { return resp, err }, nil
+	default:
+		return controlLane, func() (protocol.Message, error) {
+			return s.handleControl(op, body)
+		}, nil
+	}
+}
+
+// registerCommand claims a decoded queue command's completion event and
+// resolves its target queue — the core of the registration stage for
+// enqueue ops. The event is claimed first so that any later registration
+// or execution failure can fail it: a pipelined waiter behind a doomed
+// command then observes the failure instead of hanging on a placeholder.
+func (s *Session) registerCommand(queueID, eventID uint64) (*queueObj, *eventObj, error) {
+	ev, err := s.registerEvent(eventID)
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := s.node.objects.queue(queueID)
+	if err != nil {
+		return nil, nil, s.failCommand(ev, err)
+	}
+	return q, ev, nil
+}
+
+// handleControl dispatches the non-queue ops (the control lane's work).
+func (s *Session) handleControl(op protocol.Op, body []byte) (protocol.Message, error) {
 	switch op {
 	case protocol.OpHello:
 		return s.handleHello(body)
@@ -90,24 +471,12 @@ func (s *Session) HandleCall(op protocol.Op, body []byte) (protocol.Message, err
 		return s.handleCreateQueue(body)
 	case protocol.OpCreateBuffer:
 		return s.handleCreateBuffer(body)
-	case protocol.OpWriteBuffer:
-		return s.handleWriteBuffer(body)
-	case protocol.OpReadBuffer:
-		return s.handleReadBuffer(body)
-	case protocol.OpCopyBuffer:
-		return s.handleCopyBuffer(body)
 	case protocol.OpBuildProgram:
 		return s.handleBuildProgram(body)
 	case protocol.OpCreateKernel:
 		return s.handleCreateKernel(body)
-	case protocol.OpEnqueueKernel:
-		return s.handleEnqueueKernel(body)
-	case protocol.OpFinishQueue:
-		return s.handleFinishQueue(body)
 	case protocol.OpQueryEvent:
 		return s.handleQueryEvent(body)
-	case protocol.OpRelease:
-		return s.handleRelease(body)
 	case protocol.OpNodeStatus:
 		return &protocol.NodeStatusResp{Devices: s.node.Status()}, nil
 	case protocol.OpShutdown:
@@ -118,19 +487,37 @@ func (s *Session) HandleCall(op protocol.Op, body []byte) (protocol.Message, err
 	}
 }
 
-// Close implements the optional transport session-cleanup hook: queues the
-// session still owns are released so exclusive devices free up when a host
-// disconnects uncleanly.
+// Close implements the optional transport session-cleanup hook: lanes are
+// drained (outstanding commands finish or fail fast through the closed
+// channel), then queues the session still owns are released so exclusive
+// devices free up when a host disconnects uncleanly.
 func (s *Session) Close() error {
-	s.mu.Lock()
-	queues := s.queues
-	s.queues = nil
-	s.mu.Unlock()
-	for id, q := range queues {
-		if _, err := s.node.objects.release(protocol.ObjQueue, id); err == nil {
-			s.dropQueueUser(q)
+	s.closeOnce.Do(func() {
+		// Unblock wait-list waiters first: a lane draining on Close must
+		// never hang on a dependency that died with the connection.
+		close(s.closedCh)
+		s.laneMu.Lock()
+		s.lanesDead = true
+		lanes := make([]*lane, 0, len(s.lanes))
+		for _, ln := range s.lanes {
+			lanes = append(lanes, ln)
 		}
-	}
+		s.laneMu.Unlock()
+		for _, ln := range lanes {
+			ln.close()
+		}
+		s.laneWG.Wait()
+
+		s.mu.Lock()
+		queues := s.queues
+		s.queues = nil
+		s.mu.Unlock()
+		for id, q := range queues {
+			if _, err := s.node.objects.release(protocol.ObjQueue, id); err == nil {
+				s.dropQueueUser(q)
+			}
+		}
+	})
 	return nil
 }
 
@@ -274,27 +661,15 @@ func (s *Session) handleCreateBuffer(body []byte) (protocol.Message, error) {
 	return &protocol.ObjectResp{ID: id}, nil
 }
 
-func (s *Session) handleWriteBuffer(body []byte) (protocol.Message, error) {
-	var req protocol.WriteBufferReq
-	if err := protocol.DecodeMessage(&req, body); err != nil {
-		return nil, err
-	}
-	q, err := s.node.objects.queue(req.QueueID)
+func (s *Session) execWriteBuffer(req *protocol.WriteBufferReq, q *queueObj, ev *eventObj, buf *bufferObj, waits []*eventObj) (protocol.Message, error) {
+	deadline, err := s.awaitDeadline(waits)
 	if err != nil {
-		return nil, err
-	}
-	buf, err := s.node.objects.buffer(req.BufferID)
-	if err != nil {
-		return nil, err
-	}
-	deadline, err := s.eventDeadline(req.WaitEvents)
-	if err != nil {
-		return nil, err
+		return nil, s.failCommand(ev, err)
 	}
 	if req.Offset < 0 || req.Offset+int64(len(req.Data)) > int64(len(buf.data)) {
-		return nil, remoteErr(protocol.CodeBadRequest,
+		return nil, s.failCommand(ev, remoteErr(protocol.CodeBadRequest,
 			"write [%d,%d) out of bounds for buffer of %d bytes",
-			req.Offset, req.Offset+int64(len(req.Data)), len(buf.data))
+			req.Offset, req.Offset+int64(len(req.Data)), len(buf.data)))
 	}
 
 	modelBytes := int64(len(req.Data))
@@ -314,31 +689,19 @@ func (s *Session) handleWriteBuffer(body []byte) (protocol.Message, error) {
 	prof := protocol.Profile{
 		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
 	}
-	evID := s.putEvent(req.EventID, &eventObj{profile: prof})
-	return &protocol.EventResp{EventID: evID, Profile: prof}, nil
+	ev.complete(prof)
+	return &protocol.EventResp{EventID: ev.id, Profile: prof}, nil
 }
 
-func (s *Session) handleReadBuffer(body []byte) (protocol.Message, error) {
-	var req protocol.ReadBufferReq
-	if err := protocol.DecodeMessage(&req, body); err != nil {
-		return nil, err
-	}
-	q, err := s.node.objects.queue(req.QueueID)
+func (s *Session) execReadBuffer(req *protocol.ReadBufferReq, q *queueObj, ev *eventObj, buf *bufferObj, waits []*eventObj) (protocol.Message, error) {
+	deadline, err := s.awaitDeadline(waits)
 	if err != nil {
-		return nil, err
-	}
-	buf, err := s.node.objects.buffer(req.BufferID)
-	if err != nil {
-		return nil, err
-	}
-	deadline, err := s.eventDeadline(req.WaitEvents)
-	if err != nil {
-		return nil, err
+		return nil, s.failCommand(ev, err)
 	}
 	if req.Offset < 0 || req.Size < 0 || req.Offset+req.Size > int64(len(buf.data)) {
-		return nil, remoteErr(protocol.CodeBadRequest,
+		return nil, s.failCommand(ev, remoteErr(protocol.CodeBadRequest,
 			"read [%d,%d) out of bounds for buffer of %d bytes",
-			req.Offset, req.Offset+req.Size, len(buf.data))
+			req.Offset, req.Offset+req.Size, len(buf.data)))
 	}
 
 	modelBytes := req.Size
@@ -359,35 +722,19 @@ func (s *Session) handleReadBuffer(body []byte) (protocol.Message, error) {
 	prof := protocol.Profile{
 		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
 	}
-	evID := s.putEvent(req.EventID, &eventObj{profile: prof})
-	return &protocol.ReadBufferResp{Data: out, EventID: evID, Profile: prof}, nil
+	ev.complete(prof)
+	return &protocol.ReadBufferResp{Data: out, EventID: ev.id, Profile: prof}, nil
 }
 
-func (s *Session) handleCopyBuffer(body []byte) (protocol.Message, error) {
-	var req protocol.CopyBufferReq
-	if err := protocol.DecodeMessage(&req, body); err != nil {
-		return nil, err
-	}
-	q, err := s.node.objects.queue(req.QueueID)
+func (s *Session) execCopyBuffer(req *protocol.CopyBufferReq, q *queueObj, ev *eventObj, src, dst *bufferObj, waits []*eventObj) (protocol.Message, error) {
+	deadline, err := s.awaitDeadline(waits)
 	if err != nil {
-		return nil, err
-	}
-	src, err := s.node.objects.buffer(req.SrcID)
-	if err != nil {
-		return nil, err
-	}
-	dst, err := s.node.objects.buffer(req.DstID)
-	if err != nil {
-		return nil, err
-	}
-	deadline, err := s.eventDeadline(req.WaitEvents)
-	if err != nil {
-		return nil, err
+		return nil, s.failCommand(ev, err)
 	}
 	if req.Size < 0 ||
 		req.SrcOffset < 0 || req.SrcOffset+req.Size > int64(len(src.data)) ||
 		req.DstOffset < 0 || req.DstOffset+req.Size > int64(len(dst.data)) {
-		return nil, remoteErr(protocol.CodeBadRequest, "copy range out of bounds")
+		return nil, s.failCommand(ev, remoteErr(protocol.CodeBadRequest, "copy range out of bounds"))
 	}
 
 	dur := q.dev.ModelTransfer(req.Size)
@@ -398,11 +745,19 @@ func (s *Session) handleCopyBuffer(body []byte) (protocol.Message, error) {
 		copy(dst.data[req.DstOffset:req.DstOffset+req.Size], src.data[req.SrcOffset:req.SrcOffset+req.Size])
 		src.mu.Unlock()
 	} else {
-		src.mu.RLock()
-		dst.mu.Lock()
+		// Lock both buffers in handle order: concurrent lanes may copy in
+		// opposite directions (A→B and B→A), and unordered acquisition
+		// would deadlock both lanes. The host's own event chaining avoids
+		// the conflict, but the node must not rely on client behavior.
+		first, second := src, dst
+		if req.SrcID > req.DstID {
+			first, second = dst, src
+		}
+		first.mu.Lock()
+		second.mu.Lock()
 		copy(dst.data[req.DstOffset:req.DstOffset+req.Size], src.data[req.SrcOffset:req.SrcOffset+req.Size])
-		dst.mu.Unlock()
-		src.mu.RUnlock()
+		second.mu.Unlock()
+		first.mu.Unlock()
 	}
 	q.execMu.Unlock()
 
@@ -410,8 +765,8 @@ func (s *Session) handleCopyBuffer(body []byte) (protocol.Message, error) {
 	prof := protocol.Profile{
 		Queued: int64(deadline), Submit: int64(start), Start: int64(start), End: int64(end),
 	}
-	evID := s.putEvent(req.EventID, &eventObj{profile: prof})
-	return &protocol.EventResp{EventID: evID, Profile: prof}, nil
+	ev.complete(prof)
+	return &protocol.EventResp{EventID: ev.id, Profile: prof}, nil
 }
 
 func (s *Session) handleBuildProgram(body []byte) (protocol.Message, error) {
@@ -514,26 +869,10 @@ func (s *Session) buildLaunchArgs(k *kernelObj, wire []protocol.KernelArg) ([]ke
 	return args, nil
 }
 
-func (s *Session) handleEnqueueKernel(body []byte) (protocol.Message, error) {
-	var req protocol.EnqueueKernelReq
-	if err := protocol.DecodeMessage(&req, body); err != nil {
-		return nil, err
-	}
-	q, err := s.node.objects.queue(req.QueueID)
+func (s *Session) execEnqueueKernel(req *protocol.EnqueueKernelReq, q *queueObj, ev *eventObj, k *kernelObj, args []kernel.Arg, waits []*eventObj) (protocol.Message, error) {
+	deadline, err := s.awaitDeadline(waits)
 	if err != nil {
-		return nil, err
-	}
-	k, err := s.node.objects.kernel(req.KernelID)
-	if err != nil {
-		return nil, err
-	}
-	deadline, err := s.eventDeadline(req.WaitEvents)
-	if err != nil {
-		return nil, err
-	}
-	args, err := s.buildLaunchArgs(k, req.Args)
-	if err != nil {
-		return nil, err
+		return nil, s.failCommand(ev, err)
 	}
 
 	global := make([]int, len(req.Global))
@@ -546,7 +885,7 @@ func (s *Session) handleEnqueueKernel(body []byte) (protocol.Message, error) {
 	}
 	g3, _, err := kernel.NormalizeRange(global, local)
 	if err != nil {
-		return nil, remoteErr(protocol.CodeLaunchFailed, "%v", err)
+		return nil, s.failCommand(ev, remoteErr(protocol.CodeLaunchFailed, "%v", err))
 	}
 
 	cost := k.spec.CostOf(g3, args)
@@ -566,32 +905,15 @@ func (s *Session) handleEnqueueKernel(body []byte) (protocol.Message, error) {
 	})
 	q.execMu.Unlock()
 	if execErr != nil {
-		return nil, remoteErr(protocol.CodeLaunchFailed, "kernel %q: %v", k.name, execErr)
+		return nil, s.failCommand(ev, remoteErr(protocol.CodeLaunchFailed, "kernel %q: %v", k.name, execErr))
 	}
 
 	q.stats.observeKernel(cost.Flops, cost.Bytes, dur, q.dev.EnergyRate(), end)
 	prof := protocol.Profile{
 		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
 	}
-	evID := s.putEvent(req.EventID, &eventObj{profile: prof})
-	return &protocol.EventResp{EventID: evID, Profile: prof}, nil
-}
-
-func (s *Session) handleFinishQueue(body []byte) (protocol.Message, error) {
-	var req protocol.FinishQueueReq
-	if err := protocol.DecodeMessage(&req, body); err != nil {
-		return nil, err
-	}
-	q, err := s.node.objects.queue(req.QueueID)
-	if err != nil {
-		return nil, err
-	}
-	// Execution is synchronous under execMu, so taking it proves the
-	// queue has drained; the clock frontier is the completion instant.
-	q.execMu.Lock()
-	now := q.clock.Now()
-	q.execMu.Unlock()
-	return &protocol.FinishQueueResp{SimTime: int64(now)}, nil
+	ev.complete(prof)
+	return &protocol.EventResp{EventID: ev.id, Profile: prof}, nil
 }
 
 func (s *Session) handleQueryEvent(body []byte) (protocol.Message, error) {
@@ -599,11 +921,24 @@ func (s *Session) handleQueryEvent(body []byte) (protocol.Message, error) {
 	if err := protocol.DecodeMessage(&req, body); err != nil {
 		return nil, err
 	}
-	e, err := s.event(req.EventID)
-	if err != nil {
-		return nil, err
+	s.mu.Lock()
+	e := s.events[req.EventID]
+	claimed := e != nil && e.claimed
+	s.mu.Unlock()
+	if !claimed {
+		return nil, remoteErr(protocol.CodeUnknownObject, "unknown event %d", req.EventID)
 	}
-	return &protocol.QueryEventResp{Complete: true, Profile: e.profile}, nil
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return nil, remoteErr(errCode(e.err), "event %d failed: %v", req.EventID, e.err)
+		}
+		return &protocol.QueryEventResp{Complete: true, Profile: e.profile}, nil
+	default:
+		// The command is still executing on its lane (impossible under the
+		// old FIFO, where queries could only arrive after execution).
+		return &protocol.QueryEventResp{Complete: false}, nil
+	}
 }
 
 func (s *Session) handleRelease(body []byte) (protocol.Message, error) {
@@ -613,15 +948,16 @@ func (s *Session) handleRelease(body []byte) (protocol.Message, error) {
 	}
 	if req.Kind == protocol.ObjEvent {
 		s.mu.Lock()
-		_, ok := s.events[req.ID]
-		if ok {
+		e, ok := s.events[req.ID]
+		if ok && e.claimed {
 			delete(s.events, req.ID)
+			s.mu.Unlock()
+			return &protocol.EmptyResp{}, nil
 		}
 		s.mu.Unlock()
-		if !ok {
-			return nil, remoteErr(protocol.CodeUnknownObject, "release: unknown event %d", req.ID)
-		}
-		return &protocol.EmptyResp{}, nil
+		// Unclaimed placeholders (left by wait-list lookups) are not
+		// releasable objects; double releases land here too.
+		return nil, remoteErr(protocol.CodeUnknownObject, "release: unknown event %d", req.ID)
 	}
 	q, err := s.node.objects.release(req.Kind, req.ID)
 	if err != nil {
@@ -632,6 +968,27 @@ func (s *Session) handleRelease(body []byte) (protocol.Message, error) {
 		s.mu.Lock()
 		delete(s.queues, req.ID)
 		s.mu.Unlock()
+		// The queue's lane dies with it (after draining what was already
+		// registered); without this, every create/use/release cycle would
+		// leak one parked worker goroutine for the session's lifetime.
+		s.closeLane(s.laneKey(req.ID))
 	}
 	return &protocol.EmptyResp{}, nil
+}
+
+// closeLane retires one queue's lane after the queue is released: the
+// worker drains the jobs that were registered before the release, then
+// exits. The control lane (also the shared lane in single-lane mode) is
+// never retired — it serves the whole session.
+func (s *Session) closeLane(key uint64) {
+	if key == controlLane {
+		return
+	}
+	s.laneMu.Lock()
+	ln := s.lanes[key]
+	delete(s.lanes, key)
+	s.laneMu.Unlock()
+	if ln != nil {
+		ln.close()
+	}
 }

@@ -5,11 +5,15 @@
 // The design follows paper §III-C. Each node runs an acceptor that listens
 // asynchronously; every accepted connection gets a reader goroutine plus a
 // dispatch worker — the Go equivalent of the Boost.Asio acceptor structure
-// the paper describes. Requests from one connection are executed in arrival
-// order (FIFO): the host runtime pipelines commands without waiting for
-// their responses, and in-order execution is what lets a later command
+// the paper describes. Requests from one connection are *dispatched* in
+// arrival order: the host runtime pipelines commands without waiting for
+// their responses, and in-order dispatch is what lets a later command
 // reference the host-assigned event ID of an earlier one that has not
-// produced a response yet.
+// produced a response yet. Whether execution is also serial is the
+// handler's choice — an AsyncHandler (the node's session, with its
+// per-queue dispatch lanes) completes requests out of order and the reply
+// path reassembles per-envelope response batches; a plain Handler keeps
+// the strict FIFO of the pre-lane runtime.
 //
 // The host side issues calls through Go, which ships the request and
 // returns a Pending future; Call is Go followed by Wait. Any number of
@@ -50,6 +54,26 @@ import (
 // the caller; the connection stays usable.
 type Handler interface {
 	HandleCall(op protocol.Op, body []byte) (protocol.Message, error)
+}
+
+// AsyncHandler is a Handler that may complete calls out of order. The
+// server invokes HandleCallAsync from the connection's dispatch goroutine
+// strictly in arrival order — that call is the handler's registration
+// stage — and the handler routes the request to whatever internal
+// execution lane it belongs to. done must be invoked exactly once per
+// call, from any goroutine, with the response (or error) to ship. A plain
+// request's response is written the moment it completes, never behind
+// another lane's execution; requests that arrived inside one Batch
+// envelope keep the symmetric response-envelope contract, so their
+// responses are held and shipped together when the whole envelope has
+// completed — a deliberate batching tradeoff that couples envelope-mates'
+// latency (DESIGN.md §4).
+//
+// Handlers that need the old strictly-serial behavior simply implement
+// Handler alone; the server then executes calls inline, in arrival order.
+type AsyncHandler interface {
+	Handler
+	HandleCallAsync(op protocol.Op, body []byte, done func(protocol.Message, error))
 }
 
 // HandlerFunc adapts a function to the Handler interface.
@@ -459,21 +483,22 @@ func (c *Client) Close() error {
 }
 
 // Server is the node side of the backbone: an acceptor plus, per
-// connection, a reader goroutine and a dispatch worker that executes the
-// connection's requests strictly in arrival order.
+// connection, a reader goroutine and a dispatch worker that hands the
+// connection's requests to its handler strictly in arrival order.
 //
-// FIFO execution per connection is a protocol guarantee, not an
+// In-order *dispatch* per connection is a protocol guarantee, not an
 // implementation detail: the host pipelines enqueue commands without
 // waiting for responses, naming each command's event with a host-assigned
 // ID, and a later command's wait list may reference an earlier command
-// whose response has not been produced yet. In-order execution makes that
-// reference valid by construction. Different connections execute
-// concurrently.
-//
-// The single lane trades away cross-queue execution concurrency within
-// one connection (it only matters for multi-device nodes doing heavy
-// functional work); per-queue dispatch lanes with in-order event
-// registration are the known refinement — see ROADMAP.md.
+// whose response has not been produced yet. Arrival-order dispatch lets
+// the handler register those IDs before anything executes, making the
+// reference valid by construction. Whether *execution* is also serial is
+// the handler's choice: a plain Handler runs inline in the dispatch
+// goroutine (strict FIFO, the pre-lane behavior), while an AsyncHandler
+// fans requests out to its own execution lanes and completes them out of
+// order — the reply path reassembles per-envelope response batches from
+// whatever order completions arrive in (DESIGN.md §4). Different
+// connections always execute concurrently.
 //
 // Each accepted connection gets its own Handler from the factory, so the
 // NMP can maintain per-session state (user identity, owned objects). A
@@ -565,12 +590,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 	s.mu.Unlock()
 
 	handler := s.factory()
-	// The reader keeps draining the socket while the worker executes, so a
+	// The reader keeps draining the socket while the handler executes, so a
 	// pipelining host can stream frames into the job queue without waiting
-	// for earlier commands to finish. Batch envelopes are unpacked here,
-	// in envelope order, into the same queue — the FIFO dispatch worker
-	// never sees the difference, which is what keeps the pipeline's
-	// in-order execution invariant intact.
+	// for earlier commands to finish. Batch envelopes are unpacked here, in
+	// envelope order, into the same queue; each envelope's sub-requests
+	// share a respEnvelope so their responses can be coalesced back into
+	// one response envelope no matter which order they complete in.
 	jobs := make(chan serverJob, 128)
 	s.wg.Add(2)
 	go func() {
@@ -589,8 +614,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 				if err != nil {
 					return // malformed envelope: framing is poisoned
 				}
+				env := &respEnvelope{
+					frames:    make([]*protocol.Frame, len(subs)),
+					remaining: len(subs),
+				}
 				for i, sub := range subs {
-					jobs <- serverJob{frame: sub, batched: true, last: i == len(subs)-1}
+					jobs <- serverJob{frame: sub, env: env, idx: i}
 				}
 				continue
 			}
@@ -613,64 +642,78 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}()
 }
 
-// serverJob is one request awaiting FIFO dispatch. batched marks frames
-// that arrived inside a Batch envelope; last marks the envelope's final
-// sub-frame, the natural flush point for the coalesced responses.
+// serverJob is one request awaiting dispatch. env groups the sub-requests
+// of one Batch envelope for response assembly; idx is the request's
+// position within it.
 type serverJob struct {
-	frame   *protocol.Frame
-	batched bool
-	last    bool
+	frame *protocol.Frame
+	env   *respEnvelope
+	idx   int
 }
 
-// dispatchLoop executes the connection's requests strictly in arrival
-// order. Responses to a Batch envelope's requests are coalesced and
-// written as one response envelope when the request envelope has been
-// fully executed (or earlier, if the run crosses the batch thresholds);
-// plain requests keep the one-frame-per-response path, so a v2 peer sees
-// exactly the pre-batching wire behavior.
-func (s *Server) dispatchLoop(conn net.Conn, handler Handler, jobs <-chan serverJob) {
-	var rc runCoalescer
-	var buf []byte // reused across flushes, like the client's writer
-	// Write failures mean the peer vanished; the read loop notices and
-	// cleans the connection up, so the errors need no second handling.
-	flush := func() {
-		run := rc.take()
-		var err error
-		buf, err = appendRun(buf[:0], run)
-		if err != nil {
-			// Cannot envelope (unreachable within the thresholds): fall
-			// back to plain frames so no response is ever dropped —
-			// a lost response would hang its future forever.
-			for _, f := range run {
-				_ = protocol.WriteFrame(conn, f)
-			}
-			return
-		}
-		if len(buf) > 0 {
-			_, _ = conn.Write(buf)
-		}
+// respEnvelope collects the responses of one request envelope. Lanes may
+// complete an envelope's requests in any order; the envelope ships as one
+// coalesced unit when the last response lands, with each response in its
+// request's position.
+type respEnvelope struct {
+	frames    []*protocol.Frame
+	remaining int
+}
+
+// replyWriter serializes one connection's response writes. Plain requests
+// answer with a plain frame the moment they complete — a response never
+// waits behind another lane's execution — while requests from a Batch
+// envelope are held until the whole envelope has completed and then
+// written as one coalesced run (bulk responses inside it still travel
+// alone, via the shared packing policy in writeCoalesced). Out-of-order
+// completion across envelopes is fine: the client correlates responses by
+// request ID.
+type replyWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// complete delivers one finished request's response frame. Write failures
+// mean the peer vanished; the read loop notices and cleans the connection
+// up, so the errors need no second handling.
+func (w *replyWriter) complete(j serverJob, out *protocol.Frame) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if j.env == nil {
+		_ = protocol.WriteFrame(w.conn, out)
+		return
 	}
+	j.env.frames[j.idx] = out
+	j.env.remaining--
+	if j.env.remaining == 0 {
+		_ = writeCoalesced(w.conn, j.env.frames)
+	}
+}
+
+// dispatchLoop hands the connection's requests to the handler strictly in
+// arrival order. An AsyncHandler takes ownership of each request's
+// execution and completes it through the reply writer from its own lanes;
+// a plain Handler executes inline, preserving the strict per-connection
+// FIFO of the pre-lane runtime.
+func (s *Server) dispatchLoop(conn net.Conn, handler Handler, jobs <-chan serverJob) {
+	w := &replyWriter{conn: conn}
+	async, _ := handler.(AsyncHandler)
 	for j := range jobs {
-		out := s.respond(handler, j.frame)
-		if !j.batched || len(out.Body) > protocol.BatchableBodyLimit {
-			// Plain requests answer plain; bulk responses (e.g. large
-			// reads) travel alone even inside a batch.
-			flush()
-			_ = protocol.WriteFrame(conn, out)
+		j := j
+		if async != nil {
+			async.HandleCallAsync(j.frame.Op, j.frame.Body, func(resp protocol.Message, err error) {
+				w.complete(j, responseFrame(j.frame, resp, err))
+			})
 			continue
 		}
-		rc.add(out)
-		if j.last || rc.full() {
-			flush()
-		}
+		resp, err := handler.HandleCall(j.frame.Op, j.frame.Body)
+		w.complete(j, responseFrame(j.frame, resp, err))
 	}
-	flush()
 }
 
-// respond executes one request and packages its response frame.
-func (s *Server) respond(handler Handler, f *protocol.Frame) *protocol.Frame {
-	resp, err := handler.HandleCall(f.Op, f.Body)
-	out := &protocol.Frame{Kind: protocol.FrameResponse, ReqID: f.ReqID, Op: f.Op}
+// responseFrame packages one request's outcome as its response frame.
+func responseFrame(req *protocol.Frame, resp protocol.Message, err error) *protocol.Frame {
+	out := &protocol.Frame{Kind: protocol.FrameResponse, ReqID: req.ReqID, Op: req.Op}
 	if err != nil {
 		out.Op = protocol.OpError
 		var re *protocol.RemoteError

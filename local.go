@@ -40,6 +40,11 @@ type LocalClusterSpec struct {
 	// (0 = current). Benchmarks pin it to emulate pre-batching peers.
 	WireVersion uint32
 
+	// SingleLane folds every node's dispatch onto one lane per session,
+	// the serialized pre-lane execution (DESIGN.md §4). Benchmarks use it
+	// as the baseline against per-queue lanes.
+	SingleLane bool
+
 	// Policy is the default scheduling policy.
 	Policy Policy
 }
@@ -90,6 +95,7 @@ func StartLocalCluster(spec LocalClusterSpec) (*LocalCluster, error) {
 			ICD:         icd,
 			ExecWorkers: spec.ExecWorkers,
 			WireVersion: spec.WireVersion,
+			SingleLane:  spec.SingleLane,
 		})
 		if err != nil {
 			lc.Close()
