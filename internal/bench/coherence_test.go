@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/core"
+)
+
+// TestCoherenceDeltaMovesFewerBytes is the acceptance gate for the
+// range-coherence layer: on the partial-update workload, delta migration
+// must move strictly fewer modeled wire bytes than full-buffer migration
+// while producing identical functional results (the workloads verify every
+// read against a host-side mirror internally).
+func TestCoherenceDeltaMovesFewerBytes(t *testing.T) {
+	size, chunk, iters, _ := coherenceSizes(true)
+	full, err := CoherencePartialUpdate(size, chunk, iters, core.MigrateFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := CoherencePartialUpdate(size, chunk, iters, core.MigrateDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full:  %v", full)
+	t.Logf("delta: %v", delta)
+	if delta.WireMB >= full.WireMB {
+		t.Fatalf("delta moved %.2f MB, full %.2f MB — delta must move fewer bytes", delta.WireMB, full.WireMB)
+	}
+	if delta.VirtualSec > full.VirtualSec {
+		t.Fatalf("delta virtual makespan %.4fs exceeds full %.4fs", delta.VirtualSec, full.VirtualSec)
+	}
+}
+
+// TestCoherenceFullyStaleIsInvariant: when every migration is a whole
+// buffer anyway, the two modes must be indistinguishable — bit-identical
+// virtual makespans and identical modeled byte counts. This is the
+// assertion CI's bench-smoke job repeats from the JSON report.
+func TestCoherenceFullyStaleIsInvariant(t *testing.T) {
+	size, _, _, iters := coherenceSizes(true)
+	full, err := CoherenceFullyStale(size, iters, core.MigrateFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := CoherenceFullyStale(size, iters, core.MigrateDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.VirtualSec != full.VirtualSec {
+		t.Fatalf("virtual makespan diverged: delta=%v full=%v", delta.VirtualSec, full.VirtualSec)
+	}
+	if delta.WireMB != full.WireMB {
+		t.Fatalf("wire bytes diverged: delta=%v full=%v MB", delta.WireMB, full.WireMB)
+	}
+}

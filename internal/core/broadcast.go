@@ -59,23 +59,44 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
+
+	// Validate every hop up front — sticky queue errors, replica
+	// allocation (a synchronous call that can fail), chain integrity —
+	// before mutating any buffer state. Failing mid-loop would strand the
+	// buffer half-broadcast: host shadow updated and earlier hops issued,
+	// later replicas still holding (and still marked with) old data.
+	type hop struct {
+		q     *Queue
+		rb    *remoteBuf
+		chain []int64
+	}
+	plan := make([]hop, 0, len(hops))
+	for _, q := range hops {
+		if err := q.stickyErr(); err != nil {
+			return nil, err
+		}
+		rb, err := b.remoteOn(q.dev.node)
+		if err != nil {
+			return nil, err
+		}
+		chain, err := rb.chainWaits()
+		if err != nil {
+			return nil, err
+		}
+		plan = append(plan, hop{q: q, rb: rb, chain: chain})
+	}
+
 	if b.host == nil {
 		b.host = make([]byte, b.size)
 	}
 	copy(b.host, data)
-	b.hostValid = true
+	b.hostValid.Reset()
+	b.hostValid.Add(0, b.size)
 
-	events := make([]*Event, 0, len(hops))
+	events := make([]*Event, 0, len(plan))
 	var prevArrival vtime.Time
-	for i, q := range hops {
-		if err := q.stickyErr(); err != nil {
-			return nil, err
-		}
-		node := q.dev.node
-		rb, err := b.remoteOn(node)
-		if err != nil {
-			return nil, err
-		}
+	for i, h := range plan {
+		node := h.q.dev.node
 		var arrival vtime.Time
 		if i == 0 {
 			// First hop crosses the host NIC.
@@ -86,26 +107,32 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 		}
 		prevArrival = arrival
 
-		chain, err := rb.chainWaits()
-		if err != nil {
-			return nil, err
-		}
 		resp := new(protocol.EventResp)
 		id, pend := c.rt.issue(node, &protocol.WriteBufferReq{
-			QueueID:    q.remoteID,
-			BufferID:   rb.id,
+			QueueID:    h.q.remoteID,
+			BufferID:   h.rb.id,
 			Offset:     0,
 			Data:       data,
 			SimArrival: int64(arrival),
 			ModelBytes: b.modelSize,
-			WaitEvents: chain,
+			WaitEvents: h.chain,
 		}, resp)
-		ev := &Event{dev: q.dev, remoteID: id, queue: q, pending: pend, resp: resp}
-		q.track(ev)
-		rb.valid = true
-		rb.lastEvent = id
-		rb.lastEv = ev
+		ev := &Event{dev: h.q.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
+		h.q.track(ev)
+		h.rb.valid.Reset()
+		h.rb.valid.Add(0, b.size)
+		h.rb.lastEvent = id
+		h.rb.lastEv = ev
 		events = append(events, ev)
+	}
+
+	// Replicas on nodes outside the hop set now hold stale data in full:
+	// a later consumer there must re-migrate from the fresh host shadow
+	// instead of reading the pre-broadcast bytes.
+	for node, orb := range b.remote {
+		if !seen[node] {
+			orb.valid.Reset()
+		}
 	}
 	return events, nil
 }

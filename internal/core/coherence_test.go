@@ -1,0 +1,394 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/core"
+)
+
+// patternBytes builds a deterministic non-zero test pattern.
+func patternBytes(n int, tag byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = tag ^ byte(i*7+1)
+	}
+	return out
+}
+
+// TestPartialWriteOnStaleReplica is the regression test for the
+// stale-data bug the range layer fixes: a partial EnqueueWrite onto a
+// node whose replica is stale must not validate the unwritten remainder.
+// Pre-range, the whole-replica flag did exactly that, so the read-back on
+// node B returned zeros for the half written on node A.
+func TestPartialWriteOnStaleReplica(t *testing.T) {
+	rt, cleanup := startRuntime(t, 2)
+	defer cleanup()
+	ctx, err := rt.CreateContext(rt.Devices(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qA, err := ctx.CreateQueue(rt.Devices(0)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	qB, err := ctx.CreateQueue(rt.Devices(0)[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ctx.CreateBuffer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := patternBytes(8, 0xA0)
+	second := patternBytes(8, 0xB0)
+	// First half lands on node A (host and A hold [0,8)).
+	if _, err := qA.EnqueueWrite(buf, 0, first); err != nil {
+		t.Fatal(err)
+	}
+	// Second half lands on node B: B's fresh replica receives only [8,16),
+	// so its [0,8) bytes are stale zeros until a migration fills them.
+	if _, err := qB.EnqueueWrite(buf, 8, second); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, err := qB.EnqueueRead(buf, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, first...), second...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read-back on half-written node B = %x, want %x (stale bytes exposed)", got, want)
+	}
+}
+
+// TestBroadcastInvalidatesNonHopReplicas: a node that holds a replica but
+// is not in the broadcast's hop set must not keep serving its
+// pre-broadcast bytes. Pre-range, Broadcast never touched non-hop
+// replicas, so the re-read on node C returned the old payload.
+func TestBroadcastInvalidatesNonHopReplicas(t *testing.T) {
+	rt, cleanup := startRuntime(t, 3)
+	defer cleanup()
+	devs := rt.Devices(0)
+	ctx, err := rt.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queues := make([]*core.Queue, 3)
+	for i, d := range devs {
+		q, err := ctx.CreateQueue(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queues[i] = q
+	}
+	buf, err := ctx.CreateBuffer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := patternBytes(64, 0x11)
+	if _, err := ctx.Broadcast(buf, old, queues); err != nil {
+		t.Fatal(err)
+	}
+	// Second broadcast skips node C.
+	fresh := patternBytes(64, 0x22)
+	if _, err := ctx.Broadcast(buf, fresh, queues[:2]); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, err := queues[2].EnqueueRead(buf, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fresh) {
+		t.Fatalf("non-hop node served %x, want the broadcast payload %x", got[:8], fresh[:8])
+	}
+}
+
+// TestBroadcastFailedHopLeavesStateUntouched: when a hop beyond the first
+// cannot be issued (here: its queue carries a sticky error), Broadcast
+// must fail before mutating any buffer state. Pre-range the host shadow
+// was updated and hop 0 issued before the loop reached the failing hop,
+// leaving the cluster half-broadcast.
+func TestBroadcastFailedHopLeavesStateUntouched(t *testing.T) {
+	rt, cleanup := startRuntime(t, 2)
+	defer cleanup()
+	devs := rt.Devices(0)
+	ctx, err := rt.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qA, err := ctx.CreateQueue(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	qB, err := ctx.CreateQueue(devs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ctx.CreateBuffer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := patternBytes(64, 0x33)
+	if _, err := ctx.Broadcast(buf, old, []*core.Queue{qA, qB}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison qB's pipeline: an indivisible work-group size fails remotely,
+	// and Finish latches the sticky queue error.
+	prog, err := ctx.CreateProgram(incrSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := ctx.CreateBuffer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("incr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetArg(0, scratch)
+	k.SetArg(1, int32(4))
+	if _, err := qB.EnqueueKernel(k, []int{4}, []int{3}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qB.Finish(); err == nil {
+		t.Fatal("indivisible work-group accepted")
+	}
+
+	// The broadcast must refuse at hop 1 (i > 0) without touching state.
+	fresh := patternBytes(64, 0x44)
+	if _, err := ctx.Broadcast(buf, fresh, []*core.Queue{qA, qB}); err == nil {
+		t.Fatal("broadcast over a sticky-failed queue accepted")
+	}
+	got, _, err := qA.EnqueueRead(buf, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatalf("failed broadcast leaked state: node A reads %x, want pre-broadcast %x", got[:8], old[:8])
+	}
+}
+
+// TestCoherenceOracle mirrors a random sequence of partial writes, partial
+// reads, device copies and subset broadcasts across a 3-node cluster
+// against plain in-memory byte slices: every read must be byte-identical
+// to the mirror, whatever interleaving of migrations it triggered. The
+// migration mode is flipped mid-run too — delta and full migration must
+// be functionally indistinguishable.
+func TestCoherenceOracle(t *testing.T) {
+	for _, seed := range []int64{1, 7, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runCoherenceOracle(t, seed)
+		})
+	}
+}
+
+func runCoherenceOracle(t *testing.T, seed int64) {
+	const (
+		bufSize = 64
+		numBufs = 2
+		steps   = 80
+	)
+	rt, cleanup := startRuntime(t, 3)
+	defer cleanup()
+	devs := rt.Devices(0)
+	ctx, err := rt.CreateContext(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queues := make([]*core.Queue, len(devs))
+	for i, d := range devs {
+		q, err := ctx.CreateQueue(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queues[i] = q
+	}
+	bufs := make([]*core.Buffer, numBufs)
+	mirror := make([][]byte, numBufs)
+	for i := range bufs {
+		b, err := ctx.CreateBuffer(bufSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs[i] = b
+		mirror[i] = make([]byte, bufSize)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	randRange := func() (int64, int64) {
+		lo := rng.Int63n(bufSize)
+		n := 1 + rng.Int63n(bufSize-lo)
+		return lo, n
+	}
+	for step := 0; step < steps; step++ {
+		q := queues[rng.Intn(len(queues))]
+		bi := rng.Intn(numBufs)
+		switch op := rng.Intn(100); {
+		case op < 40: // partial write
+			off, n := randRange()
+			data := make([]byte, n)
+			rng.Read(data)
+			if _, err := q.EnqueueWrite(bufs[bi], off, data); err != nil {
+				t.Fatalf("seed %d step %d: write: %v", seed, step, err)
+			}
+			copy(mirror[bi][off:], data)
+		case op < 70: // partial read, checked against the mirror
+			off, n := randRange()
+			got, _, err := q.EnqueueRead(bufs[bi], off, n)
+			if err != nil {
+				t.Fatalf("seed %d step %d: read: %v", seed, step, err)
+			}
+			if !bytes.Equal(got, mirror[bi][off:off+n]) {
+				t.Fatalf("seed %d step %d: read [%d,%d) on %s = %x, want %x",
+					seed, step, off, off+n, q.Device().Key(), got, mirror[bi][off:off+n])
+			}
+		case op < 85: // device-side copy between the two buffers
+			src, dst := bi, (bi+1)%numBufs
+			srcOff, n := randRange()
+			dstOff := rng.Int63n(bufSize - n + 1)
+			if _, err := q.EnqueueCopy(bufs[src], bufs[dst], srcOff, dstOff, n); err != nil {
+				t.Fatalf("seed %d step %d: copy: %v", seed, step, err)
+			}
+			copy(mirror[dst][dstOff:dstOff+n], mirror[src][srcOff:srcOff+n])
+		case op < 95: // broadcast to a random non-empty queue subset
+			var subset []*core.Queue
+			for _, cand := range queues {
+				if rng.Intn(2) == 0 {
+					subset = append(subset, cand)
+				}
+			}
+			if len(subset) == 0 {
+				subset = append(subset, q)
+			}
+			payload := make([]byte, bufSize)
+			rng.Read(payload)
+			if _, err := ctx.Broadcast(bufs[bi], payload, subset); err != nil {
+				t.Fatalf("seed %d step %d: broadcast: %v", seed, step, err)
+			}
+			copy(mirror[bi], payload)
+		default: // flip migration mode; functionally invisible
+			if rng.Intn(2) == 0 {
+				rt.SetMigrationMode(core.MigrateFull)
+			} else {
+				rt.SetMigrationMode(core.MigrateDelta)
+			}
+		}
+	}
+
+	// Every node must agree with the mirror on every buffer, in full.
+	for bi, b := range bufs {
+		for qi, q := range queues {
+			got, _, err := q.EnqueueRead(b, 0, bufSize)
+			if err != nil {
+				t.Fatalf("seed %d: final read buf %d on queue %d: %v", seed, bi, qi, err)
+			}
+			if !bytes.Equal(got, mirror[bi]) {
+				t.Fatalf("seed %d: final read buf %d on %s = %x, want %x",
+					seed, bi, q.Device().Key(), got, mirror[bi])
+			}
+		}
+	}
+}
+
+// TestFailedWriteLeavesShadowUntouched: an EnqueueWrite that fails after
+// argument validation (here: a wait list referencing a released event)
+// must not leave the host shadow claiming data the cluster never
+// received — the same no-half-mutation rule Broadcast follows.
+func TestFailedWriteLeavesShadowUntouched(t *testing.T) {
+	rt, cleanup := startRuntime(t, 2)
+	defer cleanup()
+	ctx, err := rt.CreateContext(rt.Devices(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qA, err := ctx.CreateQueue(rt.Devices(0)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	qB, err := ctx.CreateQueue(rt.Devices(0)[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ctx.CreateBuffer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := ctx.CreateBuffer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := patternBytes(16, 0x55)
+	if _, err := qA.EnqueueWrite(buf, 0, old); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := qA.EnqueueWrite(scratch, 0, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Release(rt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qA.EnqueueWrite(buf, 0, patternBytes(16, 0x66), ev); err == nil {
+		t.Fatal("write waiting on a released event accepted")
+	}
+	// Reading through node B migrates from the host shadow: it must still
+	// hold the old contents, not the failed write's.
+	got, _, err := qB.EnqueueRead(buf, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatalf("failed write leaked into the shadow: %x, want %x", got, old)
+	}
+}
+
+// TestHostRangeOverflow: host-side bounds checks must reject offsets that
+// would wrap offset+size past MaxInt64 instead of panicking on the slice.
+func TestHostRangeOverflow(t *testing.T) {
+	rt, cleanup := startRuntime(t, 1)
+	defer cleanup()
+	ctx, err := rt.CreateContext(rt.Devices(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ctx.CreateQueue(rt.Devices(0)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ctx.CreateBuffer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := ctx.CreateBuffer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxI64 = int64(^uint64(0) >> 1)
+	if _, err := q.EnqueueWrite(buf, maxI64-1, []byte{1, 2, 3, 4}); err == nil {
+		t.Fatal("wrapping write offset accepted")
+	}
+	if _, _, err := q.EnqueueRead(buf, maxI64-1, 4); err == nil {
+		t.Fatal("wrapping read offset accepted")
+	}
+	if _, err := q.EnqueueCopy(buf, buf2, maxI64-1, 0, 4); err == nil {
+		t.Fatal("wrapping copy source offset accepted")
+	}
+	if _, err := q.EnqueueCopy(buf, buf2, 0, maxI64-1, 4); err == nil {
+		t.Fatal("wrapping copy destination offset accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/haocl-project/haocl/internal/clc"
 	"github.com/haocl-project/haocl/internal/kernel"
+	"github.com/haocl-project/haocl/internal/mem"
 	"github.com/haocl-project/haocl/internal/protocol"
 	"github.com/haocl-project/haocl/internal/transport"
 	"github.com/haocl-project/haocl/internal/vtime"
@@ -314,21 +315,25 @@ func (q *Queue) Release() error {
 	return nil
 }
 
-// remoteBuf tracks one node's replica of a buffer. lastEvent chains the
+// remoteBuf tracks one node's replica of a buffer. valid is the set of
+// byte ranges whose replica bytes hold current data — a partial write
+// validates exactly the written range, an overlapping writer elsewhere
+// invalidates exactly the overlap (DESIGN.md §5). lastEvent chains the
 // replica's most recent writer: because event IDs are host-assigned at
 // issue time, a dependent command can be pipelined behind the writer
 // without waiting for the writer's response.
 type remoteBuf struct {
 	id        uint64
-	valid     bool
+	valid     mem.RangeSet
 	lastEvent uint64 // event ID of the last write, for ordering
 	lastEv    *Event // the chained event itself, to detect released chains
 }
 
 // Buffer is a cluster-wide memory object (clCreateBuffer). The host keeps a
-// shadow copy plus per-node replicas with write-invalidate coherence:
-// writing on one device invalidates the others, and using the buffer on a
-// different node triggers an automatic migration over the backbone — the
+// shadow copy plus per-node replicas with range-aware write-invalidate
+// coherence: writing a range on one device invalidates that range on the
+// others, and using the buffer on a different node triggers an automatic
+// delta migration over the backbone that moves only the stale ranges — the
 // "complex inter-node data transfer schemes" of paper §III-C.
 type Buffer struct {
 	ctx  *Context
@@ -338,9 +343,13 @@ type Buffer struct {
 	// payload is a scaled-down stand-in for a paper-scale input.
 	modelSize int64
 
-	mu          sync.Mutex
-	host        []byte
-	hostValid   bool
+	mu   sync.Mutex
+	host []byte
+	// hostValid is the set of byte ranges of the host shadow holding
+	// current data. The coherence invariant: every byte range that was
+	// ever written is valid on the host or on at least one replica at all
+	// times (ranges never written read as zeros, deterministically).
+	hostValid   mem.RangeSet
 	hostReadyAt vtime.Time
 	remote      map[*NodeHandle]*remoteBuf
 	released    bool
@@ -426,38 +435,41 @@ func (b *Buffer) Release() error {
 	}
 	b.remote = make(map[*NodeHandle]*remoteBuf)
 	b.host = nil
-	b.hostValid = false
+	b.hostValid.Reset()
 	b.released = true
 	return nil
 }
 
+// hostRangeOK validates the byte range [off, off+n) against a buffer of
+// size bytes without ever computing off+n: a caller-supplied offset near
+// MaxInt64 would wrap the sum negative and slip past a naive bound check
+// (the node applies the same overflow-safe rule at registration).
+func hostRangeOK(off, n, size int64) bool {
+	return off >= 0 && n >= 0 && off <= size && n <= size-off
+}
+
 // EnqueueWrite transfers data into the buffer through q's device
-// (clEnqueueWriteBuffer). The host shadow is updated, every other replica
-// is invalidated, and the transfer is charged to the host NIC model. The
-// command is pipelined: the call returns once the request is on the wire,
-// and the returned event resolves when the node responds.
+// (clEnqueueWriteBuffer). The host shadow is updated and exactly the
+// written byte range is validated there and on the target replica — and
+// invalidated on every other replica; the transfer is charged to the host
+// NIC model. The command is pipelined: the call returns once the request
+// is on the wire, and the returned event resolves when the node responds.
 func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Event) (*Event, error) {
 	if err := q.stickyErr(); err != nil {
 		return nil, err
 	}
-	if offset < 0 || offset+int64(len(data)) > b.size {
-		return nil, fmt.Errorf("core: write [%d,%d) out of bounds (buffer %d bytes)",
-			offset, offset+int64(len(data)), b.size)
+	if !hostRangeOK(offset, int64(len(data)), b.size) {
+		return nil, fmt.Errorf("core: write range at offset %d of %d bytes out of bounds (buffer %d bytes)",
+			offset, len(data), b.size)
 	}
 	node := q.dev.node
+	end := offset + int64(len(data))
 	b.mu.Lock()
 	defer b.mu.Unlock()
 
-	// Update the host shadow.
-	if b.host == nil {
-		b.host = make([]byte, b.size)
-	}
-	copy(b.host[offset:], data)
-	full := offset == 0 && int64(len(data)) == b.size
-	if full {
-		b.hostValid = true
-	}
-
+	// Every fallible step runs before any buffer state mutates: a write
+	// whose replica allocation or wait list fails must not leave the host
+	// shadow claiming data the cluster never received.
 	rb, err := b.remoteOn(node)
 	if err != nil {
 		return nil, err
@@ -470,6 +482,14 @@ func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	if err != nil {
 		return nil, err
 	}
+
+	// Update the host shadow: the written range now holds current data.
+	if b.host == nil {
+		b.host = make([]byte, b.size)
+	}
+	copy(b.host[offset:], data)
+	b.hostValid.Add(offset, end)
+
 	localWaits = append(localWaits, chain...)
 	modelBytes := b.scaled(int64(len(data)))
 	earliest := vtime.Max(b.hostReadyAt, floor)
@@ -489,90 +509,59 @@ func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	q.track(ev)
 
 	// Coherence at issue time (wire order is event-ID order): this node and
-	// the host now hold the data; other replicas of the written range are
-	// stale. Partial writes conservatively invalidate whole remote replicas.
+	// the host now hold the written range; other replicas lose exactly the
+	// overlap. A partial write onto a stale replica must NOT validate the
+	// unwritten remainder — those bytes still hold old data, and reading
+	// them back here would expose stale content (the pre-range runtime's
+	// whole-replica flag did exactly that).
 	for other, orb := range b.remote {
 		if other != node {
-			orb.valid = false
+			orb.valid.Remove(offset, end)
 		}
 	}
-	rb.valid = true
+	rb.valid.Add(offset, end)
 	rb.lastEvent = id
 	rb.lastEv = ev
 	return ev, nil
 }
 
-// ensureResident makes the buffer valid on node, migrating data from the
-// host shadow or from the owning node as needed. Caller holds b.mu. It
-// returns the replica and the remote event that any subsequent command on
-// node must wait for (0 if none).
-func (b *Buffer) ensureResident(node *NodeHandle) (*remoteBuf, error) {
+// ensureResident makes the byte range [lo, hi) of the buffer valid on
+// node, migrating stale ranges from the host shadow or from owning
+// replicas as needed. Caller holds b.mu. It returns the replica; any
+// subsequent command on node chains behind rb.lastEvent as usual.
+//
+// Migration is a delta: only the Gaps of the replica's valid set within
+// [lo, hi) travel, each as its own ranged command charged per-range
+// through the virtual-time model (MigrateFull widens the request to the
+// whole buffer, restoring the pre-range behavior for comparison). Pulls
+// from owners block for their data like any read; pushes to node are
+// pipelined through the context's hidden service queue, so the consumer
+// command that triggered the migration waits on the final push's event ID
+// without a round trip.
+func (b *Buffer) ensureResident(node *NodeHandle, lo, hi int64) (*remoteBuf, error) {
 	rb, err := b.remoteOn(node)
 	if err != nil {
 		return nil, err
 	}
-	if rb.valid {
+	full := b.ctx.rt.migrationMode() == MigrateFull
+	if full {
+		lo, hi = 0, b.size
+	}
+	gaps := rb.valid.Gaps(lo, hi)
+	if len(gaps) == 0 {
 		return rb, nil
 	}
-
-	// Refresh the host shadow from the owning node if the host is stale.
-	if !b.hostValid {
-		var owner *NodeHandle
-		var ownerRB *remoteBuf
-		for n, r := range b.remote {
-			if r.valid {
-				owner, ownerRB = n, r
-				break
-			}
-		}
-		if owner == nil {
-			// Nothing valid anywhere: the buffer was never written. Treat
-			// zero-fill as valid content, matching uninitialized OpenCL
-			// buffers deterministically.
-			if b.host == nil {
-				b.host = make([]byte, b.size)
-			}
-			b.hostValid = true
-		} else {
-			svc, err := b.ctx.serviceQueue(owner)
-			if err != nil {
-				return nil, err
-			}
-			arrival := b.ctx.rt.chargeNIC(0, controlMsgBytes)
-			ownerChain, err := ownerRB.chainWaits()
-			if err != nil {
-				return nil, err
-			}
-			// The pull is pipelined behind the owner's pending writes (the
-			// wait on lastEvent), but the host must block for the data.
-			var resp protocol.ReadBufferResp
-			_, pend := b.ctx.rt.issue(owner, &protocol.ReadBufferReq{
-				QueueID:    svc.remoteID,
-				BufferID:   ownerRB.id,
-				Offset:     0,
-				Size:       b.size,
-				SimArrival: int64(arrival),
-				ModelBytes: b.modelSize,
-				WaitEvents: ownerChain,
-			}, &resp)
-			if err := pend.Wait(); err != nil {
-				return nil, fmt.Errorf("core: migrate buffer from %q: %w", owner.name, err)
-			}
-			// Response data crosses the backbone back to the host.
-			hostArrival := b.ctx.rt.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+b.modelSize)
-			if b.host == nil {
-				b.host = make([]byte, b.size)
-			}
-			copy(b.host, resp.Data)
-			b.hostValid = true
-			b.hostReadyAt = hostArrival
-			b.ctx.rt.observeProfile(svc.dev.key, resp.Profile, false)
-		}
+	if full {
+		// Pre-range semantics: any staleness re-migrates the whole
+		// replica, not just the stale ranges.
+		gaps = []mem.Range{{Lo: 0, Hi: b.size}}
 	}
 
-	// Push the host shadow to the target node through its service queue,
-	// pipelined: the consumer command that triggered the migration waits on
-	// the push's event ID, so neither response is needed before issuing it.
+	// Refresh the host shadow over the stale ranges first.
+	if err := b.refreshHost(gaps); err != nil {
+		return nil, err
+	}
+
 	svc, err := b.ctx.serviceQueue(node)
 	if err != nil {
 		return nil, err
@@ -584,23 +573,115 @@ func (b *Buffer) ensureResident(node *NodeHandle) (*remoteBuf, error) {
 	if err != nil {
 		return nil, err
 	}
-	arrival := b.ctx.rt.chargeNIC(b.hostReadyAt, controlMsgBytes+b.modelSize)
-	resp := new(protocol.EventResp)
-	id, pend := b.ctx.rt.issue(node, &protocol.WriteBufferReq{
-		QueueID:    svc.remoteID,
-		BufferID:   rb.id,
-		Offset:     0,
-		Data:       b.host,
-		SimArrival: int64(arrival),
-		ModelBytes: b.modelSize,
-		WaitEvents: chain,
-	}, resp)
-	pushEv := &Event{dev: svc.dev, remoteID: id, queue: svc, pending: pend, resp: resp}
-	svc.track(pushEv)
-	rb.valid = true
-	rb.lastEvent = id
-	rb.lastEv = pushEv
+	for _, g := range gaps {
+		modelBytes := b.scaled(g.Len())
+		arrival := b.ctx.rt.chargeNIC(b.hostReadyAt, controlMsgBytes+modelBytes)
+		resp := new(protocol.EventResp)
+		id, pend := b.ctx.rt.issue(node, &protocol.WriteBufferReq{
+			QueueID:    svc.remoteID,
+			BufferID:   rb.id,
+			Offset:     g.Lo,
+			Data:       b.host[g.Lo:g.Hi],
+			SimArrival: int64(arrival),
+			ModelBytes: modelBytes,
+			WaitEvents: chain,
+		}, resp)
+		pushEv := &Event{dev: svc.dev, remoteID: id, queue: svc, pending: pend, resp: resp}
+		svc.track(pushEv)
+		rb.valid.Add(g.Lo, g.Hi)
+		// The pushes ride one in-order service queue, so chaining the
+		// consumer behind the last push orders it behind all of them.
+		rb.lastEvent = id
+		rb.lastEv = pushEv
+	}
 	return rb, nil
+}
+
+// refreshHost makes the host shadow valid over the given ranges, pulling
+// each host-stale sub-range from a replica that holds it. Caller holds
+// b.mu.
+func (b *Buffer) refreshHost(ranges []mem.Range) error {
+	if b.host == nil {
+		b.host = make([]byte, b.size)
+	}
+	for _, r := range ranges {
+		for _, gap := range b.hostValid.Gaps(r.Lo, r.Hi) {
+			if err := b.pullRange(gap); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pullRange fetches one host-stale range from whichever replicas hold
+// parts of it valid, in the runtime's deterministic node order. Sub-ranges
+// valid nowhere were never written: the zero bytes already in the shadow
+// are their content (uninitialized OpenCL buffers read deterministically
+// as zeros), so they validate without a transfer. Caller holds b.mu.
+func (b *Buffer) pullRange(gap mem.Range) error {
+	var need mem.RangeSet
+	need.Add(gap.Lo, gap.Hi)
+	for _, owner := range b.ctx.rt.nodes {
+		if need.Empty() {
+			break
+		}
+		orb, ok := b.remote[owner]
+		if !ok {
+			continue
+		}
+		for _, span := range orb.valid.Overlap(gap.Lo, gap.Hi) {
+			for _, pull := range need.Overlap(span.Lo, span.Hi) {
+				if err := b.pullFrom(owner, orb, pull); err != nil {
+					return err
+				}
+				need.Remove(pull.Lo, pull.Hi)
+			}
+		}
+	}
+	for _, p := range need.Spans() {
+		b.hostValid.Add(p.Lo, p.Hi)
+	}
+	return nil
+}
+
+// pullFrom reads one valid range of owner's replica back into the host
+// shadow. The pull is pipelined behind the owner's pending writes (the
+// wait on lastEvent), but the host must block for the data. Caller holds
+// b.mu.
+func (b *Buffer) pullFrom(owner *NodeHandle, orb *remoteBuf, r mem.Range) error {
+	svc, err := b.ctx.serviceQueue(owner)
+	if err != nil {
+		return err
+	}
+	ownerChain, err := orb.chainWaits()
+	if err != nil {
+		return err
+	}
+	modelBytes := b.scaled(r.Len())
+	arrival := b.ctx.rt.chargeNIC(0, controlMsgBytes)
+	var resp protocol.ReadBufferResp
+	_, pend := b.ctx.rt.issue(owner, &protocol.ReadBufferReq{
+		QueueID:    svc.remoteID,
+		BufferID:   orb.id,
+		Offset:     r.Lo,
+		Size:       r.Len(),
+		SimArrival: int64(arrival),
+		ModelBytes: modelBytes,
+		WaitEvents: ownerChain,
+	}, &resp)
+	if err := pend.Wait(); err != nil {
+		return fmt.Errorf("core: migrate buffer range [%d,%d) from %q: %w", r.Lo, r.Hi, owner.name, err)
+	}
+	// Response data crosses the backbone back to the host.
+	hostArrival := b.ctx.rt.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
+	copy(b.host[r.Lo:r.Hi], resp.Data)
+	b.hostValid.Add(r.Lo, r.Hi)
+	if hostArrival > b.hostReadyAt {
+		b.hostReadyAt = hostArrival
+	}
+	b.ctx.rt.observeProfile(svc.dev.key, resp.Profile, false)
+	return nil
 }
 
 // chainWaits returns the wait-list entry for the replica's last writer.
@@ -628,15 +709,17 @@ func (q *Queue) EnqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	if err := q.stickyErr(); err != nil {
 		return nil, nil, err
 	}
-	if offset < 0 || size < 0 || offset+size > b.size {
-		return nil, nil, fmt.Errorf("core: read [%d,%d) out of bounds (buffer %d bytes)",
-			offset, offset+size, b.size)
+	if !hostRangeOK(offset, size, b.size) {
+		return nil, nil, fmt.Errorf("core: read range at offset %d of %d bytes out of bounds (buffer %d bytes)",
+			offset, size, b.size)
 	}
 	node := q.dev.node
 	b.mu.Lock()
 	defer b.mu.Unlock()
 
-	rb, err := b.ensureResident(node)
+	// Only the read range needs to be resident: delta migration fetches
+	// and pushes exactly the stale sub-ranges.
+	rb, err := b.ensureResident(node, offset, offset+size)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -665,15 +748,16 @@ func (q *Queue) EnqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	if err := pend.Wait(); err != nil {
 		return nil, nil, fmt.Errorf("core: read buffer on %s: %w", q.dev.key, err)
 	}
-	// The payload crosses the backbone to the host.
+	// The payload crosses the backbone to the host, freshening the host
+	// shadow over exactly the range it carried.
 	hostArrival := q.ctx.rt.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
 
-	if offset == 0 && size == b.size {
-		if b.host == nil {
-			b.host = make([]byte, b.size)
-		}
-		copy(b.host, resp.Data)
-		b.hostValid = true
+	if b.host == nil {
+		b.host = make([]byte, b.size)
+	}
+	copy(b.host[offset:], resp.Data)
+	b.hostValid.Add(offset, offset+size)
+	if hostArrival > b.hostReadyAt {
 		b.hostReadyAt = hostArrival
 	}
 	prof := resp.Profile
@@ -694,8 +778,7 @@ func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	if err := q.stickyErr(); err != nil {
 		return nil, err
 	}
-	if size < 0 || srcOffset < 0 || dstOffset < 0 ||
-		srcOffset+size > src.size || dstOffset+size > dst.size {
+	if !hostRangeOK(srcOffset, size, src.size) || !hostRangeOK(dstOffset, size, dst.size) {
 		return nil, fmt.Errorf("core: copy range out of bounds")
 	}
 	if src == dst {
@@ -713,7 +796,7 @@ func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	second.mu.Lock()
 	defer second.mu.Unlock()
 
-	srcRB, err := src.ensureResident(node)
+	srcRB, err := src.ensureResident(node, srcOffset, srcOffset+size)
 	if err != nil {
 		return nil, err
 	}
@@ -749,12 +832,16 @@ func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	}, resp)
 	ev := &Event{dev: q.dev, remoteID: id, queue: q, pending: pend, resp: resp}
 	q.track(ev)
-	// The destination replica on this node is now the only valid copy.
+	// This node's replica is now the only valid holder of the copied
+	// range; validity outside it is untouched everywhere.
+	dstEnd := dstOffset + size
 	for other, orb := range dst.remote {
-		orb.valid = other == node
+		if other != node {
+			orb.valid.Remove(dstOffset, dstEnd)
+		}
 	}
-	dst.hostValid = false
-	dstRB.valid = true
+	dst.hostValid.Remove(dstOffset, dstEnd)
+	dstRB.valid.Add(dstOffset, dstEnd)
 	dstRB.lastEvent = id
 	dstRB.lastEv = ev
 	return ev, nil
@@ -1000,7 +1087,10 @@ func (q *Queue) EnqueueKernel(k *Kernel, global, local []int, waits []*Event, op
 		switch bind.kind {
 		case protocol.ArgBuffer:
 			bind.buf.mu.Lock()
-			rb, err := bind.buf.ensureResident(node)
+			// A kernel may touch any byte of its buffer arguments, so the
+			// whole replica must be resident (delta migration still moves
+			// only the stale ranges of it).
+			rb, err := bind.buf.ensureResident(node, 0, bind.buf.size)
 			if err != nil {
 				bind.buf.mu.Unlock()
 				return nil, fmt.Errorf("core: kernel %q arg %d: %w", k.name, i, err)
@@ -1050,13 +1140,21 @@ func (q *Queue) EnqueueKernel(k *Kernel, global, local []int, waits []*Event, op
 	// in wire order, so a smaller ID must never overwrite a larger one.
 	for _, b := range written {
 		b.mu.Lock()
+		// A kernel may write any byte, so the launch node's replica —
+		// fully resident since arg setup above — becomes the only valid
+		// holder of the whole buffer.
 		for other, orb := range b.remote {
-			orb.valid = other == node
+			if other != node {
+				orb.valid.Reset()
+			}
 		}
-		b.hostValid = false
-		if rb := b.remote[node]; rb != nil && id > rb.lastEvent {
-			rb.lastEvent = id
-			rb.lastEv = ev
+		b.hostValid.Reset()
+		if rb := b.remote[node]; rb != nil {
+			rb.valid.Add(0, b.size)
+			if id > rb.lastEvent {
+				rb.lastEvent = id
+				rb.lastEv = ev
+			}
 		}
 		b.mu.Unlock()
 	}

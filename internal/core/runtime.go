@@ -96,6 +96,11 @@ type Metrics struct {
 	Makespan vtime.Time
 	// Commands counts protocol round trips.
 	Commands int64
+	// WireBytes counts modeled bytes through the host NIC, both
+	// directions — the number delta migration shrinks on partial-update
+	// workloads (node-to-node broadcast forwarding is not host traffic
+	// and is excluded, matching the Transfer metric).
+	WireBytes int64
 }
 
 // Compute reports the busiest device's kernel time: with the workload
@@ -136,6 +141,7 @@ type Runtime struct {
 
 	mu      sync.Mutex
 	metrics Metrics
+	migMode MigrationMode
 
 	// pendMu guards the set of pipelined commands whose responses have not
 	// been consumed yet; Metrics drains it so accounting is complete.
@@ -440,13 +446,14 @@ func (rt *Runtime) ModelDataCreate(n int64) vtime.Time {
 }
 
 // chargeNIC books an n-byte outbound message on the host NIC egress path
-// not starting before earliest, recording it in the transfer metric, and
+// not starting before earliest, recording it in the transfer metrics, and
 // returns its arrival instant at the far end.
 func (rt *Runtime) chargeNIC(earliest vtime.Time, n int64) vtime.Time {
 	cost := rt.nicOut.TransferCost(n)
 	_, end := rt.nicOut.Transfer(earliest, n)
 	rt.mu.Lock()
 	rt.metrics.Transfer += cost
+	rt.metrics.WireBytes += n
 	rt.mu.Unlock()
 	return end
 }
@@ -458,8 +465,37 @@ func (rt *Runtime) chargeNICIn(earliest vtime.Time, n int64) vtime.Time {
 	_, end := rt.nicIn.Transfer(earliest, n)
 	rt.mu.Lock()
 	rt.metrics.Transfer += cost
+	rt.metrics.WireBytes += n
 	rt.mu.Unlock()
 	return end
+}
+
+// MigrationMode selects how ensureResident moves stale buffer ranges.
+type MigrationMode int
+
+// Migration modes.
+const (
+	// MigrateDelta transfers only the stale byte ranges of the range a
+	// command touches — the default.
+	MigrateDelta MigrationMode = iota
+	// MigrateFull widens every migration to the whole buffer, the
+	// pre-range-coherence behavior. The coherence benchmark uses it as
+	// the baseline; the two modes are functionally identical and charge
+	// identical virtual time when a buffer is fully stale.
+	MigrateFull
+)
+
+// SetMigrationMode switches between delta and full-buffer migration.
+func (rt *Runtime) SetMigrationMode(m MigrationMode) {
+	rt.mu.Lock()
+	rt.migMode = m
+	rt.mu.Unlock()
+}
+
+func (rt *Runtime) migrationMode() MigrationMode {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.migMode
 }
 
 // observeProfile folds a completed command's profile into the metrics.

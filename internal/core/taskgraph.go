@@ -14,7 +14,11 @@ import (
 // TaskGraph is the application-level task DAG of paper Fig. 1: kernels with
 // dependencies that the scheduling component places onto cluster devices.
 // Each task is one kernel launch; edges order producer before consumer and
-// the buffer coherence layer moves data along them automatically.
+// the range-aware buffer coherence layer moves data along them
+// automatically — when a consumer lands on a different node than its
+// producer, only the byte ranges stale on that node cross the backbone
+// (DESIGN.md §5), pipelined behind the producer through the context's
+// service queues.
 type TaskGraph struct {
 	ctx *Context
 

@@ -418,3 +418,72 @@ func TestDeviceInfosTypeMask(t *testing.T) {
 		t.Fatalf("gpus = %+v", gpus)
 	}
 }
+
+// TestRangedCommandValidation: read/write/copy ranges are validated in the
+// registration stage, overflow-safely — the host's delta migration issues
+// ranged commands at arbitrary offsets, so a wrapping offset+size must not
+// slip past the bound check, and a malformed range must fail its event
+// before the command ever occupies a lane.
+func TestRangedCommandValidation(t *testing.T) {
+	n := testNode(t)
+	s := openSession(t, n, "alice")
+	ctxID, queueID, _ := buildPipeline(t, s)
+	buf := call(t, s, &protocol.CreateBufferReq{ContextID: ctxID, Size: 64}, &protocol.ObjectResp{})
+	buf2 := call(t, s, &protocol.CreateBufferReq{ContextID: ctxID, Size: 64}, &protocol.ObjectResp{})
+
+	// In-bounds ranged write/read round trip at a non-zero offset.
+	call(t, s, &protocol.WriteBufferReq{
+		QueueID: queueID, BufferID: buf.ID, Offset: 16, Data: []byte{1, 2, 3, 4},
+	}, &protocol.EventResp{})
+	rd := call(t, s, &protocol.ReadBufferReq{
+		QueueID: queueID, BufferID: buf.ID, Offset: 16, Size: 4,
+	}, &protocol.ReadBufferResp{})
+	if string(rd.Data) != string([]byte{1, 2, 3, 4}) {
+		t.Fatalf("ranged read = %v", rd.Data)
+	}
+
+	const maxI64 = int64(^uint64(0) >> 1)
+	badWrites := []*protocol.WriteBufferReq{
+		{QueueID: queueID, BufferID: buf.ID, Offset: -1, Data: []byte{1}},
+		{QueueID: queueID, BufferID: buf.ID, Offset: 61, Data: []byte{1, 2, 3, 4}},
+		{QueueID: queueID, BufferID: buf.ID, Offset: maxI64 - 1, Data: []byte{1, 2, 3, 4}}, // offset+len wraps
+	}
+	for _, req := range badWrites {
+		callErr(t, s, req, protocol.CodeBadRequest)
+	}
+	badReads := []*protocol.ReadBufferReq{
+		{QueueID: queueID, BufferID: buf.ID, Offset: 0, Size: -1},
+		{QueueID: queueID, BufferID: buf.ID, Offset: 60, Size: 5},
+		{QueueID: queueID, BufferID: buf.ID, Offset: maxI64 - 1, Size: 4}, // offset+size wraps
+	}
+	for _, req := range badReads {
+		callErr(t, s, req, protocol.CodeBadRequest)
+	}
+	badCopies := []*protocol.CopyBufferReq{
+		{QueueID: queueID, SrcID: buf.ID, DstID: buf2.ID, SrcOffset: 60, DstOffset: 0, Size: 8},
+		{QueueID: queueID, SrcID: buf.ID, DstID: buf2.ID, SrcOffset: 0, DstOffset: 60, Size: 8},
+		{QueueID: queueID, SrcID: buf.ID, DstID: buf2.ID, SrcOffset: 0, DstOffset: 0, Size: -4},
+		{QueueID: queueID, SrcID: buf.ID, DstID: buf2.ID, SrcOffset: maxI64 - 1, DstOffset: 0, Size: 8},
+	}
+	for _, req := range badCopies {
+		callErr(t, s, req, protocol.CodeBadRequest)
+	}
+
+	// Async path: the bad range fails the claimed event at registration, so
+	// a pipelined waiter behind it observes the cascade instead of hanging.
+	done := make(chan error, 1)
+	s.HandleCallAsync(protocol.OpWriteBuffer, protocol.EncodeMessage(&protocol.WriteBufferReq{
+		QueueID: queueID, BufferID: buf.ID, Offset: 100, Data: []byte{1}, EventID: 7001,
+	}), func(_ protocol.Message, err error) { done <- err })
+	if err := <-done; err == nil {
+		t.Fatal("async out-of-bounds write accepted")
+	}
+	s.HandleCallAsync(protocol.OpWriteBuffer, protocol.EncodeMessage(&protocol.WriteBufferReq{
+		QueueID: queueID, BufferID: buf.ID, Offset: 0, Data: []byte{1},
+		EventID: 7002, WaitEvents: []int64{7001},
+	}), func(_ protocol.Message, err error) { done <- err })
+	var re *protocol.RemoteError
+	if err := <-done; !errors.As(err, &re) {
+		t.Fatalf("waiter behind failed range = %v, want remote error cascade", err)
+	}
+}

@@ -283,6 +283,20 @@ func (s *Session) failCommand(ev *eventObj, err error) error {
 	return err
 }
 
+// checkRange validates the byte range [off, off+n) against a buffer of
+// size bytes. The comparison never computes off+n: the host now issues
+// ranged delta-migration commands with arbitrary offsets, and an
+// adversarial off near MaxInt64 would wrap the sum negative and slip past
+// a naive bound check.
+func checkRange(what string, off, n, size int64) error {
+	if off < 0 || n < 0 || off > size || n > size-off {
+		return remoteErr(protocol.CodeBadRequest,
+			"%s range at offset %d of %d bytes out of bounds for buffer of %d bytes",
+			what, off, n, size)
+	}
+	return nil
+}
+
 // HandleCall implements transport.Handler: registration plus inline
 // execution in the caller's goroutine. Direct session drivers (tests,
 // tools) use it; the transport prefers HandleCallAsync. Wait lists are
@@ -337,6 +351,13 @@ func (s *Session) prepare(op protocol.Op, body []byte, strictWaits bool) (uint64
 		if err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
+		// Ranged-write validation happens here, in the registration stage:
+		// a malformed range fails its event deterministically instead of
+		// occupying a lane and blocking on wait edges first. Buffer sizes
+		// are immutable, so registration-time bounds hold at execution.
+		if err := checkRange("write", req.Offset, int64(len(req.Data)), int64(len(buf.data))); err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
 		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
 		if err != nil {
 			return 0, nil, s.failCommand(ev, err)
@@ -355,6 +376,9 @@ func (s *Session) prepare(op protocol.Op, body []byte, strictWaits bool) (uint64
 		}
 		buf, err := s.node.objects.buffer(req.BufferID)
 		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		if err := checkRange("read", req.Offset, req.Size, int64(len(buf.data))); err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
 		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
@@ -379,6 +403,12 @@ func (s *Session) prepare(op protocol.Op, body []byte, strictWaits bool) (uint64
 		}
 		dst, err := s.node.objects.buffer(req.DstID)
 		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		if err := checkRange("copy source", req.SrcOffset, req.Size, int64(len(src.data))); err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		if err := checkRange("copy destination", req.DstOffset, req.Size, int64(len(dst.data))); err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
 		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
@@ -662,14 +692,10 @@ func (s *Session) handleCreateBuffer(body []byte) (protocol.Message, error) {
 }
 
 func (s *Session) execWriteBuffer(req *protocol.WriteBufferReq, q *queueObj, ev *eventObj, buf *bufferObj, waits []*eventObj) (protocol.Message, error) {
+	// Bounds were validated at registration (see prepare).
 	deadline, err := s.awaitDeadline(waits)
 	if err != nil {
 		return nil, s.failCommand(ev, err)
-	}
-	if req.Offset < 0 || req.Offset+int64(len(req.Data)) > int64(len(buf.data)) {
-		return nil, s.failCommand(ev, remoteErr(protocol.CodeBadRequest,
-			"write [%d,%d) out of bounds for buffer of %d bytes",
-			req.Offset, req.Offset+int64(len(req.Data)), len(buf.data)))
 	}
 
 	modelBytes := int64(len(req.Data))
@@ -694,14 +720,10 @@ func (s *Session) execWriteBuffer(req *protocol.WriteBufferReq, q *queueObj, ev 
 }
 
 func (s *Session) execReadBuffer(req *protocol.ReadBufferReq, q *queueObj, ev *eventObj, buf *bufferObj, waits []*eventObj) (protocol.Message, error) {
+	// Bounds were validated at registration (see prepare).
 	deadline, err := s.awaitDeadline(waits)
 	if err != nil {
 		return nil, s.failCommand(ev, err)
-	}
-	if req.Offset < 0 || req.Size < 0 || req.Offset+req.Size > int64(len(buf.data)) {
-		return nil, s.failCommand(ev, remoteErr(protocol.CodeBadRequest,
-			"read [%d,%d) out of bounds for buffer of %d bytes",
-			req.Offset, req.Offset+req.Size, len(buf.data)))
 	}
 
 	modelBytes := req.Size
@@ -727,14 +749,10 @@ func (s *Session) execReadBuffer(req *protocol.ReadBufferReq, q *queueObj, ev *e
 }
 
 func (s *Session) execCopyBuffer(req *protocol.CopyBufferReq, q *queueObj, ev *eventObj, src, dst *bufferObj, waits []*eventObj) (protocol.Message, error) {
+	// Bounds were validated at registration (see prepare).
 	deadline, err := s.awaitDeadline(waits)
 	if err != nil {
 		return nil, s.failCommand(ev, err)
-	}
-	if req.Size < 0 ||
-		req.SrcOffset < 0 || req.SrcOffset+req.Size > int64(len(src.data)) ||
-		req.DstOffset < 0 || req.DstOffset+req.Size > int64(len(dst.data)) {
-		return nil, s.failCommand(ev, remoteErr(protocol.CodeBadRequest, "copy range out of bounds"))
 	}
 
 	dur := q.dev.ModelTransfer(req.Size)
