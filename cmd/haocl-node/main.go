@@ -29,6 +29,7 @@ import (
 	"github.com/haocl-project/haocl/internal/device"
 	"github.com/haocl-project/haocl/internal/node"
 	"github.com/haocl-project/haocl/internal/sim"
+	"github.com/haocl-project/haocl/internal/transport"
 )
 
 func main() {
@@ -101,6 +102,7 @@ func run(args []string) error {
 		Devices:     devCfgs,
 		ICD:         icd,
 		ExecWorkers: *workers,
+		Dialer:      transport.TCPDialer{},
 	})
 	if err != nil {
 		return err

@@ -16,6 +16,7 @@ import (
 	"github.com/haocl-project/haocl/internal/node"
 	"github.com/haocl-project/haocl/internal/protocol"
 	"github.com/haocl-project/haocl/internal/sim"
+	"github.com/haocl-project/haocl/internal/transport"
 )
 
 // startTCPNodes brings up real Node Management Processes listening on
@@ -47,6 +48,7 @@ func startTCPNodes(t *testing.T, reg *haocl.KernelRegistry, specs []haocl.Device
 			}},
 			ICD:         icd,
 			ExecWorkers: 1,
+			Dialer:      transport.TCPDialer{},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -410,6 +412,7 @@ func TestNodeDeathMidRun(t *testing.T) {
 			Devices:     []device.Config{{Driver: sim.DriverGPU, ID: 1, Shared: true}},
 			ICD:         icd,
 			ExecWorkers: 1,
+			Dialer:      transport.TCPDialer{},
 		})
 		if err != nil {
 			t.Fatal(err)

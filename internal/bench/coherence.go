@@ -19,7 +19,12 @@ import (
 //
 //	full   — core.MigrateFull: any staleness re-migrates the whole
 //	         replica, the pre-range behavior;
-//	delta  — core.MigrateDelta: only the stale ranges travel (default).
+//	delta  — core.MigrateHostRelay: only the stale ranges travel, relayed
+//	         through the host (the pre-p2p data path).
+//
+// The default MigrateDelta mode additionally moves owner-covered ranges
+// node→node; it is measured against host-relay by the p2p experiment
+// (p2p.go), which keeps this one a pure range-layer comparison.
 //
 // The number that moves is modeled wire traffic (Metrics.WireBytes) and
 // with it the virtual makespan; functional results are byte-identical, and
@@ -28,10 +33,14 @@ import (
 
 // coherenceModeName names a migration mode in report rows.
 func coherenceModeName(m core.MigrationMode) string {
-	if m == core.MigrateFull {
+	switch m {
+	case core.MigrateFull:
 		return "full"
+	case core.MigrateHostRelay:
+		return "delta"
+	default:
+		return "p2p"
 	}
-	return "delta"
 }
 
 // coherenceSizes returns the buffer geometry for the experiment.
@@ -48,6 +57,7 @@ func coherenceSizes(quick bool) (size, chunk int64, partialIters, staleIters int
 type coherenceHarness struct {
 	p        *haocl.Platform
 	cleanup  func()
+	ctx      *haocl.Context
 	qA, qB   *haocl.Queue
 	buf      *haocl.Buffer
 	expected []byte
@@ -76,6 +86,7 @@ func newCoherenceHarness(size int64, mode core.MigrationMode) (*coherenceHarness
 	if err != nil {
 		return nil, err
 	}
+	h.ctx = ctx
 	if h.qA, err = ctx.CreateQueue(devs[0]); err != nil {
 		return nil, err
 	}
@@ -120,6 +131,8 @@ func (h *coherenceHarness) finish(row *PipelineRow, wall time.Duration) error {
 	row.CmdsPerSec = float64(row.Commands) / wall.Seconds()
 	row.VirtualSec = m.Makespan.Seconds()
 	row.WireMB = float64(m.WireBytes-h.base.WireBytes) / (1 << 20)
+	row.HostWireMB = float64(m.HostWireBytes-h.base.HostWireBytes) / (1 << 20)
+	row.PeerWireMB = float64(m.PeerWireBytes-h.base.PeerWireBytes) / (1 << 20)
 	return nil
 }
 
@@ -216,7 +229,7 @@ func CoherenceReport(quick bool) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		delta, err := wl.sample(core.MigrateDelta)
+		delta, err := wl.sample(core.MigrateHostRelay)
 		if err != nil {
 			return nil, err
 		}

@@ -17,7 +17,7 @@ func TestCoherenceDeltaMovesFewerBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	delta, err := CoherencePartialUpdate(size, chunk, iters, core.MigrateDelta)
+	delta, err := CoherencePartialUpdate(size, chunk, iters, core.MigrateHostRelay)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestCoherenceFullyStaleIsInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	delta, err := CoherenceFullyStale(size, iters, core.MigrateDelta)
+	delta, err := CoherenceFullyStale(size, iters, core.MigrateHostRelay)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/haocl-project/haocl/internal/core"
+)
+
+// This file measures the peer-to-peer data plane (DESIGN.md §6) against
+// the host-relay baseline it replaced. Both legs run the same
+// device-resident update loop over loopback TCP; only the migration mode
+// differs:
+//
+//	host-relay — core.MigrateHostRelay: stale ranges travel owner→host→
+//	             consumer, crossing the host NIC twice (the pre-p2p path);
+//	p2p        — core.MigrateDelta: owner-covered ranges travel directly
+//	             node→node via PushRange/AwaitPush, and the host NIC
+//	             carries control frames only.
+//
+// The loop keeps the host off the data plane on purpose — the producer is
+// a device-side copy on node A, the consumer a device-side copy on node B
+// — so the only payload bytes in the measured window are the migrations
+// themselves. That is what makes the HostWireMB/PeerWireMB split the
+// experiment's headline: in the p2p leg host traffic collapses to control
+// frames (CI asserts a >10x reduction on the partial-update loop) while
+// functional results stay byte-identical and the virtual makespan gets no
+// worse — one node-link crossing replaces two host-NIC crossings.
+
+// P2PMigrationLoop drives iters rounds of a device-side producer/consumer
+// pair: node A's queue copies chunk bytes into the shared buffer (staling
+// the consumer's replica by exactly that range), then node B's queue
+// copies the whole buffer into a scratch buffer, forcing the stale range
+// to migrate. chunk == size gives the fully-stale variant. Verification
+// reads run after the measured window — they are host traffic by
+// construction, identical in both modes, and would otherwise bury the
+// loop's host-NIC numbers.
+func P2PMigrationLoop(workload string, size, chunk int64, iters int, mode core.MigrationMode) (PipelineRow, error) {
+	row := PipelineRow{Workload: workload, Transport: "tcp", Mode: coherenceModeName(mode)}
+	h, err := newCoherenceHarness(size, mode)
+	if err != nil {
+		return row, err
+	}
+	defer h.cleanup()
+
+	srcData := make([]byte, size)
+	for i := range srcData {
+		srcData[i] = byte((i*7 + 13) % 255)
+	}
+	src, err := h.ctx.CreateBuffer(size)
+	if err != nil {
+		return row, err
+	}
+	if _, err := h.qA.EnqueueWrite(src, 0, srcData); err != nil {
+		return row, err
+	}
+	scratch, err := h.ctx.CreateBuffer(size)
+	if err != nil {
+		return row, err
+	}
+	// Settle every replica the loop will touch before the measured window.
+	if _, err := h.qB.EnqueueCopy(h.buf, scratch, 0, 0, size); err != nil {
+		return row, err
+	}
+	if _, err := h.qB.Finish(); err != nil {
+		return row, err
+	}
+	if _, err := h.qA.Finish(); err != nil {
+		return row, err
+	}
+	h.base = h.p.Metrics()
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		off := (int64(i) * chunk) % (size - chunk + 1)
+		srcOff := ((int64(i)*3 + 1) * chunk) % (size - chunk + 1)
+		if _, err := h.qA.EnqueueCopy(src, h.buf, srcOff, off, chunk); err != nil {
+			return row, err
+		}
+		copy(h.expected[off:off+chunk], srcData[srcOff:srcOff+chunk])
+		if _, err := h.qB.EnqueueCopy(h.buf, scratch, 0, 0, size); err != nil {
+			return row, err
+		}
+	}
+	if _, err := h.qB.Finish(); err != nil {
+		return row, err
+	}
+	if _, err := h.qA.Finish(); err != nil {
+		return row, err
+	}
+	wall := time.Since(start)
+
+	m := h.p.Metrics()
+	row.Commands = m.Commands - h.base.Commands
+	row.WallMS = float64(wall.Microseconds()) / 1000
+	row.CmdsPerSec = float64(row.Commands) / wall.Seconds()
+	row.VirtualSec = m.Makespan.Seconds()
+	row.WireMB = float64(m.WireBytes-h.base.WireBytes) / (1 << 20)
+	row.HostWireMB = float64(m.HostWireBytes-h.base.HostWireBytes) / (1 << 20)
+	row.PeerWireMB = float64(m.PeerWireBytes-h.base.PeerWireBytes) / (1 << 20)
+
+	// Verification epilogue: the consumer's view must match the host-side
+	// mirror bit for bit in either mode.
+	got, _, err := h.qB.EnqueueRead(scratch, 0, size)
+	if err != nil {
+		return row, err
+	}
+	if !bytes.Equal(got, h.expected) {
+		return row, fmt.Errorf("p2p: %s consumer contents diverged from mirror", workload)
+	}
+	return row, nil
+}
+
+// P2PReport measures both workloads in both data-plane modes and compares
+// p2p against the host-relay baseline. For this experiment BytesRatio is
+// host-NIC traffic p2p/relay (control frames over payloads) and
+// VirtualMatch reports "p2p no slower", the acceptance condition.
+func P2PReport(quick bool) (*Report, error) {
+	size, chunk, partialIters, staleIters := coherenceSizes(quick)
+	rep := &Report{Experiment: "p2p", Quick: quick}
+
+	type workload struct {
+		name  string
+		chunk int64
+		iters int
+	}
+	workloads := []workload{
+		{"partial-update", chunk, partialIters},
+		{"fully-stale", size, staleIters},
+	}
+	for _, wl := range workloads {
+		relay, err := P2PMigrationLoop(wl.name, size, wl.chunk, wl.iters, core.MigrateHostRelay)
+		if err != nil {
+			return nil, err
+		}
+		p2p, err := P2PMigrationLoop(wl.name, size, wl.chunk, wl.iters, core.MigrateDelta)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, relay, p2p)
+		rep.Comparisons = append(rep.Comparisons, Comparison{
+			Workload:     wl.name,
+			Baseline:     relay.Mode,
+			Mode:         p2p.Mode,
+			Speedup:      p2p.CmdsPerSec / relay.CmdsPerSec,
+			VirtualMatch: p2p.VirtualSec <= relay.VirtualSec,
+			BytesRatio:   p2p.HostWireMB / relay.HostWireMB,
+		})
+	}
+	return rep, nil
+}
+
+// P2P runs the host-relay-vs-p2p comparison and prints it.
+func P2P(w io.Writer, quick bool) error {
+	size, chunk, partialIters, staleIters := coherenceSizes(quick)
+	fmt.Fprintln(w, "=== Peer-to-peer data plane: host-relay vs direct node→node migration ===")
+	fmt.Fprintf(w, "(device-side producer on node A stales %d KiB of a %d KiB buffer, device-side consumer\n",
+		chunk>>10, size>>10)
+	fmt.Fprintf(w, " on node B forces the migration; %d partial / %d fully-stale iterations. bytes_ratio is\n",
+		partialIters, staleIters)
+	fmt.Fprintln(w, " host-NIC traffic p2p/relay — control frames over payloads; virtual_match: p2p no slower)")
+	rep, err := P2PReport(quick)
+	if err != nil {
+		return err
+	}
+	printReport(w, rep)
+	return nil
+}

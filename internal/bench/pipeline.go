@@ -81,10 +81,14 @@ type PipelineRow struct {
 	WallMS     float64 `json:"wall_ms"`
 	CmdsPerSec float64 `json:"cmds_per_sec"`
 	VirtualSec float64 `json:"virtual_sec"` // virtual makespan, identical across modes
-	// WireMB is the modeled megabytes through the host NIC — the number
-	// the coherence experiment compares between full and delta migration.
-	// Zero (omitted) for experiments that do not track it.
-	WireMB float64 `json:"wire_mb,omitempty"`
+	// WireMB is the total modeled megabytes moved — the number the
+	// coherence experiment compares between full and delta migration.
+	// Zero (omitted) for experiments that do not track it. It splits into
+	// HostWireMB (through the host NIC) and PeerWireMB (direct node→node
+	// PushRange traffic) — the split the p2p experiment compares.
+	WireMB     float64 `json:"wire_mb,omitempty"`
+	HostWireMB float64 `json:"host_wire_mb,omitempty"`
+	PeerWireMB float64 `json:"peer_wire_mb,omitempty"`
 }
 
 func (r PipelineRow) String() string {
@@ -92,6 +96,9 @@ func (r PipelineRow) String() string {
 		r.Workload, r.Transport, r.Mode, r.Commands, r.WallMS, r.CmdsPerSec, r.VirtualSec)
 	if r.WireMB > 0 {
 		s += fmt.Sprintf(" wire=%8.2fMB", r.WireMB)
+	}
+	if r.PeerWireMB > 0 {
+		s += fmt.Sprintf(" host=%8.2fMB peer=%8.2fMB", r.HostWireMB, r.PeerWireMB)
 	}
 	return s
 }
@@ -127,6 +134,7 @@ func pipelinePlatform(gpus int, tcp bool, wire uint32) (*haocl.Platform, func(),
 			ICD:         icd,
 			ExecWorkers: 1,
 			WireVersion: wire,
+			Dialer:      transport.TCPDialer{},
 		})
 		if err != nil {
 			cleanup()

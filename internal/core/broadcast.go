@@ -6,6 +6,7 @@ import (
 
 	"github.com/haocl-project/haocl/internal/protocol"
 	"github.com/haocl-project/haocl/internal/sim"
+	"github.com/haocl-project/haocl/internal/transport"
 	"github.com/haocl-project/haocl/internal/vtime"
 )
 
@@ -33,12 +34,20 @@ func hopDelay(modelBytes int64) vtime.Duration {
 // transfers through the host NIC — one of the "complex inter-node data
 // transfer schemes" the backbone implements (paper §III-C).
 //
-// Functionally every node receives data through its own WriteBuffer
-// command; only the virtual-time charging differs from repeated
-// EnqueueWrite calls. The hop arrival instants are computed host-side, so
-// every hop is issued through the async path without waiting for any
-// response: fan-out to n nodes costs zero round trips instead of n. The
-// returned events resolve as the nodes answer.
+// In the default MigrateDelta mode the chain is real: hop 0 receives the
+// payload from the host, and every later hop receives it from its
+// predecessor through a PushRange/AwaitPush pair riding the node links —
+// the host only issues control frames. DepartAt carries the host-planned
+// cut-through instant, so forwarding overlaps the predecessor's device
+// write exactly as the hopDelay arithmetic models. In MigrateHostRelay
+// (and MigrateFull) every hop keeps the pre-p2p shape: data functionally
+// crosses the host in each hop's WriteBuffer while only the virtual-time
+// charging follows the chain.
+//
+// Either way the hop arrival instants are computed host-side, so every hop
+// is issued through the async path without waiting for any response:
+// fan-out to n nodes costs zero round trips instead of n. The returned
+// events resolve as the nodes answer.
 func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, error) {
 	if len(queues) == 0 {
 		return nil, fmt.Errorf("core: broadcast needs at least one queue")
@@ -65,13 +74,15 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 	// before mutating any buffer state. Failing mid-loop would strand the
 	// buffer half-broadcast: host shadow updated and earlier hops issued,
 	// later replicas still holding (and still marked with) old data.
+	p2p := c.rt.migrationMode() == MigrateDelta
 	type hop struct {
 		q     *Queue
 		rb    *remoteBuf
 		chain []int64
+		svc   *Queue // p2p: forwarding source lane (all but the last hop)
 	}
 	plan := make([]hop, 0, len(hops))
-	for _, q := range hops {
+	for i, q := range hops {
 		if err := q.stickyErr(); err != nil {
 			return nil, err
 		}
@@ -83,7 +94,21 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 		if err != nil {
 			return nil, err
 		}
-		plan = append(plan, hop{q: q, rb: rb, chain: chain})
+		h := hop{q: q, rb: rb, chain: chain}
+		if p2p && i < len(hops)-1 {
+			// Forwarding rides the node's single service lane so link
+			// bookings stay totally ordered; created here because it is a
+			// fallible round trip and must not fail mid-loop.
+			svc, err := c.serviceQueue(q.dev.node)
+			if err != nil {
+				return nil, err
+			}
+			if err := svc.stickyErr(); err != nil {
+				return nil, err
+			}
+			h.svc = svc
+		}
+		plan = append(plan, h)
 	}
 
 	if b.host == nil {
@@ -95,29 +120,84 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 
 	events := make([]*Event, 0, len(plan))
 	var prevArrival vtime.Time
+	var prevID uint64
 	for i, h := range plan {
 		node := h.q.dev.node
 		var arrival vtime.Time
-		if i == 0 {
-			// First hop crosses the host NIC.
-			arrival = c.rt.chargeNIC(b.hostReadyAt, controlMsgBytes+b.modelSize)
+		var id uint64
+		var ev *Event
+		if i == 0 || !p2p {
+			if i == 0 {
+				// First hop crosses the host NIC.
+				arrival = c.rt.chargeNIC(b.hostReadyAt, controlMsgBytes+b.modelSize)
+			} else {
+				// Chain hop: previous node forwards over its own link.
+				arrival = prevArrival.Add(hopDelay(b.modelSize))
+			}
+			resp := new(protocol.EventResp)
+			var pend *transport.Pending
+			id, pend = c.rt.issue(node, &protocol.WriteBufferReq{
+				QueueID:    h.q.remoteID,
+				BufferID:   h.rb.id,
+				Offset:     0,
+				Data:       data,
+				SimArrival: int64(arrival),
+				ModelBytes: b.modelSize,
+				WaitEvents: h.chain,
+			}, resp)
+			ev = &Event{dev: h.q.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
 		} else {
-			// Chain hop: previous node forwards over its own link.
+			// Chain hop over the node links: the previous node forwards
+			// the buffer it just received, cut through at DepartAt.
+			prev := plan[i-1]
 			arrival = prevArrival.Add(hopDelay(b.modelSize))
+			token := c.rt.nextPushToken()
+			pushCtrl := c.rt.chargeNIC(0, controlMsgBytes)
+			pushResp := new(protocol.EventResp)
+			pushID, pushPend := c.rt.issue(prev.q.dev.node, &protocol.PushRangeReq{
+				QueueID:      prev.svc.remoteID,
+				BufferID:     prev.rb.id,
+				PeerName:     node.name,
+				PeerBufferID: h.rb.id,
+				Token:        token,
+				Offset:       0,
+				Size:         b.size,
+				SimArrival:   int64(pushCtrl),
+				DepartAt:     int64(prevArrival),
+				ModelBytes:   b.modelSize,
+				// Functional edge only: the forward must not read the
+				// replica before the previous hop's receive has copied the
+				// data in. Virtual timing ignores it — DepartAt models the
+				// cut-through overlap with that device write.
+				WaitEvents: []int64{int64(prevID)},
+			}, pushResp)
+			pushEv := &Event{dev: prev.svc.dev, remoteID: pushID, queue: prev.svc, pending: pushPend, resp: pushResp}
+			prev.svc.track(pushEv)
+			// Anti-dependency: a later write to the forwarder's replica
+			// waits for the forward to have read it.
+			prev.rb.lastEvent = pushID
+			prev.rb.lastEv = pushEv
+
+			awaitCtrl := c.rt.chargeNIC(0, controlMsgBytes)
+			resp := new(protocol.EventResp)
+			var pend *transport.Pending
+			id, pend = c.rt.issue(node, &protocol.AwaitPushReq{
+				QueueID:    h.q.remoteID,
+				BufferID:   h.rb.id,
+				Token:      token,
+				Offset:     0,
+				Size:       b.size,
+				SimArrival: int64(awaitCtrl),
+				ModelBytes: b.modelSize,
+				WaitEvents: h.chain,
+			}, resp)
+			ev = &Event{dev: h.q.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
+			c.rt.chargePeer(b.modelSize)
+			c.rt.watchPush(node, token, pushEv)
 		}
 		prevArrival = arrival
+		prevID = id
 
-		resp := new(protocol.EventResp)
-		id, pend := c.rt.issue(node, &protocol.WriteBufferReq{
-			QueueID:    h.q.remoteID,
-			BufferID:   h.rb.id,
-			Offset:     0,
-			Data:       data,
-			SimArrival: int64(arrival),
-			ModelBytes: b.modelSize,
-			WaitEvents: h.chain,
-		}, resp)
-		ev := &Event{dev: h.q.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
 		h.q.track(ev)
 		h.rb.valid.Reset()
 		h.rb.valid.Add(0, b.size)

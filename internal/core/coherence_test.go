@@ -183,8 +183,9 @@ func TestBroadcastFailedHopLeavesStateUntouched(t *testing.T) {
 // reads, device copies and subset broadcasts across a 3-node cluster
 // against plain in-memory byte slices: every read must be byte-identical
 // to the mirror, whatever interleaving of migrations it triggered. The
-// migration mode is flipped mid-run too — delta and full migration must
-// be functionally indistinguishable.
+// migration mode is flipped mid-run too, among all three data planes —
+// full, host-relay delta and p2p delta must be functionally
+// indistinguishable.
 func TestCoherenceOracle(t *testing.T) {
 	for _, seed := range []int64{1, 7, 99} {
 		seed := seed
@@ -279,9 +280,12 @@ func runCoherenceOracle(t *testing.T, seed int64) {
 			}
 			copy(mirror[bi], payload)
 		default: // flip migration mode; functionally invisible
-			if rng.Intn(2) == 0 {
+			switch rng.Intn(3) {
+			case 0:
 				rt.SetMigrationMode(core.MigrateFull)
-			} else {
+			case 1:
+				rt.SetMigrationMode(core.MigrateHostRelay)
+			default:
 				rt.SetMigrationMode(core.MigrateDelta)
 			}
 		}

@@ -65,7 +65,7 @@ func startRuntime(t *testing.T, gpuNodes int) (*core.Runtime, func()) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		n, err := node.New(node.Options{Name: ns.Name, Devices: devCfgs, ICD: icd, ExecWorkers: 1})
+		n, err := node.New(node.Options{Name: ns.Name, Devices: devCfgs, ICD: icd, ExecWorkers: 1, Dialer: net})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -533,8 +533,10 @@ func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 // Migration is a delta: only the Gaps of the replica's valid set within
 // [lo, hi) travel, each as its own ranged command charged per-range
 // through the virtual-time model (MigrateFull widens the request to the
-// whole buffer, restoring the pre-range behavior for comparison). Pulls
-// from owners block for their data like any read; pushes to node are
+// whole buffer, restoring the pre-range behavior for comparison). In the
+// default MigrateDelta mode owner-covered ranges move directly node→node
+// (see migrateP2P); MigrateHostRelay keeps the pre-p2p data path below:
+// pulls from owners block for their data like any read, pushes to node are
 // pipelined through the context's hidden service queue, so the consumer
 // command that triggered the migration waits on the final push's event ID
 // without a round trip.
@@ -543,7 +545,8 @@ func (b *Buffer) ensureResident(node *NodeHandle, lo, hi int64) (*remoteBuf, err
 	if err != nil {
 		return nil, err
 	}
-	full := b.ctx.rt.migrationMode() == MigrateFull
+	mode := b.ctx.rt.migrationMode()
+	full := mode == MigrateFull
 	if full {
 		lo, hi = 0, b.size
 	}
@@ -557,7 +560,15 @@ func (b *Buffer) ensureResident(node *NodeHandle, lo, hi int64) (*remoteBuf, err
 		gaps = []mem.Range{{Lo: 0, Hi: b.size}}
 	}
 
-	// Refresh the host shadow over the stale ranges first.
+	if mode == MigrateDelta {
+		if err := b.migrateP2P(node, rb, gaps); err != nil {
+			return nil, err
+		}
+		return rb, nil
+	}
+
+	// Host-relay path (MigrateFull, MigrateHostRelay): refresh the host
+	// shadow over the stale ranges first, then push from it.
 	if err := b.refreshHost(gaps); err != nil {
 		return nil, err
 	}
@@ -615,31 +626,18 @@ func (b *Buffer) refreshHost(ranges []mem.Range) error {
 }
 
 // pullRange fetches one host-stale range from whichever replicas hold
-// parts of it valid, in the runtime's deterministic node order. Sub-ranges
-// valid nowhere were never written: the zero bytes already in the shadow
-// are their content (uninitialized OpenCL buffers read deterministically
-// as zeros), so they validate without a transfer. Caller holds b.mu.
+// parts of it valid, using the shared planOwners cover. Sub-ranges valid
+// nowhere were never written: the zero bytes already in the shadow are
+// their content (uninitialized OpenCL buffers read deterministically as
+// zeros), so they validate without a transfer. Caller holds b.mu.
 func (b *Buffer) pullRange(gap mem.Range) error {
-	var need mem.RangeSet
-	need.Add(gap.Lo, gap.Hi)
-	for _, owner := range b.ctx.rt.nodes {
-		if need.Empty() {
-			break
-		}
-		orb, ok := b.remote[owner]
-		if !ok {
-			continue
-		}
-		for _, span := range orb.valid.Overlap(gap.Lo, gap.Hi) {
-			for _, pull := range need.Overlap(span.Lo, span.Hi) {
-				if err := b.pullFrom(owner, orb, pull); err != nil {
-					return err
-				}
-				need.Remove(pull.Lo, pull.Hi)
-			}
+	plan, leftover := b.planOwners(gap)
+	for _, ps := range plan {
+		if err := b.pullFrom(ps.node, ps.rb, ps.r); err != nil {
+			return err
 		}
 	}
-	for _, p := range need.Spans() {
+	for _, p := range leftover {
 		b.hostValid.Add(p.Lo, p.Hi)
 	}
 	return nil

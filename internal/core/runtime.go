@@ -11,7 +11,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 
 	"github.com/haocl-project/haocl/internal/cluster"
@@ -96,11 +95,18 @@ type Metrics struct {
 	Makespan vtime.Time
 	// Commands counts protocol round trips.
 	Commands int64
-	// WireBytes counts modeled bytes through the host NIC, both
-	// directions — the number delta migration shrinks on partial-update
-	// workloads (node-to-node broadcast forwarding is not host traffic
-	// and is excluded, matching the Transfer metric).
+	// WireBytes counts total modeled wire traffic, both directions: the
+	// sum of HostWireBytes and PeerWireBytes, kept for compatibility with
+	// pre-p2p consumers.
 	WireBytes int64
+	// HostWireBytes counts modeled bytes through the host NIC — the
+	// number the p2p data plane shrinks to ~control-frame traffic, since
+	// host-planned node→node pushes never cross the host link.
+	HostWireBytes int64
+	// PeerWireBytes counts modeled bytes over node↔node links (migration
+	// pushes and broadcast forwarding hops). These never contend with the
+	// host NIC and are excluded from the Transfer occupancy metric.
+	PeerWireBytes int64
 }
 
 // Compute reports the busiest device's kernel time: with the workload
@@ -139,9 +145,10 @@ type Runtime struct {
 	nicIn   *vtime.Link // host NIC ingress (full-duplex GbE)
 	hostMem *vtime.Link // host data-creation resource
 
-	mu      sync.Mutex
-	metrics Metrics
-	migMode MigrationMode
+	mu        sync.Mutex
+	metrics   Metrics
+	migMode   MigrationMode
+	pushToken uint64 // rendezvous tokens for node→node pushes
 
 	// pendMu guards the set of pipelined commands whose responses have not
 	// been consumed yet; Metrics drains it so accounting is complete.
@@ -190,6 +197,13 @@ func Connect(opts Options) (*Runtime, error) {
 	rt.metrics.ComputeBusy = make(map[profile.DeviceKey]vtime.Duration)
 	rt.pendSet = make(map[*Event]struct{})
 
+	// Ship the full topology with every Hello so nodes can dial each other
+	// for direct peer-to-peer pushes (the host plans, nodes move data).
+	peers := make([]protocol.PeerAddr, 0, len(opts.Config.Nodes))
+	for _, spec := range opts.Config.Nodes {
+		peers = append(peers, protocol.PeerAddr{Name: spec.Name, Addr: spec.Addr})
+	}
+
 	for _, spec := range opts.Config.Nodes {
 		client, err := opts.Dialer.Dial(spec.Addr)
 		if err != nil {
@@ -197,7 +211,7 @@ func Connect(opts Options) (*Runtime, error) {
 			return nil, fmt.Errorf("core: connect node %q: %w", spec.Name, err)
 		}
 		nh := &NodeHandle{name: spec.Name, addr: spec.Addr, client: client}
-		resp, err := hello(client, rt.userID, rt.clientName)
+		resp, err := hello(client, rt.userID, rt.clientName, peers)
 		if err != nil {
 			rt.Close()
 			client.Close()
@@ -227,40 +241,15 @@ func Connect(opts Options) (*Runtime, error) {
 	return rt, nil
 }
 
-// hello performs the handshake, negotiating the wire version. Nodes that
-// predate negotiation (wire v2 with a strict equality check) reject any
-// offer other than their own version instead of negotiating down, so a
-// version rejection is retried once pinned at MinVersion — that keeps a
-// current host interoperable with a pre-batching node binary, not just
-// with a current node capped at v2.
-func hello(client *transport.Client, userID, clientName string) (protocol.HelloResp, error) {
-	req := protocol.HelloReq{
+// hello performs the handshake via the shared transport negotiation (the
+// same path nodes use when dialing each other as peers).
+func hello(client *transport.Client, userID, clientName string, peers []protocol.PeerAddr) (protocol.HelloResp, error) {
+	return transport.Handshake(client, protocol.HelloReq{
 		UserID:      userID,
 		ClientName:  clientName,
 		WireVersion: protocol.Version,
-	}
-	var resp protocol.HelloResp
-	err := client.Call(&req, &resp)
-	if isVersionReject(err) {
-		req.WireVersion = protocol.MinVersion
-		resp = protocol.HelloResp{}
-		if err = client.Call(&req, &resp); err == nil {
-			// The session runs at what was offered, whatever the legacy
-			// response claims (pre-v3 responses lack the field entirely).
-			resp.WireVersion = protocol.MinVersion
-		}
-	}
-	return resp, err
-}
-
-// isVersionReject reports whether a Hello failure is a version mismatch,
-// as opposed to an auth/transport problem worth surfacing directly.
-func isVersionReject(err error) bool {
-	var re *protocol.RemoteError
-	return errors.As(err, &re) &&
-		re.Op == protocol.OpHello &&
-		re.Code == protocol.CodeUnsupported &&
-		strings.Contains(re.Message, "wire version")
+		Peers:       peers,
+	})
 }
 
 // ShutdownCluster asks every Node Management Process to drain and exit,
@@ -454,6 +443,7 @@ func (rt *Runtime) chargeNIC(earliest vtime.Time, n int64) vtime.Time {
 	rt.mu.Lock()
 	rt.metrics.Transfer += cost
 	rt.metrics.WireBytes += n
+	rt.metrics.HostWireBytes += n
 	rt.mu.Unlock()
 	return end
 }
@@ -466,8 +456,29 @@ func (rt *Runtime) chargeNICIn(earliest vtime.Time, n int64) vtime.Time {
 	rt.mu.Lock()
 	rt.metrics.Transfer += cost
 	rt.metrics.WireBytes += n
+	rt.metrics.HostWireBytes += n
 	rt.mu.Unlock()
 	return end
+}
+
+// chargePeer records n bytes of node↔node traffic. The link occupancy is
+// modeled node-side (each node books its own egress link in virtual time);
+// the host only keeps the byte accounting, since peer traffic never touches
+// the host NIC.
+func (rt *Runtime) chargePeer(n int64) {
+	rt.mu.Lock()
+	rt.metrics.WireBytes += n
+	rt.metrics.PeerWireBytes += n
+	rt.mu.Unlock()
+}
+
+// nextPushToken mints a cluster-unique rendezvous token pairing one
+// PushRange with its AwaitPush.
+func (rt *Runtime) nextPushToken() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.pushToken++
+	return rt.pushToken
 }
 
 // MigrationMode selects how ensureResident moves stale buffer ranges.
@@ -476,16 +487,23 @@ type MigrationMode int
 // Migration modes.
 const (
 	// MigrateDelta transfers only the stale byte ranges of the range a
-	// command touches — the default.
+	// command touches, moving replica-owned ranges directly node→node via
+	// PushRange (the host stays the control plane) — the default.
 	MigrateDelta MigrationMode = iota
 	// MigrateFull widens every migration to the whole buffer, the
 	// pre-range-coherence behavior. The coherence benchmark uses it as
 	// the baseline; the two modes are functionally identical and charge
 	// identical virtual time when a buffer is fully stale.
 	MigrateFull
+	// MigrateHostRelay keeps delta-range migration but relays every range
+	// through the host shadow (pull to host, push to consumer) — the
+	// pre-p2p data path, preserved as the benchmark baseline for the
+	// node→node push plane.
+	MigrateHostRelay
 )
 
-// SetMigrationMode switches between delta and full-buffer migration.
+// SetMigrationMode switches between p2p delta, full-buffer, and host-relay
+// delta migration.
 func (rt *Runtime) SetMigrationMode(m MigrationMode) {
 	rt.mu.Lock()
 	rt.migMode = m

@@ -15,6 +15,7 @@ import (
 
 	"github.com/haocl-project/haocl/internal/device"
 	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/sim"
 	"github.com/haocl-project/haocl/internal/transport"
 	"github.com/haocl-project/haocl/internal/vtime"
 )
@@ -40,6 +41,10 @@ type Options struct {
 	// runtime. Benchmarks use it as the baseline when measuring per-queue
 	// lane concurrency (haocl-bench -exp lanes); see DESIGN.md §4.
 	SingleLane bool
+	// Dialer lets this node dial sibling nodes for peer-to-peer PushRange
+	// traffic (addresses are learned from the host at Hello time). Nil
+	// disables peer dialing: PushRange commands then fail cleanly.
+	Dialer transport.Dialer
 }
 
 // Node is one device node's management process.
@@ -50,8 +55,20 @@ type Node struct {
 	execWorkers int
 	wireVersion uint32
 	singleLane  bool
+	dialer      transport.Dialer
 
 	objects *objectTable
+
+	// nicOut models this node's Gigabit egress link: every peer-to-peer
+	// push the node originates serializes through it in virtual time, the
+	// node-side counterpart of the host's NIC model. Node-global because
+	// the physical link is per node, not per connection.
+	nicOut *vtime.Link
+
+	// rdv pairs inbound peer-push deposits with host-issued AwaitPush
+	// commands; node-global because the two sides arrive on different
+	// sessions (see rendezvous).
+	rdv *rendezvous
 
 	shutdownMu sync.Mutex
 	onShutdown func()
@@ -147,7 +164,10 @@ func New(opts Options) (*Node, error) {
 		execWorkers: opts.ExecWorkers,
 		wireVersion: wireVersion,
 		singleLane:  opts.SingleLane,
+		dialer:      opts.Dialer,
 		objects:     newObjectTable(),
+		nicOut:      vtime.NewLink(sim.MessageLatency, sim.GigabitBytesPerSec),
+		rdv:         newRendezvous(),
 	}
 	for i, cfg := range opts.Devices {
 		if cfg.ID == 0 {

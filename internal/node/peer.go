@@ -1,0 +1,318 @@
+package node
+
+import (
+	"sync"
+
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/transport"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// pushChunkBytes is the store-and-forward unit for broadcast cut-through:
+// a forwarding hop starts relaying once the first chunk is in, so each
+// extra hop adds only one chunk's link time, not the full buffer (mirrors
+// core's broadcastChunkBytes).
+const pushChunkBytes = 8 << 20
+
+// rendezvous pairs inbound PeerPush deposits with the host-issued AwaitPush
+// commands that consume them. It is node-global, not per-session: the
+// deposit arrives on the source node's inbound connection while the
+// AwaitPush rides the host's session, and the two must meet on the token.
+// Whichever side arrives first creates the entry; the consumer deletes it.
+type rendezvous struct {
+	mu      sync.Mutex
+	entries map[uint64]*rdvEntry
+}
+
+// rdvEntry is one pending push. done is closed exactly once — by the
+// deposit or by a cancel — after which data/simArrival/err are immutable.
+type rdvEntry struct {
+	done       chan struct{}
+	data       []byte
+	simArrival int64
+	err        error
+}
+
+func newRendezvous() *rendezvous {
+	return &rendezvous{entries: make(map[uint64]*rdvEntry)}
+}
+
+// entry returns the rendezvous entry for token, creating it if this is the
+// first side to arrive.
+func (r *rendezvous) entry(token uint64) *rdvEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[token]
+	if e == nil {
+		e = &rdvEntry{done: make(chan struct{})}
+		r.entries[token] = e
+	}
+	return e
+}
+
+// deposit parks pushed data under token, waking the awaiter.
+func (r *rendezvous) deposit(token uint64, data []byte, simArrival int64) error {
+	e := r.entry(token)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case <-e.done:
+		return remoteErr(protocol.CodeBadRequest, "duplicate push for token %d", token)
+	default:
+	}
+	e.data = data
+	e.simArrival = simArrival
+	close(e.done)
+	return nil
+}
+
+// cancel fails a pending rendezvous so its awaiter errors out instead of
+// parking forever. Cancelling an already-completed entry is a no-op: the
+// cancel raced a deposit that made it through, and the data wins.
+func (r *rendezvous) cancel(token uint64, err error) {
+	e := r.entry(token)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case <-e.done:
+		return
+	default:
+	}
+	e.err = err
+	close(e.done)
+}
+
+// remove drops a consumed entry.
+func (r *rendezvous) remove(token uint64) {
+	r.mu.Lock()
+	delete(r.entries, token)
+	r.mu.Unlock()
+}
+
+// peerConn is one pooled connection to a sibling node. A dial or handshake
+// failure is sticky: every later push toward that peer fails fast with the
+// same error instead of re-dialing a dead address mid-chain.
+type peerConn struct {
+	client *transport.Client
+	err    error
+}
+
+// peerClient returns the pooled connection to the named peer, dialing
+// lazily on first use with the address book learned at Hello time. The
+// pool lives on the session, so a host disconnect tears down exactly the
+// peer links its own commands opened.
+func (s *Session) peerClient(name string) (*transport.Client, error) {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if s.peerConns == nil {
+		s.peerConns = make(map[string]*peerConn)
+	}
+	if pc, ok := s.peerConns[name]; ok {
+		return pc.client, pc.err
+	}
+	pc := &peerConn{}
+	s.peerConns[name] = pc
+	pc.client, pc.err = s.dialPeer(name)
+	return pc.client, pc.err
+}
+
+// dialPeer opens and handshakes one peer connection.
+func (s *Session) dialPeer(name string) (*transport.Client, error) {
+	s.mu.Lock()
+	addr, ok := s.peers[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, remoteErr(protocol.CodeUnknownObject,
+			"node %q has no address for peer %q (host did not send a peer list)", s.node.name, name)
+	}
+	if s.node.dialer == nil {
+		return nil, remoteErr(protocol.CodeUnsupported,
+			"node %q cannot dial peers: no dialer configured", s.node.name)
+	}
+	client, err := s.node.dialer.Dial(addr)
+	if err != nil {
+		return nil, remoteErr(protocol.CodeInternal, "dial peer %q at %q: %v", name, addr, err)
+	}
+	resp, err := transport.Handshake(client, protocol.HelloReq{
+		UserID:     s.user(),
+		ClientName: "peer:" + s.node.name,
+	})
+	if err != nil {
+		client.Close()
+		return nil, remoteErr(protocol.CodeInternal, "handshake with peer %q: %v", name, err)
+	}
+	if resp.WireVersion >= protocol.VersionBatch {
+		client.EnableBatching()
+	}
+	return client, nil
+}
+
+// markPeerDown makes a mid-session send failure sticky and closes the
+// broken connection, so dependent pushes fail fast instead of queuing onto
+// a dead socket.
+func (s *Session) markPeerDown(name string, err error) {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	pc := s.peerConns[name]
+	if pc == nil || pc.err != nil {
+		return
+	}
+	pc.err = err
+	if pc.client != nil {
+		pc.client.Close()
+		pc.client = nil
+	}
+}
+
+// closePeers tears the session's peer pool down on Close.
+func (s *Session) closePeers() {
+	s.peerMu.Lock()
+	conns := s.peerConns
+	s.peerConns = nil
+	s.peerMu.Unlock()
+	for _, pc := range conns {
+		if pc.client != nil {
+			pc.client.Close()
+		}
+	}
+}
+
+// execPushRange ships [Offset, Offset+Size) of a local replica to a peer.
+// Two timing shapes share the handler: a migration push (DepartAt == 0)
+// reads the range off the device, then crosses the node's egress link with
+// the full payload; a broadcast forwarding hop (DepartAt > 0) relays data
+// that is still arriving, so only the first chunk's link time separates
+// this hop's arrival from the previous one (cut-through, matching the
+// host-relay chain's hopDelay arithmetic). Either way the virtual arrival
+// at the peer travels with the data and the host NIC is never charged.
+func (s *Session) execPushRange(req *protocol.PushRangeReq, q *queueObj, ev *eventObj, buf *bufferObj, waits []*eventObj) (protocol.Message, error) {
+	deadline, err := s.awaitDeadline(waits)
+	if err != nil {
+		return nil, s.failCommand(ev, err)
+	}
+
+	client, err := s.peerClient(req.PeerName)
+	if err != nil {
+		return nil, s.failCommand(ev, err)
+	}
+
+	modelBytes := req.Size
+	if req.ModelBytes > 0 {
+		modelBytes = req.ModelBytes
+	}
+
+	var start, arrival vtime.Time
+	if req.DepartAt > 0 {
+		// Forwarding hop: the payload is cut through, no device read. The
+		// waits above are a functional presence edge only (the data must be
+		// in the replica before we copy it out); virtually the forward
+		// overlaps the predecessor's device write, so departure is the
+		// host-planned instant, not the wait deadline.
+		depart := vtime.Time(req.DepartAt)
+		start = depart
+		_, arrival = s.node.nicOut.Transfer(depart, min(modelBytes, pushChunkBytes))
+	} else {
+		// Migration push: device read, then the full payload on the link.
+		at := vtime.Max(vtime.Time(req.SimArrival), deadline)
+		dur := q.dev.ModelTransfer(modelBytes)
+		q.execMu.Lock()
+		rstart, rend := q.clock.Reserve(at, dur)
+		q.execMu.Unlock()
+		q.stats.observeTransfer(modelBytes, q.dev.EnergyRate(), dur, rend)
+		start = rstart
+		_, arrival = s.node.nicOut.Transfer(rend, modelBytes)
+	}
+
+	data := make([]byte, req.Size)
+	buf.mu.RLock()
+	copy(data, buf.data[req.Offset:req.Offset+req.Size])
+	buf.mu.RUnlock()
+
+	push := &protocol.PeerPushReq{Token: req.Token, Data: data, SimArrival: int64(arrival)}
+	if err := client.Call(push, nil); err != nil {
+		err = remoteErr(protocol.CodeInternal, "push to peer %q: %v", req.PeerName, err)
+		s.markPeerDown(req.PeerName, err)
+		return nil, s.failCommand(ev, err)
+	}
+
+	prof := protocol.Profile{
+		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(arrival),
+	}
+	ev.complete(prof)
+	return &protocol.EventResp{EventID: ev.id, Profile: prof}, nil
+}
+
+// execAwaitPush receives a deposited range into a local buffer. It blocks
+// on the rendezvous entry for the token — the synchronization edge between
+// the source's data plane and this node's command stream — then reserves
+// the device-side write no earlier than the data's virtual arrival.
+func (s *Session) execAwaitPush(req *protocol.AwaitPushReq, q *queueObj, ev *eventObj, buf *bufferObj, waits []*eventObj) (protocol.Message, error) {
+	deadline, err := s.awaitDeadline(waits)
+	if err != nil {
+		return nil, s.failCommand(ev, err)
+	}
+
+	entry := s.node.rdv.entry(req.Token)
+	select {
+	case <-entry.done:
+	case <-s.closedCh:
+		return nil, s.failCommand(ev, remoteErr(protocol.CodeBadRequest,
+			"session closed while awaiting push %d", req.Token))
+	}
+	if entry.err != nil {
+		s.node.rdv.remove(req.Token)
+		return nil, s.failCommand(ev, remoteErr(errCode(entry.err),
+			"await push %d: %v", req.Token, entry.err))
+	}
+	if int64(len(entry.data)) != req.Size {
+		s.node.rdv.remove(req.Token)
+		return nil, s.failCommand(ev, remoteErr(protocol.CodeBadRequest,
+			"push %d carried %d bytes, await expects %d", req.Token, len(entry.data), req.Size))
+	}
+
+	modelBytes := req.Size
+	if req.ModelBytes > 0 {
+		modelBytes = req.ModelBytes
+	}
+	arrival := vtime.Max(vtime.Max(vtime.Time(req.SimArrival), vtime.Time(entry.simArrival)), deadline)
+	dur := q.dev.ModelTransfer(modelBytes)
+	q.execMu.Lock()
+	start, end := q.clock.Reserve(arrival, dur)
+	buf.mu.Lock()
+	copy(buf.data[req.Offset:], entry.data)
+	buf.mu.Unlock()
+	q.execMu.Unlock()
+	s.node.rdv.remove(req.Token)
+
+	q.stats.observeTransfer(modelBytes, q.dev.EnergyRate(), dur, end)
+	prof := protocol.Profile{
+		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
+	}
+	ev.complete(prof)
+	return &protocol.EventResp{EventID: ev.id, Profile: prof}, nil
+}
+
+// handlePeerPush is the deposit side of the rendezvous: it parks the data
+// and returns immediately (the source's lane is blocked on this ack, and
+// the consuming AwaitPush runs on a different session entirely, so the
+// deposit must never wait on anything).
+func (s *Session) handlePeerPush(body []byte) (protocol.Message, error) {
+	var req protocol.PeerPushReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	if err := s.node.rdv.deposit(req.Token, req.Data, req.SimArrival); err != nil {
+		return nil, err
+	}
+	return &protocol.EmptyResp{}, nil
+}
+
+// handleCancelPush aborts a pending rendezvous, failing its awaiter.
+func (s *Session) handleCancelPush(body []byte) (protocol.Message, error) {
+	var req protocol.CancelPushReq
+	if err := protocol.DecodeMessage(&req, body); err != nil {
+		return nil, err
+	}
+	s.node.rdv.cancel(req.Token, remoteErr(protocol.CodeInternal, "push cancelled: %s", req.Reason))
+	return &protocol.EmptyResp{}, nil
+}

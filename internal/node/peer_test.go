@@ -1,0 +1,293 @@
+package node
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/haocl-project/haocl/internal/device"
+	"github.com/haocl-project/haocl/internal/kernel"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/sim"
+	"github.com/haocl-project/haocl/internal/transport"
+)
+
+// These tests pin down the peer-to-peer data plane's session lifecycle
+// (DESIGN.md §6): lazy peer dialing with sticky failures, the PushRange/
+// AwaitPush rendezvous, cancel-driven failure cascades, and peer-pool
+// teardown on Close. Like the lane tests they go through the async
+// interface and are meant to run under -race.
+
+// servePeerNode builds a one-GPU node named name, registers its server on
+// the in-process network under "mem://"+name, and wires the same network
+// in as the node's peer dialer.
+func servePeerNode(t *testing.T, net *transport.MemNetwork, name string) *Node {
+	t.Helper()
+	icd := device.NewICD()
+	sim.RegisterDrivers(icd, kernel.NewRegistry())
+	n, err := New(Options{
+		Name:        name,
+		Devices:     []device.Config{{Driver: sim.DriverGPU, ID: 1, Shared: true}},
+		ICD:         icd,
+		ExecWorkers: 1,
+		Dialer:      net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := n.Serve()
+	addr := "mem://" + name
+	if err := net.Register(addr, srv); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		net.Unregister(addr)
+		srv.Close()
+	})
+	return n
+}
+
+// openPeerSession opens a host session on n whose Hello carries the given
+// address book, then builds one queue and one 64-byte buffer.
+func openPeerSession(t *testing.T, n *Node, peers []protocol.PeerAddr) (s *Session, queueID, bufID uint64) {
+	t.Helper()
+	s = n.NewSession().(*Session)
+	call(t, s, &protocol.HelloReq{
+		UserID: "peer-test", WireVersion: protocol.Version, Peers: peers,
+	}, &protocol.HelloResp{})
+	ctx := call(t, s, &protocol.CreateContextReq{DeviceIDs: []int64{1}}, &protocol.ObjectResp{})
+	q := call(t, s, &protocol.CreateQueueReq{ContextID: ctx.ID, DeviceID: 1}, &protocol.ObjectResp{})
+	b := call(t, s, &protocol.CreateBufferReq{ContextID: ctx.ID, Size: 64}, &protocol.ObjectResp{})
+	return s, q.ID, b.ID
+}
+
+// mustFail waits for an async completion and returns its error, failing
+// the test if the call hung or succeeded.
+func mustFail(t *testing.T, ch <-chan asyncResult) error {
+	t.Helper()
+	select {
+	case r := <-ch:
+		if r.err == nil {
+			t.Fatalf("call succeeded (%+v), want failure", r.msg)
+		}
+		return r.err
+	case <-time.After(5 * time.Second):
+		t.Fatal("failing call hung instead of erroring")
+		return nil
+	}
+}
+
+// wantCode asserts err is a RemoteError with the given code.
+func wantCode(t *testing.T, err error, code uint32) {
+	t.Helper()
+	var re *protocol.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not remote", err)
+	}
+	if re.Code != code {
+		t.Fatalf("code = %d, want %d (%v)", re.Code, code, re)
+	}
+}
+
+// TestPeerPushDeliversRange is the happy path: a PushRange on the source
+// node dials the peer lazily, deposits the payload, and the destination's
+// AwaitPush lands it in the target replica no earlier than the payload's
+// virtual arrival.
+func TestPeerPushDeliversRange(t *testing.T) {
+	net := transport.NewMemNetwork()
+	nA := servePeerNode(t, net, "alpha")
+	nB := servePeerNode(t, net, "beta")
+	book := []protocol.PeerAddr{
+		{Name: "alpha", Addr: "mem://alpha"},
+		{Name: "beta", Addr: "mem://beta"},
+	}
+	sA, qA, bufA := openPeerSession(t, nA, book)
+	defer sA.Close()
+	sB, qB, bufB := openPeerSession(t, nB, book)
+	defer sB.Close()
+
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i*5 + 3)
+	}
+	write := mustEvent(t, goCall(sA, &protocol.WriteBufferReq{
+		QueueID: qA, BufferID: bufA, Data: data, EventID: 1,
+	}))
+
+	// The awaiter parks first — the rendezvous must pair it with the
+	// deposit regardless of arrival order.
+	awaitCh := goCall(sB, &protocol.AwaitPushReq{
+		QueueID: qB, BufferID: bufB, Token: 42, Offset: 0, Size: 64,
+		SimArrival: 1_000, EventID: 1,
+	})
+	push := mustEvent(t, goCall(sA, &protocol.PushRangeReq{
+		QueueID: qA, BufferID: bufA, PeerName: "beta", PeerBufferID: bufB,
+		Token: 42, Offset: 0, Size: 64, SimArrival: 1_000, EventID: 2,
+		WaitEvents: []int64{1},
+	}))
+	if push.Profile.Start < write.Profile.End {
+		t.Fatalf("push departed at %d, before its dependency completed at %d",
+			push.Profile.Start, write.Profile.End)
+	}
+	await := mustEvent(t, awaitCh)
+	if await.Profile.Start < push.Profile.End {
+		t.Fatalf("await started at %d, before the payload arrived at %d",
+			await.Profile.Start, push.Profile.End)
+	}
+
+	var rd protocol.ReadBufferResp
+	call(t, sB, &protocol.ReadBufferReq{
+		QueueID: qB, BufferID: bufB, Offset: 0, Size: 64,
+	}, &rd)
+	if string(rd.Data) != string(data) {
+		t.Fatalf("peer replica contents diverged after push:\n got %v\nwant %v", rd.Data, data)
+	}
+}
+
+// TestPeerDialFailureIsStickyAndFailsChain exercises the lazy-dial failure
+// path: the first push toward an unreachable peer fails in the lane (not
+// at registration), a dependent command chained on its event fails rather
+// than hangs, and the failure is sticky — the peer coming up later does
+// not resurrect this session's pool entry.
+func TestPeerDialFailureIsStickyAndFailsChain(t *testing.T) {
+	net := transport.NewMemNetwork()
+	nA := servePeerNode(t, net, "alpha")
+	sA, qA, bufA := openPeerSession(t, nA, []protocol.PeerAddr{
+		{Name: "ghost", Addr: "mem://ghost"}, // nothing registered there
+	})
+	defer sA.Close()
+
+	pushErr := mustFail(t, goCall(sA, &protocol.PushRangeReq{
+		QueueID: qA, BufferID: bufA, PeerName: "ghost", PeerBufferID: 1,
+		Token: 1, Offset: 0, Size: 64, EventID: 2,
+	}))
+	wantCode(t, pushErr, protocol.CodeInternal)
+	if !strings.Contains(pushErr.Error(), "ghost") {
+		t.Fatalf("dial error does not name the peer: %v", pushErr)
+	}
+
+	// A command waiting on the failed push's event must cascade-fail.
+	depErr := mustFail(t, goCall(sA, &protocol.WriteBufferReq{
+		QueueID: qA, BufferID: bufA, Data: make([]byte, 64),
+		EventID: 3, WaitEvents: []int64{2},
+	}))
+	if !strings.Contains(depErr.Error(), "ghost") {
+		t.Fatalf("dependent failure lost the root cause: %v", depErr)
+	}
+
+	// The ghost comes alive — but the pool entry is sticky, so this
+	// session keeps failing fast instead of re-dialing mid-stream.
+	servePeerNode(t, net, "ghost")
+	stickyErr := mustFail(t, goCall(sA, &protocol.PushRangeReq{
+		QueueID: qA, BufferID: bufA, PeerName: "ghost", PeerBufferID: 1,
+		Token: 2, Offset: 0, Size: 64, EventID: 4,
+	}))
+	wantCode(t, stickyErr, protocol.CodeInternal)
+}
+
+// TestPeerPushWithoutAddressBook: a host that never sent a peer list gets
+// a clean unknown-object error, not a dial attempt.
+func TestPeerPushWithoutAddressBook(t *testing.T) {
+	net := transport.NewMemNetwork()
+	nA := servePeerNode(t, net, "alpha")
+	sA, qA, bufA := openPeerSession(t, nA, nil)
+	defer sA.Close()
+
+	err := mustFail(t, goCall(sA, &protocol.PushRangeReq{
+		QueueID: qA, BufferID: bufA, PeerName: "beta", PeerBufferID: 1,
+		Token: 1, Offset: 0, Size: 64, EventID: 2,
+	}))
+	wantCode(t, err, protocol.CodeUnknownObject)
+}
+
+// TestCancelPushFailsParkedAwaiter: the host's failure cascade sends
+// CancelPush when a source-side push dies; the parked AwaitPush must error
+// out with the carried reason instead of waiting forever, and commands
+// chained on it must fail too.
+func TestCancelPushFailsParkedAwaiter(t *testing.T) {
+	net := transport.NewMemNetwork()
+	nB := servePeerNode(t, net, "beta")
+	sB, qB, bufB := openPeerSession(t, nB, nil)
+	defer sB.Close()
+
+	awaitCh := goCall(sB, &protocol.AwaitPushReq{
+		QueueID: qB, BufferID: bufB, Token: 7, Offset: 0, Size: 64, EventID: 1,
+	})
+	depCh := goCall(sB, &protocol.WriteBufferReq{
+		QueueID: qB, BufferID: bufB, Data: make([]byte, 64),
+		EventID: 2, WaitEvents: []int64{1},
+	})
+	// Let both commands reach their lane before the cancel lands.
+	q := call(t, sB, &protocol.QueryEventReq{EventID: 1}, &protocol.QueryEventResp{})
+	if q.Complete {
+		t.Fatal("parked awaiter reported complete")
+	}
+
+	call(t, sB, &protocol.CancelPushReq{Token: 7, Reason: "source push failed"}, &protocol.EmptyResp{})
+
+	awaitErr := mustFail(t, awaitCh)
+	if !strings.Contains(awaitErr.Error(), "source push failed") {
+		t.Fatalf("awaiter error lost the cancel reason: %v", awaitErr)
+	}
+	if err := mustFail(t, depCh); !strings.Contains(err.Error(), "source push failed") {
+		t.Fatalf("dependent of cancelled await lost the root cause: %v", err)
+	}
+}
+
+// TestSessionCloseTearsDownPeerPool: Close must unpark any awaiter still
+// waiting on a rendezvous and tear down the lazily-dialed peer pool after
+// the lanes drain — no hangs, no leaked connections, no races.
+func TestSessionCloseTearsDownPeerPool(t *testing.T) {
+	net := transport.NewMemNetwork()
+	nA := servePeerNode(t, net, "alpha")
+	nB := servePeerNode(t, net, "beta")
+	book := []protocol.PeerAddr{
+		{Name: "alpha", Addr: "mem://alpha"},
+		{Name: "beta", Addr: "mem://beta"},
+	}
+	sA, qA, bufA := openPeerSession(t, nA, book)
+	sB, qB, bufB := openPeerSession(t, nB, book)
+
+	// Open a live pooled connection with one successful push/await pair.
+	mustEvent(t, goCall(sA, &protocol.WriteBufferReq{
+		QueueID: qA, BufferID: bufA, Data: make([]byte, 64), EventID: 1,
+	}))
+	awaitCh := goCall(sB, &protocol.AwaitPushReq{
+		QueueID: qB, BufferID: bufB, Token: 11, Offset: 0, Size: 64, EventID: 1,
+	})
+	mustEvent(t, goCall(sA, &protocol.PushRangeReq{
+		QueueID: qA, BufferID: bufA, PeerName: "beta", PeerBufferID: bufB,
+		Token: 11, Offset: 0, Size: 64, EventID: 2, WaitEvents: []int64{1},
+	}))
+	mustEvent(t, awaitCh)
+
+	// Park a second awaiter with no deposit coming, then close under it.
+	parked := goCall(sB, &protocol.AwaitPushReq{
+		QueueID: qB, BufferID: bufB, Token: 12, Offset: 0, Size: 64, EventID: 2,
+	})
+	done := make(chan error, 1)
+	go func() { done <- sB.Close() }()
+	if err := mustFail(t, parked); !strings.Contains(err.Error(), "session closed") {
+		t.Fatalf("parked awaiter did not fail on close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("session close hung draining the awaiter")
+	}
+	if err := sA.Close(); err != nil {
+		t.Fatalf("source close: %v", err)
+	}
+	// The pool is gone: a fresh peerClient on the closed source session
+	// would have to re-dial, proving closePeers dropped the cached entry.
+	sA.peerMu.Lock()
+	if sA.peerConns != nil {
+		sA.peerMu.Unlock()
+		t.Fatal("peer pool survived session close")
+	}
+	sA.peerMu.Unlock()
+}

@@ -42,6 +42,15 @@ type Session struct {
 	// session drivers and tests); the high range keeps them clear of
 	// host-assigned counters.
 	synthEventID uint64
+	// peers is the cluster address book learned from the host's Hello
+	// (name → listen address), consulted when PushRange commands dial
+	// sibling nodes.
+	peers map[string]string
+
+	// peerMu guards the lazy-dialed pool of connections to sibling nodes;
+	// see peerClient.
+	peerMu    sync.Mutex
+	peerConns map[string]*peerConn
 
 	laneMu    sync.Mutex
 	lanes     map[uint64]*lane
@@ -442,6 +451,55 @@ func (s *Session) prepare(op protocol.Op, body []byte, strictWaits bool) (uint64
 		return s.laneKey(req.QueueID), func() (protocol.Message, error) {
 			return s.execEnqueueKernel(req, q, ev, k, args, waits)
 		}, nil
+	case protocol.OpPushRange:
+		req := new(protocol.PushRangeReq)
+		if err := protocol.DecodeMessage(req, body); err != nil {
+			return 0, nil, err
+		}
+		q, ev, err := s.registerCommand(req.QueueID, req.EventID)
+		if err != nil {
+			return 0, nil, err
+		}
+		buf, err := s.node.objects.buffer(req.BufferID)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		if err := checkRange("push", req.Offset, req.Size, int64(len(buf.data))); err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		// The peer connection is NOT resolved here: dialing is lazy and may
+		// block, and the registration stage must stay non-blocking. A dial
+		// failure surfaces in the lane as this command's sticky error.
+		return s.laneKey(req.QueueID), func() (protocol.Message, error) {
+			return s.execPushRange(req, q, ev, buf, waits)
+		}, nil
+	case protocol.OpAwaitPush:
+		req := new(protocol.AwaitPushReq)
+		if err := protocol.DecodeMessage(req, body); err != nil {
+			return 0, nil, err
+		}
+		q, ev, err := s.registerCommand(req.QueueID, req.EventID)
+		if err != nil {
+			return 0, nil, err
+		}
+		buf, err := s.node.objects.buffer(req.BufferID)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		if err := checkRange("await-push", req.Offset, req.Size, int64(len(buf.data))); err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
+		if err != nil {
+			return 0, nil, s.failCommand(ev, err)
+		}
+		return s.laneKey(req.QueueID), func() (protocol.Message, error) {
+			return s.execAwaitPush(req, q, ev, buf, waits)
+		}, nil
 	case protocol.OpFinishQueue:
 		req := new(protocol.FinishQueueReq)
 		if err := protocol.DecodeMessage(req, body); err != nil {
@@ -507,6 +565,10 @@ func (s *Session) handleControl(op protocol.Op, body []byte) (protocol.Message, 
 		return s.handleCreateKernel(body)
 	case protocol.OpQueryEvent:
 		return s.handleQueryEvent(body)
+	case protocol.OpPeerPush:
+		return s.handlePeerPush(body)
+	case protocol.OpCancelPush:
+		return s.handleCancelPush(body)
 	case protocol.OpNodeStatus:
 		return &protocol.NodeStatusResp{Devices: s.node.Status()}, nil
 	case protocol.OpShutdown:
@@ -537,6 +599,9 @@ func (s *Session) Close() error {
 			ln.close()
 		}
 		s.laneWG.Wait()
+
+		// Lanes are drained; no command can touch the peer pool anymore.
+		s.closePeers()
 
 		s.mu.Lock()
 		queues := s.queues
@@ -578,8 +643,22 @@ func (s *Session) handleHello(body []byte) (protocol.Message, error) {
 	if req.WireVersion < negotiated {
 		negotiated = req.WireVersion
 	}
+	// Learn the cluster address book for peer dialing. Our own entry is
+	// dropped: a node never pushes to itself.
+	var peers map[string]string
+	if len(req.Peers) > 0 {
+		peers = make(map[string]string, len(req.Peers))
+		for _, p := range req.Peers {
+			if p.Name != s.node.name {
+				peers[p.Name] = p.Addr
+			}
+		}
+	}
 	s.mu.Lock()
 	s.userID = req.UserID
+	if peers != nil {
+		s.peers = peers
+	}
 	s.mu.Unlock()
 	return &protocol.HelloResp{
 		NodeName:    s.node.name,

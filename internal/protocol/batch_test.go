@@ -211,6 +211,15 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xDE, 0xAD})                           // bad magic
 	f.Add(append([]byte{0x48, 0x41, 99}, plain[3:]...)) // bad version
+	// P2p data-plane frames: a PushRange command and a truncated variant.
+	pushFrame, err := AppendFrame(nil, &Frame{Kind: FrameRequest, ReqID: 9, Op: OpPushRange,
+		Body: EncodeMessage(&PushRangeReq{QueueID: 1, BufferID: 2, PeerName: "gpu-1",
+			PeerBufferID: 3, Token: 4, Size: 64, WaitEvents: []int64{5}})})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pushFrame)
+	f.Add(pushFrame[:len(pushFrame)-5])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))
@@ -245,7 +254,13 @@ func FuzzDecodeFrame(f *testing.F) {
 func FuzzDecodeMessage(f *testing.F) {
 	f.Add(uint16(OpWriteBuffer), EncodeMessage(&WriteBufferReq{QueueID: 1, Data: []byte{1, 2}}))
 	f.Add(uint16(OpEnqueueKernel), EncodeMessage(&EnqueueKernelReq{QueueID: 1, Global: []int64{8}}))
-	f.Add(uint16(OpHello), EncodeMessage(&HelloReq{UserID: "u", WireVersion: Version}))
+	f.Add(uint16(OpHello), EncodeMessage(&HelloReq{UserID: "u", WireVersion: Version,
+		Peers: []PeerAddr{{Name: "gpu-0", Addr: "10.0.0.1:7010"}}}))
+	f.Add(uint16(OpPushRange), EncodeMessage(&PushRangeReq{QueueID: 1, BufferID: 2,
+		PeerName: "gpu-1", PeerBufferID: 3, Token: 4, Offset: 8, Size: 64, WaitEvents: []int64{5}}))
+	f.Add(uint16(OpPeerPush), EncodeMessage(&PeerPushReq{Token: 4, Data: []byte{1, 2, 3}}))
+	f.Add(uint16(OpAwaitPush), EncodeMessage(&AwaitPushReq{QueueID: 1, BufferID: 2, Token: 4, Size: 64}))
+	f.Add(uint16(OpCancelPush), EncodeMessage(&CancelPushReq{Token: 4, Reason: "gone"}))
 	f.Fuzz(func(t *testing.T, op uint16, body []byte) {
 		var msgs = []Message{
 			&HelloReq{}, &HelloResp{}, &GetDeviceInfosReq{}, &GetDeviceInfosResp{},
@@ -254,6 +269,7 @@ func FuzzDecodeMessage(f *testing.F) {
 			&BuildProgramReq{}, &BuildProgramResp{}, &CreateKernelReq{},
 			&EnqueueKernelReq{}, &FinishQueueReq{}, &QueryEventReq{},
 			&ReleaseReq{}, &NodeStatusResp{}, &ErrorResp{},
+			&PushRangeReq{}, &PeerPushReq{}, &AwaitPushReq{}, &CancelPushReq{},
 		}
 		m := msgs[int(op)%len(msgs)]
 		_ = DecodeMessage(m, body) // must not panic

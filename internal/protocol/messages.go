@@ -31,6 +31,11 @@ const (
 	OpShutdown
 	OpError // response-only: carries a remote error string
 	OpBatch // wire v3: envelope op carried by FrameBatch frames
+	// Peer-to-peer data plane (host-planned node→node transfers).
+	OpPushRange  // host→source node: ship a buffer range to a named peer
+	OpPeerPush   // source node→peer node: the data deposit itself
+	OpAwaitPush  // host→destination node: receive a deposited range
+	OpCancelPush // host→destination node: abort a pending rendezvous
 )
 
 var opNames = map[Op]string{
@@ -52,6 +57,10 @@ var opNames = map[Op]string{
 	OpShutdown:       "Shutdown",
 	OpError:          "Error",
 	OpBatch:          "Batch",
+	OpPushRange:      "PushRange",
+	OpPeerPush:       "PeerPush",
+	OpAwaitPush:      "AwaitPush",
+	OpCancelPush:     "CancelPush",
 }
 
 // String names the op for logs and errors.
@@ -212,12 +221,25 @@ func (a *KernelArg) unmarshal(d *Decoder) {
 
 // --- Session management -----------------------------------------------
 
+// PeerAddr names one cluster node and the address its NMP listens on. The
+// host ships the full topology with Hello so nodes can dial each other
+// directly for peer-to-peer transfers.
+type PeerAddr struct {
+	Name string
+	Addr string
+}
+
 // HelloReq opens a session with a node. The user identity travels with the
 // session so the NMP can enforce shared-device policies per user.
 type HelloReq struct {
 	UserID      string
 	ClientName  string
 	WireVersion uint32
+	// Peers lists every cluster node's listen address so this node can
+	// dial siblings for PushRange traffic. Appended after the v3 fields;
+	// requests from older hosts lack it and decode as nil (the node then
+	// rejects PushRange commands instead of data-plane traffic hanging).
+	Peers []PeerAddr
 }
 
 // Op implements Message.
@@ -228,6 +250,11 @@ func (m *HelloReq) MarshalBody(e *Encoder) {
 	e.Str(m.UserID)
 	e.Str(m.ClientName)
 	e.U32(m.WireVersion)
+	e.U32(uint32(len(m.Peers)))
+	for i := range m.Peers {
+		e.Str(m.Peers[i].Name)
+		e.Str(m.Peers[i].Addr)
+	}
 }
 
 // UnmarshalBody implements Message.
@@ -235,6 +262,18 @@ func (m *HelloReq) UnmarshalBody(d *Decoder) {
 	m.UserID = d.Str()
 	m.ClientName = d.Str()
 	m.WireVersion = d.U32()
+	if d.Err() != nil || d.Remaining() < 4 {
+		return // pre-p2p request without the peer list
+	}
+	n := int(d.U32())
+	if n == 0 || !d.Need(n) {
+		return
+	}
+	m.Peers = make([]PeerAddr, n)
+	for i := range m.Peers {
+		m.Peers[i].Name = d.Str()
+		m.Peers[i].Addr = d.Str()
+	}
 }
 
 // HelloResp acknowledges a session and advertises the node's devices.
@@ -663,6 +702,184 @@ func (m *CopyBufferReq) UnmarshalBody(d *Decoder) {
 	m.WaitEvents = d.Ints()
 }
 
+// --- Peer-to-peer data plane ---------------------------------------------
+
+// PushRangeReq tells a source node to ship [Offset, Offset+Size) of one of
+// its buffer replicas to a named peer. The host stays the control plane: it
+// plans the transfer from its validity map and assigns the completion event,
+// but the data itself crosses the node↔node link, never the host NIC.
+type PushRangeReq struct {
+	QueueID  uint64 // source-side queue whose lane serializes the egress
+	BufferID uint64
+	// PeerName/PeerBufferID locate the destination replica; the source
+	// resolves PeerName against the address book learned at Hello time.
+	PeerName     string
+	PeerBufferID uint64
+	// Token pairs this push with the peer's AwaitPush rendezvous entry.
+	Token  uint64
+	Offset int64
+	Size   int64
+	// SimArrival is the virtual instant the host's command frame reaches
+	// the source node (control traffic still crosses the host NIC).
+	SimArrival int64
+	// DepartAt, when positive, books the peer-link egress at that virtual
+	// instant without a device read: broadcast hops forward data that is
+	// already in flight (cut-through), so only the first chunk's link time
+	// gates the next hop. Zero means a migration push: read the range from
+	// the device, then cross the link.
+	DepartAt int64
+	// EventID, when non-zero, is the host-assigned completion event ID.
+	EventID uint64
+	// ModelBytes, when positive, sizes the transfer in the timing model.
+	ModelBytes int64
+	// WaitEvents lists source-side events that must complete first (the
+	// producer chain that made this replica range valid).
+	WaitEvents []int64
+}
+
+// Op implements Message.
+func (*PushRangeReq) Op() Op { return OpPushRange }
+
+// SetEventID implements CommandReq.
+func (m *PushRangeReq) SetEventID(id uint64) { m.EventID = id }
+
+// MarshalBody implements Message.
+func (m *PushRangeReq) MarshalBody(e *Encoder) {
+	e.U64(m.QueueID)
+	e.U64(m.BufferID)
+	e.Str(m.PeerName)
+	e.U64(m.PeerBufferID)
+	e.U64(m.Token)
+	e.I64(m.Offset)
+	e.I64(m.Size)
+	e.I64(m.SimArrival)
+	e.I64(m.DepartAt)
+	e.U64(m.EventID)
+	e.I64(m.ModelBytes)
+	e.Ints(m.WaitEvents)
+}
+
+// UnmarshalBody implements Message.
+func (m *PushRangeReq) UnmarshalBody(d *Decoder) {
+	m.QueueID = d.U64()
+	m.BufferID = d.U64()
+	m.PeerName = d.Str()
+	m.PeerBufferID = d.U64()
+	m.Token = d.U64()
+	m.Offset = d.I64()
+	m.Size = d.I64()
+	m.SimArrival = d.I64()
+	m.DepartAt = d.I64()
+	m.EventID = d.U64()
+	m.ModelBytes = d.I64()
+	m.WaitEvents = d.Ints()
+}
+
+// PeerPushReq is the node→node data deposit: the source ships the bytes to
+// the peer, which parks them in its rendezvous table until the host-issued
+// AwaitPush command consumes them. Answered with EmptyResp (the ack is the
+// source's signal that the peer owns the data).
+type PeerPushReq struct {
+	Token uint64
+	Data  []byte
+	// SimArrival is the virtual instant the data finishes crossing the
+	// node↔node link, computed by the source against its egress link.
+	SimArrival int64
+}
+
+// Op implements Message.
+func (*PeerPushReq) Op() Op { return OpPeerPush }
+
+// MarshalBody implements Message.
+func (m *PeerPushReq) MarshalBody(e *Encoder) {
+	e.U64(m.Token)
+	e.Blob(m.Data)
+	e.I64(m.SimArrival)
+}
+
+// UnmarshalBody implements Message.
+func (m *PeerPushReq) UnmarshalBody(d *Decoder) {
+	m.Token = d.U64()
+	m.Data = d.Blob()
+	m.SimArrival = d.I64()
+}
+
+// AwaitPushReq tells the destination node to receive a deposited range into
+// a buffer. It rides the normal registration-stage→lane machinery so the
+// completion event chains like any other command; the exec handler blocks
+// on the rendezvous entry for Token.
+type AwaitPushReq struct {
+	QueueID  uint64
+	BufferID uint64
+	Token    uint64
+	Offset   int64
+	Size     int64
+	// SimArrival is the virtual arrival of the host's control frame.
+	SimArrival int64
+	// EventID, when non-zero, is the host-assigned completion event ID.
+	EventID uint64
+	// ModelBytes, when positive, sizes the device-side write in the model.
+	ModelBytes int64
+	// WaitEvents lists destination-side events that must complete first
+	// (anti-dependencies on the replica being overwritten).
+	WaitEvents []int64
+}
+
+// Op implements Message.
+func (*AwaitPushReq) Op() Op { return OpAwaitPush }
+
+// SetEventID implements CommandReq.
+func (m *AwaitPushReq) SetEventID(id uint64) { m.EventID = id }
+
+// MarshalBody implements Message.
+func (m *AwaitPushReq) MarshalBody(e *Encoder) {
+	e.U64(m.QueueID)
+	e.U64(m.BufferID)
+	e.U64(m.Token)
+	e.I64(m.Offset)
+	e.I64(m.Size)
+	e.I64(m.SimArrival)
+	e.U64(m.EventID)
+	e.I64(m.ModelBytes)
+	e.Ints(m.WaitEvents)
+}
+
+// UnmarshalBody implements Message.
+func (m *AwaitPushReq) UnmarshalBody(d *Decoder) {
+	m.QueueID = d.U64()
+	m.BufferID = d.U64()
+	m.Token = d.U64()
+	m.Offset = d.I64()
+	m.Size = d.I64()
+	m.SimArrival = d.I64()
+	m.EventID = d.U64()
+	m.ModelBytes = d.I64()
+	m.WaitEvents = d.Ints()
+}
+
+// CancelPushReq aborts a pending rendezvous: when the source side of a push
+// fails, the host cancels the peer's AwaitPush so the dependent event chain
+// fails instead of parking forever.
+type CancelPushReq struct {
+	Token  uint64
+	Reason string
+}
+
+// Op implements Message.
+func (*CancelPushReq) Op() Op { return OpCancelPush }
+
+// MarshalBody implements Message.
+func (m *CancelPushReq) MarshalBody(e *Encoder) {
+	e.U64(m.Token)
+	e.Str(m.Reason)
+}
+
+// UnmarshalBody implements Message.
+func (m *CancelPushReq) UnmarshalBody(d *Decoder) {
+	m.Token = d.U64()
+	m.Reason = d.Str()
+}
+
 // --- Programs and kernels -------------------------------------------------
 
 // BuildProgramReq ships OpenCL C source for compilation on the node
@@ -972,6 +1189,8 @@ var (
 	_ CommandReq = (*ReadBufferReq)(nil)
 	_ CommandReq = (*CopyBufferReq)(nil)
 	_ CommandReq = (*EnqueueKernelReq)(nil)
+	_ CommandReq = (*PushRangeReq)(nil)
+	_ CommandReq = (*AwaitPushReq)(nil)
 )
 
 // ErrorResp carries a remote failure back to the caller.

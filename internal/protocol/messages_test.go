@@ -145,6 +145,27 @@ func TestAllMessagesRoundTripProperty(t *testing.T) {
 		func() (Message, Message) {
 			return &EventResp{EventID: rng.Uint64(), Profile: Profile{Start: 5, End: 9}}, &EventResp{}
 		},
+		func() (Message, Message) {
+			return &HelloReq{UserID: randStr(rng), ClientName: randStr(rng), WireVersion: rng.Uint32(),
+				Peers: []PeerAddr{{Name: randStr(rng), Addr: randStr(rng)}, {Name: randStr(rng), Addr: randStr(rng)}}}, &HelloReq{}
+		},
+		func() (Message, Message) {
+			return &PushRangeReq{QueueID: rng.Uint64(), BufferID: rng.Uint64(), PeerName: randStr(rng),
+				PeerBufferID: rng.Uint64(), Token: rng.Uint64(), Offset: rng.Int63(), Size: rng.Int63(),
+				SimArrival: rng.Int63(), DepartAt: rng.Int63(), EventID: rng.Uint64(), ModelBytes: rng.Int63(),
+				WaitEvents: []int64{rng.Int63()}}, &PushRangeReq{}
+		},
+		func() (Message, Message) {
+			return &PeerPushReq{Token: rng.Uint64(), Data: randBlob(rng), SimArrival: rng.Int63()}, &PeerPushReq{}
+		},
+		func() (Message, Message) {
+			return &AwaitPushReq{QueueID: rng.Uint64(), BufferID: rng.Uint64(), Token: rng.Uint64(),
+				Offset: rng.Int63(), Size: rng.Int63(), SimArrival: rng.Int63(), EventID: rng.Uint64(),
+				ModelBytes: rng.Int63(), WaitEvents: []int64{rng.Int63(), rng.Int63()}}, &AwaitPushReq{}
+		},
+		func() (Message, Message) {
+			return &CancelPushReq{Token: rng.Uint64(), Reason: randStr(rng)}, &CancelPushReq{}
+		},
 	}
 	for round := 0; round < 25; round++ {
 		for i, mk := range msgs {
@@ -203,6 +224,51 @@ func TestDecodeTruncatedMessages(t *testing.T) {
 	}
 }
 
+// TestDecodeTruncatedPushMessages feeds every prefix of the p2p data-plane
+// messages to the decoder and requires a clean error, never a panic — these
+// decoders feed the node registration stage straight off the wire.
+func TestDecodeTruncatedPushMessages(t *testing.T) {
+	cases := []struct{ in, out Message }{
+		{&PushRangeReq{QueueID: 1, BufferID: 2, PeerName: "gpu-1", PeerBufferID: 3, Token: 4,
+			Offset: 5, Size: 6, SimArrival: 7, DepartAt: 8, EventID: 9, ModelBytes: 10,
+			WaitEvents: []int64{11}}, &PushRangeReq{}},
+		{&PeerPushReq{Token: 1, Data: []byte{1, 2, 3}, SimArrival: 4}, &PeerPushReq{}},
+		{&AwaitPushReq{QueueID: 1, BufferID: 2, Token: 3, Offset: 4, Size: 5, SimArrival: 6,
+			EventID: 7, ModelBytes: 8, WaitEvents: []int64{9}}, &AwaitPushReq{}},
+		{&CancelPushReq{Token: 1, Reason: "source died"}, &CancelPushReq{}},
+	}
+	for _, c := range cases {
+		body := EncodeMessage(c.in)
+		for cut := 0; cut < len(body); cut++ {
+			if err := DecodeMessage(c.out, body[:cut]); err == nil {
+				t.Fatalf("%T: truncation at %d decoded without error", c.in, cut)
+			}
+		}
+	}
+}
+
+// TestHelloPeerListBackCompat: a pre-p2p peer sends HelloReq without the
+// trailing peer list; the decoder must accept it with no peers rather than
+// erroring, and a hello whose peer section is cut mid-entry must error.
+func TestHelloPeerListBackCompat(t *testing.T) {
+	full := EncodeMessage(&HelloReq{UserID: "u", ClientName: "c", WireVersion: 2})
+	legacy := full[:len(full)-4] // strip the (empty) peer-count word
+	var out HelloReq
+	if err := DecodeMessage(&out, legacy); err != nil {
+		t.Fatalf("legacy hello rejected: %v", err)
+	}
+	if out.UserID != "u" || out.Peers != nil {
+		t.Fatalf("legacy hello decoded to %+v", out)
+	}
+
+	withPeers := EncodeMessage(&HelloReq{UserID: "u", WireVersion: 2,
+		Peers: []PeerAddr{{Name: "gpu-0", Addr: "10.0.0.1:7010"}}})
+	var cut HelloReq
+	if err := DecodeMessage(&cut, withPeers[:len(withPeers)-3]); err == nil {
+		t.Fatal("hello cut mid-peer-entry decoded without error")
+	}
+}
+
 func TestRemoteError(t *testing.T) {
 	err := &RemoteError{Op: OpBuildProgram, Code: CodeBuildFailed, Message: "no kernel"}
 	if !errors.Is(err, ErrRemote) {
@@ -214,7 +280,7 @@ func TestRemoteError(t *testing.T) {
 }
 
 func TestOpAndKindStrings(t *testing.T) {
-	for op := OpHello; op <= OpError; op++ {
+	for op := OpHello; op <= OpCancelPush; op++ {
 		if s := op.String(); s == "" || s[0] == 'O' && s[1] == 'p' && s[2] == '(' {
 			t.Fatalf("op %d has no name: %q", op, s)
 		}

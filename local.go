@@ -96,6 +96,7 @@ func StartLocalCluster(spec LocalClusterSpec) (*LocalCluster, error) {
 			ExecWorkers: spec.ExecWorkers,
 			WireVersion: spec.WireVersion,
 			SingleLane:  spec.SingleLane,
+			Dialer:      net,
 		})
 		if err != nil {
 			lc.Close()
