@@ -15,12 +15,13 @@
 //	haocl-bench -exp lanes      # per-queue dispatch lanes: 1-lane vs per-queue node
 //	haocl-bench -exp coherence  # range coherence: full-buffer vs delta migration
 //	haocl-bench -exp p2p        # p2p data plane: host-relay vs direct node→node migration
+//	haocl-bench -exp chaos      # fault tolerance: crash, re-placement and rejoin overhead
 //	haocl-bench -exp fig2 -quick  # reduced sweeps
 //	haocl-bench -exp pipeline -json  # machine-readable result (pipeline/batch/lanes/coherence)
 //
 // All reported durations are virtual time from the calibrated device and
 // network models; see DESIGN.md §1 for the methodology. The -json output
-// of the pipeline, batch, lanes, coherence and p2p experiments is the format committed as the
+// of the pipeline, batch, lanes, coherence, p2p and chaos experiments is the format committed as the
 // BENCH_*.json perf baselines at the repository root and uploaded as a CI
 // artifact by the bench-smoke job.
 package main
@@ -44,7 +45,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("haocl-bench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, pipeline, batch, lanes, coherence, p2p, all")
+		exp     = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, pipeline, batch, lanes, coherence, p2p, chaos, all")
 		quick   = fs.Bool("quick", false, "reduced sweeps for a fast look")
 		jsonOut = fs.Bool("json", false, "emit the result as JSON (pipeline and batch experiments)")
 	)
@@ -68,8 +69,10 @@ func run(args []string) error {
 			rep, err = bench.CoherenceReport(*quick)
 		case "p2p":
 			rep, err = bench.P2PReport(*quick)
+		case "chaos":
+			rep, err = bench.ChaosReport(*quick)
 		default:
-			return fmt.Errorf("-json supports -exp pipeline, batch, lanes, coherence and p2p, not %q", *exp)
+			return fmt.Errorf("-json supports -exp pipeline, batch, lanes, coherence, p2p and chaos, not %q", *exp)
 		}
 		if err != nil {
 			return err
@@ -116,6 +119,8 @@ func run(args []string) error {
 			return bench.Coherence(w, *quick)
 		case "p2p":
 			return bench.P2P(w, *quick)
+		case "chaos":
+			return bench.Chaos(w, *quick)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -124,7 +129,7 @@ func run(args []string) error {
 	if *exp != "all" {
 		return runOne(*exp)
 	}
-	for _, name := range []string{"table1", "overhead", "fig2", "hetero", "fig3", "ablation", "pipeline", "batch", "lanes", "coherence", "p2p"} {
+	for _, name := range []string{"table1", "overhead", "fig2", "hetero", "fig3", "ablation", "pipeline", "batch", "lanes", "coherence", "p2p", "chaos"} {
 		if err := runOne(name); err != nil {
 			return err
 		}

@@ -399,8 +399,9 @@ func TestBarrierKernelThroughFullStack(t *testing.T) {
 	}
 }
 
-// TestNodeDeathMidRun kills one node's server, then checks that API calls
-// touching it fail cleanly while the rest of the cluster keeps working.
+// TestNodeDeathMidRun kills one node's server, then checks that the runtime
+// recovers: commands aimed at the dead node are re-placed on the survivor
+// transparently, and the rest of the cluster keeps working.
 func TestNodeDeathMidRun(t *testing.T) {
 	reg := matmulRegistry()
 	icd := device.NewICD()
@@ -467,13 +468,26 @@ func TestNodeDeathMidRun(t *testing.T) {
 
 	victimServer.Close() // the node dies
 
+	// The victim's queue stays usable: recovery re-binds it to the
+	// survivor and replays, so the write lands there instead of failing.
 	buf, _ := ctx.CreateBuffer(16)
-	if _, err := qVictim.EnqueueWrite(buf, 0, make([]byte, 16)); err == nil {
-		t.Fatal("write to dead node succeeded")
+	payload := memF32([]float32{5, 6, 7, 8})
+	if _, err := qVictim.EnqueueWrite(buf, 0, payload); err != nil {
+		t.Fatalf("write after node death not re-placed: %v", err)
 	}
 	buf2, _ := ctx.CreateBuffer(16)
 	if _, err := qSurvivor.EnqueueWrite(buf2, 0, make([]byte, 16)); err != nil {
 		t.Fatalf("surviving node unusable: %v", err)
+	}
+	data, _, err := qSurvivor.EnqueueRead(buf, 0, 16)
+	if err != nil {
+		t.Fatalf("read of re-placed buffer: %v", err)
+	}
+	if got := memBytesF32(data); got[0] != 5 || got[3] != 8 {
+		t.Fatalf("re-placed write lost data: %v", got)
+	}
+	if p.Metrics().Recoveries == 0 {
+		t.Fatal("node death triggered no recovery")
 	}
 }
 

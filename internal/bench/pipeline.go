@@ -89,6 +89,9 @@ type PipelineRow struct {
 	WireMB     float64 `json:"wire_mb,omitempty"`
 	HostWireMB float64 `json:"host_wire_mb,omitempty"`
 	PeerWireMB float64 `json:"peer_wire_mb,omitempty"`
+	// Recoveries counts node-loss recoveries absorbed during the run —
+	// non-zero only on the chaos experiment's failure-injected legs.
+	Recoveries int64 `json:"recoveries,omitempty"`
 }
 
 func (r PipelineRow) String() string {
@@ -99,6 +102,9 @@ func (r PipelineRow) String() string {
 	}
 	if r.PeerWireMB > 0 {
 		s += fmt.Sprintf(" host=%8.2fMB peer=%8.2fMB", r.HostWireMB, r.PeerWireMB)
+	}
+	if r.Recoveries > 0 {
+		s += fmt.Sprintf(" recoveries=%d", r.Recoveries)
 	}
 	return s
 }

@@ -47,8 +47,21 @@ func hopDelay(modelBytes int64) vtime.Duration {
 // Either way the hop arrival instants are computed host-side, so every hop
 // is issued through the async path without waiting for any response:
 // fan-out to n nodes costs zero round trips instead of n. The returned
-// events resolve as the nodes answer.
+// events resolve as the nodes answer. A crash-induced failure recovers
+// and retries transparently.
 func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, error) {
+	var events []*Event
+	err := c.rt.withRecovery(func() error {
+		var berr error
+		events, berr = c.broadcast(b, data, queues)
+		return berr
+	})
+	return events, err
+}
+
+// broadcast is the non-recovering Broadcast internal; replay drives it
+// directly.
+func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, error) {
 	if len(queues) == 0 {
 		return nil, fmt.Errorf("core: broadcast needs at least one queue")
 	}
@@ -193,7 +206,7 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 			}, resp)
 			ev = &Event{dev: h.q.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
 			c.rt.chargePeer(b.modelSize)
-			c.rt.watchPush(node, token, pushEv)
+			c.rt.watchPush(node.client, token, pushEv)
 		}
 		prevArrival = arrival
 		prevID = id
@@ -214,5 +227,11 @@ func (c *Context) Broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 			orb.valid.Reset()
 		}
 	}
+	c.rt.logCommand(&broadcastLog{
+		c:    c,
+		b:    b,
+		data: append([]byte(nil), data...),
+		qs:   append([]*Queue(nil), queues...),
+	})
 	return events, nil
 }

@@ -32,6 +32,13 @@ type Event struct {
 	resp     *protocol.EventResp
 	isKernel bool
 
+	// gen is the recovery generation the event was issued under. After a
+	// node loss, recovery bumps the runtime generation: older events are
+	// never referenced on the wire again (their node-side records died with
+	// the old cluster state) and their crash-induced failures are absolved
+	// (the log replay re-established their effects).
+	gen uint64
+
 	once    sync.Once
 	profile protocol.Profile
 	err     error
@@ -54,6 +61,12 @@ func (e *Event) resolve() {
 		defer rt.forgetEvent(e)
 		defer e.queue.forget(e)
 		if err := e.pending.Wait(); err != nil {
+			// OnDown marks the handle dead before any pending future
+			// unblocks, so a failure observed while the node is dead is
+			// crash-induced — tag it retriable (recovery replays the work).
+			if !e.dev.node.Alive() {
+				err = &nodeLostError{cause: err}
+			}
 			e.err = fmt.Errorf("core: command on %s: %w", e.dev.key, err)
 			e.queue.fail(e.err)
 			return
@@ -64,8 +77,32 @@ func (e *Event) resolve() {
 }
 
 // Wait blocks until the command completed and reports its error, if any
-// (clWaitForEvents).
+// (clWaitForEvents). A crash-induced failure triggers recovery: the dead
+// node's work is re-placed on survivors and the command log replayed, after
+// which the failure is absolved — the event's effect was re-established, so
+// the caller observes success. Genuine command failures report as before.
 func (e *Event) Wait() error {
+	err := e.waitErr()
+	if err == nil || e.queue == nil {
+		return err
+	}
+	rt := e.queue.ctx.rt
+	if rt.shouldRecover(err) {
+		if rerr := rt.Recover(); rerr != nil {
+			return rerr
+		}
+	}
+	if isNodeLost(err) && e.gen < rt.gen.Load() {
+		return nil // recovery replayed the command's effect
+	}
+	return err
+}
+
+// waitErr resolves the event and reports its raw error without triggering
+// recovery. Internal pipeline machinery (push watchers, recovery's own
+// drain) must use this: recovering from inside recovery would deadlock on
+// recoverMu.
+func (e *Event) waitErr() error {
 	e.resolve()
 	return e.err
 }
@@ -104,13 +141,17 @@ func (e *Event) Release(rt *Runtime) error {
 // splitWaits partitions a wait list into remote event IDs local to node and
 // a virtual-time floor for events that completed on other nodes: a remote
 // node cannot wait on another node's event object, so cross-node
-// dependencies are folded into the command's arrival instant.
-func splitWaits(node *NodeHandle, waits []*Event) (local []int64, floor vtime.Time, err error) {
+// dependencies are folded into the command's arrival instant. Events from
+// an older recovery generation never take the local-ID path — their
+// node-side records died with the old cluster state, so they fold into the
+// floor like cross-node events (a resolved event's floor is exact).
+func (rt *Runtime) splitWaits(node *NodeHandle, waits []*Event) (local []int64, floor vtime.Time, err error) {
+	gen := rt.gen.Load()
 	for _, ev := range waits {
 		if ev == nil {
 			continue
 		}
-		if ev.dev.node == node {
+		if ev.dev.node == node && ev.gen == gen {
 			if ev.released.Load() {
 				// The node-side record is gone; a wire wait on it would
 				// never resolve. The pre-lane runtime failed the same
@@ -134,6 +175,14 @@ type Context struct {
 
 	mu       sync.Mutex
 	svcQueue map[*NodeHandle]*Queue // hidden queues for buffer migration
+
+	// regMu guards the object registries recovery walks to strip dead-node
+	// state. It is separate from mu so CreateQueue can register while
+	// serviceQueue holds mu; lock order is mu before regMu, never reversed.
+	regMu    sync.Mutex
+	queues   []*Queue
+	buffers  []*Buffer
+	programs []*Program
 }
 
 // CreateContext builds a context over the given devices
@@ -160,7 +209,30 @@ func (rt *Runtime) CreateContext(devices []*DeviceRef) (*Context, error) {
 		}
 		ctx.remote[node] = resp.ID
 	}
+	rt.ctxMu.Lock()
+	rt.contexts = append(rt.contexts, ctx)
+	rt.ctxMu.Unlock()
 	return ctx, nil
+}
+
+// allQueues snapshots the context's queue registry (user and service
+// queues alike).
+func (c *Context) allQueues() []*Queue {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	return append([]*Queue(nil), c.queues...)
+}
+
+// checkQueuesClean reports the first sticky error latched on any of the
+// context's queues — recovery's post-replay verification.
+func (c *Context) checkQueuesClean() error {
+	for _, q := range c.allQueues() {
+		q.drain()
+		if err := q.stickyErr(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Devices returns the context's devices.
@@ -215,8 +287,10 @@ type Queue struct {
 }
 
 // track registers a pipelined command with the queue and runtime so the
-// synchronization points can drain it.
+// synchronization points can drain it, stamping the event with the current
+// recovery generation.
 func (q *Queue) track(ev *Event) {
+	ev.gen = q.ctx.rt.gen.Load()
 	q.mu.Lock()
 	if q.outstanding == nil {
 		q.outstanding = make(map[*Event]struct{})
@@ -276,7 +350,11 @@ func (c *Context) CreateQueue(dev *DeviceRef) (*Queue, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: create queue on %s: %w", dev.key, err)
 	}
-	return &Queue{ctx: c, dev: dev, remoteID: resp.ID}, nil
+	q := &Queue{ctx: c, dev: dev, remoteID: resp.ID}
+	c.regMu.Lock()
+	c.queues = append(c.queues, q)
+	c.regMu.Unlock()
+	return q, nil
 }
 
 // Device returns the queue's device.
@@ -286,8 +364,20 @@ func (q *Queue) Device() *DeviceRef { return q.dev }
 // instant (clFinish). It is the queue's primary synchronization point: all
 // in-flight responses are consumed, and the first failure of any pipelined
 // command on the queue — including one whose enqueue call returned nil —
-// is reported here.
+// is reported here. A crash-induced failure triggers recovery and a
+// retry: node loss is retriable, only genuine command failures stick.
 func (q *Queue) Finish() (vtime.Time, error) {
+	var t vtime.Time
+	err := q.ctx.rt.withRecovery(func() error {
+		var ferr error
+		t, ferr = q.finish()
+		return ferr
+	})
+	return t, err
+}
+
+// finish is the non-recovering Finish internal.
+func (q *Queue) finish() (vtime.Time, error) {
 	q.drain()
 	if err := q.stickyErr(); err != nil {
 		return 0, err
@@ -360,12 +450,24 @@ func (c *Context) CreateBuffer(size int64) (*Buffer, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("core: invalid buffer size %d", size)
 	}
-	return &Buffer{
+	b := &Buffer{
 		ctx:       c,
 		size:      size,
 		modelSize: size,
 		remote:    make(map[*NodeHandle]*remoteBuf),
-	}, nil
+	}
+	c.regMu.Lock()
+	c.buffers = append(c.buffers, b)
+	c.regMu.Unlock()
+	return b, nil
+}
+
+// isReleased reports whether the buffer was released; the command log
+// skips replaying mutations of released buffers.
+func (b *Buffer) isReleased() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.released
 }
 
 // Size returns the buffer's size in bytes.
@@ -454,7 +556,20 @@ func hostRangeOK(off, n, size int64) bool {
 // invalidated on every other replica; the transfer is charged to the host
 // NIC model. The command is pipelined: the call returns once the request
 // is on the wire, and the returned event resolves when the node responds.
+// A crash-induced failure recovers and retries transparently.
 func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Event) (*Event, error) {
+	var ev *Event
+	err := q.ctx.rt.withRecovery(func() error {
+		var werr error
+		ev, werr = q.enqueueWrite(b, offset, data, waits...)
+		return werr
+	})
+	return ev, err
+}
+
+// enqueueWrite is the non-recovering EnqueueWrite internal; replay drives
+// it directly.
+func (q *Queue) enqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Event) (*Event, error) {
 	if err := q.stickyErr(); err != nil {
 		return nil, err
 	}
@@ -474,7 +589,7 @@ func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	if err != nil {
 		return nil, err
 	}
-	localWaits, floor, err := splitWaits(node, waits)
+	localWaits, floor, err := q.ctx.rt.splitWaits(node, waits)
 	if err != nil {
 		return nil, err
 	}
@@ -522,6 +637,8 @@ func (q *Queue) EnqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	rb.valid.Add(offset, end)
 	rb.lastEvent = id
 	rb.lastEv = ev
+	// Log under b.mu so the log order matches the issue order per buffer.
+	q.ctx.rt.logCommand(&writeLog{q: q, b: b, off: offset, data: append([]byte(nil), data...)})
 	return ev, nil
 }
 
@@ -704,6 +821,19 @@ func (rb *remoteBuf) chainWaits() ([]int64, error) {
 // call itself blocks until the data arrives, making it a natural
 // synchronization point for the buffer's command chain.
 func (q *Queue) EnqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]byte, *Event, error) {
+	var data []byte
+	var ev *Event
+	err := q.ctx.rt.withRecovery(func() error {
+		var rerr error
+		data, ev, rerr = q.enqueueRead(b, offset, size, waits...)
+		return rerr
+	})
+	return data, ev, err
+}
+
+// enqueueRead is the non-recovering EnqueueRead internal. Reads are not
+// logged: they do not mutate contents.
+func (q *Queue) enqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]byte, *Event, error) {
 	if err := q.stickyErr(); err != nil {
 		return nil, nil, err
 	}
@@ -721,7 +851,7 @@ func (q *Queue) EnqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	if err != nil {
 		return nil, nil, err
 	}
-	localWaits, floor, err := splitWaits(node, waits)
+	localWaits, floor, err := q.ctx.rt.splitWaits(node, waits)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -766,13 +896,25 @@ func (q *Queue) EnqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	}
 	q.ctx.rt.mu.Unlock()
 	// The event is born resolved: the read blocked for its response.
-	return resp.Data, &Event{dev: q.dev, remoteID: id, profile: prof}, nil
+	return resp.Data, &Event{dev: q.dev, remoteID: id, profile: prof, gen: q.ctx.rt.gen.Load()}, nil
 }
 
 // EnqueueCopy copies size bytes between two buffers on q's device
 // (clEnqueueCopyBuffer). Both buffers are made resident on the node first;
 // the copy happens device-side with no backbone traffic.
 func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, waits ...*Event) (*Event, error) {
+	var ev *Event
+	err := q.ctx.rt.withRecovery(func() error {
+		var cerr error
+		ev, cerr = q.enqueueCopy(src, dst, srcOffset, dstOffset, size, waits...)
+		return cerr
+	})
+	return ev, err
+}
+
+// enqueueCopy is the non-recovering EnqueueCopy internal; replay drives it
+// directly.
+func (q *Queue) enqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, waits ...*Event) (*Event, error) {
 	if err := q.stickyErr(); err != nil {
 		return nil, err
 	}
@@ -802,7 +944,7 @@ func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	if err != nil {
 		return nil, err
 	}
-	localWaits, floor, err := splitWaits(node, waits)
+	localWaits, floor, err := q.ctx.rt.splitWaits(node, waits)
 	if err != nil {
 		return nil, err
 	}
@@ -830,6 +972,13 @@ func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	}, resp)
 	ev := &Event{dev: q.dev, remoteID: id, queue: q, pending: pend, resp: resp}
 	q.track(ev)
+	// Anti-dependency on the source: a later writer of this replica — a
+	// same-node kernel on another queue, say — must wait until the copy has
+	// read it, or the copy would observe the later write's bytes (the push
+	// paths chain the same way; deep pipelines, like recovery replay, hit
+	// this window).
+	srcRB.lastEvent = id
+	srcRB.lastEv = ev
 	// This node's replica is now the only valid holder of the copied
 	// range; validity outside it is untouched everywhere.
 	dstEnd := dstOffset + size
@@ -842,6 +991,7 @@ func (q *Queue) EnqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	dstRB.valid.Add(dstOffset, dstEnd)
 	dstRB.lastEvent = id
 	dstRB.lastEv = ev
+	q.ctx.rt.logCommand(&copyLog{q: q, src: src, dst: dst, srcOff: srcOffset, dstOff: dstOffset, size: size})
 	return ev, nil
 }
 
@@ -853,10 +1003,11 @@ type Program struct {
 	source string
 	parsed *clc.Program
 
-	mu     sync.Mutex
-	remote map[*NodeHandle]uint64
-	log    string
-	built  bool
+	mu      sync.Mutex
+	remote  map[*NodeHandle]uint64
+	log     string
+	built   bool
+	kernels []*Kernel
 }
 
 // CreateProgram parses source and returns an unbuilt program
@@ -866,12 +1017,16 @@ func (c *Context) CreateProgram(source string) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Program{
+	p := &Program{
 		ctx:    c,
 		source: source,
 		parsed: parsed,
 		remote: make(map[*NodeHandle]uint64),
-	}, nil
+	}
+	c.regMu.Lock()
+	c.programs = append(c.programs, p)
+	c.regMu.Unlock()
+	return p, nil
 }
 
 // Build compiles the program on every node in the context (clBuildProgram).
@@ -940,13 +1095,25 @@ func (p *Program) CreateKernel(name string) (*Kernel, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: program has no kernel %q (has %v)", name, p.KernelNames())
 	}
-	return &Kernel{
+	k := &Kernel{
 		prog:   p,
 		name:   name,
 		sig:    sig,
 		remote: make(map[*NodeHandle]uint64),
 		args:   make([]argBinding, len(sig.Params)),
-	}, nil
+	}
+	p.mu.Lock()
+	p.kernels = append(p.kernels, k)
+	p.mu.Unlock()
+	return k, nil
+}
+
+// isReleased reports whether the kernel was released; the command log
+// skips replaying launches of released kernels.
+func (k *Kernel) isReleased() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.released
 }
 
 // Name returns the kernel's name.
@@ -1059,6 +1226,26 @@ type LaunchOptions struct {
 // the call returns once the request — and any migration writes it depends
 // on — are on the wire, without a round trip.
 func (q *Queue) EnqueueKernel(k *Kernel, global, local []int, waits []*Event, opts *LaunchOptions) (*Event, error) {
+	// Snapshot the argument bindings before the retry loop: a SetArg racing
+	// the recovery retry must not leak into the replayed launch.
+	k.mu.Lock()
+	bindings := make([]argBinding, len(k.args))
+	copy(bindings, k.args)
+	k.mu.Unlock()
+
+	var ev *Event
+	err := q.ctx.rt.withRecovery(func() error {
+		var kerr error
+		ev, kerr = q.enqueueKernelBound(k, bindings, global, local, waits, opts)
+		return kerr
+	})
+	return ev, err
+}
+
+// enqueueKernelBound is the non-recovering EnqueueKernel internal, taking
+// the argument bindings as an explicit snapshot so the command log can
+// replay the launch exactly as issued.
+func (q *Queue) enqueueKernelBound(k *Kernel, bindings []argBinding, global, local []int, waits []*Event, opts *LaunchOptions) (*Event, error) {
 	if err := q.stickyErr(); err != nil {
 		return nil, err
 	}
@@ -1068,12 +1255,7 @@ func (q *Queue) EnqueueKernel(k *Kernel, global, local []int, waits []*Event, op
 		return nil, err
 	}
 
-	k.mu.Lock()
-	bindings := make([]argBinding, len(k.args))
-	copy(bindings, k.args)
-	k.mu.Unlock()
-
-	localWaits, floor, err := splitWaits(node, waits)
+	localWaits, floor, err := q.ctx.rt.splitWaits(node, waits)
 	if err != nil {
 		return nil, err
 	}
@@ -1156,6 +1338,19 @@ func (q *Queue) EnqueueKernel(k *Kernel, global, local []int, waits []*Event, op
 		}
 		b.mu.Unlock()
 	}
+	var optsCopy *LaunchOptions
+	if opts != nil {
+		o := *opts
+		optsCopy = &o
+	}
+	q.ctx.rt.logCommand(&kernelLog{
+		q:        q,
+		k:        k,
+		bindings: bindings,
+		global:   append([]int(nil), global...),
+		local:    append([]int(nil), local...),
+		opts:     optsCopy,
+	})
 	return ev, nil
 }
 

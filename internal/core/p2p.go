@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/haocl-project/haocl/internal/mem"
 	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/transport"
 )
 
 // ownerSpan assigns one sub-range of a migration gap to the replica that
@@ -161,7 +162,7 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 	awaitEv := &Event{dev: svc.dev, remoteID: awaitID, queue: svc, pending: awaitPend, resp: awaitResp}
 	svc.track(awaitEv)
 	rt.chargePeer(modelBytes)
-	rt.watchPush(node, token, pushEv)
+	rt.watchPush(node.client, token, pushEv)
 
 	rb.valid.Add(ps.r.Lo, ps.r.Hi)
 	rb.lastEvent = awaitID
@@ -172,10 +173,15 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 // watchPush cancels the consumer-side rendezvous when the source push
 // fails, so the awaiter — and everything chained behind it — fails instead
 // of parking forever: the failure cascade spans the peer link exactly as it
-// spans a queue.
-func (rt *Runtime) watchPush(consumer *NodeHandle, token uint64, pushEv *Event) {
+// spans a queue. The consumer's connection is pinned at call time: a
+// concurrent rejoin may swap the handle's client, and the cancel belongs to
+// the incarnation the await was issued on.
+func (rt *Runtime) watchPush(consumer *transport.Client, token uint64, pushEv *Event) {
 	go func() {
-		err := pushEv.Wait()
+		// waitErr, not Wait: recovery's pipeline drain depends on this
+		// goroutine to unpark stranded awaiters, so it must never block on
+		// recovery itself.
+		err := pushEv.waitErr()
 		if err == nil {
 			return
 		}
@@ -184,7 +190,7 @@ func (rt *Runtime) watchPush(consumer *NodeHandle, token uint64, pushEv *Event) 
 		rt.mu.Unlock()
 		// Best effort: the awaiter reports the original failure; a dead
 		// consumer connection fails the awaiter through its own teardown.
-		pend := consumer.client.Go(&protocol.CancelPushReq{Token: token, Reason: err.Error()}, nil)
+		pend := consumer.Go(&protocol.CancelPushReq{Token: token, Reason: err.Error()}, nil)
 		pend.Wait()
 	}()
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/haocl-project/haocl/internal/cluster"
 	"github.com/haocl-project/haocl/internal/profile"
@@ -40,11 +41,31 @@ type Options struct {
 	ClientName string
 }
 
+// Node liveness states (NodeHandle.state). A handle is alive while its
+// connection works, flips to dead the instant the transport reports the
+// connection down (OnDown), and moves to removed once recovery has
+// re-placed its work on survivors. ReconnectNode moves removed → alive.
+const (
+	stateAlive int32 = iota
+	stateDead
+	stateRemoved
+)
+
 // NodeHandle is one connected device node.
 type NodeHandle struct {
 	name   string
 	addr   string
 	client *transport.Client
+
+	// state is the handle's liveness (stateAlive/stateDead/stateRemoved);
+	// the transport's OnDown hook flips alive → dead, recovery dead →
+	// removed, rejoin removed → alive.
+	state atomic.Int32
+
+	// bootID is the node incarnation reported in the last Hello: a rejoin
+	// that comes back with a different bootID is a fresh process whose
+	// objects and replicas are all gone.
+	bootID uint64
 
 	// wireVersion is the protocol version the Hello handshake negotiated
 	// for this connection; batching is active iff it is at least
@@ -54,13 +75,18 @@ type NodeHandle struct {
 	// issueMu makes (event-ID assignment, frame write) atomic so that wire
 	// order equals event-ID order — the ordering contract the node's FIFO
 	// dispatch turns into in-order command execution. eventID counts the
-	// host-assigned completion-event IDs for this connection.
+	// host-assigned completion-event IDs for this connection. The counter
+	// survives reconnects: a restarted node has no old event records, so
+	// continuing the sequence keeps IDs unique without coordination.
 	issueMu sync.Mutex
 	eventID uint64
 }
 
 // Name returns the node's configured name.
 func (n *NodeHandle) Name() string { return n.name }
+
+// Alive reports whether the node's connection is currently believed good.
+func (n *NodeHandle) Alive() bool { return n.state.Load() == stateAlive }
 
 // WireVersion reports the protocol version negotiated with this node.
 func (n *NodeHandle) WireVersion() uint32 { return n.wireVersion }
@@ -107,6 +133,11 @@ type Metrics struct {
 	// pushes and broadcast forwarding hops). These never contend with the
 	// host NIC and are excluded from the Transfer occupancy metric.
 	PeerWireBytes int64
+	// Recoveries counts node-loss recoveries: each one re-placed the dead
+	// node's work on survivors and replayed the command log.
+	Recoveries int64
+	// ReplayedCommands counts log entries re-issued across all recoveries.
+	ReplayedCommands int64
 }
 
 // Compute reports the busiest device's kernel time: with the workload
@@ -136,10 +167,41 @@ type Runtime struct {
 	userID     string
 	clientName string
 	policy     sched.Policy
+	dialer     transport.Dialer
 
 	nodes   []*NodeHandle
 	devices []*DeviceRef
 	monitor *profile.Monitor
+
+	// closing suppresses the OnDown → dead transition during orderly
+	// teardown, so Close does not look like a cluster-wide crash.
+	closing atomic.Bool
+
+	// gen is the recovery generation: bumped after every completed
+	// recovery. Events stamp the generation they were issued under; an
+	// event from an older generation is never referenced on the wire again
+	// (its node-side record may be gone or poisoned) and its failure is
+	// absolved — the replay re-established its effect.
+	gen atomic.Uint64
+
+	// epoch is the membership generation shipped in Hello requests. Every
+	// death or (re)join bumps it; nodes that see a higher epoch drop their
+	// pooled peer connections and cancel parked push rendezvous.
+	epoch uint64 // guarded by recoverMu
+
+	// recoverMu serializes recovery and rejoin; replaying marks the replay
+	// phase so re-issued commands are not logged again.
+	recoverMu sync.Mutex
+	replaying atomic.Bool
+
+	// logMu guards the command log: every mutating command since t=0, in
+	// issue order, replayed from zeroed buffer state after a node loss.
+	logMu  sync.Mutex
+	cmdLog []logEntry
+
+	// ctxMu guards the context registry recovery walks.
+	ctxMu    sync.Mutex
+	contexts []*Context
 
 	nicOut  *vtime.Link // host NIC egress (paper: single host node)
 	nicIn   *vtime.Link // host NIC ingress (full-duplex GbE)
@@ -189,10 +251,12 @@ func Connect(opts Options) (*Runtime, error) {
 		userID:     opts.Config.UserID,
 		clientName: opts.ClientName,
 		policy:     policy,
+		dialer:     opts.Dialer,
 		monitor:    profile.NewMonitor(),
 		nicOut:     sim.NewHostNIC(),
 		nicIn:      sim.NewHostNIC(),
 		hostMem:    sim.NewHostMemory(),
+		epoch:      1,
 	}
 	rt.metrics.ComputeBusy = make(map[profile.DeviceKey]vtime.Duration)
 	rt.pendSet = make(map[*Event]struct{})
@@ -211,18 +275,20 @@ func Connect(opts Options) (*Runtime, error) {
 			return nil, fmt.Errorf("core: connect node %q: %w", spec.Name, err)
 		}
 		nh := &NodeHandle{name: spec.Name, addr: spec.Addr, client: client}
-		resp, err := hello(client, rt.userID, rt.clientName, peers)
+		resp, err := hello(client, rt.userID, rt.clientName, peers, rt.epoch)
 		if err != nil {
 			rt.Close()
 			client.Close()
 			return nil, fmt.Errorf("core: handshake with node %q: %w", spec.Name, err)
 		}
 		nh.wireVersion = resp.WireVersion
+		nh.bootID = resp.BootID
 		if resp.WireVersion >= protocol.VersionBatch {
 			// Both ends speak v3: coalesce small control frames into
 			// Batch envelopes. Older nodes keep the plain v2 write path.
 			client.EnableBatching()
 		}
+		rt.watchNode(nh, client)
 		rt.nodes = append(rt.nodes, nh)
 		for _, info := range resp.Devices {
 			ref := &DeviceRef{
@@ -243,12 +309,26 @@ func Connect(opts Options) (*Runtime, error) {
 
 // hello performs the handshake via the shared transport negotiation (the
 // same path nodes use when dialing each other as peers).
-func hello(client *transport.Client, userID, clientName string, peers []protocol.PeerAddr) (protocol.HelloResp, error) {
+func hello(client *transport.Client, userID, clientName string, peers []protocol.PeerAddr, epoch uint64) (protocol.HelloResp, error) {
 	return transport.Handshake(client, protocol.HelloReq{
 		UserID:      userID,
 		ClientName:  clientName,
 		WireVersion: protocol.Version,
 		Peers:       peers,
+		Epoch:       epoch,
+	})
+}
+
+// watchNode installs the crash detector: the transport invokes the hook
+// exactly once when the connection dies, before any pending future
+// unblocks, so every failure a caller observes afterwards classifies as
+// node loss. Orderly Close is not a crash.
+func (rt *Runtime) watchNode(nh *NodeHandle, client *transport.Client) {
+	client.OnDown(func(error) {
+		if rt.closing.Load() {
+			return
+		}
+		nh.state.CompareAndSwap(stateAlive, stateDead)
 	})
 }
 
@@ -271,6 +351,7 @@ func (rt *Runtime) ShutdownCluster() error {
 // Close shuts every node connection down, draining outstanding releases
 // first so their failures are reported instead of dying with the sockets.
 func (rt *Runtime) Close() error {
+	rt.closing.Store(true)
 	firstErr := rt.drainReleases()
 	for _, n := range rt.nodes {
 		if err := n.client.Close(); err != nil && firstErr == nil {
@@ -282,10 +363,14 @@ func (rt *Runtime) Close() error {
 
 // Devices lists every device in the cluster, optionally filtered by type
 // (0 lists all) — the unified platform view the wrapper library exposes
-// through clGetDeviceIDs.
+// through clGetDeviceIDs. Devices on nodes that crashed (and have not
+// rejoined) are hidden: the scheduler must not place work there.
 func (rt *Runtime) Devices(t protocol.DeviceType) []*DeviceRef {
 	var out []*DeviceRef
 	for _, d := range rt.devices {
+		if !d.node.Alive() {
+			continue
+		}
 		if t == 0 || d.info.Type == t {
 			out = append(out, d)
 		}
@@ -557,7 +642,19 @@ func (rt *Runtime) PollStatus() error {
 		pend *transport.Pending
 	}
 	polls := make([]*poll, 0, len(rt.nodes))
+	var errs []error
 	for _, n := range rt.nodes {
+		switch n.state.Load() {
+		case stateRemoved:
+			// Recovered away: not a member until it rejoins, so its
+			// absence is expected, not a failure.
+			continue
+		case stateDead:
+			// Detected down but not yet recovered: the poll is where the
+			// operator learns about it.
+			errs = append(errs, fmt.Errorf("core: status poll %q: %w", n.name, errNodeLost))
+			continue
+		}
 		p := &poll{node: n}
 		rt.mu.Lock()
 		rt.metrics.Commands++
@@ -565,7 +662,6 @@ func (rt *Runtime) PollStatus() error {
 		p.pend = n.client.Go(&protocol.NodeStatusReq{}, &p.resp)
 		polls = append(polls, p)
 	}
-	var errs []error
 	for _, p := range polls {
 		if err := p.pend.Wait(); err != nil {
 			errs = append(errs, fmt.Errorf("core: status poll %q: %w", p.node.name, err))

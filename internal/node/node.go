@@ -12,6 +12,7 @@ package node
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/haocl-project/haocl/internal/device"
 	"github.com/haocl-project/haocl/internal/protocol"
@@ -19,6 +20,12 @@ import (
 	"github.com/haocl-project/haocl/internal/transport"
 	"github.com/haocl-project/haocl/internal/vtime"
 )
+
+// bootCounter mints process-wide unique boot IDs. A restarted node is a
+// fresh Node value, so it reports a fresh BootID in Hello responses; the
+// host uses the change to tell "same process, repeated Hello" apart from
+// "new process at the same address" (all objects and replicas gone).
+var bootCounter atomic.Uint64
 
 // Options configures a Node.
 type Options struct {
@@ -50,6 +57,7 @@ type Options struct {
 // Node is one device node's management process.
 type Node struct {
 	name        string
+	bootID      uint64
 	devices     []device.Device
 	stats       []*deviceStats
 	execWorkers int
@@ -161,6 +169,7 @@ func New(opts Options) (*Node, error) {
 	}
 	n := &Node{
 		name:        opts.Name,
+		bootID:      bootCounter.Add(1),
 		execWorkers: opts.ExecWorkers,
 		wireVersion: wireVersion,
 		singleLane:  opts.SingleLane,
@@ -188,6 +197,9 @@ func New(opts Options) (*Node, error) {
 
 // Name returns the node's name.
 func (n *Node) Name() string { return n.name }
+
+// BootID returns this node incarnation's process-wide unique boot ID.
+func (n *Node) BootID() uint64 { return n.bootID }
 
 // Devices returns the opened devices, indexed by position.
 func (n *Node) Devices() []device.Device { return n.devices }

@@ -89,10 +89,32 @@ func (r *rendezvous) remove(token uint64) {
 	r.mu.Unlock()
 }
 
+// reset fails every parked rendezvous and drops every entry, deposited or
+// not. Called on a membership change: the counterpart of any pending push
+// may be gone, and the host re-plans with fresh tokens, so stale deposits
+// would never be consumed. Entry fields are written under r.mu, matching
+// deposit/cancel, so a racing deposit sees done already closed.
+func (r *rendezvous) reset(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for t, e := range r.entries {
+		select {
+		case <-e.done:
+		default:
+			e.err = err
+			close(e.done)
+		}
+		delete(r.entries, t)
+	}
+}
+
 // peerConn is one pooled connection to a sibling node. A dial or handshake
 // failure is sticky: every later push toward that peer fails fast with the
-// same error instead of re-dialing a dead address mid-chain.
+// same error instead of re-dialing a dead address mid-chain. ready is
+// closed once the dial attempt resolved; after that, client/err mutate
+// only under peerMu (markPeerDown).
 type peerConn struct {
+	ready  chan struct{}
 	client *transport.Client
 	err    error
 }
@@ -101,19 +123,49 @@ type peerConn struct {
 // lazily on first use with the address book learned at Hello time. The
 // pool lives on the session, so a host disconnect tears down exactly the
 // peer links its own commands opened.
+//
+// The dial itself runs outside peerMu — it blocks on the network — and the
+// dialer re-checks pool ownership before publishing: if Close or an epoch
+// reset swapped the pool out underneath the dial, the freshly dialed
+// connection is closed instead of leaking outside the teardown path.
 func (s *Session) peerClient(name string) (*transport.Client, error) {
 	s.peerMu.Lock()
-	defer s.peerMu.Unlock()
+	if s.peersClosed {
+		s.peerMu.Unlock()
+		return nil, remoteErr(protocol.CodeNodeLost, "node %q: session closed while dialing peer %q", s.node.name, name)
+	}
 	if s.peerConns == nil {
 		s.peerConns = make(map[string]*peerConn)
 	}
 	if pc, ok := s.peerConns[name]; ok {
+		s.peerMu.Unlock()
+		<-pc.ready
+		// Re-lock for the read: markPeerDown mutates resolved entries
+		// under peerMu.
+		s.peerMu.Lock()
+		defer s.peerMu.Unlock()
 		return pc.client, pc.err
 	}
-	pc := &peerConn{}
+	pc := &peerConn{ready: make(chan struct{})}
 	s.peerConns[name] = pc
-	pc.client, pc.err = s.dialPeer(name)
-	return pc.client, pc.err
+	s.peerMu.Unlock()
+
+	client, err := s.dialPeer(name)
+
+	s.peerMu.Lock()
+	if s.peersClosed || s.peerConns[name] != pc {
+		s.peerMu.Unlock()
+		if client != nil {
+			client.Close()
+		}
+		pc.err = remoteErr(protocol.CodeNodeLost, "node %q: peer pool reset while dialing %q", s.node.name, name)
+		close(pc.ready)
+		return nil, pc.err
+	}
+	pc.client, pc.err = client, err
+	s.peerMu.Unlock()
+	close(pc.ready)
+	return client, err
 }
 
 // dialPeer opens and handshakes one peer connection.
@@ -131,7 +183,7 @@ func (s *Session) dialPeer(name string) (*transport.Client, error) {
 	}
 	client, err := s.node.dialer.Dial(addr)
 	if err != nil {
-		return nil, remoteErr(protocol.CodeInternal, "dial peer %q at %q: %v", name, addr, err)
+		return nil, remoteErr(protocol.CodeNodeLost, "dial peer %q at %q: %v", name, addr, err)
 	}
 	resp, err := transport.Handshake(client, protocol.HelloReq{
 		UserID:     s.user(),
@@ -139,7 +191,7 @@ func (s *Session) dialPeer(name string) (*transport.Client, error) {
 	})
 	if err != nil {
 		client.Close()
-		return nil, remoteErr(protocol.CodeInternal, "handshake with peer %q: %v", name, err)
+		return nil, remoteErr(protocol.CodeNodeLost, "handshake with peer %q: %v", name, err)
 	}
 	if resp.WireVersion >= protocol.VersionBatch {
 		client.EnableBatching()
@@ -152,9 +204,17 @@ func (s *Session) dialPeer(name string) (*transport.Client, error) {
 // a dead socket.
 func (s *Session) markPeerDown(name string, err error) {
 	s.peerMu.Lock()
-	defer s.peerMu.Unlock()
 	pc := s.peerConns[name]
-	if pc == nil || pc.err != nil {
+	if pc == nil {
+		s.peerMu.Unlock()
+		return
+	}
+	s.peerMu.Unlock()
+	<-pc.ready // client/err immutable after ready
+
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if pc.err != nil {
 		return
 	}
 	pc.err = err
@@ -164,15 +224,43 @@ func (s *Session) markPeerDown(name string, err error) {
 	}
 }
 
-// closePeers tears the session's peer pool down on Close.
+// closePeers tears the session's peer pool down on Close. Entries still
+// mid-dial are skipped: their dialer re-checks pool ownership after the
+// dial resolves and closes its own connection (see peerClient).
 func (s *Session) closePeers() {
 	s.peerMu.Lock()
+	s.peersClosed = true
 	conns := s.peerConns
 	s.peerConns = nil
 	s.peerMu.Unlock()
+	closeResolvedPeers(conns)
+}
+
+// resetPeers drops every pooled peer connection — including sticky dial
+// failures — on a membership change: a restarted peer is reachable again,
+// and surviving conns to a dead peer's old incarnation are useless.
+func (s *Session) resetPeers() {
+	s.peerMu.Lock()
+	if s.peersClosed {
+		s.peerMu.Unlock()
+		return
+	}
+	conns := s.peerConns
+	s.peerConns = nil
+	s.peerMu.Unlock()
+	closeResolvedPeers(conns)
+}
+
+// closeResolvedPeers closes every pool entry whose dial has resolved;
+// in-flight dials clean up after themselves via the ownership re-check.
+func closeResolvedPeers(conns map[string]*peerConn) {
 	for _, pc := range conns {
-		if pc.client != nil {
-			pc.client.Close()
+		select {
+		case <-pc.ready:
+			if pc.client != nil {
+				pc.client.Close()
+			}
+		default:
 		}
 	}
 }
@@ -230,7 +318,7 @@ func (s *Session) execPushRange(req *protocol.PushRangeReq, q *queueObj, ev *eve
 
 	push := &protocol.PeerPushReq{Token: req.Token, Data: data, SimArrival: int64(arrival)}
 	if err := client.Call(push, nil); err != nil {
-		err = remoteErr(protocol.CodeInternal, "push to peer %q: %v", req.PeerName, err)
+		err = remoteErr(protocol.CodeNodeLost, "push to peer %q: %v", req.PeerName, err)
 		s.markPeerDown(req.PeerName, err)
 		return nil, s.failCommand(ev, err)
 	}
@@ -313,6 +401,6 @@ func (s *Session) handleCancelPush(body []byte) (protocol.Message, error) {
 	if err := protocol.DecodeMessage(&req, body); err != nil {
 		return nil, err
 	}
-	s.node.rdv.cancel(req.Token, remoteErr(protocol.CodeInternal, "push cancelled: %s", req.Reason))
+	s.node.rdv.cancel(req.Token, remoteErr(protocol.CodeNodeLost, "push cancelled: %s", req.Reason))
 	return &protocol.EmptyResp{}, nil
 }

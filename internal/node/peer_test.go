@@ -3,6 +3,7 @@ package node
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -162,7 +163,7 @@ func TestPeerDialFailureIsStickyAndFailsChain(t *testing.T) {
 		QueueID: qA, BufferID: bufA, PeerName: "ghost", PeerBufferID: 1,
 		Token: 1, Offset: 0, Size: 64, EventID: 2,
 	}))
-	wantCode(t, pushErr, protocol.CodeInternal)
+	wantCode(t, pushErr, protocol.CodeNodeLost)
 	if !strings.Contains(pushErr.Error(), "ghost") {
 		t.Fatalf("dial error does not name the peer: %v", pushErr)
 	}
@@ -183,7 +184,7 @@ func TestPeerDialFailureIsStickyAndFailsChain(t *testing.T) {
 		QueueID: qA, BufferID: bufA, PeerName: "ghost", PeerBufferID: 1,
 		Token: 2, Offset: 0, Size: 64, EventID: 4,
 	}))
-	wantCode(t, stickyErr, protocol.CodeInternal)
+	wantCode(t, stickyErr, protocol.CodeNodeLost)
 }
 
 // TestPeerPushWithoutAddressBook: a host that never sent a peer list gets
@@ -290,4 +291,202 @@ func TestSessionCloseTearsDownPeerPool(t *testing.T) {
 		t.Fatal("peer pool survived session close")
 	}
 	sA.peerMu.Unlock()
+}
+
+// gatedDialer parks every Dial until the gate opens and records the
+// clients it hands out, so tests can interleave pool teardown with an
+// in-flight dial deterministically.
+type gatedDialer struct {
+	inner   transport.Dialer
+	dialing chan struct{} // one send per Dial that has started
+	gate    chan struct{} // closed to let parked Dials proceed
+	mu      sync.Mutex
+	clients []*transport.Client
+}
+
+func newGatedDialer(inner transport.Dialer) *gatedDialer {
+	return &gatedDialer{inner: inner, dialing: make(chan struct{}, 8), gate: make(chan struct{})}
+}
+
+func (d *gatedDialer) Dial(addr string) (*transport.Client, error) {
+	d.dialing <- struct{}{}
+	<-d.gate
+	c, err := d.inner.Dial(addr)
+	if c != nil {
+		d.mu.Lock()
+		d.clients = append(d.clients, c)
+		d.mu.Unlock()
+	}
+	return c, err
+}
+
+// dialed returns the single connection the dialer handed out.
+func (d *gatedDialer) dialed(t *testing.T) *transport.Client {
+	t.Helper()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.clients) != 1 {
+		t.Fatalf("dialer handed out %d connections, want 1", len(d.clients))
+	}
+	return d.clients[0]
+}
+
+// servePeerNodeWithDialer is servePeerNode with the peer dialer swapped
+// out, for tests that need to control dial timing.
+func servePeerNodeWithDialer(t *testing.T, net *transport.MemNetwork, name string, d transport.Dialer) *Node {
+	t.Helper()
+	icd := device.NewICD()
+	sim.RegisterDrivers(icd, kernel.NewRegistry())
+	n, err := New(Options{
+		Name:        name,
+		Devices:     []device.Config{{Driver: sim.DriverGPU, ID: 1, Shared: true}},
+		ICD:         icd,
+		ExecWorkers: 1,
+		Dialer:      d,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := n.Serve()
+	addr := "mem://" + name
+	if err := net.Register(addr, srv); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		net.Unregister(addr)
+		srv.Close()
+	})
+	return n
+}
+
+// assertClientClosed proves the connection is dead: a call on a closed
+// client fails fast, while a leaked-open one would reach the live peer.
+func assertClientClosed(t *testing.T, c *transport.Client) {
+	t.Helper()
+	if err := c.Call(&protocol.HelloReq{UserID: "probe", WireVersion: protocol.Version}, &protocol.HelloResp{}); err == nil {
+		t.Fatal("connection was left open (leaked) after the pool dropped it")
+	}
+}
+
+// TestPeerPoolResetRacingDialClosesConnection is the regression test for
+// the dial/teardown leak: an epoch-bump Hello swaps the peer pool out
+// while a dial toward the old membership is still in flight. The dialer
+// must notice its pool entry is gone when the dial resolves and close the
+// fresh connection instead of publishing (or leaking) it.
+func TestPeerPoolResetRacingDialClosesConnection(t *testing.T) {
+	net := transport.NewMemNetwork()
+	gd := newGatedDialer(net)
+	nA := servePeerNodeWithDialer(t, net, "alpha", gd)
+	servePeerNode(t, net, "beta")
+	book := []protocol.PeerAddr{
+		{Name: "alpha", Addr: "mem://alpha"},
+		{Name: "beta", Addr: "mem://beta"},
+	}
+	sA, qA, bufA := openPeerSession(t, nA, book)
+	defer sA.Close()
+	call(t, sA, &protocol.HelloReq{
+		UserID: "peer-test", WireVersion: protocol.Version, Peers: book, Epoch: 1,
+	}, &protocol.HelloResp{})
+
+	pushCh := goCall(sA, &protocol.PushRangeReq{
+		QueueID: qA, BufferID: bufA, PeerName: "beta", PeerBufferID: 1,
+		Token: 1, Offset: 0, Size: 64, EventID: 2,
+	})
+	<-gd.dialing // the push's lane is now parked mid-dial
+
+	// Membership changes underneath the dial.
+	call(t, sA, &protocol.HelloReq{
+		UserID: "peer-test", WireVersion: protocol.Version, Peers: book, Epoch: 2,
+	}, &protocol.HelloResp{})
+	close(gd.gate)
+
+	err := mustFail(t, pushCh)
+	wantCode(t, err, protocol.CodeNodeLost)
+	assertClientClosed(t, gd.dialed(t))
+}
+
+// TestSessionCloseRacingDialClosesConnection: Close lands while a peer
+// dial is in flight. The drain waits the dial out, and the connection it
+// produced must be torn down with the pool — not leaked.
+func TestSessionCloseRacingDialClosesConnection(t *testing.T) {
+	net := transport.NewMemNetwork()
+	gd := newGatedDialer(net)
+	nA := servePeerNodeWithDialer(t, net, "alpha", gd)
+	nB := servePeerNode(t, net, "beta")
+	book := []protocol.PeerAddr{
+		{Name: "alpha", Addr: "mem://alpha"},
+		{Name: "beta", Addr: "mem://beta"},
+	}
+	sA, qA, bufA := openPeerSession(t, nA, book)
+	sB, qB, bufB := openPeerSession(t, nB, book)
+	defer sB.Close()
+
+	awaitCh := goCall(sB, &protocol.AwaitPushReq{
+		QueueID: qB, BufferID: bufB, Token: 21, Offset: 0, Size: 64, EventID: 1,
+	})
+	pushCh := goCall(sA, &protocol.PushRangeReq{
+		QueueID: qA, BufferID: bufA, PeerName: "beta", PeerBufferID: bufB,
+		Token: 21, Offset: 0, Size: 64, EventID: 2,
+	})
+	<-gd.dialing // the push's lane is parked mid-dial
+
+	done := make(chan error, 1)
+	go func() { done <- sA.Close() }()
+	close(gd.gate)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("session close hung behind the in-flight dial")
+	}
+	<-pushCh
+	<-awaitCh
+	assertClientClosed(t, gd.dialed(t))
+}
+
+// TestEpochHelloResetsParkedRendezvous: a repeat Hello with a bumped epoch
+// is a membership change — any awaiter parked on a rendezvous must fail
+// with the membership error instead of waiting for a counterpart that may
+// no longer exist.
+func TestEpochHelloResetsParkedRendezvous(t *testing.T) {
+	net := transport.NewMemNetwork()
+	nB := servePeerNode(t, net, "beta")
+	sB, qB, bufB := openPeerSession(t, nB, nil)
+	defer sB.Close()
+	call(t, sB, &protocol.HelloReq{
+		UserID: "peer-test", WireVersion: protocol.Version, Epoch: 1,
+	}, &protocol.HelloResp{})
+
+	awaitCh := goCall(sB, &protocol.AwaitPushReq{
+		QueueID: qB, BufferID: bufB, Token: 9, Offset: 0, Size: 64, EventID: 1,
+	})
+	// Wait until the awaiter is actually parked on the rendezvous: the
+	// lane runs asynchronously, and a reset that lands first has nothing
+	// to fail.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		nB.rdv.mu.Lock()
+		_, parked := nB.rdv.entries[9]
+		nB.rdv.mu.Unlock()
+		if parked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("awaiter never reached the rendezvous")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	call(t, sB, &protocol.HelloReq{
+		UserID: "peer-test", WireVersion: protocol.Version, Epoch: 2,
+	}, &protocol.HelloResp{})
+
+	err := mustFail(t, awaitCh)
+	wantCode(t, err, protocol.CodeNodeLost)
+	if !strings.Contains(err.Error(), "membership changed") {
+		t.Fatalf("awaiter error lost the membership cause: %v", err)
+	}
 }

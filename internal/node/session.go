@@ -46,11 +46,16 @@ type Session struct {
 	// (name → listen address), consulted when PushRange commands dial
 	// sibling nodes.
 	peers map[string]string
+	// epoch is the host's membership generation from the last Hello; a
+	// repeat Hello with a higher epoch signals a membership change and
+	// resets the peer pool and parked push rendezvous.
+	epoch uint64
 
-	// peerMu guards the lazy-dialed pool of connections to sibling nodes;
-	// see peerClient.
-	peerMu    sync.Mutex
-	peerConns map[string]*peerConn
+	// peerMu guards the lazy-dialed pool of connections to sibling nodes
+	// and the peersClosed latch; see peerClient.
+	peerMu      sync.Mutex
+	peerConns   map[string]*peerConn
+	peersClosed bool
 
 	laneMu    sync.Mutex
 	lanes     map[uint64]*lane
@@ -655,15 +660,30 @@ func (s *Session) handleHello(body []byte) (protocol.Message, error) {
 		}
 	}
 	s.mu.Lock()
+	prevEpoch := s.epoch
 	s.userID = req.UserID
 	if peers != nil {
 		s.peers = peers
 	}
+	if req.Epoch > s.epoch {
+		s.epoch = req.Epoch
+	}
 	s.mu.Unlock()
+	// A repeat Hello with a bumped epoch is a membership change: pooled
+	// peer connections may point at dead incarnations (and sticky dial
+	// failures at now-restarted peers), and any parked push rendezvous
+	// lost its counterpart — the host re-plans all of it with fresh
+	// tokens after this call returns.
+	if prevEpoch != 0 && req.Epoch > prevEpoch {
+		s.resetPeers()
+		s.node.rdv.reset(remoteErr(protocol.CodeNodeLost,
+			"node %q: membership changed (epoch %d)", s.node.name, req.Epoch))
+	}
 	return &protocol.HelloResp{
 		NodeName:    s.node.name,
 		Devices:     s.node.DeviceInfos(0),
 		WireVersion: negotiated,
+		BootID:      s.node.bootID,
 	}, nil
 }
 

@@ -69,6 +69,19 @@ func (m *Monitor) RegisterDevice(node string, info protocol.DeviceInfo) {
 	m.devices[key] = &entry{info: info}
 }
 
+// RemoveNode drops every device hosted by node — the membership change a
+// crash is. Scheduling policies consuming Snapshot stop seeing the node's
+// devices immediately; a rejoin re-registers them through RegisterDevice.
+func (m *Monitor) RemoveNode(node string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key := range m.devices {
+		if key.Node == node {
+			delete(m.devices, key)
+		}
+	}
+}
+
 // UpdateStatus ingests a NodeStatus response. Pending work is decayed to
 // zero for devices whose report has caught up with local assignments.
 func (m *Monitor) UpdateStatus(node string, statuses []protocol.DeviceStatus) {

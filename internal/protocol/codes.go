@@ -10,4 +10,10 @@ const (
 	CodeUnsupported   uint32 = 5
 	CodeDeviceBusy    uint32 = 6
 	CodeBadRequest    uint32 = 7
+	// CodeNodeLost marks failures caused by a peer node dying or leaving
+	// the cluster: peer dial/push failures, cancelled push rendezvous,
+	// and commands orphaned by a membership change. Unlike the other
+	// codes it is *retriable* — the host's recovery path clears it and
+	// re-issues the affected commands instead of latching it sticky.
+	CodeNodeLost uint32 = 8
 )

@@ -240,6 +240,14 @@ type HelloReq struct {
 	// requests from older hosts lack it and decode as nil (the node then
 	// rejects PushRange commands instead of data-plane traffic hanging).
 	Peers []PeerAddr
+	// Epoch is the host's membership generation. It starts at 1 and is
+	// bumped on every node death or (re)join; a repeat Hello on a live
+	// session with a higher epoch tells the node to adopt the new peer
+	// list, drop pooled peer connections, and cancel parked push
+	// rendezvous (their counterpart may be gone). Appended after Peers;
+	// requests from older hosts decode as 0, which never triggers the
+	// membership-change path.
+	Epoch uint64
 }
 
 // Op implements Message.
@@ -255,6 +263,7 @@ func (m *HelloReq) MarshalBody(e *Encoder) {
 		e.Str(m.Peers[i].Name)
 		e.Str(m.Peers[i].Addr)
 	}
+	e.U64(m.Epoch)
 }
 
 // UnmarshalBody implements Message.
@@ -266,13 +275,18 @@ func (m *HelloReq) UnmarshalBody(d *Decoder) {
 		return // pre-p2p request without the peer list
 	}
 	n := int(d.U32())
-	if n == 0 || !d.Need(n) {
+	if !d.Need(n) {
 		return
 	}
-	m.Peers = make([]PeerAddr, n)
-	for i := range m.Peers {
-		m.Peers[i].Name = d.Str()
-		m.Peers[i].Addr = d.Str()
+	if n > 0 {
+		m.Peers = make([]PeerAddr, n)
+		for i := range m.Peers {
+			m.Peers[i].Name = d.Str()
+			m.Peers[i].Addr = d.Str()
+		}
+	}
+	if d.Err() == nil && d.Remaining() >= 8 {
+		m.Epoch = d.U64() // pre-fault-tolerance requests lack the field
 	}
 }
 
@@ -286,6 +300,12 @@ type HelloResp struct {
 	// was appended in v3; responses from v2 nodes lack it and decode as
 	// MinVersion.
 	WireVersion uint32
+	// BootID identifies this incarnation of the node process. A restarted
+	// node reports a fresh BootID, letting the host distinguish "same
+	// process, repeated Hello" (epoch bump) from "new process at the same
+	// address" (all prior replicas and objects are gone). Appended after
+	// WireVersion; responses from older nodes decode as 0.
+	BootID uint64
 }
 
 // Op implements Message.
@@ -299,6 +319,7 @@ func (m *HelloResp) MarshalBody(e *Encoder) {
 		m.Devices[i].marshal(e)
 	}
 	e.U32(m.WireVersion)
+	e.U64(m.BootID)
 }
 
 // UnmarshalBody implements Message.
@@ -316,6 +337,9 @@ func (m *HelloResp) UnmarshalBody(d *Decoder) {
 		m.WireVersion = d.U32()
 	} else if d.Err() == nil {
 		m.WireVersion = MinVersion // pre-v3 response without the field
+	}
+	if d.Err() == nil && d.Remaining() >= 8 {
+		m.BootID = d.U64() // pre-fault-tolerance response without the field
 	}
 }
 

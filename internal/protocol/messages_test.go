@@ -252,20 +252,62 @@ func TestDecodeTruncatedPushMessages(t *testing.T) {
 // erroring, and a hello whose peer section is cut mid-entry must error.
 func TestHelloPeerListBackCompat(t *testing.T) {
 	full := EncodeMessage(&HelloReq{UserID: "u", ClientName: "c", WireVersion: 2})
-	legacy := full[:len(full)-4] // strip the (empty) peer-count word
+	// Strip the epoch (8) and the (empty) peer-count word (4).
+	legacy := full[:len(full)-12]
 	var out HelloReq
 	if err := DecodeMessage(&out, legacy); err != nil {
 		t.Fatalf("legacy hello rejected: %v", err)
 	}
-	if out.UserID != "u" || out.Peers != nil {
+	if out.UserID != "u" || out.Peers != nil || out.Epoch != 0 {
 		t.Fatalf("legacy hello decoded to %+v", out)
 	}
 
-	withPeers := EncodeMessage(&HelloReq{UserID: "u", WireVersion: 2,
+	// A p2p-era hello without the epoch field decodes with Epoch 0.
+	var prefault HelloReq
+	if err := DecodeMessage(&prefault, full[:len(full)-8]); err != nil {
+		t.Fatalf("pre-fault-tolerance hello rejected: %v", err)
+	}
+	if prefault.Epoch != 0 {
+		t.Fatalf("missing epoch decoded as %d", prefault.Epoch)
+	}
+
+	withPeers := EncodeMessage(&HelloReq{UserID: "u", WireVersion: 2, Epoch: 4,
 		Peers: []PeerAddr{{Name: "gpu-0", Addr: "10.0.0.1:7010"}}})
 	var cut HelloReq
-	if err := DecodeMessage(&cut, withPeers[:len(withPeers)-3]); err == nil {
+	// Strip the epoch (8) plus 3 bytes to land mid-peer-entry.
+	if err := DecodeMessage(&cut, withPeers[:len(withPeers)-11]); err == nil {
 		t.Fatal("hello cut mid-peer-entry decoded without error")
+	}
+}
+
+// TestHelloEpochBootIDRoundTrip: the fault-tolerance fields appended to
+// the Hello pair survive a round trip, and a response from an older node
+// (no trailing BootID) decodes with BootID 0.
+func TestHelloEpochBootIDRoundTrip(t *testing.T) {
+	in := &HelloReq{UserID: "u", ClientName: "c", WireVersion: 3, Epoch: 7,
+		Peers: []PeerAddr{{Name: "gpu-1", Addr: "mem://gpu-1"}}}
+	var out HelloReq
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(in, &out) {
+		t.Fatalf("%+v != %+v", out, in)
+	}
+
+	resp := &HelloResp{NodeName: "gpu-1", WireVersion: 3, BootID: 42}
+	var outResp HelloResp
+	roundTrip(t, resp, &outResp)
+	if outResp.NodeName != resp.NodeName || outResp.WireVersion != resp.WireVersion ||
+		outResp.BootID != resp.BootID {
+		t.Fatalf("%+v != %+v", outResp, resp)
+	}
+
+	legacy := EncodeMessage(resp)
+	legacy = legacy[:len(legacy)-8] // strip the BootID
+	var old HelloResp
+	if err := DecodeMessage(&old, legacy); err != nil {
+		t.Fatalf("pre-fault-tolerance response rejected: %v", err)
+	}
+	if old.BootID != 0 || old.WireVersion != 3 {
+		t.Fatalf("legacy response decoded to %+v", old)
 	}
 }
 

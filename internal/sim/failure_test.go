@@ -1,0 +1,72 @@
+package sim
+
+import "testing"
+
+// schedule runs an injector for n ticks and records the kill points.
+func schedule(seed int64, nodes []string, period, n int) []string {
+	inj := NewFailureInjector(seed, nodes, period)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = inj.Tick()
+	}
+	return out
+}
+
+func TestFailureInjectorDeterministic(t *testing.T) {
+	nodes := []string{"gpu-0", "gpu-1", "fpga-0"}
+	a := schedule(42, nodes, 5, 100)
+	b := schedule(42, nodes, 5, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tick %d: schedules diverge for the same seed: %q vs %q", i, a[i], b[i])
+		}
+	}
+	kills := 0
+	for i, v := range a {
+		if (i+1)%5 == 0 {
+			if v == "" {
+				t.Fatalf("tick %d is a kill point but nominated no victim", i)
+			}
+			kills++
+		} else if v != "" {
+			t.Fatalf("tick %d nominated %q off-period", i, v)
+		}
+	}
+	if kills != 20 {
+		t.Fatalf("got %d kills over 100 ticks at period 5, want 20", kills)
+	}
+}
+
+func TestFailureInjectorSeedsDiverge(t *testing.T) {
+	nodes := []string{"gpu-0", "gpu-1", "fpga-0", "fpga-1"}
+	a := schedule(1, nodes, 3, 300)
+	b := schedule(2, nodes, 3, 300)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("300-tick schedules identical across different seeds")
+	}
+}
+
+func TestFailureInjectorNeverFires(t *testing.T) {
+	if got := schedule(7, nil, 5, 50); anyKill(got) {
+		t.Fatal("injector with no nodes fired")
+	}
+	if got := schedule(7, []string{"gpu-0"}, 0, 50); anyKill(got) {
+		t.Fatal("injector with period 0 fired")
+	}
+}
+
+func anyKill(sched []string) bool {
+	for _, v := range sched {
+		if v != "" {
+			return true
+		}
+	}
+	return false
+}

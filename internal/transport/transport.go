@@ -107,6 +107,7 @@ type Client struct {
 	pending map[uint64]chan *protocol.Frame
 	closed  bool
 	readErr error
+	onDown  func(error)
 
 	nextID atomic.Uint64
 }
@@ -323,15 +324,44 @@ func (c *Client) failAll(err error) {
 	// the caller remembered to Close.
 	c.killWrites()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.readErr == nil {
 		c.readErr = err
 	}
+	first := !c.closed
 	c.closed = true
-	for id, ch := range c.pending {
-		delete(c.pending, id)
+	pending := c.pending
+	c.pending = make(map[uint64]chan *protocol.Frame)
+	down := c.onDown
+	sticky := c.readErr
+	c.mu.Unlock()
+	// Notify outside the lock — the callback typically re-enters the
+	// client or kicks off recovery machinery — and strictly before the
+	// pending futures unblock: a waiter that sees the sticky error must be
+	// able to observe whatever state the callback established (the host
+	// marks the node dead here, so command failures classify as node-loss).
+	if first && down != nil {
+		down(sticky)
+	}
+	for _, ch := range pending {
 		close(ch)
 	}
+}
+
+// OnDown registers a callback invoked exactly once, from the goroutine
+// that detects the failure, when the connection dies (read error, send
+// error, or Close). The callback receives the sticky connection error.
+// Registering after the connection already died invokes the callback
+// immediately.
+func (c *Client) OnDown(fn func(error)) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		fn(err)
+		return
+	}
+	c.onDown = fn
+	c.mu.Unlock()
 }
 
 // Pending is one in-flight call: a future that resolves when the matching

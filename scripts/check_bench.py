@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate the haocl-bench JSON reports on their model-level invariants.
+
+CI's bench-smoke job regenerates every experiment with -quick -json and
+pipes the files through this checker; it exits non-zero when a report
+violates a design invariant. The rules are keyed off the report's
+"experiment" field:
+
+pipeline / batch / lanes
+    Batching, pipelining and dispatch lanes must never change simulated
+    time; every comparison must report virtual_match. For lanes this is
+    the load-bearing assertion: a 1-lane and an N-lane node must produce
+    bit-identical virtual makespans (DESIGN.md §4).
+
+coherence
+    Full and delta migration must be bit-identical when buffers are
+    fully stale, and delta must move strictly fewer modeled bytes on the
+    partial-update workload (DESIGN.md §5).
+
+p2p
+    The p2p data plane (DESIGN.md §6) must keep the host NIC to control
+    frames only — at least a 10x host-byte reduction vs the host-relay
+    baseline on the partial-update loop — and its virtual makespan must
+    be no worse (virtual_match encodes "p2p <= host-relay" here).
+    Contents are bit-verified inside the bench itself.
+
+chaos
+    The failure-injected leg must finish byte-identical to the healthy
+    leg (virtual_match carries that bit; DESIGN.md §7), must actually
+    absorb crashes (recoveries > 0 on every chaos row), and recovery
+    overhead must stay bounded: the chaos leg's enqueue rate may not
+    drop below 1/3 of the healthy leg's (speedup >= 1/3).
+
+Usage: check_bench.py [report.json ...]
+With no arguments, checks the default bench-*.json set in the current
+directory.
+"""
+
+import json
+import sys
+
+DEFAULT_REPORTS = [
+    "bench-pipeline.json",
+    "bench-batch.json",
+    "bench-lanes.json",
+    "bench-coherence.json",
+    "bench-p2p.json",
+    "bench-chaos.json",
+]
+
+# The chaos leg may not run slower than this fraction of the healthy
+# leg's enqueue rate; below it, recovery overhead is considered unbounded.
+CHAOS_MIN_SPEEDUP = 1.0 / 3.0
+
+
+def check_report(name, rep):
+    """Return a list of (name, workload, problem) violations for one report."""
+    bad = []
+    exp = rep.get("experiment")
+    comparisons = rep.get("comparisons") or []
+    rows = rep.get("rows") or []
+
+    if exp in ("pipeline", "batch", "lanes"):
+        for c in comparisons:
+            if not c["virtual_match"]:
+                bad.append((name, c["workload"], "makespan diverged"))
+    elif exp == "coherence":
+        for c in comparisons:
+            if c["workload"] == "fully-stale" and not c["virtual_match"]:
+                bad.append((name, c["workload"], "makespan diverged"))
+            if c["workload"] == "partial-update" and c.get("bytes_ratio", 1) >= 1:
+                bad.append((name, c["workload"], "delta moved no fewer bytes"))
+    elif exp == "p2p":
+        for c in comparisons:
+            if not c["virtual_match"]:
+                bad.append((name, c["workload"], "p2p makespan worse than host-relay"))
+            if c["workload"] == "partial-update" and c.get("bytes_ratio", 1) > 0.1:
+                bad.append((name, c["workload"], "host NIC bytes not control-frames-only"))
+    elif exp == "chaos":
+        for c in comparisons:
+            if not c["virtual_match"]:
+                bad.append((name, c["workload"], "chaos results diverged from no-failure leg"))
+            if c.get("speedup", 0) < CHAOS_MIN_SPEEDUP:
+                bad.append((name, c["workload"],
+                            "recovery overhead unbounded (rate %.2fx healthy, floor %.2fx)"
+                            % (c.get("speedup", 0), CHAOS_MIN_SPEEDUP)))
+        for r in rows:
+            if r.get("mode") == "chaos" and not r.get("recoveries", 0):
+                bad.append((name, r["workload"], "chaos leg recorded no recoveries"))
+        if not any(r.get("mode") == "chaos" for r in rows):
+            bad.append((name, "-", "no chaos rows in report"))
+    else:
+        bad.append((name, "-", "unknown experiment %r" % (exp,)))
+
+    if not comparisons:
+        bad.append((name, "-", "no comparisons in report"))
+    return bad
+
+
+def main(argv):
+    paths = argv or DEFAULT_REPORTS
+    bad = []
+    for path in paths:
+        try:
+            with open(path) as f:
+                rep = json.load(f)
+        except (OSError, ValueError) as e:
+            bad.append((path, "-", "unreadable: %s" % e))
+            continue
+        bad.extend(check_report(path, rep))
+    if bad:
+        print("bench invariants violated:")
+        for name, workload, problem in bad:
+            print("  %s: %s: %s" % (name, workload, problem))
+        return 1
+    print("bench invariants hold (%d reports)" % len(paths))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
