@@ -16,14 +16,16 @@
 //	haocl-bench -exp coherence  # range coherence: full-buffer vs delta migration
 //	haocl-bench -exp p2p        # p2p data plane: host-relay vs direct node→node migration
 //	haocl-bench -exp chaos      # fault tolerance: crash, re-placement and rejoin overhead
+//	haocl-bench -exp serve      # multi-tenant serving: fair-share vs FIFO admission
 //	haocl-bench -exp fig2 -quick  # reduced sweeps
-//	haocl-bench -exp pipeline -json  # machine-readable result (pipeline/batch/lanes/coherence)
+//	haocl-bench -exp pipeline -json  # machine-readable result (see below for the list)
 //
 // All reported durations are virtual time from the calibrated device and
 // network models; see DESIGN.md §1 for the methodology. The -json output
-// of the pipeline, batch, lanes, coherence, p2p and chaos experiments is the format committed as the
-// BENCH_*.json perf baselines at the repository root and uploaded as a CI
-// artifact by the bench-smoke job.
+// of the pipeline, batch, lanes, coherence, p2p, chaos and serve
+// experiments is the format committed as the BENCH_*.json perf baselines
+// at the repository root and uploaded as a CI artifact by the bench-smoke
+// job.
 package main
 
 import (
@@ -45,9 +47,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("haocl-bench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, pipeline, batch, lanes, coherence, p2p, chaos, all")
+		exp     = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, pipeline, batch, lanes, coherence, p2p, chaos, serve, all")
 		quick   = fs.Bool("quick", false, "reduced sweeps for a fast look")
-		jsonOut = fs.Bool("json", false, "emit the result as JSON (pipeline and batch experiments)")
+		jsonOut = fs.Bool("json", false, "emit the result as JSON (pipeline, batch, lanes, coherence, p2p, chaos and serve)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,8 +73,10 @@ func run(args []string) error {
 			rep, err = bench.P2PReport(*quick)
 		case "chaos":
 			rep, err = bench.ChaosReport(*quick)
+		case "serve":
+			rep, err = bench.ServeReport(*quick, 1)
 		default:
-			return fmt.Errorf("-json supports -exp pipeline, batch, lanes, coherence, p2p and chaos, not %q", *exp)
+			return fmt.Errorf("-json supports -exp pipeline, batch, lanes, coherence, p2p, chaos and serve, not %q", *exp)
 		}
 		if err != nil {
 			return err
@@ -121,6 +125,8 @@ func run(args []string) error {
 			return bench.P2P(w, *quick)
 		case "chaos":
 			return bench.Chaos(w, *quick)
+		case "serve":
+			return bench.Serve(w, *quick)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -129,7 +135,7 @@ func run(args []string) error {
 	if *exp != "all" {
 		return runOne(*exp)
 	}
-	for _, name := range []string{"table1", "overhead", "fig2", "hetero", "fig3", "ablation", "pipeline", "batch", "lanes", "coherence", "p2p", "chaos"} {
+	for _, name := range []string{"table1", "overhead", "fig2", "hetero", "fig3", "ablation", "pipeline", "batch", "lanes", "coherence", "p2p", "chaos", "serve"} {
 		if err := runOne(name); err != nil {
 			return err
 		}

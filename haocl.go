@@ -36,6 +36,24 @@
 // completions — and any command failure, which is sticky per queue —
 // surface. See DESIGN.md §2 for the pipeline invariants.
 //
+// One connected Platform can serve many tenants at once. Each tenant opens
+// a Session — an isolated object namespace with its own metrics, sticky
+// errors, migration mode and scheduling policy over the shared cluster
+// substrate (DESIGN.md §8):
+//
+//	Platform.OpenSession      → per-tenant session
+//	Session.CreateContext     → contexts owned by this session
+//	Session.Metrics           → this tenant's virtual-time accounting
+//	Session.Flush             → drain this tenant's in-flight work
+//	Session.SetPolicy         → this tenant's scheduling policy
+//	Session.SetMigrationMode  → this tenant's buffer-migration strategy
+//	Session.Close             → tear the session down
+//
+// Objects never cross sessions: enqueueing a buffer, kernel or wait event
+// owned by another session fails with core.ErrCrossSession. The
+// Platform-level CreateContext/Metrics/Flush helpers route through an
+// implicit default session, so single-tenant programs are unchanged.
+//
 // Kernel bodies are Go work-item functions registered against the kernel
 // names appearing in OpenCL C program source (see RegisterKernel); devices
 // are simulated with calibrated performance models, and all reported times
@@ -78,6 +96,10 @@ type (
 	LaunchOptions = core.LaunchOptions
 	// LocalSpace requests per-work-group local memory in Kernel.SetArg.
 	LocalSpace = core.LocalSpace
+	// Session is one tenant's isolated view of the shared cluster.
+	Session = core.Session
+	// MigrationMode selects a session's buffer-migration strategy.
+	MigrationMode = core.MigrationMode
 	// Metrics is the virtual-time accounting of a run.
 	Metrics = core.Metrics
 	// DeviceKey names a device cluster-wide.
@@ -100,6 +122,16 @@ const (
 
 // AnyDevice matches every device type in Platform.Devices.
 const AnyDevice DeviceType = 0
+
+// Migration modes for Session.SetMigrationMode.
+const (
+	// MigrateDelta moves only stale byte ranges, node to node.
+	MigrateDelta = core.MigrateDelta
+	// MigrateFull widens every migration to the whole buffer.
+	MigrateFull = core.MigrateFull
+	// MigrateHostRelay bounces ranges through the host.
+	MigrateHostRelay = core.MigrateHostRelay
+)
 
 // Platform is the application's entry point: one connected HaoCL cluster
 // presenting all remote devices as a single OpenCL platform.
@@ -159,9 +191,23 @@ func Connect(cfg *ClusterConfig, opts ...Option) (*Platform, error) {
 // the clGetDeviceIDs of the unified platform.
 func (p *Platform) Devices(t DeviceType) []*Device { return p.rt.Devices(t) }
 
-// CreateContext builds a context over devices anywhere in the cluster.
+// CreateContext builds a context over devices anywhere in the cluster,
+// owned by the platform's implicit default session.
 func (p *Platform) CreateContext(devices []*Device) (*Context, error) {
 	return p.rt.CreateContext(devices)
+}
+
+// FloorEvent returns a synthetic, already-complete event at virtual
+// instant t. Passing it in a wait list keeps a command from starting
+// before t — open-loop load generators use it to model job arrival times.
+func FloorEvent(t Time) *Event { return core.FloorEvent(t) }
+
+// OpenSession opens an isolated tenant session on the shared cluster.
+// Sessions are cheap: they share node connections, device handles and the
+// virtual-time network model, but keep their own object namespace, metrics,
+// sticky errors, migration mode and scheduling policy (DESIGN.md §8).
+func (p *Platform) OpenSession(tenant string) *Session {
+	return p.rt.OpenSession(tenant)
 }
 
 // Metrics returns the run's virtual-time accounting so far.

@@ -92,6 +92,15 @@ type PipelineRow struct {
 	// Recoveries counts node-loss recoveries absorbed during the run —
 	// non-zero only on the chaos experiment's failure-injected legs.
 	Recoveries int64 `json:"recoveries,omitempty"`
+	// Tenant, Jobs and the latency percentiles are filled by the serve
+	// experiment: one row per (leg, tenant), latencies in virtual
+	// milliseconds from job arrival to completion, and the leg's overall
+	// job throughput in jobs per virtual second on the aggregate row.
+	Tenant         string  `json:"tenant,omitempty"`
+	Jobs           int64   `json:"jobs,omitempty"`
+	P50VirtualMS   float64 `json:"p50_virtual_ms,omitempty"`
+	P99VirtualMS   float64 `json:"p99_virtual_ms,omitempty"`
+	JobsPerVirtSec float64 `json:"jobs_per_virtual_sec,omitempty"`
 }
 
 func (r PipelineRow) String() string {
@@ -105,6 +114,13 @@ func (r PipelineRow) String() string {
 	}
 	if r.Recoveries > 0 {
 		s += fmt.Sprintf(" recoveries=%d", r.Recoveries)
+	}
+	if r.Tenant != "" {
+		s = fmt.Sprintf("%-14s %-4s %-10s tenant=%-10s jobs=%-5d p50=%9.3fms p99=%9.3fms",
+			r.Workload, r.Transport, r.Mode, r.Tenant, r.Jobs, r.P50VirtualMS, r.P99VirtualMS)
+		if r.JobsPerVirtSec > 0 {
+			s += fmt.Sprintf(" rate=%8.1f jobs/vs", r.JobsPerVirtSec)
+		}
 	}
 	return s
 }

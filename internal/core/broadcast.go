@@ -69,12 +69,19 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 		return nil, fmt.Errorf("core: broadcast needs full buffer contents (%d bytes, got %d)",
 			b.size, len(data))
 	}
+	if b.ctx.sess != c.sess {
+		return nil, fmt.Errorf("core: broadcast into buffer of tenant %q: %w", b.ctx.sess.tenant, ErrCrossSession)
+	}
 	// One hop per distinct node, in queue order.
 	seen := make(map[*NodeHandle]bool, len(queues))
 	hops := make([]*Queue, 0, len(queues))
 	for _, q := range queues {
-		if !seen[q.dev.node] {
-			seen[q.dev.node] = true
+		if q.ctx.sess != c.sess {
+			return nil, fmt.Errorf("core: broadcast through queue of tenant %q: %w", q.ctx.sess.tenant, ErrCrossSession)
+		}
+		dev, _ := q.binding()
+		if !seen[dev.node] {
+			seen[dev.node] = true
 			hops = append(hops, q)
 		}
 	}
@@ -87,19 +94,24 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 	// before mutating any buffer state. Failing mid-loop would strand the
 	// buffer half-broadcast: host shadow updated and earlier hops issued,
 	// later replicas still holding (and still marked with) old data.
-	p2p := c.rt.migrationMode() == MigrateDelta
+	p2p := c.sess.migrationMode() == MigrateDelta
 	type hop struct {
-		q     *Queue
-		rb    *remoteBuf
-		chain []int64
-		svc   *Queue // p2p: forwarding source lane (all but the last hop)
+		q      *Queue
+		dev    *DeviceRef // q's binding, snapshotted once for the whole plan
+		qid    uint64
+		rb     *remoteBuf
+		chain  []int64
+		svc    *Queue // p2p: forwarding source lane (all but the last hop)
+		svcDev *DeviceRef
+		svcID  uint64
 	}
 	plan := make([]hop, 0, len(hops))
 	for i, q := range hops {
 		if err := q.stickyErr(); err != nil {
 			return nil, err
 		}
-		rb, err := b.remoteOn(q.dev.node)
+		dev, qid := q.binding()
+		rb, err := b.remoteOn(dev.node)
 		if err != nil {
 			return nil, err
 		}
@@ -107,12 +119,12 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 		if err != nil {
 			return nil, err
 		}
-		h := hop{q: q, rb: rb, chain: chain}
+		h := hop{q: q, dev: dev, qid: qid, rb: rb, chain: chain}
 		if p2p && i < len(hops)-1 {
 			// Forwarding rides the node's single service lane so link
 			// bookings stay totally ordered; created here because it is a
 			// fallible round trip and must not fail mid-loop.
-			svc, err := c.serviceQueue(q.dev.node)
+			svc, err := c.serviceQueue(dev.node)
 			if err != nil {
 				return nil, err
 			}
@@ -120,6 +132,7 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 				return nil, err
 			}
 			h.svc = svc
+			h.svcDev, h.svcID = svc.binding()
 		}
 		plan = append(plan, h)
 	}
@@ -135,22 +148,22 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 	var prevArrival vtime.Time
 	var prevID uint64
 	for i, h := range plan {
-		node := h.q.dev.node
+		node := h.dev.node
 		var arrival vtime.Time
 		var id uint64
 		var ev *Event
 		if i == 0 || !p2p {
 			if i == 0 {
 				// First hop crosses the host NIC.
-				arrival = c.rt.chargeNIC(b.hostReadyAt, controlMsgBytes+b.modelSize)
+				arrival = c.sess.chargeNIC(b.hostReadyAt, controlMsgBytes+b.modelSize)
 			} else {
 				// Chain hop: previous node forwards over its own link.
 				arrival = prevArrival.Add(hopDelay(b.modelSize))
 			}
 			resp := new(protocol.EventResp)
 			var pend *transport.Pending
-			id, pend = c.rt.issue(node, &protocol.WriteBufferReq{
-				QueueID:    h.q.remoteID,
+			id, pend = c.sess.issue(node, &protocol.WriteBufferReq{
+				QueueID:    h.qid,
 				BufferID:   h.rb.id,
 				Offset:     0,
 				Data:       data,
@@ -158,17 +171,17 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 				ModelBytes: b.modelSize,
 				WaitEvents: h.chain,
 			}, resp)
-			ev = &Event{dev: h.q.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
+			ev = &Event{dev: h.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
 		} else {
 			// Chain hop over the node links: the previous node forwards
 			// the buffer it just received, cut through at DepartAt.
 			prev := plan[i-1]
 			arrival = prevArrival.Add(hopDelay(b.modelSize))
 			token := c.rt.nextPushToken()
-			pushCtrl := c.rt.chargeNIC(0, controlMsgBytes)
+			pushCtrl := c.sess.chargeNIC(0, controlMsgBytes)
 			pushResp := new(protocol.EventResp)
-			pushID, pushPend := c.rt.issue(prev.q.dev.node, &protocol.PushRangeReq{
-				QueueID:      prev.svc.remoteID,
+			pushID, pushPend := c.sess.issue(prev.dev.node, &protocol.PushRangeReq{
+				QueueID:      prev.svcID,
 				BufferID:     prev.rb.id,
 				PeerName:     node.name,
 				PeerBufferID: h.rb.id,
@@ -184,18 +197,18 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 				// cut-through overlap with that device write.
 				WaitEvents: []int64{int64(prevID)},
 			}, pushResp)
-			pushEv := &Event{dev: prev.svc.dev, remoteID: pushID, queue: prev.svc, pending: pushPend, resp: pushResp}
+			pushEv := &Event{dev: prev.svcDev, remoteID: pushID, queue: prev.svc, pending: pushPend, resp: pushResp}
 			prev.svc.track(pushEv)
 			// Anti-dependency: a later write to the forwarder's replica
 			// waits for the forward to have read it.
 			prev.rb.lastEvent = pushID
 			prev.rb.lastEv = pushEv
 
-			awaitCtrl := c.rt.chargeNIC(0, controlMsgBytes)
+			awaitCtrl := c.sess.chargeNIC(0, controlMsgBytes)
 			resp := new(protocol.EventResp)
 			var pend *transport.Pending
-			id, pend = c.rt.issue(node, &protocol.AwaitPushReq{
-				QueueID:    h.q.remoteID,
+			id, pend = c.sess.issue(node, &protocol.AwaitPushReq{
+				QueueID:    h.qid,
 				BufferID:   h.rb.id,
 				Token:      token,
 				Offset:     0,
@@ -204,8 +217,8 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 				ModelBytes: b.modelSize,
 				WaitEvents: h.chain,
 			}, resp)
-			ev = &Event{dev: h.q.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
-			c.rt.chargePeer(b.modelSize)
+			ev = &Event{dev: h.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
+			c.sess.chargePeer(b.modelSize)
 			c.rt.watchPush(node.client, token, pushEv)
 		}
 		prevArrival = arrival
@@ -227,7 +240,7 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 			orb.valid.Reset()
 		}
 	}
-	c.rt.logCommand(&broadcastLog{
+	c.sess.logCommand(&broadcastLog{
 		c:    c,
 		b:    b,
 		data: append([]byte(nil), data...),

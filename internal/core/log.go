@@ -17,7 +17,9 @@ package core
 // objects were released since are skipped — releasing an object declares
 // its contents expendable.
 
-// logEntry is one replayable mutation.
+// logEntry is one replayable mutation. The log itself lives on the Session
+// (see Session.logCommand/replayLog): recovery replays only the logs of
+// sessions the dead node touched.
 type logEntry interface {
 	// replay re-issues the mutation through the enqueue internals. The
 	// runtime's replaying flag is set, so nothing is logged twice.
@@ -25,17 +27,6 @@ type logEntry interface {
 	// skip reports whether the entry's objects were released, making the
 	// mutation unreplayable (and its contents expendable by declaration).
 	skip() bool
-}
-
-// logCommand appends one entry to the command log unless the runtime is
-// replaying (replay must not grow the log it is walking).
-func (rt *Runtime) logCommand(e logEntry) {
-	if rt.replaying.Load() {
-		return
-	}
-	rt.logMu.Lock()
-	rt.cmdLog = append(rt.cmdLog, e)
-	rt.logMu.Unlock()
 }
 
 // writeLog replays EnqueueWrite.
@@ -81,10 +72,6 @@ type kernelLog struct {
 }
 
 func (l *kernelLog) replay(rt *Runtime) error {
-	for _, bd := range l.bindings {
-		if bd.buf != nil {
-		}
-	}
 	_, err := l.q.enqueueKernelBound(l.k, l.bindings, l.global, l.local, nil, l.opts)
 	return err
 }

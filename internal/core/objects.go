@@ -57,8 +57,8 @@ func (e *Event) resolve() {
 		if e.pending == nil {
 			return // born resolved
 		}
-		rt := e.queue.ctx.rt
-		defer rt.forgetEvent(e)
+		sess := e.queue.ctx.sess
+		defer sess.forgetEvent(e)
 		defer e.queue.forget(e)
 		if err := e.pending.Wait(); err != nil {
 			// OnDown marks the handle dead before any pending future
@@ -72,7 +72,7 @@ func (e *Event) resolve() {
 			return
 		}
 		e.profile = e.resp.Profile
-		rt.observeProfile(e.dev.key, e.profile, e.isKernel)
+		sess.observeProfile(e.dev.key, e.profile, e.isKernel)
 	})
 }
 
@@ -122,8 +122,17 @@ func (e *Event) End() vtime.Time {
 	return vtime.Time(e.profile.End)
 }
 
-// Device returns the device the command ran on.
+// Device returns the device the command ran on (nil for floor events).
 func (e *Event) Device() *DeviceRef { return e.dev }
+
+// FloorEvent returns a pure virtual-time floor: an event born resolved at
+// instant t, bound to no device, queue or session. Waiting on it costs
+// nothing and folds into a command's arrival instant like any cross-node
+// dependency. Open-loop load generators use it to model job arrival
+// instants without wire traffic.
+func FloorEvent(t vtime.Time) *Event {
+	return &Event{profile: protocol.Profile{Start: int64(t), End: int64(t)}}
+}
 
 // Release frees the remote event object (clReleaseEvent). Long-running
 // host programs release events they no longer wait on so node object
@@ -134,7 +143,14 @@ func (e *Event) Device() *DeviceRef { return e.dev }
 // failure surfaces as the runtime's sticky release error.
 func (e *Event) Release(rt *Runtime) error {
 	e.released.Store(true)
-	rt.releaseAsync(e.dev.node, protocol.ObjEvent, e.remoteID)
+	if e.dev == nil {
+		return nil // floor events own no remote record
+	}
+	sess := rt.defaultSession()
+	if e.queue != nil {
+		sess = e.queue.ctx.sess
+	}
+	sess.releaseAsync(e.dev.node, protocol.ObjEvent, e.remoteID)
 	return nil
 }
 
@@ -144,11 +160,24 @@ func (e *Event) Release(rt *Runtime) error {
 // dependencies are folded into the command's arrival instant. Events from
 // an older recovery generation never take the local-ID path — their
 // node-side records died with the old cluster state, so they fold into the
-// floor like cross-node events (a resolved event's floor is exact).
-func (rt *Runtime) splitWaits(node *NodeHandle, waits []*Event) (local []int64, floor vtime.Time, err error) {
-	gen := rt.gen.Load()
+// floor like cross-node events (a resolved event's floor is exact). Waiting
+// on another session's event is refused with ErrCrossSession: event
+// visibility is the namespace boundary.
+func (s *Session) splitWaits(node *NodeHandle, waits []*Event) (local []int64, floor vtime.Time, err error) {
+	gen := s.rt.gen.Load()
 	for _, ev := range waits {
 		if ev == nil {
+			continue
+		}
+		if ev.queue != nil && ev.queue.ctx.sess != s {
+			return nil, 0, fmt.Errorf("core: wait on event %d from tenant %q: %w",
+				ev.remoteID, ev.queue.ctx.sess.tenant, ErrCrossSession)
+		}
+		if ev.dev == nil {
+			// A floor event carries only its instant.
+			if end := ev.End(); end > floor {
+				floor = end
+			}
 			continue
 		}
 		if ev.dev.node == node && ev.gen == gen {
@@ -170,6 +199,7 @@ func (rt *Runtime) splitWaits(node *NodeHandle, waits []*Event) (local []int64, 
 // of nodes. One remote context is created on each involved node.
 type Context struct {
 	rt      *Runtime
+	sess    *Session
 	devices []*DeviceRef
 	remote  map[*NodeHandle]uint64
 
@@ -186,14 +216,26 @@ type Context struct {
 }
 
 // CreateContext builds a context over the given devices
-// (clCreateContext). Devices may live on different nodes; that is the
-// point of HaoCL.
+// (clCreateContext) in the default session. Devices may live on different
+// nodes; that is the point of HaoCL.
 func (rt *Runtime) CreateContext(devices []*DeviceRef) (*Context, error) {
+	return rt.defaultSession().CreateContext(devices)
+}
+
+// CreateContext builds a context over the given devices inside this
+// session's namespace: the remote contexts are tagged with the session's
+// identity, and every object created from the context belongs to this
+// tenant alone.
+func (s *Session) CreateContext(devices []*DeviceRef) (*Context, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("core: session %q is closed", s.tenant)
+	}
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("core: context needs at least one device")
 	}
 	ctx := &Context{
-		rt:       rt,
+		rt:       s.rt,
+		sess:     s,
 		devices:  devices,
 		remote:   make(map[*NodeHandle]uint64),
 		svcQueue: make(map[*NodeHandle]*Queue),
@@ -204,14 +246,15 @@ func (rt *Runtime) CreateContext(devices []*DeviceRef) (*Context, error) {
 	}
 	for node, ids := range perNode {
 		var resp protocol.ObjectResp
-		if err := rt.call(node, &protocol.CreateContextReq{DeviceIDs: ids}, &resp); err != nil {
+		req := &protocol.CreateContextReq{DeviceIDs: ids, SessionID: s.id, Tenant: s.tenant}
+		if err := s.call(node, req, &resp); err != nil {
 			return nil, fmt.Errorf("core: create context on %q: %w", node.name, err)
 		}
 		ctx.remote[node] = resp.ID
 	}
-	rt.ctxMu.Lock()
-	rt.contexts = append(rt.contexts, ctx)
-	rt.ctxMu.Unlock()
+	s.ctxMu.Lock()
+	s.contexts = append(s.contexts, ctx)
+	s.ctxMu.Unlock()
 	return ctx, nil
 }
 
@@ -240,6 +283,9 @@ func (c *Context) Devices() []*DeviceRef { return c.devices }
 
 // Runtime returns the owning runtime.
 func (c *Context) Runtime() *Runtime { return c.rt }
+
+// Session returns the session whose namespace the context lives in.
+func (c *Context) Session() *Session { return c.sess }
 
 // deviceOnNode finds one context device hosted by node.
 func (c *Context) deviceOnNode(node *NodeHandle) (*DeviceRef, bool) {
@@ -277,13 +323,26 @@ func (c *Context) serviceQueue(node *NodeHandle) (*Queue, error) {
 // the next synchronization point (Finish, or Wait on an event), matching
 // OpenCL's in-order queue semantics.
 type Queue struct {
-	ctx      *Context
-	dev      *DeviceRef
-	remoteID uint64
+	ctx *Context
 
-	mu          sync.Mutex
+	mu sync.Mutex
+	// dev and remoteID are the queue's node binding; recovery re-points
+	// them when the node dies (rebindQueue), so concurrent enqueues must
+	// snapshot them through binding() rather than read the fields raw.
+	dev         *DeviceRef
+	remoteID    uint64
 	outstanding map[*Event]struct{}
 	err         error // sticky: first pipelined command failure
+}
+
+// binding snapshots the queue's current node binding. An operation reads
+// it once and works against that snapshot: if recovery re-binds the queue
+// mid-flight, the operation fails with a crash-classified error and its
+// public wrapper retries against the new binding.
+func (q *Queue) binding() (*DeviceRef, uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dev, q.remoteID
 }
 
 // track registers a pipelined command with the queue and runtime so the
@@ -297,7 +356,7 @@ func (q *Queue) track(ev *Event) {
 	}
 	q.outstanding[ev] = struct{}{}
 	q.mu.Unlock()
-	q.ctx.rt.trackEvent(ev)
+	q.ctx.sess.trackEvent(ev)
 }
 
 func (q *Queue) forget(ev *Event) {
@@ -342,7 +401,7 @@ func (c *Context) CreateQueue(dev *DeviceRef) (*Queue, error) {
 		return nil, fmt.Errorf("core: device %s is not in this context", dev.key)
 	}
 	var resp protocol.ObjectResp
-	err := c.rt.call(dev.node, &protocol.CreateQueueReq{
+	err := c.sess.call(dev.node, &protocol.CreateQueueReq{
 		ContextID: c.remote[dev.node],
 		DeviceID:  dev.info.ID,
 		Profiling: true,
@@ -358,7 +417,10 @@ func (c *Context) CreateQueue(dev *DeviceRef) (*Queue, error) {
 }
 
 // Device returns the queue's device.
-func (q *Queue) Device() *DeviceRef { return q.dev }
+func (q *Queue) Device() *DeviceRef {
+	dev, _ := q.binding()
+	return dev
+}
 
 // Finish drains the queue's pipeline and returns its virtual completion
 // instant (clFinish). It is the queue's primary synchronization point: all
@@ -382,16 +444,13 @@ func (q *Queue) finish() (vtime.Time, error) {
 	if err := q.stickyErr(); err != nil {
 		return 0, err
 	}
+	dev, qid := q.binding()
 	var resp protocol.FinishQueueResp
-	if err := q.ctx.rt.call(q.dev.node, &protocol.FinishQueueReq{QueueID: q.remoteID}, &resp); err != nil {
-		return 0, fmt.Errorf("core: finish queue on %s: %w", q.dev.key, err)
+	if err := q.ctx.sess.call(dev.node, &protocol.FinishQueueReq{QueueID: qid}, &resp); err != nil {
+		return 0, fmt.Errorf("core: finish queue on %s: %w", dev.key, err)
 	}
 	t := vtime.Time(resp.SimTime)
-	q.ctx.rt.mu.Lock()
-	if t > q.ctx.rt.metrics.Makespan {
-		q.ctx.rt.metrics.Makespan = t
-	}
-	q.ctx.rt.mu.Unlock()
+	q.ctx.sess.observeMakespan(t)
 	return t, nil
 }
 
@@ -401,7 +460,8 @@ func (q *Queue) finish() (vtime.Time, error) {
 // (they resolved the queue at dispatch), but new commands enqueued after
 // a Release are refused by the node.
 func (q *Queue) Release() error {
-	q.ctx.rt.releaseAsync(q.dev.node, protocol.ObjQueue, q.remoteID)
+	dev, qid := q.binding()
+	q.ctx.sess.releaseAsync(dev.node, protocol.ObjQueue, qid)
 	return nil
 }
 
@@ -514,7 +574,7 @@ func (b *Buffer) remoteOn(node *NodeHandle) (*remoteBuf, error) {
 		return nil, fmt.Errorf("core: context spans no device on node %q", node.name)
 	}
 	var resp protocol.ObjectResp
-	err := b.ctx.rt.call(node, &protocol.CreateBufferReq{ContextID: ctxID, Size: b.size}, &resp)
+	err := b.ctx.sess.call(node, &protocol.CreateBufferReq{ContextID: ctxID, Size: b.size}, &resp)
 	if err != nil {
 		return nil, fmt.Errorf("core: allocate buffer on %q: %w", node.name, err)
 	}
@@ -533,7 +593,7 @@ func (b *Buffer) Release() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for node, rb := range b.remote {
-		b.ctx.rt.releaseAsync(node, protocol.ObjBuffer, rb.id)
+		b.ctx.sess.releaseAsync(node, protocol.ObjBuffer, rb.id)
 	}
 	b.remote = make(map[*NodeHandle]*remoteBuf)
 	b.host = nil
@@ -573,11 +633,15 @@ func (q *Queue) enqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	if err := q.stickyErr(); err != nil {
 		return nil, err
 	}
+	if b.ctx.sess != q.ctx.sess {
+		return nil, fmt.Errorf("core: write to buffer of tenant %q: %w", b.ctx.sess.tenant, ErrCrossSession)
+	}
 	if !hostRangeOK(offset, int64(len(data)), b.size) {
 		return nil, fmt.Errorf("core: write range at offset %d of %d bytes out of bounds (buffer %d bytes)",
 			offset, len(data), b.size)
 	}
-	node := q.dev.node
+	dev, qid := q.binding()
+	node := dev.node
 	end := offset + int64(len(data))
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -589,7 +653,7 @@ func (q *Queue) enqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	if err != nil {
 		return nil, err
 	}
-	localWaits, floor, err := q.ctx.rt.splitWaits(node, waits)
+	localWaits, floor, err := q.ctx.sess.splitWaits(node, waits)
 	if err != nil {
 		return nil, err
 	}
@@ -608,11 +672,11 @@ func (q *Queue) enqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	localWaits = append(localWaits, chain...)
 	modelBytes := b.scaled(int64(len(data)))
 	earliest := vtime.Max(b.hostReadyAt, floor)
-	arrival := q.ctx.rt.chargeNIC(earliest, controlMsgBytes+modelBytes)
+	arrival := q.ctx.sess.chargeNIC(earliest, controlMsgBytes+modelBytes)
 
 	resp := new(protocol.EventResp)
-	id, pend := q.ctx.rt.issue(node, &protocol.WriteBufferReq{
-		QueueID:    q.remoteID,
+	id, pend := q.ctx.sess.issue(node, &protocol.WriteBufferReq{
+		QueueID:    qid,
 		BufferID:   rb.id,
 		Offset:     offset,
 		Data:       data,
@@ -620,7 +684,7 @@ func (q *Queue) enqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 		ModelBytes: modelBytes,
 		WaitEvents: localWaits,
 	}, resp)
-	ev := &Event{dev: q.dev, remoteID: id, queue: q, pending: pend, resp: resp}
+	ev := &Event{dev: dev, remoteID: id, queue: q, pending: pend, resp: resp}
 	q.track(ev)
 
 	// Coherence at issue time (wire order is event-ID order): this node and
@@ -638,7 +702,7 @@ func (q *Queue) enqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	rb.lastEvent = id
 	rb.lastEv = ev
 	// Log under b.mu so the log order matches the issue order per buffer.
-	q.ctx.rt.logCommand(&writeLog{q: q, b: b, off: offset, data: append([]byte(nil), data...)})
+	q.ctx.sess.logCommand(&writeLog{q: q, b: b, off: offset, data: append([]byte(nil), data...)})
 	return ev, nil
 }
 
@@ -662,7 +726,7 @@ func (b *Buffer) ensureResident(node *NodeHandle, lo, hi int64) (*remoteBuf, err
 	if err != nil {
 		return nil, err
 	}
-	mode := b.ctx.rt.migrationMode()
+	mode := b.ctx.sess.migrationMode()
 	full := mode == MigrateFull
 	if full {
 		lo, hi = 0, b.size
@@ -703,9 +767,9 @@ func (b *Buffer) ensureResident(node *NodeHandle, lo, hi int64) (*remoteBuf, err
 	}
 	for _, g := range gaps {
 		modelBytes := b.scaled(g.Len())
-		arrival := b.ctx.rt.chargeNIC(b.hostReadyAt, controlMsgBytes+modelBytes)
+		arrival := b.ctx.sess.chargeNIC(b.hostReadyAt, controlMsgBytes+modelBytes)
 		resp := new(protocol.EventResp)
-		id, pend := b.ctx.rt.issue(node, &protocol.WriteBufferReq{
+		id, pend := b.ctx.sess.issue(node, &protocol.WriteBufferReq{
 			QueueID:    svc.remoteID,
 			BufferID:   rb.id,
 			Offset:     g.Lo,
@@ -774,9 +838,9 @@ func (b *Buffer) pullFrom(owner *NodeHandle, orb *remoteBuf, r mem.Range) error 
 		return err
 	}
 	modelBytes := b.scaled(r.Len())
-	arrival := b.ctx.rt.chargeNIC(0, controlMsgBytes)
+	arrival := b.ctx.sess.chargeNIC(0, controlMsgBytes)
 	var resp protocol.ReadBufferResp
-	_, pend := b.ctx.rt.issue(owner, &protocol.ReadBufferReq{
+	_, pend := b.ctx.sess.issue(owner, &protocol.ReadBufferReq{
 		QueueID:    svc.remoteID,
 		BufferID:   orb.id,
 		Offset:     r.Lo,
@@ -789,13 +853,13 @@ func (b *Buffer) pullFrom(owner *NodeHandle, orb *remoteBuf, r mem.Range) error 
 		return fmt.Errorf("core: migrate buffer range [%d,%d) from %q: %w", r.Lo, r.Hi, owner.name, err)
 	}
 	// Response data crosses the backbone back to the host.
-	hostArrival := b.ctx.rt.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
+	hostArrival := b.ctx.sess.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
 	copy(b.host[r.Lo:r.Hi], resp.Data)
 	b.hostValid.Add(r.Lo, r.Hi)
 	if hostArrival > b.hostReadyAt {
 		b.hostReadyAt = hostArrival
 	}
-	b.ctx.rt.observeProfile(svc.dev.key, resp.Profile, false)
+	b.ctx.sess.observeProfile(svc.dev.key, resp.Profile, false)
 	return nil
 }
 
@@ -837,11 +901,15 @@ func (q *Queue) enqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	if err := q.stickyErr(); err != nil {
 		return nil, nil, err
 	}
+	if b.ctx.sess != q.ctx.sess {
+		return nil, nil, fmt.Errorf("core: read from buffer of tenant %q: %w", b.ctx.sess.tenant, ErrCrossSession)
+	}
 	if !hostRangeOK(offset, size, b.size) {
 		return nil, nil, fmt.Errorf("core: read range at offset %d of %d bytes out of bounds (buffer %d bytes)",
 			offset, size, b.size)
 	}
-	node := q.dev.node
+	dev, qid := q.binding()
+	node := dev.node
 	b.mu.Lock()
 	defer b.mu.Unlock()
 
@@ -851,7 +919,7 @@ func (q *Queue) enqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	if err != nil {
 		return nil, nil, err
 	}
-	localWaits, floor, err := q.ctx.rt.splitWaits(node, waits)
+	localWaits, floor, err := q.ctx.sess.splitWaits(node, waits)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -861,11 +929,11 @@ func (q *Queue) enqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	}
 	localWaits = append(localWaits, chain...)
 	modelBytes := b.scaled(size)
-	arrival := q.ctx.rt.chargeNIC(floor, controlMsgBytes)
+	arrival := q.ctx.sess.chargeNIC(floor, controlMsgBytes)
 
 	var resp protocol.ReadBufferResp
-	id, pend := q.ctx.rt.issue(node, &protocol.ReadBufferReq{
-		QueueID:    q.remoteID,
+	id, pend := q.ctx.sess.issue(node, &protocol.ReadBufferReq{
+		QueueID:    qid,
 		BufferID:   rb.id,
 		Offset:     offset,
 		Size:       size,
@@ -874,11 +942,11 @@ func (q *Queue) enqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 		WaitEvents: localWaits,
 	}, &resp)
 	if err := pend.Wait(); err != nil {
-		return nil, nil, fmt.Errorf("core: read buffer on %s: %w", q.dev.key, err)
+		return nil, nil, fmt.Errorf("core: read buffer on %s: %w", dev.key, classifyNodeErr(node, err))
 	}
 	// The payload crosses the backbone to the host, freshening the host
 	// shadow over exactly the range it carried.
-	hostArrival := q.ctx.rt.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
+	hostArrival := q.ctx.sess.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
 
 	if b.host == nil {
 		b.host = make([]byte, b.size)
@@ -889,14 +957,12 @@ func (q *Queue) enqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 		b.hostReadyAt = hostArrival
 	}
 	prof := resp.Profile
-	q.ctx.rt.observeProfile(q.dev.key, prof, false)
-	q.ctx.rt.mu.Lock()
-	if hostArrival > q.ctx.rt.metrics.Makespan {
-		q.ctx.rt.metrics.Makespan = hostArrival
-	}
-	q.ctx.rt.mu.Unlock()
-	// The event is born resolved: the read blocked for its response.
-	return resp.Data, &Event{dev: q.dev, remoteID: id, profile: prof, gen: q.ctx.rt.gen.Load()}, nil
+	q.ctx.sess.observeProfile(dev.key, prof, false)
+	q.ctx.sess.observeMakespan(hostArrival)
+	// The event is born resolved: the read blocked for its response. It
+	// carries the issuing queue so Release and the cross-session wait check
+	// can find its owner (resolve is a no-op: pending is nil).
+	return resp.Data, &Event{dev: dev, remoteID: id, queue: q, profile: prof, gen: q.ctx.rt.gen.Load()}, nil
 }
 
 // EnqueueCopy copies size bytes between two buffers on q's device
@@ -918,13 +984,20 @@ func (q *Queue) enqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	if err := q.stickyErr(); err != nil {
 		return nil, err
 	}
+	if src.ctx.sess != q.ctx.sess {
+		return nil, fmt.Errorf("core: copy from buffer of tenant %q: %w", src.ctx.sess.tenant, ErrCrossSession)
+	}
+	if dst.ctx.sess != q.ctx.sess {
+		return nil, fmt.Errorf("core: copy into buffer of tenant %q: %w", dst.ctx.sess.tenant, ErrCrossSession)
+	}
 	if !hostRangeOK(srcOffset, size, src.size) || !hostRangeOK(dstOffset, size, dst.size) {
 		return nil, fmt.Errorf("core: copy range out of bounds")
 	}
 	if src == dst {
 		return nil, fmt.Errorf("core: copy within one buffer is not supported")
 	}
-	node := q.dev.node
+	dev, qid := q.binding()
+	node := dev.node
 
 	// Lock in address order to avoid deadlock with concurrent copies.
 	first, second := src, dst
@@ -944,7 +1017,7 @@ func (q *Queue) enqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	if err != nil {
 		return nil, err
 	}
-	localWaits, floor, err := q.ctx.rt.splitWaits(node, waits)
+	localWaits, floor, err := q.ctx.sess.splitWaits(node, waits)
 	if err != nil {
 		return nil, err
 	}
@@ -961,8 +1034,8 @@ func (q *Queue) enqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	_ = floor // device-side op: cross-node deps already folded into srcRB
 
 	resp := new(protocol.EventResp)
-	id, pend := q.ctx.rt.issue(node, &protocol.CopyBufferReq{
-		QueueID:    q.remoteID,
+	id, pend := q.ctx.sess.issue(node, &protocol.CopyBufferReq{
+		QueueID:    qid,
 		SrcID:      srcRB.id,
 		DstID:      dstRB.id,
 		SrcOffset:  srcOffset,
@@ -970,7 +1043,7 @@ func (q *Queue) enqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 		Size:       size,
 		WaitEvents: localWaits,
 	}, resp)
-	ev := &Event{dev: q.dev, remoteID: id, queue: q, pending: pend, resp: resp}
+	ev := &Event{dev: dev, remoteID: id, queue: q, pending: pend, resp: resp}
 	q.track(ev)
 	// Anti-dependency on the source: a later writer of this replica — a
 	// same-node kernel on another queue, say — must wait until the copy has
@@ -991,7 +1064,7 @@ func (q *Queue) enqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	dstRB.valid.Add(dstOffset, dstEnd)
 	dstRB.lastEvent = id
 	dstRB.lastEv = ev
-	q.ctx.rt.logCommand(&copyLog{q: q, src: src, dst: dst, srcOff: srcOffset, dstOff: dstOffset, size: size})
+	q.ctx.sess.logCommand(&copyLog{q: q, src: src, dst: dst, srcOff: srcOffset, dstOff: dstOffset, size: size})
 	return ev, nil
 }
 
@@ -1038,7 +1111,7 @@ func (p *Program) Build() error {
 	}
 	for node, ctxID := range p.ctx.remote {
 		var resp protocol.BuildProgramResp
-		err := p.ctx.rt.call(node, &protocol.BuildProgramReq{
+		err := p.ctx.sess.call(node, &protocol.BuildProgramReq{
 			ContextID: ctxID,
 			Source:    p.source,
 		}, &resp)
@@ -1187,7 +1260,7 @@ func (k *Kernel) remoteOn(node *NodeHandle) (uint64, error) {
 		return 0, fmt.Errorf("core: program not built on node %q", node.name)
 	}
 	var resp protocol.ObjectResp
-	err := k.prog.ctx.rt.call(node, &protocol.CreateKernelReq{ProgramID: progID, Name: k.name}, &resp)
+	err := k.prog.ctx.sess.call(node, &protocol.CreateKernelReq{ProgramID: progID, Name: k.name}, &resp)
 	if err != nil {
 		return 0, fmt.Errorf("core: create kernel %q on %q: %w", k.name, node.name, err)
 	}
@@ -1203,7 +1276,7 @@ func (k *Kernel) Release() error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	for node, id := range k.remote {
-		k.prog.ctx.rt.releaseAsync(node, protocol.ObjKernel, id)
+		k.prog.ctx.sess.releaseAsync(node, protocol.ObjKernel, id)
 	}
 	k.remote = make(map[*NodeHandle]uint64)
 	k.released = true
@@ -1249,13 +1322,18 @@ func (q *Queue) enqueueKernelBound(k *Kernel, bindings []argBinding, global, loc
 	if err := q.stickyErr(); err != nil {
 		return nil, err
 	}
-	node := q.dev.node
+	if k.prog.ctx.sess != q.ctx.sess {
+		return nil, fmt.Errorf("core: launch kernel %q of tenant %q: %w",
+			k.name, k.prog.ctx.sess.tenant, ErrCrossSession)
+	}
+	dev, qid := q.binding()
+	node := dev.node
 	remoteKernel, err := k.remoteOn(node)
 	if err != nil {
 		return nil, err
 	}
 
-	localWaits, floor, err := q.ctx.rt.splitWaits(node, waits)
+	localWaits, floor, err := q.ctx.sess.splitWaits(node, waits)
 	if err != nil {
 		return nil, err
 	}
@@ -1266,6 +1344,10 @@ func (q *Queue) enqueueKernelBound(k *Kernel, bindings []argBinding, global, loc
 		param := k.sig.Params[i]
 		switch bind.kind {
 		case protocol.ArgBuffer:
+			if bind.buf.ctx.sess != q.ctx.sess {
+				return nil, fmt.Errorf("core: kernel %q arg %d: buffer of tenant %q: %w",
+					k.name, i, bind.buf.ctx.sess.tenant, ErrCrossSession)
+			}
 			bind.buf.mu.Lock()
 			// A kernel may touch any byte of its buffer arguments, so the
 			// whole replica must be resident (delta migration still moves
@@ -1296,9 +1378,9 @@ func (q *Queue) enqueueKernelBound(k *Kernel, bindings []argBinding, global, loc
 		}
 	}
 
-	arrival := q.ctx.rt.chargeNIC(floor, msgBytes)
+	arrival := q.ctx.sess.chargeNIC(floor, msgBytes)
 	req := &protocol.EnqueueKernelReq{
-		QueueID:    q.remoteID,
+		QueueID:    qid,
 		KernelID:   remoteKernel,
 		Global:     toInt64s(global),
 		Local:      toInt64s(local),
@@ -1311,8 +1393,8 @@ func (q *Queue) enqueueKernelBound(k *Kernel, bindings []argBinding, global, loc
 		req.CostBytes = opts.CostBytes
 	}
 	resp := new(protocol.EventResp)
-	id, pend := q.ctx.rt.issue(node, req, resp)
-	ev := &Event{dev: q.dev, remoteID: id, queue: q, pending: pend, resp: resp, isKernel: true}
+	id, pend := q.ctx.sess.issue(node, req, resp)
+	ev := &Event{dev: dev, remoteID: id, queue: q, pending: pend, resp: resp, isKernel: true}
 	q.track(ev)
 
 	// Written-buffer coherence at issue time. The monotonic guard keeps a
@@ -1343,7 +1425,7 @@ func (q *Queue) enqueueKernelBound(k *Kernel, bindings []argBinding, global, loc
 		o := *opts
 		optsCopy = &o
 	}
-	q.ctx.rt.logCommand(&kernelLog{
+	q.ctx.sess.logCommand(&kernelLog{
 		q:        q,
 		k:        k,
 		bindings: bindings,

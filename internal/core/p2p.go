@@ -78,9 +78,9 @@ func (b *Buffer) migrateP2P(node *NodeHandle, rb *remoteBuf, gaps []mem.Range) e
 				return err
 			}
 			modelBytes := b.scaled(r.Len())
-			arrival := b.ctx.rt.chargeNIC(b.hostReadyAt, controlMsgBytes+modelBytes)
+			arrival := b.ctx.sess.chargeNIC(b.hostReadyAt, controlMsgBytes+modelBytes)
 			resp := new(protocol.EventResp)
-			id, pend := b.ctx.rt.issue(node, &protocol.WriteBufferReq{
+			id, pend := b.ctx.sess.issue(node, &protocol.WriteBufferReq{
 				QueueID:    svc.remoteID,
 				BufferID:   rb.id,
 				Offset:     r.Lo,
@@ -103,6 +103,7 @@ func (b *Buffer) migrateP2P(node *NodeHandle, rb *remoteBuf, gaps []mem.Range) e
 // owner to node. Caller holds b.mu.
 func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ownerSpan) error {
 	rt := b.ctx.rt
+	sess := b.ctx.sess
 	ownerSvc, err := b.ctx.serviceQueue(ps.node)
 	if err != nil {
 		return err
@@ -124,9 +125,9 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 
 	// Only the control frames cross the host NIC. The payload is charged
 	// to the owner's egress link node-side; the host keeps byte accounting.
-	pushCtrl := rt.chargeNIC(0, controlMsgBytes)
+	pushCtrl := sess.chargeNIC(0, controlMsgBytes)
 	pushResp := new(protocol.EventResp)
-	pushID, pushPend := rt.issue(ps.node, &protocol.PushRangeReq{
+	pushID, pushPend := sess.issue(ps.node, &protocol.PushRangeReq{
 		QueueID:      ownerSvc.remoteID,
 		BufferID:     ps.rb.id,
 		PeerName:     node.name,
@@ -147,9 +148,9 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 	ps.rb.lastEvent = pushID
 	ps.rb.lastEv = pushEv
 
-	awaitCtrl := rt.chargeNIC(0, controlMsgBytes)
+	awaitCtrl := sess.chargeNIC(0, controlMsgBytes)
 	awaitResp := new(protocol.EventResp)
-	awaitID, awaitPend := rt.issue(node, &protocol.AwaitPushReq{
+	awaitID, awaitPend := sess.issue(node, &protocol.AwaitPushReq{
 		QueueID:    svc.remoteID,
 		BufferID:   rb.id,
 		Token:      token,
@@ -161,7 +162,7 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 	}, awaitResp)
 	awaitEv := &Event{dev: svc.dev, remoteID: awaitID, queue: svc, pending: awaitPend, resp: awaitResp}
 	svc.track(awaitEv)
-	rt.chargePeer(modelBytes)
+	sess.chargePeer(modelBytes)
 	rt.watchPush(node.client, token, pushEv)
 
 	rb.valid.Add(ps.r.Lo, ps.r.Hi)
@@ -185,9 +186,7 @@ func (rt *Runtime) watchPush(consumer *transport.Client, token uint64, pushEv *E
 		if err == nil {
 			return
 		}
-		rt.mu.Lock()
-		rt.metrics.Commands++
-		rt.mu.Unlock()
+		pushEv.queue.ctx.sess.bump(func(m *Metrics) { m.Commands++ })
 		// Best effort: the awaiter reports the original failure; a dead
 		// consumer connection fails the awaiter through its own teardown.
 		pend := consumer.Go(&protocol.CancelPushReq{Token: token, Reason: err.Error()}, nil)

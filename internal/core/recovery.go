@@ -43,6 +43,24 @@ type nodeLostError struct{ cause error }
 func (e *nodeLostError) Error() string   { return fmt.Sprintf("node lost: %v", e.cause) }
 func (e *nodeLostError) Unwrap() []error { return []error{errNodeLost, e.cause} }
 
+// classifyNodeErr tags a transport-level failure as crash-induced when the
+// node it was observed on is no longer alive. OnDown marks the handle dead
+// before any pending future unblocks — but by the time a concurrent caller
+// inspects its own failure, a recovery pass driven by another session's
+// goroutine may already have moved the node from dead to removed, so the
+// liveness check must be "not alive", not "dead". A RemoteError is the
+// node answering, i.e. a genuine command failure, and passes through.
+func classifyNodeErr(n *NodeHandle, err error) error {
+	if err == nil || n.Alive() || isNodeLost(err) {
+		return err
+	}
+	var re *protocol.RemoteError
+	if errors.As(err, &re) {
+		return err
+	}
+	return &nodeLostError{cause: err}
+}
+
 // isNodeLost classifies an error as crash-induced: either tagged host-side
 // (connection to a dead node) or carrying the wire code nodes use for
 // failures they themselves attribute to membership loss (cancelled push
@@ -134,7 +152,10 @@ func (rt *Runtime) recoverLocked() error {
 }
 
 // recoverOnce performs one recovery pass. It reports false when there was
-// nothing to recover.
+// nothing to recover. Recovery is session-scoped: only the sessions whose
+// contexts span a dead node (or whose queues latched a crash-induced
+// failure) are drained, stripped and replayed; bystander tenants keep
+// their pipelines, sticky release errors and command logs untouched.
 func (rt *Runtime) recoverOnce() (bool, error) {
 	var dead []*NodeHandle
 	for _, n := range rt.nodes {
@@ -142,24 +163,34 @@ func (rt *Runtime) recoverOnce() (bool, error) {
 			dead = append(dead, n)
 		}
 	}
-	if len(dead) == 0 && !rt.anyRetriableSticky() {
+	sessions := rt.allSessions()
+	var affected []*Session
+	for _, s := range sessions {
+		if s.needsRecovery(dead) {
+			affected = append(affected, s)
+		}
+	}
+	if len(dead) == 0 && len(affected) == 0 {
 		return false, nil
 	}
 	for _, n := range dead {
 		n.client.Close()
 	}
 
-	// 1. Materialize every in-flight failure: resolve all pipelined
-	// futures (watchPush cancel goroutines unpark awaiters stranded by a
-	// dead pusher) and reap the fire-and-forget releases. Release acks
-	// that died with a dead connection are expendable — the objects died
-	// with the node.
-	rt.drainPendingEvents()
-	rt.drainReleases()
-	if len(dead) > 0 {
-		rt.relMu.Lock()
-		rt.relErr = nil
-		rt.relMu.Unlock()
+	// 1. Materialize every in-flight failure of the affected sessions:
+	// resolve their pipelined futures (watchPush cancel goroutines unpark
+	// awaiters stranded by a dead pusher) and reap their fire-and-forget
+	// releases. Release acks that died with a dead connection are
+	// expendable — the objects died with the node — so the crash does not
+	// become a sticky release error.
+	for _, s := range affected {
+		s.drainPendingEvents()
+		s.drainReleases()
+		if len(dead) > 0 {
+			s.relMu.Lock()
+			s.relErr = nil
+			s.relMu.Unlock()
+		}
 	}
 
 	// 2. Membership: the scheduler's device view must drop the dead nodes
@@ -169,10 +200,12 @@ func (rt *Runtime) recoverOnce() (bool, error) {
 		n.state.Store(stateRemoved)
 	}
 
-	// 3. Strip dead-node state everywhere and re-bind orphaned queues.
-	rt.ctxMu.Lock()
-	contexts := append([]*Context(nil), rt.contexts...)
-	rt.ctxMu.Unlock()
+	// 3. Strip dead-node state from the affected namespaces and re-bind
+	// orphaned queues.
+	var contexts []*Context
+	for _, s := range affected {
+		contexts = append(contexts, s.snapshotContexts()...)
+	}
 	for _, ctx := range contexts {
 		if err := ctx.stripDead(dead); err != nil {
 			return true, err
@@ -181,7 +214,9 @@ func (rt *Runtime) recoverOnce() (bool, error) {
 
 	// 4. New generation: events issued from here on are post-recovery;
 	// everything older is never referenced on the wire again and its
-	// crash-induced failure is absolved.
+	// crash-induced failure is absolved. The generation is global — an
+	// unaffected session's older events simply fold into exact virtual-time
+	// floors instead of wire waits, which preserves their semantics.
 	rt.gen.Add(1)
 
 	// 5. New membership epoch: survivors drop pooled peer connections and
@@ -191,21 +226,40 @@ func (rt *Runtime) recoverOnce() (bool, error) {
 		return true, err
 	}
 
-	// 6. Replay the mutation history from zeroed state.
-	replayed, err := rt.replayLog()
+	// 6. Replay the affected sessions' mutation histories from zeroed
+	// state. One pass counts one recovery in the aggregate; each affected
+	// tenant's own metrics count it too.
+	rt.replaying.Store(true)
+	totalReplayed := 0
+	var replayErr error
+	for _, s := range affected {
+		replayed, err := s.replayLog()
+		totalReplayed += replayed
+		s.mu.Lock()
+		s.metrics.Recoveries++
+		s.metrics.ReplayedCommands += int64(replayed)
+		s.mu.Unlock()
+		if err != nil {
+			replayErr = err
+			break
+		}
+	}
+	rt.replaying.Store(false)
 	rt.mu.Lock()
 	rt.metrics.Recoveries++
-	rt.metrics.ReplayedCommands += int64(replayed)
+	rt.metrics.ReplayedCommands += int64(totalReplayed)
 	rt.mu.Unlock()
-	if err != nil {
-		if rt.shouldRecover(err) {
+	if replayErr != nil {
+		if rt.shouldRecover(replayErr) {
 			return true, nil // another node died mid-replay: next round
 		}
-		return true, fmt.Errorf("core: recovery replay: %w", err)
+		return true, fmt.Errorf("core: recovery replay: %w", replayErr)
 	}
 
 	// 7. Settle and verify: every replayed command must have succeeded.
-	rt.drainPendingEvents()
+	for _, s := range affected {
+		s.drainPendingEvents()
+	}
 	for _, ctx := range contexts {
 		if err := ctx.checkQueuesClean(); err != nil {
 			if rt.shouldRecover(err) {
@@ -215,36 +269,6 @@ func (rt *Runtime) recoverOnce() (bool, error) {
 		}
 	}
 	return true, nil
-}
-
-// drainPendingEvents resolves every outstanding pipelined future (the
-// event half of Flush, without touching the release pipeline).
-func (rt *Runtime) drainPendingEvents() {
-	rt.pendMu.Lock()
-	evs := make([]*Event, 0, len(rt.pendSet))
-	for e := range rt.pendSet {
-		evs = append(evs, e)
-	}
-	rt.pendMu.Unlock()
-	for _, e := range evs {
-		e.resolve()
-	}
-}
-
-// anyRetriableSticky reports whether some queue is poisoned by a
-// crash-induced failure (as opposed to a genuine command failure).
-func (rt *Runtime) anyRetriableSticky() bool {
-	rt.ctxMu.Lock()
-	contexts := append([]*Context(nil), rt.contexts...)
-	rt.ctxMu.Unlock()
-	for _, ctx := range contexts {
-		for _, q := range ctx.allQueues() {
-			if isNodeLost(q.stickyErr()) {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // stripDead removes every trace of the dead nodes from the context:
@@ -276,7 +300,7 @@ func (c *Context) stripDead(dead []*NodeHandle) error {
 	c.regMu.Unlock()
 
 	for _, q := range queues {
-		if isDead[q.dev.node] {
+		if dev, _ := q.binding(); isDead[dev.node] {
 			if err := c.rebindQueue(q); err != nil {
 				return err
 			}
@@ -322,16 +346,17 @@ func (c *Context) dropQueue(q *Queue) {
 // of recovery. The queue object is the same host-side handle; only its
 // device binding and remote ID change.
 func (c *Context) rebindQueue(q *Queue) error {
-	target := c.replacementDevice(q.dev)
+	old, _ := q.binding()
+	target := c.replacementDevice(old)
 	if target == nil {
-		return fmt.Errorf("core: no surviving device to re-place queue from %s", q.dev.key)
+		return fmt.Errorf("core: no surviving device to re-place queue from %s", old.key)
 	}
 	ctxID, ok := c.remote[target.node]
 	if !ok {
 		return fmt.Errorf("core: context has no remote instance on %q", target.node.name)
 	}
 	var resp protocol.ObjectResp
-	err := c.rt.call(target.node, &protocol.CreateQueueReq{
+	err := c.sess.call(target.node, &protocol.CreateQueueReq{
 		ContextID: ctxID,
 		DeviceID:  target.info.ID,
 		Profiling: true,
@@ -430,29 +455,6 @@ func (rt *Runtime) rehelloLocked() error {
 	return nil
 }
 
-// replayLog re-issues the whole mutation history through the enqueue
-// internals and returns how many entries were replayed. Entries whose
-// objects were released are skipped — a released object's contents were
-// declared expendable.
-func (rt *Runtime) replayLog() (int, error) {
-	rt.logMu.Lock()
-	log := append([]logEntry(nil), rt.cmdLog...)
-	rt.logMu.Unlock()
-	rt.replaying.Store(true)
-	defer rt.replaying.Store(false)
-	replayed := 0
-	for _, e := range log {
-		if e.skip() {
-			continue
-		}
-		if err := e.replay(rt); err != nil {
-			return replayed, err
-		}
-		replayed++
-	}
-	return replayed, nil
-}
-
 // reconnectAttempts bounds the rejoin dial loop; backoff doubles from
 // reconnectBackoff between attempts.
 const (
@@ -542,13 +544,13 @@ func (rt *Runtime) ReconnectNode(name string) error {
 	}
 
 	// Re-create the control-plane objects the fresh process needs before
-	// any command can route to it; data re-replicates lazily.
-	rt.ctxMu.Lock()
-	contexts := append([]*Context(nil), rt.contexts...)
-	rt.ctxMu.Unlock()
-	for _, ctx := range contexts {
-		if err := ctx.restoreOn(h); err != nil {
-			return fmt.Errorf("core: rejoin %q: %w", name, err)
+	// any command can route to it, across every session's namespace; data
+	// re-replicates lazily.
+	for _, s := range rt.allSessions() {
+		for _, ctx := range s.snapshotContexts() {
+			if err := ctx.restoreOn(h); err != nil {
+				return fmt.Errorf("core: rejoin %q: %w", name, err)
+			}
 		}
 	}
 
@@ -570,7 +572,8 @@ func (c *Context) restoreOn(h *NodeHandle) error {
 		return nil // context does not span this node
 	}
 	var resp protocol.ObjectResp
-	if err := c.rt.call(h, &protocol.CreateContextReq{DeviceIDs: ids}, &resp); err != nil {
+	req := &protocol.CreateContextReq{DeviceIDs: ids, SessionID: c.sess.id, Tenant: c.sess.tenant}
+	if err := c.sess.call(h, req, &resp); err != nil {
 		return fmt.Errorf("re-create context: %w", err)
 	}
 	c.mu.Lock()
@@ -585,7 +588,7 @@ func (c *Context) restoreOn(h *NodeHandle) error {
 			continue
 		}
 		var bresp protocol.BuildProgramResp
-		err := c.rt.call(h, &protocol.BuildProgramReq{ContextID: resp.ID, Source: p.source}, &bresp)
+		err := c.sess.call(h, &protocol.BuildProgramReq{ContextID: resp.ID, Source: p.source}, &bresp)
 		if err != nil {
 			return fmt.Errorf("re-build program: %w", err)
 		}

@@ -162,12 +162,18 @@ func (m *Metrics) TotalCompute() vtime.Duration {
 	return sum
 }
 
-// Runtime is the host-side engine.
+// Runtime is the host-side engine: the cluster substrate shared by every
+// session. It owns the node connections, the device table, the virtual-time
+// links and crash recovery; all per-tenant state — object namespaces, event
+// tracking, release drains, command logs, migration mode, policy, metrics —
+// lives on Session. The Runtime-level convenience API (CreateContext,
+// Flush, SetMigrationMode, ...) routes through an implicit default session,
+// so single-tenant hosts keep the pre-session semantics unchanged.
 type Runtime struct {
-	userID     string
-	clientName string
-	policy     sched.Policy
-	dialer     transport.Dialer
+	userID        string
+	clientName    string
+	defaultPolicy sched.Policy
+	dialer        transport.Dialer
 
 	nodes   []*NodeHandle
 	devices []*DeviceRef
@@ -194,36 +200,22 @@ type Runtime struct {
 	recoverMu sync.Mutex
 	replaying atomic.Bool
 
-	// logMu guards the command log: every mutating command since t=0, in
-	// issue order, replayed from zeroed buffer state after a node loss.
-	logMu  sync.Mutex
-	cmdLog []logEntry
-
-	// ctxMu guards the context registry recovery walks.
-	ctxMu    sync.Mutex
-	contexts []*Context
+	// sessMu guards the session registry: every open session, plus the
+	// lazily created default session backing the Runtime-level API.
+	sessMu     sync.Mutex
+	sessions   []*Session
+	nextSessID uint64
+	defSess    *Session
 
 	nicOut  *vtime.Link // host NIC egress (paper: single host node)
 	nicIn   *vtime.Link // host NIC ingress (full-duplex GbE)
 	hostMem *vtime.Link // host data-creation resource
 
+	// mu guards the aggregate metrics (the sum over all sessions, which
+	// Runtime.Metrics reports) and the push-token counter.
 	mu        sync.Mutex
 	metrics   Metrics
-	migMode   MigrationMode
 	pushToken uint64 // rendezvous tokens for node→node pushes
-
-	// pendMu guards the set of pipelined commands whose responses have not
-	// been consumed yet; Metrics drains it so accounting is complete.
-	pendMu  sync.Mutex
-	pendSet map[*Event]struct{}
-
-	// relMu guards the fire-and-forget Release calls still awaiting their
-	// acknowledgements, plus the sticky error of the first failed release.
-	// Teardown storms (one Release per event/queue/buffer/kernel) pipeline
-	// instead of paying a round trip each; Flush and Close drain them.
-	relMu      sync.Mutex
-	relPending []*pendingRelease
-	relErr     error
 }
 
 // pendingRelease is one fire-and-forget Release awaiting its ack.
@@ -248,18 +240,17 @@ func Connect(opts Options) (*Runtime, error) {
 		policy = sched.HeteroAware{}
 	}
 	rt := &Runtime{
-		userID:     opts.Config.UserID,
-		clientName: opts.ClientName,
-		policy:     policy,
-		dialer:     opts.Dialer,
-		monitor:    profile.NewMonitor(),
-		nicOut:     sim.NewHostNIC(),
-		nicIn:      sim.NewHostNIC(),
-		hostMem:    sim.NewHostMemory(),
-		epoch:      1,
+		userID:        opts.Config.UserID,
+		clientName:    opts.ClientName,
+		defaultPolicy: policy,
+		dialer:        opts.Dialer,
+		monitor:       profile.NewMonitor(),
+		nicOut:        sim.NewHostNIC(),
+		nicIn:         sim.NewHostNIC(),
+		hostMem:       sim.NewHostMemory(),
+		epoch:         1,
 	}
 	rt.metrics.ComputeBusy = make(map[profile.DeviceKey]vtime.Duration)
-	rt.pendSet = make(map[*Event]struct{})
 
 	// Ship the full topology with every Hello so nodes can dial each other
 	// for direct peer-to-peer pushes (the host plans, nodes move data).
@@ -348,11 +339,17 @@ func (rt *Runtime) ShutdownCluster() error {
 	return firstErr
 }
 
-// Close shuts every node connection down, draining outstanding releases
-// first so their failures are reported instead of dying with the sockets.
+// Close shuts every node connection down, draining every session's
+// outstanding releases first so their failures are reported instead of
+// dying with the sockets.
 func (rt *Runtime) Close() error {
 	rt.closing.Store(true)
-	firstErr := rt.drainReleases()
+	var firstErr error
+	for _, s := range rt.allSessions() {
+		if err := s.drainReleases(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	for _, n := range rt.nodes {
 		if err := n.client.Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -384,16 +381,13 @@ func (rt *Runtime) Nodes() []*NodeHandle { return rt.nodes }
 // Monitor exposes the runtime resource monitor.
 func (rt *Runtime) Monitor() *profile.Monitor { return rt.monitor }
 
-// Policy returns the default scheduling policy.
-func (rt *Runtime) Policy() sched.Policy { return rt.policy }
+// Policy returns the default session's scheduling policy.
+func (rt *Runtime) Policy() sched.Policy { return rt.defaultSession().Policy() }
 
-// SetPolicy swaps the default scheduling policy (the "user customized
-// scheduling policies" hook).
-func (rt *Runtime) SetPolicy(p sched.Policy) {
-	if p != nil {
-		rt.policy = p
-	}
-}
+// SetPolicy swaps the default session's scheduling policy (the "user
+// customized scheduling policies" hook). Sessions opened explicitly carry
+// their own policy and are unaffected.
+func (rt *Runtime) SetPolicy(p sched.Policy) { rt.defaultSession().SetPolicy(p) }
 
 // call performs one protocol round trip and counts it. Object lifecycle
 // operations (creates, builds, releases, status polls) stay synchronous:
@@ -405,22 +399,6 @@ func (rt *Runtime) call(n *NodeHandle, req protocol.Message, resp protocol.Messa
 	return n.client.Call(req, resp)
 }
 
-// issue ships one enqueue command to n without waiting for the response:
-// it assigns the command's host-side completion-event ID and writes the
-// frame atomically, so the node observes commands in event-ID order and a
-// later command may wait on this one before it has been answered. The
-// returned future resolves when the node's response arrives.
-func (rt *Runtime) issue(n *NodeHandle, req protocol.CommandReq, resp protocol.Message) (uint64, *transport.Pending) {
-	rt.mu.Lock()
-	rt.metrics.Commands++
-	rt.mu.Unlock()
-	n.issueMu.Lock()
-	defer n.issueMu.Unlock()
-	n.eventID++
-	req.SetEventID(n.eventID)
-	return n.eventID, n.client.Go(req, resp)
-}
-
 // maxPendingReleases bounds the un-reaped fire-and-forget releases: a
 // long-running host that releases objects but never hits a Flush/Close
 // must not grow the pending list without limit, so crossing the threshold
@@ -428,133 +406,29 @@ func (rt *Runtime) issue(n *NodeHandle, req protocol.CommandReq, resp protocol.M
 // so the amortized cost stays far below one round trip per release.
 const maxPendingReleases = 256
 
-// releaseAsync ships one Release without waiting for its acknowledgement:
-// teardown releases objects in storms, and a synchronous round trip per
-// object makes teardown latency linear in object count. The ack is drained
-// at the next Flush (or Close), where a failure becomes the sticky release
-// error.
-func (rt *Runtime) releaseAsync(n *NodeHandle, kind protocol.ObjectKind, id uint64) {
-	rt.mu.Lock()
-	rt.metrics.Commands++
-	rt.mu.Unlock()
-	pr := &pendingRelease{
-		node: n, kind: kind, id: id,
-		pend: n.client.Go(&protocol.ReleaseReq{Kind: kind, ID: id}, nil),
-	}
-	rt.relMu.Lock()
-	rt.relPending = append(rt.relPending, pr)
-	full := len(rt.relPending) >= maxPendingReleases
-	rt.relMu.Unlock()
-	if full {
-		rt.drainReleases()
-	}
-}
-
-// drainReleases waits for every outstanding release acknowledgement and
-// returns the sticky release error: the first release that ever failed on
-// this runtime, kept so a fire-and-forget failure (double release, unknown
-// object, dead node) is reported rather than lost.
-func (rt *Runtime) drainReleases() error {
-	rt.relMu.Lock()
-	pending := rt.relPending
-	rt.relPending = nil
-	rt.relMu.Unlock()
-	for _, pr := range pending {
-		if err := pr.pend.Wait(); err != nil {
-			rt.relMu.Lock()
-			if rt.relErr == nil {
-				rt.relErr = fmt.Errorf("core: release %s %d on %q: %w",
-					pr.kind, pr.id, pr.node.name, err)
-			}
-			rt.relMu.Unlock()
+// Flush resolves every session's outstanding pipelined commands and
+// releases, waiting for the in-flight responses. Command failures do not
+// surface here; they stay sticky on their queues and are reported by the
+// next Finish/Wait on them. Release failures have no queue to stick to, so
+// Flush returns the first session's sticky release error it finds
+// (Session.Flush scopes it to one tenant).
+func (rt *Runtime) Flush() error {
+	var firstErr error
+	for _, s := range rt.allSessions() {
+		if err := s.Flush(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	rt.relMu.Lock()
-	defer rt.relMu.Unlock()
-	return rt.relErr
-}
-
-// trackEvent registers an unresolved pipelined command so Metrics can
-// drain it; resolve removes it again.
-func (rt *Runtime) trackEvent(e *Event) {
-	rt.pendMu.Lock()
-	rt.pendSet[e] = struct{}{}
-	rt.pendMu.Unlock()
-}
-
-func (rt *Runtime) forgetEvent(e *Event) {
-	rt.pendMu.Lock()
-	delete(rt.pendSet, e)
-	rt.pendMu.Unlock()
-}
-
-// Flush resolves every outstanding pipelined command and release, waiting
-// for the in-flight responses. Command failures do not surface here; they
-// stay sticky on their queues and are reported by the next Finish/Wait on
-// them. Release failures have no queue to stick to, so Flush returns the
-// runtime's sticky release error (the first release that ever failed).
-func (rt *Runtime) Flush() error {
-	rt.pendMu.Lock()
-	evs := make([]*Event, 0, len(rt.pendSet))
-	for e := range rt.pendSet {
-		evs = append(evs, e)
-	}
-	rt.pendMu.Unlock()
-	for _, e := range evs {
-		e.resolve()
-	}
-	return rt.drainReleases()
+	return firstErr
 }
 
 // ModelDataCreate charges host-side creation of n bytes of input data
 // against the virtual host-memory resource and returns the instant the
 // data is ready — the Fig. 3 DataCreate component. Workload generators
-// call this after materializing inputs.
+// call this after materializing inputs. Routed through the default
+// session; sessions opened explicitly use their own ModelDataCreate.
 func (rt *Runtime) ModelDataCreate(n int64) vtime.Time {
-	cost := rt.hostMem.TransferCost(n)
-	_, end := rt.hostMem.Transfer(0, n)
-	rt.mu.Lock()
-	rt.metrics.DataCreate += cost
-	rt.mu.Unlock()
-	return end
-}
-
-// chargeNIC books an n-byte outbound message on the host NIC egress path
-// not starting before earliest, recording it in the transfer metrics, and
-// returns its arrival instant at the far end.
-func (rt *Runtime) chargeNIC(earliest vtime.Time, n int64) vtime.Time {
-	cost := rt.nicOut.TransferCost(n)
-	_, end := rt.nicOut.Transfer(earliest, n)
-	rt.mu.Lock()
-	rt.metrics.Transfer += cost
-	rt.metrics.WireBytes += n
-	rt.metrics.HostWireBytes += n
-	rt.mu.Unlock()
-	return end
-}
-
-// chargeNICIn books an n-byte response payload on the host NIC ingress
-// path (GbE is full duplex, so reads do not contend with writes).
-func (rt *Runtime) chargeNICIn(earliest vtime.Time, n int64) vtime.Time {
-	cost := rt.nicIn.TransferCost(n)
-	_, end := rt.nicIn.Transfer(earliest, n)
-	rt.mu.Lock()
-	rt.metrics.Transfer += cost
-	rt.metrics.WireBytes += n
-	rt.metrics.HostWireBytes += n
-	rt.mu.Unlock()
-	return end
-}
-
-// chargePeer records n bytes of node↔node traffic. The link occupancy is
-// modeled node-side (each node books its own egress link in virtual time);
-// the host only keeps the byte accounting, since peer traffic never touches
-// the host NIC.
-func (rt *Runtime) chargePeer(n int64) {
-	rt.mu.Lock()
-	rt.metrics.WireBytes += n
-	rt.metrics.PeerWireBytes += n
-	rt.mu.Unlock()
+	return rt.defaultSession().ModelDataCreate(n)
 }
 
 // nextPushToken mints a cluster-unique rendezvous token pairing one
@@ -587,34 +461,16 @@ const (
 	MigrateHostRelay
 )
 
-// SetMigrationMode switches between p2p delta, full-buffer, and host-relay
-// delta migration.
+// SetMigrationMode switches the default session between p2p delta,
+// full-buffer, and host-relay delta migration. The mode is per-session
+// state: sessions opened explicitly flip their own mode without affecting
+// other tenants.
 func (rt *Runtime) SetMigrationMode(m MigrationMode) {
-	rt.mu.Lock()
-	rt.migMode = m
-	rt.mu.Unlock()
+	rt.defaultSession().SetMigrationMode(m)
 }
 
-func (rt *Runtime) migrationMode() MigrationMode {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.migMode
-}
-
-// observeProfile folds a completed command's profile into the metrics.
-func (rt *Runtime) observeProfile(key profile.DeviceKey, p protocol.Profile, isKernel bool) {
-	rt.mu.Lock()
-	if end := vtime.Time(p.End); end > rt.metrics.Makespan {
-		rt.metrics.Makespan = end
-	}
-	if isKernel {
-		rt.metrics.ComputeBusy[key] += vtime.Duration(p.DurationNS())
-	}
-	rt.mu.Unlock()
-	rt.monitor.ObserveCompletion(key, vtime.Time(p.End))
-}
-
-// Metrics returns a copy of the run's accumulated accounting. It is a
+// Metrics returns a copy of the run's accumulated accounting aggregated
+// over every session (per-tenant numbers come from Session.Metrics). It is a
 // synchronization point: outstanding pipelined commands are drained first
 // so the numbers cover every command issued so far.
 func (rt *Runtime) Metrics() Metrics {

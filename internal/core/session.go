@@ -1,0 +1,441 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/haocl-project/haocl/internal/profile"
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/sched"
+	"github.com/haocl-project/haocl/internal/transport"
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+// ErrCrossSession marks an attempt to use one session's objects from
+// another session: wait on its events, enqueue against its buffers or
+// kernels, broadcast into its namespaces. Sessions are isolation domains;
+// sharing data across tenants goes through the cluster, not through host
+// handles. Test with errors.Is.
+var ErrCrossSession = errors.New("core: object belongs to another session")
+
+// Session is one tenant's slice of the runtime. The Runtime owns the
+// shared cluster substrate — node connections, the device table, the
+// virtual-time links, recovery — while every piece of state that one
+// misbehaving application could poison for another lives here: the object
+// namespace (contexts and everything created from them), the pipelined
+// event set, the fire-and-forget release drain with its sticky error, the
+// command log replayed after a node loss, the migration mode, the
+// scheduling policy, and the per-tenant Metrics.
+//
+// Sessions are cheap: OpenSession performs no wire traffic (remote
+// contexts are created per CreateContext call, tagged with the session's
+// identity). All methods are safe for concurrent use, and concurrent
+// sessions never serialize against each other except on the shared
+// substrate itself.
+type Session struct {
+	rt     *Runtime
+	id     uint64
+	tenant string
+
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	metrics Metrics
+	migMode MigrationMode
+	policy  sched.Policy
+
+	// pendMu guards the set of this session's pipelined commands whose
+	// responses have not been consumed yet; Metrics drains it so the
+	// numbers are complete.
+	pendMu  sync.Mutex
+	pendSet map[*Event]struct{}
+
+	// relMu guards the session's fire-and-forget Release calls still
+	// awaiting acknowledgement, plus the sticky error of the first failed
+	// release. One tenant's failed Release surfaces on its own Flush and
+	// nobody else's.
+	relMu      sync.Mutex
+	relPending []*pendingRelease
+	relErr     error
+
+	// logMu guards the session's command log: every mutating command in
+	// issue order, replayed from zeroed buffer state after a node loss.
+	// Recovery replays only the logs of sessions the dead node touched.
+	logMu  sync.Mutex
+	cmdLog []logEntry
+
+	// ctxMu guards the session's context registry — its object namespace.
+	ctxMu    sync.Mutex
+	contexts []*Context
+}
+
+// OpenSession creates a new isolated session for the named tenant. The
+// name labels metrics and errors; it need not be unique.
+func (rt *Runtime) OpenSession(tenant string) *Session {
+	rt.sessMu.Lock()
+	defer rt.sessMu.Unlock()
+	return rt.openSessionLocked(tenant)
+}
+
+// openSessionLocked allocates a session. Caller holds rt.sessMu.
+func (rt *Runtime) openSessionLocked(tenant string) *Session {
+	rt.nextSessID++
+	s := &Session{
+		rt:      rt,
+		id:      rt.nextSessID,
+		tenant:  tenant,
+		policy:  rt.defaultPolicy,
+		pendSet: make(map[*Event]struct{}),
+	}
+	s.metrics.ComputeBusy = make(map[profile.DeviceKey]vtime.Duration)
+	rt.sessions = append(rt.sessions, s)
+	return s
+}
+
+// defaultSession lazily opens the session backing the Runtime-level
+// convenience API: single-tenant hosts keep calling Runtime.CreateContext /
+// Flush / SetMigrationMode and get exactly the old semantics, routed
+// through one implicit session.
+func (rt *Runtime) defaultSession() *Session {
+	rt.sessMu.Lock()
+	defer rt.sessMu.Unlock()
+	if rt.defSess == nil {
+		rt.defSess = rt.openSessionLocked("default")
+	}
+	return rt.defSess
+}
+
+// allSessions snapshots the open sessions.
+func (rt *Runtime) allSessions() []*Session {
+	rt.sessMu.Lock()
+	defer rt.sessMu.Unlock()
+	return append([]*Session(nil), rt.sessions...)
+}
+
+// Tenant returns the tenant name given at OpenSession.
+func (s *Session) Tenant() string { return s.tenant }
+
+// ID returns the session's runtime-unique identifier.
+func (s *Session) ID() uint64 { return s.id }
+
+// Runtime returns the shared substrate.
+func (s *Session) Runtime() *Runtime { return s.rt }
+
+// Close flushes the session — draining its pipelined commands and release
+// acknowledgements — and detaches it from the runtime. A closed session's
+// command log is no longer replayed by recovery, and its sticky release
+// error is reported here one last time. Objects the session created are
+// released by their own Release calls; Close does not reach into the
+// namespace.
+func (s *Session) Close() error {
+	err := s.Flush()
+	s.closed.Store(true)
+	s.rt.sessMu.Lock()
+	for i, cand := range s.rt.sessions {
+		if cand == s {
+			s.rt.sessions = append(s.rt.sessions[:i], s.rt.sessions[i+1:]...)
+			break
+		}
+	}
+	if s.rt.defSess == s {
+		s.rt.defSess = nil
+	}
+	s.rt.sessMu.Unlock()
+	return err
+}
+
+// bump applies one metrics mutation to the session's own accounting and to
+// the runtime-wide aggregate, so Runtime.Metrics keeps reporting the whole
+// run while Session.Metrics reports one tenant.
+func (s *Session) bump(f func(m *Metrics)) {
+	s.rt.mu.Lock()
+	f(&s.rt.metrics)
+	s.rt.mu.Unlock()
+	s.mu.Lock()
+	f(&s.metrics)
+	s.mu.Unlock()
+}
+
+// call performs one protocol round trip on behalf of this session. A
+// transport failure on a node that is no longer alive is classified as
+// node loss so the recovering wrappers retry it.
+func (s *Session) call(n *NodeHandle, req protocol.Message, resp protocol.Message) error {
+	s.bump(func(m *Metrics) { m.Commands++ })
+	return classifyNodeErr(n, n.client.Call(req, resp))
+}
+
+// issue ships one enqueue command without waiting for the response,
+// assigning the host-side completion-event ID and writing the frame
+// atomically (see Runtime.issue for the ordering contract).
+func (s *Session) issue(n *NodeHandle, req protocol.CommandReq, resp protocol.Message) (uint64, *transport.Pending) {
+	s.bump(func(m *Metrics) { m.Commands++ })
+	n.issueMu.Lock()
+	defer n.issueMu.Unlock()
+	n.eventID++
+	req.SetEventID(n.eventID)
+	return n.eventID, n.client.Go(req, resp)
+}
+
+// releaseAsync ships one fire-and-forget Release; the acknowledgement is
+// drained at the session's next Flush (or Close), where a failure becomes
+// this session's sticky release error.
+func (s *Session) releaseAsync(n *NodeHandle, kind protocol.ObjectKind, id uint64) {
+	s.bump(func(m *Metrics) { m.Commands++ })
+	pr := &pendingRelease{
+		node: n, kind: kind, id: id,
+		pend: n.client.Go(&protocol.ReleaseReq{Kind: kind, ID: id}, nil),
+	}
+	s.relMu.Lock()
+	s.relPending = append(s.relPending, pr)
+	full := len(s.relPending) >= maxPendingReleases
+	s.relMu.Unlock()
+	if full {
+		s.drainReleases()
+	}
+}
+
+// drainReleases waits for every outstanding release acknowledgement and
+// returns the session's sticky release error: the first release that ever
+// failed on this session, kept so a fire-and-forget failure is reported
+// rather than lost — to this tenant only.
+func (s *Session) drainReleases() error {
+	s.relMu.Lock()
+	pending := s.relPending
+	s.relPending = nil
+	s.relMu.Unlock()
+	for _, pr := range pending {
+		if err := pr.pend.Wait(); err != nil {
+			s.relMu.Lock()
+			if s.relErr == nil {
+				s.relErr = fmt.Errorf("core: release %s %d on %q: %w",
+					pr.kind, pr.id, pr.node.name, err)
+			}
+			s.relMu.Unlock()
+		}
+	}
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
+	return s.relErr
+}
+
+// trackEvent registers an unresolved pipelined command so the session's
+// synchronization points can drain it; resolve removes it again.
+func (s *Session) trackEvent(e *Event) {
+	s.pendMu.Lock()
+	s.pendSet[e] = struct{}{}
+	s.pendMu.Unlock()
+}
+
+func (s *Session) forgetEvent(e *Event) {
+	s.pendMu.Lock()
+	delete(s.pendSet, e)
+	s.pendMu.Unlock()
+}
+
+// drainPendingEvents resolves every outstanding pipelined future of this
+// session (the event half of Flush, without touching the release pipeline).
+func (s *Session) drainPendingEvents() {
+	s.pendMu.Lock()
+	evs := make([]*Event, 0, len(s.pendSet))
+	for e := range s.pendSet {
+		evs = append(evs, e)
+	}
+	s.pendMu.Unlock()
+	for _, e := range evs {
+		e.resolve()
+	}
+}
+
+// Flush resolves every outstanding pipelined command and release of this
+// session. Command failures stay sticky on their queues; release failures
+// surface here as the session's sticky release error. Another tenant's
+// failures never do.
+func (s *Session) Flush() error {
+	s.drainPendingEvents()
+	return s.drainReleases()
+}
+
+// Metrics returns a copy of the session's accumulated accounting, draining
+// the session's outstanding commands first.
+func (s *Session) Metrics() Metrics {
+	s.Flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.metrics
+	out.ComputeBusy = make(map[profile.DeviceKey]vtime.Duration, len(s.metrics.ComputeBusy))
+	for k, v := range s.metrics.ComputeBusy {
+		out.ComputeBusy[k] = v
+	}
+	return out
+}
+
+// SetPolicy swaps this session's default scheduling policy.
+func (s *Session) SetPolicy(p sched.Policy) {
+	if p == nil {
+		return
+	}
+	s.mu.Lock()
+	s.policy = p
+	s.mu.Unlock()
+}
+
+// Policy returns this session's default scheduling policy.
+func (s *Session) Policy() sched.Policy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy
+}
+
+// SetMigrationMode switches this session's migration strategy; other
+// sessions are untouched.
+func (s *Session) SetMigrationMode(m MigrationMode) {
+	s.mu.Lock()
+	s.migMode = m
+	s.mu.Unlock()
+}
+
+// MigrationMode returns this session's current migration strategy.
+func (s *Session) MigrationMode() MigrationMode {
+	return s.migrationMode()
+}
+
+func (s *Session) migrationMode() MigrationMode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.migMode
+}
+
+// ModelDataCreate charges host-side creation of n bytes of input data for
+// this session against the shared virtual host-memory resource and returns
+// the instant the data is ready.
+func (s *Session) ModelDataCreate(n int64) vtime.Time {
+	cost := s.rt.hostMem.TransferCost(n)
+	_, end := s.rt.hostMem.Transfer(0, n)
+	s.bump(func(m *Metrics) { m.DataCreate += cost })
+	return end
+}
+
+// chargeNIC books an n-byte outbound message on the shared host NIC egress
+// link, recording it in both the session's and the aggregate transfer
+// metrics, and returns its arrival instant at the far end.
+func (s *Session) chargeNIC(earliest vtime.Time, n int64) vtime.Time {
+	cost := s.rt.nicOut.TransferCost(n)
+	_, end := s.rt.nicOut.Transfer(earliest, n)
+	s.bump(func(m *Metrics) {
+		m.Transfer += cost
+		m.WireBytes += n
+		m.HostWireBytes += n
+	})
+	return end
+}
+
+// chargeNICIn books an n-byte response payload on the host NIC ingress
+// link (full-duplex GbE: reads do not contend with writes).
+func (s *Session) chargeNICIn(earliest vtime.Time, n int64) vtime.Time {
+	cost := s.rt.nicIn.TransferCost(n)
+	_, end := s.rt.nicIn.Transfer(earliest, n)
+	s.bump(func(m *Metrics) {
+		m.Transfer += cost
+		m.WireBytes += n
+		m.HostWireBytes += n
+	})
+	return end
+}
+
+// chargePeer records n bytes of node↔node traffic for this session (link
+// occupancy is modeled node-side; peer traffic never touches the host NIC).
+func (s *Session) chargePeer(n int64) {
+	s.bump(func(m *Metrics) {
+		m.WireBytes += n
+		m.PeerWireBytes += n
+	})
+}
+
+// observeProfile folds a completed command's profile into the session and
+// aggregate metrics and the shared monitor.
+func (s *Session) observeProfile(key profile.DeviceKey, p protocol.Profile, isKernel bool) {
+	end := vtime.Time(p.End)
+	dur := vtime.Duration(p.DurationNS())
+	s.bump(func(m *Metrics) {
+		if end > m.Makespan {
+			m.Makespan = end
+		}
+		if isKernel {
+			m.ComputeBusy[key] += dur
+		}
+	})
+	s.rt.monitor.ObserveCompletion(key, end)
+}
+
+// observeMakespan folds a virtual completion instant into the metrics.
+func (s *Session) observeMakespan(t vtime.Time) {
+	s.bump(func(m *Metrics) {
+		if t > m.Makespan {
+			m.Makespan = t
+		}
+	})
+}
+
+// logCommand appends one entry to the session's command log unless recovery
+// is replaying (replay must not grow the log it is walking).
+func (s *Session) logCommand(e logEntry) {
+	if s.rt.replaying.Load() {
+		return
+	}
+	s.logMu.Lock()
+	s.cmdLog = append(s.cmdLog, e)
+	s.logMu.Unlock()
+}
+
+// replayLog re-issues this session's mutation history through the enqueue
+// internals and returns how many entries were replayed. Entries whose
+// objects were released are skipped. Caller holds recoverMu and has set
+// rt.replaying.
+func (s *Session) replayLog() (int, error) {
+	s.logMu.Lock()
+	log := append([]logEntry(nil), s.cmdLog...)
+	s.logMu.Unlock()
+	replayed := 0
+	for _, e := range log {
+		if e.skip() {
+			continue
+		}
+		if err := e.replay(s.rt); err != nil {
+			return replayed, err
+		}
+		replayed++
+	}
+	return replayed, nil
+}
+
+// snapshotContexts copies the session's context registry.
+func (s *Session) snapshotContexts() []*Context {
+	s.ctxMu.Lock()
+	defer s.ctxMu.Unlock()
+	return append([]*Context(nil), s.contexts...)
+}
+
+// needsRecovery reports whether this session's state was touched by the
+// dead nodes: a context spanning one of them, or a queue poisoned by a
+// crash-induced sticky error. Recovery drains, strips and replays exactly
+// these sessions; bystander tenants keep their pipelines and logs intact.
+func (s *Session) needsRecovery(dead []*NodeHandle) bool {
+	for _, ctx := range s.snapshotContexts() {
+		ctx.mu.Lock()
+		for _, n := range dead {
+			if _, ok := ctx.remote[n]; ok {
+				ctx.mu.Unlock()
+				return true
+			}
+		}
+		ctx.mu.Unlock()
+		for _, q := range ctx.allQueues() {
+			if isNodeLost(q.stickyErr()) {
+				return true
+			}
+		}
+	}
+	return false
+}

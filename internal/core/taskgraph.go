@@ -177,8 +177,8 @@ func schedTask(t *GraphTask) sched.Task {
 	return st
 }
 
-// Run places and launches every task using policy (nil selects the
-// runtime's default policy). Placement happens task by task in dependency
+// Run places and launches every task using policy (nil selects the owning
+// session's policy). Placement happens task by task in dependency
 // order, consulting the live monitor snapshot before each decision.
 //
 // Dispatch is pipelined: every launch goes out through the async command
@@ -189,7 +189,7 @@ func schedTask(t *GraphTask) sched.Task {
 // a launch that fails remotely surfaces there (and on its queue's Finish).
 func (g *TaskGraph) Run(policy sched.Policy) error {
 	if policy == nil {
-		policy = g.ctx.rt.Policy()
+		policy = g.ctx.sess.Policy()
 	}
 	order, err := g.topoOrder()
 	if err != nil {

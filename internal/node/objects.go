@@ -43,6 +43,12 @@ func newObjectTable() *objectTable {
 type contextObj struct {
 	id      uint64
 	devices []uint32
+
+	// sessionID and tenant attribute the context to one host-side session:
+	// node logs and accounting can tell tenants apart. Pre-session hosts
+	// leave them 0/"" — one anonymous session.
+	sessionID uint64
+	tenant    string
 }
 
 type queueObj struct {

@@ -710,7 +710,11 @@ func (s *Session) handleCreateContext(body []byte) (protocol.Message, error) {
 		}
 		devs = append(devs, uint32(id))
 	}
-	id := s.node.objects.putContext(&contextObj{devices: devs})
+	id := s.node.objects.putContext(&contextObj{
+		devices:   devs,
+		sessionID: req.SessionID,
+		tenant:    req.Tenant,
+	})
 	return &protocol.ObjectResp{ID: id}, nil
 }
 

@@ -220,6 +220,23 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 	f.Add(pushFrame)
 	f.Add(pushFrame[:len(pushFrame)-5])
+	// Session-era frames: a rejoin hello with an epoch and a context
+	// request carrying the appended tenant identity, plus a truncation
+	// that lands inside the tenant string.
+	sessHello, err := AppendFrame(nil, &Frame{Kind: FrameRequest, ReqID: 11, Op: OpHello,
+		Body: EncodeMessage(&HelloReq{UserID: "u", WireVersion: Version, Epoch: 3,
+			Peers: []PeerAddr{{Name: "gpu-0", Addr: "mem://gpu-0"}}})})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sessHello)
+	sessCtx, err := AppendFrame(nil, &Frame{Kind: FrameRequest, ReqID: 12, Op: OpCreateContext,
+		Body: EncodeMessage(&CreateContextReq{DeviceIDs: []int64{1, 2}, SessionID: 7, Tenant: "team-a"})})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sessCtx)
+	f.Add(sessCtx[:len(sessCtx)-4])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))
@@ -261,6 +278,9 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add(uint16(OpPeerPush), EncodeMessage(&PeerPushReq{Token: 4, Data: []byte{1, 2, 3}}))
 	f.Add(uint16(OpAwaitPush), EncodeMessage(&AwaitPushReq{QueueID: 1, BufferID: 2, Token: 4, Size: 64}))
 	f.Add(uint16(OpCancelPush), EncodeMessage(&CancelPushReq{Token: 4, Reason: "gone"}))
+	f.Add(uint16(OpHello), EncodeMessage(&HelloReq{UserID: "u", WireVersion: Version, Epoch: 3}))
+	f.Add(uint16(OpCreateContext), EncodeMessage(&CreateContextReq{
+		DeviceIDs: []int64{1, 2}, SessionID: 7, Tenant: "team-a"}))
 	f.Fuzz(func(t *testing.T, op uint16, body []byte) {
 		var msgs = []Message{
 			&HelloReq{}, &HelloResp{}, &GetDeviceInfosReq{}, &GetDeviceInfosResp{},

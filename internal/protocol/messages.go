@@ -425,16 +425,35 @@ func (k ObjectKind) String() string {
 // CreateContextReq creates a context over a set of node-local devices.
 type CreateContextReq struct {
 	DeviceIDs []int64
+	// SessionID and Tenant identify the host-side session the context
+	// belongs to, so node-side accounting and logs can attribute objects to
+	// tenants. Appended after DeviceIDs; requests from pre-session hosts
+	// lack them and decode as 0/"" (the node treats that as one anonymous
+	// session).
+	SessionID uint64
+	Tenant    string
 }
 
 // Op implements Message.
 func (*CreateContextReq) Op() Op { return OpCreateContext }
 
 // MarshalBody implements Message.
-func (m *CreateContextReq) MarshalBody(e *Encoder) { e.Ints(m.DeviceIDs) }
+func (m *CreateContextReq) MarshalBody(e *Encoder) {
+	e.Ints(m.DeviceIDs)
+	e.U64(m.SessionID)
+	e.Str(m.Tenant)
+}
 
 // UnmarshalBody implements Message.
-func (m *CreateContextReq) UnmarshalBody(d *Decoder) { m.DeviceIDs = d.Ints() }
+func (m *CreateContextReq) UnmarshalBody(d *Decoder) {
+	m.DeviceIDs = d.Ints()
+	if d.Err() == nil && d.Remaining() >= 8 {
+		m.SessionID = d.U64()
+	}
+	if d.Err() == nil && d.Remaining() >= 4 {
+		m.Tenant = d.Str()
+	}
+}
 
 // ObjectResp returns a freshly created remote object handle.
 type ObjectResp struct {

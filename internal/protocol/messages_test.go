@@ -79,7 +79,8 @@ func TestAllMessagesRoundTripProperty(t *testing.T) {
 			return &GetDeviceInfosResp{Devices: []DeviceInfo{randDevice(rng), randDevice(rng)}}, &GetDeviceInfosResp{}
 		},
 		func() (Message, Message) {
-			return &CreateContextReq{DeviceIDs: []int64{rng.Int63(), rng.Int63()}}, &CreateContextReq{}
+			return &CreateContextReq{DeviceIDs: []int64{rng.Int63(), rng.Int63()},
+				SessionID: rng.Uint64(), Tenant: randStr(rng)}, &CreateContextReq{}
 		},
 		func() (Message, Message) {
 			return &CreateQueueReq{ContextID: rng.Uint64(), DeviceID: rng.Uint32(), Profiling: rng.Intn(2) == 0}, &CreateQueueReq{}
@@ -308,6 +309,40 @@ func TestHelloEpochBootIDRoundTrip(t *testing.T) {
 	}
 	if old.BootID != 0 || old.WireVersion != 3 {
 		t.Fatalf("legacy response decoded to %+v", old)
+	}
+}
+
+// TestCreateContextSessionBackCompat: the session identity appended to
+// CreateContextReq survives a round trip, and a request from a
+// pre-session host (no trailing SessionID/Tenant) decodes as the
+// anonymous session rather than erroring.
+func TestCreateContextSessionBackCompat(t *testing.T) {
+	in := &CreateContextReq{DeviceIDs: []int64{3, 9}, SessionID: 7, Tenant: "team-a"}
+	var out CreateContextReq
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(in, &out) {
+		t.Fatalf("%+v != %+v", out, in)
+	}
+
+	full := EncodeMessage(&CreateContextReq{DeviceIDs: []int64{3, 9}, SessionID: 7})
+	// Strip the tenant length word (4) and the session ID (8).
+	legacy := full[:len(full)-12]
+	var old CreateContextReq
+	if err := DecodeMessage(&old, legacy); err != nil {
+		t.Fatalf("pre-session request rejected: %v", err)
+	}
+	if !reflect.DeepEqual(old.DeviceIDs, []int64{3, 9}) || old.SessionID != 0 || old.Tenant != "" {
+		t.Fatalf("legacy request decoded to %+v", old)
+	}
+
+	// A request carrying the session ID but cut before the tenant string
+	// still decodes (tenant defaults empty).
+	var mid CreateContextReq
+	if err := DecodeMessage(&mid, full[:len(full)-4]); err != nil {
+		t.Fatalf("session-only request rejected: %v", err)
+	}
+	if mid.SessionID != 7 || mid.Tenant != "" {
+		t.Fatalf("session-only request decoded to %+v", mid)
 	}
 }
 

@@ -31,6 +31,15 @@ chaos
     overhead must stay bounded: the chaos leg's enqueue rate may not
     drop below 1/3 of the healthy leg's (speedup >= 1/3).
 
+serve
+    Fair-share admission must hold every light tenant's p99 virtual
+    latency within 3x its solo baseline despite the 10x aggressor, FIFO
+    must demonstrably fail that bound (>= 3x — otherwise the experiment
+    exerted no contention), and the fair leg's rerun must reproduce every
+    job latency exactly (virtual_match on the fair-rerun comparison;
+    DESIGN.md §8). The speedup field of a serve comparison carries the
+    p99 ratio versus solo.
+
 Usage: check_bench.py [report.json ...]
 With no arguments, checks the default bench-*.json set in the current
 directory.
@@ -46,11 +55,18 @@ DEFAULT_REPORTS = [
     "bench-coherence.json",
     "bench-p2p.json",
     "bench-chaos.json",
+    "bench-serve.json",
 ]
 
 # The chaos leg may not run slower than this fraction of the healthy
 # leg's enqueue rate; below it, recovery overhead is considered unbounded.
 CHAOS_MIN_SPEEDUP = 1.0 / 3.0
+
+# Serve: a light tenant's p99 under fair-share may be at most this
+# multiple of its solo p99; under FIFO it must be at least it (the
+# aggressor must actually distort the baseline for the bound to mean
+# anything).
+SERVE_P99_BOUND = 3.0
 
 
 def check_report(name, rep):
@@ -89,6 +105,29 @@ def check_report(name, rep):
                 bad.append((name, r["workload"], "chaos leg recorded no recoveries"))
         if not any(r.get("mode") == "chaos" for r in rows):
             bad.append((name, "-", "no chaos rows in report"))
+    elif exp == "serve":
+        fair = [c for c in comparisons
+                if c.get("mode") == "fair" and c.get("baseline") == "solo"]
+        fifo = [c for c in comparisons
+                if c.get("mode") == "fifo" and c.get("baseline") == "solo"]
+        rerun = [c for c in comparisons if c.get("mode") == "fair-rerun"]
+        for c in fair:
+            if c.get("speedup", float("inf")) > SERVE_P99_BOUND:
+                bad.append((name, c["workload"],
+                            "fair-share p99 %.2fx solo exceeds %.1fx bound"
+                            % (c.get("speedup", 0), SERVE_P99_BOUND)))
+        for c in fifo:
+            if c.get("speedup", 0) < SERVE_P99_BOUND:
+                bad.append((name, c["workload"],
+                            "fifo p99 only %.2fx solo — aggressor exerted no contention"
+                            % c.get("speedup", 0)))
+        for c in rerun:
+            if not c.get("virtual_match"):
+                bad.append((name, c["workload"], "fair rerun latencies diverged"))
+        if not fair or not fifo:
+            bad.append((name, "-", "missing fair/fifo-vs-solo comparisons"))
+        if not rerun:
+            bad.append((name, "-", "missing fair-rerun determinism comparison"))
     else:
         bad.append((name, "-", "unknown experiment %r" % (exp,)))
 

@@ -100,6 +100,42 @@ class Chaos(unittest.TestCase):
         self.assertIn("no chaos rows in report", problems)
 
 
+class Serve(unittest.TestCase):
+    @staticmethod
+    def comparisons(fair=2.0, fifo=50.0, rerun_match=True):
+        return [
+            comparison("light-0", baseline="solo", mode="fair", speedup=fair),
+            comparison("light-0", baseline="solo", mode="fifo", speedup=fifo),
+            comparison("Serve", baseline="fair", mode="fair-rerun",
+                       virtual_match=rerun_match),
+        ]
+
+    def test_clean(self):
+        rep = report("serve", self.comparisons())
+        self.assertEqual(check_bench.check_report("r", rep), [])
+
+    def test_unbounded_fair_p99_flagged(self):
+        rep = report("serve", self.comparisons(fair=3.5))
+        problems = [b[2] for b in check_bench.check_report("r", rep)]
+        self.assertTrue(any("exceeds" in p for p in problems))
+
+    def test_uncontended_fifo_flagged(self):
+        rep = report("serve", self.comparisons(fifo=1.2))
+        problems = [b[2] for b in check_bench.check_report("r", rep)]
+        self.assertTrue(any("no contention" in p for p in problems))
+
+    def test_nondeterministic_rerun_flagged(self):
+        rep = report("serve", self.comparisons(rerun_match=False))
+        problems = [b[2] for b in check_bench.check_report("r", rep)]
+        self.assertIn("fair rerun latencies diverged", problems)
+
+    def test_missing_comparisons_flagged(self):
+        rep = report("serve", [comparison("light-0", baseline="solo", mode="fair")])
+        problems = [b[2] for b in check_bench.check_report("r", rep)]
+        self.assertIn("missing fair/fifo-vs-solo comparisons", problems)
+        self.assertIn("missing fair-rerun determinism comparison", problems)
+
+
 class Shapes(unittest.TestCase):
     def test_unknown_experiment_flagged(self):
         bad = check_bench.check_report("r", report("mystery", [comparison()]))
@@ -132,7 +168,8 @@ class Main(unittest.TestCase):
         root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         paths = [os.path.join(root, n) for n in (
             "BENCH_pipeline.json", "BENCH_batch.json", "BENCH_lanes.json",
-            "BENCH_coherence.json", "BENCH_p2p.json", "BENCH_chaos.json")]
+            "BENCH_coherence.json", "BENCH_p2p.json", "BENCH_chaos.json",
+            "BENCH_serve.json")]
         for p in paths:
             self.assertTrue(os.path.exists(p), p)
         self.assertEqual(check_bench.main(paths), 0)
