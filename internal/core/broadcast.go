@@ -219,7 +219,7 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 			}, resp)
 			ev = &Event{dev: h.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
 			c.sess.chargePeer(b.modelSize)
-			c.rt.watchPush(node.client, token, pushEv)
+			c.rt.watchPush(node.client.Load(), token, pushEv)
 		}
 		prevArrival = arrival
 		prevID = id

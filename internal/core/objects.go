@@ -201,7 +201,16 @@ type Context struct {
 	rt      *Runtime
 	sess    *Session
 	devices []*DeviceRef
-	remote  map[*NodeHandle]uint64
+
+	// remoteMu guards remote, the per-node context instance IDs. The map
+	// is immutable between membership changes, but recovery deletes a dead
+	// node's entry (stripDead) and rejoin re-adds it (restoreOn) while
+	// other goroutines create objects, so every access goes through
+	// remoteID/remoteSnapshot/setRemote/dropRemote. remoteMu is a leaf
+	// lock: it is taken while holding mu, regMu, a Buffer's or Program's
+	// mu, and never holds any other lock itself.
+	remoteMu sync.Mutex
+	remote   map[*NodeHandle]uint64
 
 	mu       sync.Mutex
 	svcQueue map[*NodeHandle]*Queue // hidden queues for buffer migration
@@ -250,12 +259,46 @@ func (s *Session) CreateContext(devices []*DeviceRef) (*Context, error) {
 		if err := s.call(node, req, &resp); err != nil {
 			return nil, fmt.Errorf("core: create context on %q: %w", node.name, err)
 		}
-		ctx.remote[node] = resp.ID
+		ctx.setRemote(node, resp.ID)
 	}
 	s.ctxMu.Lock()
 	s.contexts = append(s.contexts, ctx)
 	s.ctxMu.Unlock()
 	return ctx, nil
+}
+
+// remoteID returns the context's remote instance ID on node, if any.
+func (c *Context) remoteID(node *NodeHandle) (uint64, bool) {
+	c.remoteMu.Lock()
+	defer c.remoteMu.Unlock()
+	id, ok := c.remote[node]
+	return id, ok
+}
+
+// remoteSnapshot copies the per-node instance map for lock-free iteration.
+func (c *Context) remoteSnapshot() map[*NodeHandle]uint64 {
+	c.remoteMu.Lock()
+	defer c.remoteMu.Unlock()
+	out := make(map[*NodeHandle]uint64, len(c.remote))
+	for n, id := range c.remote {
+		out[n] = id
+	}
+	return out
+}
+
+// setRemote records the context's remote instance on node (creation and
+// rejoin restore).
+func (c *Context) setRemote(node *NodeHandle, id uint64) {
+	c.remoteMu.Lock()
+	c.remote[node] = id
+	c.remoteMu.Unlock()
+}
+
+// dropRemote forgets the context's remote instance on a dead node.
+func (c *Context) dropRemote(node *NodeHandle) {
+	c.remoteMu.Lock()
+	delete(c.remote, node)
+	c.remoteMu.Unlock()
 }
 
 // allQueues snapshots the context's queue registry (user and service
@@ -397,12 +440,13 @@ func (q *Queue) drain() {
 
 // CreateQueue creates a command queue on dev.
 func (c *Context) CreateQueue(dev *DeviceRef) (*Queue, error) {
-	if _, ok := c.remote[dev.node]; !ok {
+	ctxID, ok := c.remoteID(dev.node)
+	if !ok {
 		return nil, fmt.Errorf("core: device %s is not in this context", dev.key)
 	}
 	var resp protocol.ObjectResp
 	err := c.sess.call(dev.node, &protocol.CreateQueueReq{
-		ContextID: c.remote[dev.node],
+		ContextID: ctxID,
 		DeviceID:  dev.info.ID,
 		Profiling: true,
 	}, &resp)
@@ -569,7 +613,7 @@ func (b *Buffer) remoteOn(node *NodeHandle) (*remoteBuf, error) {
 	if rb, ok := b.remote[node]; ok {
 		return rb, nil
 	}
-	ctxID, ok := b.ctx.remote[node]
+	ctxID, ok := b.ctx.remoteID(node)
 	if !ok {
 		return nil, fmt.Errorf("core: context spans no device on node %q", node.name)
 	}
@@ -1109,7 +1153,7 @@ func (p *Program) Build() error {
 	if p.built {
 		return nil
 	}
-	for node, ctxID := range p.ctx.remote {
+	for node, ctxID := range p.ctx.remoteSnapshot() {
 		var resp protocol.BuildProgramResp
 		err := p.ctx.sess.call(node, &protocol.BuildProgramReq{
 			ContextID: ctxID,

@@ -163,7 +163,7 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 	awaitEv := &Event{dev: svc.dev, remoteID: awaitID, queue: svc, pending: awaitPend, resp: awaitResp}
 	svc.track(awaitEv)
 	sess.chargePeer(modelBytes)
-	rt.watchPush(node.client, token, pushEv)
+	rt.watchPush(node.client.Load(), token, pushEv)
 
 	rb.valid.Add(ps.r.Lo, ps.r.Hi)
 	rb.lastEvent = awaitID

@@ -174,7 +174,7 @@ func (rt *Runtime) recoverOnce() (bool, error) {
 		return false, nil
 	}
 	for _, n := range dead {
-		n.client.Close()
+		n.client.Load().Close()
 	}
 
 	// 1. Materialize every in-flight failure of the affected sessions:
@@ -182,15 +182,17 @@ func (rt *Runtime) recoverOnce() (bool, error) {
 	// awaiters stranded by a dead pusher) and reap their fire-and-forget
 	// releases. Release acks that died with a dead connection are
 	// expendable — the objects died with the node — so the crash does not
-	// become a sticky release error.
+	// become a sticky release error; a genuine RemoteError from a live
+	// node (drainReleases classifies each failure) stays latched and still
+	// surfaces at the tenant's Flush/Close.
 	for _, s := range affected {
 		s.drainPendingEvents()
 		s.drainReleases()
-		if len(dead) > 0 {
-			s.relMu.Lock()
+		s.relMu.Lock()
+		if isNodeLost(s.relErr) {
 			s.relErr = nil
-			s.relMu.Unlock()
 		}
+		s.relMu.Unlock()
 	}
 
 	// 2. Membership: the scheduler's device view must drop the dead nodes
@@ -289,10 +291,10 @@ func (c *Context) stripDead(dead []*NodeHandle) error {
 			c.dropQueue(q)
 		}
 	}
-	for _, n := range dead {
-		delete(c.remote, n)
-	}
 	c.mu.Unlock()
+	for _, n := range dead {
+		c.dropRemote(n)
+	}
 	c.regMu.Lock()
 	queues := append([]*Queue(nil), c.queues...)
 	buffers := append([]*Buffer(nil), c.buffers...)
@@ -351,7 +353,7 @@ func (c *Context) rebindQueue(q *Queue) error {
 	if target == nil {
 		return fmt.Errorf("core: no surviving device to re-place queue from %s", old.key)
 	}
-	ctxID, ok := c.remote[target.node]
+	ctxID, ok := c.remoteID(target.node)
 	if !ok {
 		return fmt.Errorf("core: context has no remote instance on %q", target.node.name)
 	}
@@ -441,7 +443,7 @@ func (rt *Runtime) rehelloLocked() error {
 		err := rt.call(n, &protocol.HelloReq{
 			UserID:      rt.userID,
 			ClientName:  rt.clientName,
-			WireVersion: n.wireVersion,
+			WireVersion: n.wireVersion.Load(),
 			Peers:       peers,
 			Epoch:       rt.epoch,
 		}, &resp)
@@ -494,7 +496,7 @@ func (rt *Runtime) ReconnectNode(name string) error {
 		rt.metrics.Commands++
 		rt.mu.Unlock()
 		var status protocol.NodeStatusResp
-		if err := h.client.Call(&protocol.NodeStatusReq{}, &status); err == nil {
+		if err := h.client.Load().Call(&protocol.NodeStatusReq{}, &status); err == nil {
 			return nil // genuinely alive: double rejoin
 		}
 	}
@@ -531,12 +533,14 @@ func (rt *Runtime) ReconnectNode(name string) error {
 		client.Close()
 		return fmt.Errorf("core: rejoin handshake with %q: %w", name, err)
 	}
-	h.client = client
-	h.wireVersion = resp.WireVersion
-	h.bootID = resp.BootID
 	if resp.WireVersion >= protocol.VersionBatch {
 		client.EnableBatching()
 	}
+	// Publish the fresh connection before flipping the handle alive, so a
+	// caller that observes stateAlive also loads the new client.
+	h.client.Store(client)
+	h.wireVersion.Store(resp.WireVersion)
+	h.bootID.Store(resp.BootID)
 	h.state.Store(stateAlive)
 	rt.watchNode(h, client)
 	for _, info := range resp.Devices {
@@ -576,10 +580,10 @@ func (c *Context) restoreOn(h *NodeHandle) error {
 	if err := c.sess.call(h, req, &resp); err != nil {
 		return fmt.Errorf("re-create context: %w", err)
 	}
-	c.mu.Lock()
-	c.remote[h] = resp.ID
+	c.setRemote(h, resp.ID)
+	c.regMu.Lock()
 	programs := append([]*Program(nil), c.programs...)
-	c.mu.Unlock()
+	c.regMu.Unlock()
 	for _, p := range programs {
 		p.mu.Lock()
 		built := p.built

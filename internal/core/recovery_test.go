@@ -125,6 +125,50 @@ func TestCrashReplacement(t *testing.T) {
 	}
 }
 
+// TestGenuineReleaseErrorSurvivesRecovery: a sticky release failure from a
+// live node must survive a recovery pass triggered by a different node's
+// crash. Recovery absolves only crash-induced release failures (acks that
+// died with a dead connection); a genuine RemoteError stays latched and
+// surfaces at the tenant's Flush.
+func TestGenuineReleaseErrorSurvivesRecovery(t *testing.T) {
+	f := newRecoveryFixture(t, 2)
+	victim := f.cc.cfg.Nodes[0].Name
+	qv := f.queueOn(t, victim)
+	qs := f.queueOn(t, f.cc.cfg.Nodes[1].Name)
+
+	// Latch a genuine release failure on the survivor: the second release
+	// of the same queue names an object the node already freed, and the
+	// node stays alive, so the failed ack classifies as a RemoteError, not
+	// as node loss.
+	extra, err := f.ctx.CreateQueue(qs.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := extra.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := extra.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Put the buffer's only valid replica on the victim, then kill it: the
+	// survivor's read must migrate from the dead node, and that failure
+	// drives a full recovery pass (which drains the pending release acks
+	// with the victim dead).
+	if _, err := qv.EnqueueWrite(f.buf, 0, mem.F32Bytes([]float32{1, 2, 3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	f.cc.kill(victim)
+	f.mustRead(t, qs, []float32{1, 2, 3, 4})
+	if m := f.cc.rt.Metrics(); m.Recoveries == 0 {
+		t.Fatal("node death triggered no recovery")
+	}
+
+	if err := f.cc.rt.Flush(); err == nil {
+		t.Fatal("recovery absolved a genuine sticky release error from a live node")
+	}
+}
+
 // TestRejoinLazyReplication: a restarted node (fresh process, new boot ID)
 // rejoins with empty devices; a queue on it must see current buffer
 // contents through lazy re-replication — the validity map has no entry for

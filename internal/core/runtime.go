@@ -53,9 +53,15 @@ const (
 
 // NodeHandle is one connected device node.
 type NodeHandle struct {
-	name   string
-	addr   string
-	client *transport.Client
+	name string
+	addr string
+
+	// client is the node's pooled connection. It is an atomic pointer
+	// because ReconnectNode swaps it for a fresh dial while concurrent
+	// session goroutines issue commands through it: a racing caller loads
+	// either the old (closed, failing cleanly) or the new client, never a
+	// torn handle.
+	client atomic.Pointer[transport.Client]
 
 	// state is the handle's liveness (stateAlive/stateDead/stateRemoved);
 	// the transport's OnDown hook flips alive → dead, recovery dead →
@@ -64,13 +70,14 @@ type NodeHandle struct {
 
 	// bootID is the node incarnation reported in the last Hello: a rejoin
 	// that comes back with a different bootID is a fresh process whose
-	// objects and replicas are all gone.
-	bootID uint64
+	// objects and replicas are all gone. Atomic for the same rejoin swap
+	// as client.
+	bootID atomic.Uint64
 
 	// wireVersion is the protocol version the Hello handshake negotiated
 	// for this connection; batching is active iff it is at least
-	// protocol.VersionBatch.
-	wireVersion uint32
+	// protocol.VersionBatch. Atomic for the same rejoin swap as client.
+	wireVersion atomic.Uint32
 
 	// issueMu makes (event-ID assignment, frame write) atomic so that wire
 	// order equals event-ID order — the ordering contract the node's FIFO
@@ -89,7 +96,7 @@ func (n *NodeHandle) Name() string { return n.name }
 func (n *NodeHandle) Alive() bool { return n.state.Load() == stateAlive }
 
 // WireVersion reports the protocol version negotiated with this node.
-func (n *NodeHandle) WireVersion() uint32 { return n.wireVersion }
+func (n *NodeHandle) WireVersion() uint32 { return n.wireVersion.Load() }
 
 // DeviceRef is one device in the cluster-wide table.
 type DeviceRef struct {
@@ -265,15 +272,16 @@ func Connect(opts Options) (*Runtime, error) {
 			rt.Close()
 			return nil, fmt.Errorf("core: connect node %q: %w", spec.Name, err)
 		}
-		nh := &NodeHandle{name: spec.Name, addr: spec.Addr, client: client}
+		nh := &NodeHandle{name: spec.Name, addr: spec.Addr}
+		nh.client.Store(client)
 		resp, err := hello(client, rt.userID, rt.clientName, peers, rt.epoch)
 		if err != nil {
 			rt.Close()
 			client.Close()
 			return nil, fmt.Errorf("core: handshake with node %q: %w", spec.Name, err)
 		}
-		nh.wireVersion = resp.WireVersion
-		nh.bootID = resp.BootID
+		nh.wireVersion.Store(resp.WireVersion)
+		nh.bootID.Store(resp.BootID)
 		if resp.WireVersion >= protocol.VersionBatch {
 			// Both ends speak v3: coalesce small control frames into
 			// Batch envelopes. Older nodes keep the plain v2 write path.
@@ -351,7 +359,7 @@ func (rt *Runtime) Close() error {
 		}
 	}
 	for _, n := range rt.nodes {
-		if err := n.client.Close(); err != nil && firstErr == nil {
+		if err := n.client.Load().Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -396,7 +404,7 @@ func (rt *Runtime) call(n *NodeHandle, req protocol.Message, resp protocol.Messa
 	rt.mu.Lock()
 	rt.metrics.Commands++
 	rt.mu.Unlock()
-	return n.client.Call(req, resp)
+	return n.client.Load().Call(req, resp)
 }
 
 // maxPendingReleases bounds the un-reaped fire-and-forget releases: a
@@ -515,7 +523,7 @@ func (rt *Runtime) PollStatus() error {
 		rt.mu.Lock()
 		rt.metrics.Commands++
 		rt.mu.Unlock()
-		p.pend = n.client.Go(&protocol.NodeStatusReq{}, &p.resp)
+		p.pend = n.client.Load().Go(&protocol.NodeStatusReq{}, &p.resp)
 		polls = append(polls, p)
 	}
 	for _, p := range polls {

@@ -163,7 +163,7 @@ func (s *Session) bump(f func(m *Metrics)) {
 // node loss so the recovering wrappers retry it.
 func (s *Session) call(n *NodeHandle, req protocol.Message, resp protocol.Message) error {
 	s.bump(func(m *Metrics) { m.Commands++ })
-	return classifyNodeErr(n, n.client.Call(req, resp))
+	return classifyNodeErr(n, n.client.Load().Call(req, resp))
 }
 
 // issue ships one enqueue command without waiting for the response,
@@ -175,7 +175,7 @@ func (s *Session) issue(n *NodeHandle, req protocol.CommandReq, resp protocol.Me
 	defer n.issueMu.Unlock()
 	n.eventID++
 	req.SetEventID(n.eventID)
-	return n.eventID, n.client.Go(req, resp)
+	return n.eventID, n.client.Load().Go(req, resp)
 }
 
 // releaseAsync ships one fire-and-forget Release; the acknowledgement is
@@ -185,7 +185,7 @@ func (s *Session) releaseAsync(n *NodeHandle, kind protocol.ObjectKind, id uint6
 	s.bump(func(m *Metrics) { m.Commands++ })
 	pr := &pendingRelease{
 		node: n, kind: kind, id: id,
-		pend: n.client.Go(&protocol.ReleaseReq{Kind: kind, ID: id}, nil),
+		pend: n.client.Load().Go(&protocol.ReleaseReq{Kind: kind, ID: id}, nil),
 	}
 	s.relMu.Lock()
 	s.relPending = append(s.relPending, pr)
@@ -199,7 +199,10 @@ func (s *Session) releaseAsync(n *NodeHandle, kind protocol.ObjectKind, id uint6
 // drainReleases waits for every outstanding release acknowledgement and
 // returns the session's sticky release error: the first release that ever
 // failed on this session, kept so a fire-and-forget failure is reported
-// rather than lost — to this tenant only.
+// rather than lost — to this tenant only. Failures are classified before
+// latching: an ack that died with a dead node's connection is tagged as
+// node loss so recovery can absolve exactly those (the objects died with
+// the node), while a live node's RemoteError stays a genuine sticky error.
 func (s *Session) drainReleases() error {
 	s.relMu.Lock()
 	pending := s.relPending
@@ -207,6 +210,7 @@ func (s *Session) drainReleases() error {
 	s.relMu.Unlock()
 	for _, pr := range pending {
 		if err := pr.pend.Wait(); err != nil {
+			err = classifyNodeErr(pr.node, err)
 			s.relMu.Lock()
 			if s.relErr == nil {
 				s.relErr = fmt.Errorf("core: release %s %d on %q: %w",
@@ -423,14 +427,11 @@ func (s *Session) snapshotContexts() []*Context {
 // these sessions; bystander tenants keep their pipelines and logs intact.
 func (s *Session) needsRecovery(dead []*NodeHandle) bool {
 	for _, ctx := range s.snapshotContexts() {
-		ctx.mu.Lock()
 		for _, n := range dead {
-			if _, ok := ctx.remote[n]; ok {
-				ctx.mu.Unlock()
+			if _, ok := ctx.remoteID(n); ok {
 				return true
 			}
 		}
-		ctx.mu.Unlock()
 		for _, q := range ctx.allQueues() {
 			if isNodeLost(q.stickyErr()) {
 				return true
