@@ -1,0 +1,56 @@
+// Command haoclvet is the project's vet suite: a multichecker running the
+// four analyzers that mechanize HaoCL's homegrown invariants — lock
+// discipline (lockguard, lockorder), virtual-time determinism (vtimedet),
+// and transport-error classification (errclass).
+//
+// Usage:
+//
+//	go run ./cmd/haoclvet ./...
+//
+// Findings print one per line as file:line:col: [analyzer] message, and a
+// non-empty report exits 1. Suppress an individual finding with a trailing
+// or preceding comment
+//
+//	//lint:ignore haoclvet/<analyzer> <reason>
+//
+// where the reason is mandatory; a reasonless directive is itself a
+// finding. See DESIGN.md §9 for the annotation grammar the analyzers
+// consume.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/haocl-project/haocl/internal/analysis"
+	"github.com/haocl-project/haocl/internal/analysis/errclass"
+	"github.com/haocl-project/haocl/internal/analysis/lockguard"
+	"github.com/haocl-project/haocl/internal/analysis/lockorder"
+	"github.com/haocl-project/haocl/internal/analysis/vtimedet"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers := []*analysis.Analyzer{
+		lockguard.Analyzer,
+		lockorder.Analyzer,
+		vtimedet.Analyzer,
+		errclass.Analyzer,
+	}
+	diags, fset, err := analysis.Run(analyzers, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haoclvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "haoclvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// go/analysis driver surface that cmd/haoclvet builds on.
+//
+// The real golang.org/x/tools/go/analysis framework is the natural host for
+// these checkers, but this repository deliberately carries zero third-party
+// dependencies (see go.mod), so the package provides the same shape —
+// Analyzer, Pass, Diagnostic, object facts — on top of the standard
+// library's go/parser and go/types alone. Analyzers written against it look
+// like ordinary vet analyzers and could be ported to x/tools verbatim if
+// the dependency policy ever changes.
+//
+// The driver (Run in run.go) loads module packages in dependency order and
+// shares a single fact store across them, so an analyzer can export a fact
+// about an object in internal/transport and observe it while analyzing
+// internal/core.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer; diagnostics print as haoclvet/<Name>
+	// and //lint:ignore directives reference it the same way.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+	facts *factStore
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// ExportObjectFact attaches a fact to obj, visible to later passes of the
+// same analyzer over any package that can reference obj.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	p.facts.set(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact retrieves a fact previously exported for obj by this
+// analyzer, from this or any earlier-analyzed package.
+func (p *Pass) ImportObjectFact(obj types.Object) (any, bool) {
+	return p.facts.get(p.Analyzer.Name, obj)
+}
+
+// factStore is the driver-wide fact table. Packages are type-checked by one
+// shared loader, so a types.Object has a single identity across every pass
+// and plain pointer keying works.
+type factStore struct {
+	m map[factKey]any
+}
+
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: make(map[factKey]any)}
+}
+
+func (s *factStore) set(analyzer string, obj types.Object, fact any) {
+	s.m[factKey{analyzer, obj}] = fact
+}
+
+func (s *factStore) get(analyzer string, obj types.Object) (any, bool) {
+	f, ok := s.m[factKey{analyzer, obj}]
+	return f, ok
+}

@@ -1,0 +1,141 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against // want comments, mirroring the x/tools
+// package of the same name on top of this repository's dependency-free
+// analysis driver.
+//
+// A fixture line expects diagnostics with
+//
+//	x := m["k"] // want `guarded by mu` "second finding"
+//
+// where each quoted or backquoted string is a regexp that must match one
+// diagnostic reported on that line. Suppression directives are applied
+// exactly as the haoclvet driver applies them, so fixtures can assert both
+// that //lint:ignore works and that a reasonless directive is itself
+// reported.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> for each named package, applies the
+// analyzer, filters through the shared suppression logic, and compares the
+// result with the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l, err := analysis.NewLoader(testdata)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	for _, name := range pkgs {
+		pkg, err := l.LoadDir(filepath.Join(testdata, "src", name))
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		diags := analysis.RunPackage([]*analysis.Analyzer{a}, pkg)
+		diags = analysis.Filter(pkg.Fset, pkg.Files, diags)
+		check(t, pkg, name, diags)
+	}
+}
+
+// expectation is one want regexp awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func check(t *testing.T, pkg *analysis.Package, name string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range wantPatterns(text[idx+len("want "):]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: [%s] %s",
+				name, filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q",
+				name, filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// wantPatterns tokenizes the quoted/backquoted regexps after "want".
+func wantPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		default:
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore haoclvet/<name> reason
+// comment. A directive suppresses matching diagnostics on its own line
+// (trailing comment) or, when it stands alone, on the next line.
+type ignoreDirective struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	File     string
+	Line     int // line the directive suppresses
+}
+
+// parseIgnoreDirectives extracts this package's suppression directives.
+// Directives with an empty reason are returned with Reason == "" — the
+// driver reports them and does not let them suppress anything.
+func parseIgnoreDirectives(fset *token.FileSet, files []*ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:ignore ")
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				name = strings.TrimPrefix(name, "haoclvet/")
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if pos.Column == 1 || standaloneComment(fset, f, c) {
+					line++
+				}
+				out = append(out, ignoreDirective{
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+					Pos:      c.Pos(),
+					File:     pos.Filename,
+					Line:     line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// standaloneComment reports whether c is the only thing on its line, in
+// which case the directive applies to the following line.
+func standaloneComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cp := fset.Position(c.Pos())
+	// A trailing directive shares its line with code; a standalone one
+	// starts the line (possibly indented). Scan the file's decls for any
+	// node ending on the same line before the comment starts.
+	same := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || same {
+			return false
+		}
+		if n.End() <= c.Pos() && fset.Position(n.End()).Line == cp.Line {
+			same = true
+		}
+		return n.Pos() < c.Pos()
+	})
+	return !same
+}
+
+// Filter applies suppression directives to diags: diagnostics covered by a
+// reasoned directive for their analyzer are dropped, and every directive
+// missing a reason becomes its own diagnostic (and suppresses nothing).
+// Shared by the CLI driver and analysistest so the escape-hatch semantics
+// are what the tests exercise.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	dirs := parseIgnoreDirectives(fset, files)
+	var out []Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.Reason != "" && dir.Analyzer == d.Analyzer && dir.File == p.Filename && dir.Line == p.Line {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		if dir.Reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      dir.Pos,
+				Message:  "lint:ignore haoclvet/" + dir.Analyzer + " directive requires a reason",
+				Analyzer: dir.Analyzer,
+			})
+		}
+	}
+	return out
+}
+
+// HasPackageMarker reports whether any file-level doc comment in the
+// package carries the given marker (e.g. "haoclvet:deterministic").
+func HasPackageMarker(files []*ast.File, marker string) bool {
+	for _, f := range files {
+		if f.Doc != nil && commentHasMarker(f.Doc, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// commentHasMarker reports whether cg contains a line consisting of the
+// marker (with optional trailing text).
+func commentHasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// CommentAnnotation extracts the value of "<key> <value>" from a comment
+// group, e.g. key "guarded by" over "// guarded by b.mu." yields "b.mu".
+// The value is the first token after the key, with trailing punctuation
+// stripped. Returns "" when absent.
+func CommentAnnotation(cg *ast.CommentGroup, key string) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		idx := strings.Index(text, key+" ")
+		if idx < 0 {
+			continue
+		}
+		rest := strings.TrimSpace(text[idx+len(key)+1:])
+		val, _, _ := strings.Cut(rest, " ")
+		return strings.TrimRight(val, ".,;:")
+	}
+	return ""
+}
+
+// FieldAnnotation extracts a field annotation, checking the trailing line
+// comment first and the doc comment second — a field can carry both (prose
+// doc above, machine-readable tag on the line), and the tag is usually the
+// trailing one.
+func FieldAnnotation(f *ast.Field, key string) string {
+	if spec := CommentAnnotation(f.Comment, key); spec != "" {
+		return spec
+	}
+	return CommentAnnotation(f.Doc, key)
+}
+
+// IsMutexType reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func IsMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// MutexCall decomposes a call like x.mu.Lock() into the mutex field object
+// and the method name ("Lock", "RLock", "Unlock", "RUnlock"). The second
+// return is the receiver expression of the mutex (x.mu). Returns nil field
+// for anything else.
+func MutexCall(info *types.Info, call *ast.CallExpr) (field *types.Var, recv ast.Expr, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, nil, ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, ""
+	}
+	s := info.Selections[inner]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil, nil, ""
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !IsMutexType(v.Type()) {
+		return nil, nil, ""
+	}
+	return v, inner.X, sel.Sel.Name
+}
+
+// BasePath renders an expression as a dotted chain of identifiers
+// ("s.node", "b.ctx"), or "" when the expression contains anything else
+// (calls, indexing) — callers then fall back to type-level matching.
+func BasePath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := BasePath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return BasePath(e.X)
+	case *ast.StarExpr:
+		return BasePath(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return BasePath(e.X)
+		}
+	}
+	return ""
+}
+
+// NamedOf unwraps pointers and aliases down to the defining *types.Named.
+func NamedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// ResolveGuardSpec resolves an annotation value like "mu", "b.mu" or
+// "Session.mu" to the mutex field object it names. owner is the struct
+// type the annotated field/method belongs to (may be nil for plain
+// functions); pkg scopes Type.field lookups.
+func ResolveGuardSpec(spec string, owner *types.Named, pkg *types.Package) *types.Var {
+	qual, name, qualified := strings.Cut(spec, ".")
+	if !qualified {
+		name = qual
+		qual = ""
+	}
+	if qual != "" {
+		// Type-qualified ("Session.mu") when the qualifier names a package
+		// type; receiver-qualified ("b.mu") otherwise.
+		if obj, ok := pkg.Scope().Lookup(qual).(*types.TypeName); ok {
+			if n := NamedOf(obj.Type()); n != nil {
+				return structField(n, name)
+			}
+			return nil
+		}
+	}
+	if owner != nil {
+		return structField(owner, name)
+	}
+	return nil
+}
+
+// structField finds a (possibly embedded) field by name on a named struct.
+func structField(n *types.Named, name string) *types.Var {
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i)
+		}
+	}
+	return nil
+}
+
+// ReceiverNamed returns the receiver's named type for a method decl, or nil.
+func ReceiverNamed(info *types.Info, fn *ast.FuncDecl) *types.Named {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return NamedOf(tv.Type)
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func f() int {
+	x := 1
+	//lint:ignore haoclvet/lockguard justified for the test
+	y := 2
+	//lint:ignore haoclvet/lockguard
+	z := 3
+	return x + y + z
+}
+`
+
+// TestFilter checks the escape-hatch contract: a reasoned directive
+// suppresses its analyzer's diagnostics on the covered line, a reasonless
+// directive suppresses nothing and is itself reported, and directives
+// never cross analyzers.
+func TestFilter(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.File(f.Pos())
+	at := func(line int) token.Pos { return tf.LineStart(line) }
+
+	diags := []Diagnostic{
+		{Pos: at(6), Message: "finding under reasoned directive", Analyzer: "lockguard"},
+		{Pos: at(6), Message: "other analyzer on same line", Analyzer: "vtimedet"},
+		{Pos: at(8), Message: "finding under reasonless directive", Analyzer: "lockguard"},
+	}
+	got := Filter(fset, []*ast.File{f}, diags)
+
+	var messages []string
+	for _, d := range got {
+		messages = append(messages, d.Analyzer+": "+d.Message)
+	}
+	joined := strings.Join(messages, "\n")
+	if strings.Contains(joined, "finding under reasoned directive") {
+		t.Errorf("reasoned directive did not suppress its diagnostic:\n%s", joined)
+	}
+	if !strings.Contains(joined, "other analyzer on same line") {
+		t.Errorf("directive suppressed a different analyzer's diagnostic:\n%s", joined)
+	}
+	if !strings.Contains(joined, "finding under reasonless directive") {
+		t.Errorf("reasonless directive suppressed a diagnostic:\n%s", joined)
+	}
+	if !strings.Contains(joined, "directive requires a reason") {
+		t.Errorf("reasonless directive was not reported:\n%s", joined)
+	}
+}

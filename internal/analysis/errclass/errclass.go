@@ -1,0 +1,368 @@
+// Package errclass tracks raw transport errors to the recovery machinery:
+// a retry/recovery decision fed by an error that never passed through the
+// classifier cannot distinguish node loss from a remote application error,
+// which is exactly the bug class that produced lost sticky releases.
+//
+// Functions participate through doc-comment markers:
+//
+//	haoclvet:errclass-source     — calls return raw, unclassified errors
+//	                               (transport Pending.Wait, Client.Call)
+//	haoclvet:errclass-sanitizer  — blesses an error (classifyNodeErr)
+//	haoclvet:errclass-sink       — makes a retry/recovery decision and must
+//	                               only see classified errors (isNodeLost,
+//	                               shouldRecover)
+//
+// Markers cross package boundaries as analyzer facts. In every package,
+// feeding a tainted error to a sink is reported. Packages whose doc carries
+// "haoclvet:errclass" opt into strict mode, which additionally reports
+// returning a tainted error or storing one into a struct field (sticky
+// error slots) — in those packages every raw transport error must be
+// classified at the point it is received.
+package errclass
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/haocl-project/haocl/internal/analysis"
+)
+
+// Analyzer is the errclass check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Doc:  "reports raw transport errors reaching retry/recovery decisions unclassified",
+	Run:  run,
+}
+
+// roleFact records a function's errclass role for importing packages.
+type roleFact struct{ role string }
+
+const (
+	roleSource    = "source"
+	roleSanitizer = "sanitizer"
+	roleSink      = "sink"
+)
+
+func run(pass *analysis.Pass) error {
+	roles := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			switch {
+			case hasMarker(fn.Doc, "haoclvet:errclass-source"):
+				roles[obj] = roleSource
+			case hasMarker(fn.Doc, "haoclvet:errclass-sanitizer"):
+				roles[obj] = roleSanitizer
+			case hasMarker(fn.Doc, "haoclvet:errclass-sink"):
+				roles[obj] = roleSink
+			}
+		}
+	}
+	for obj, role := range roles {
+		pass.ExportObjectFact(obj, roleFact{role: role})
+	}
+	strict := analysis.HasPackageMarker(pass.Files, "haoclvet:errclass")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, roles: roles, strict: strict,
+				tainted: make(map[types.Object]bool)}
+			w.stmts(fn.Body.List)
+		}
+	}
+	return nil
+}
+
+// walker tracks which local variables currently hold unclassified errors.
+// The walk is linear and branch bodies share the taint map: assignments in
+// a branch stay visible afterwards, which keeps the common
+// receive-then-classify shapes precise without building a CFG.
+type walker struct {
+	pass    *analysis.Pass
+	roles   map[types.Object]string
+	strict  bool
+	tainted map[types.Object]bool
+}
+
+func (w *walker) roleOf(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	if obj.Pkg() == w.pass.Pkg {
+		return w.roles[obj]
+	}
+	if f, ok := w.pass.ImportObjectFact(obj); ok {
+		if rf, ok := f.(roleFact); ok {
+			return rf.role
+		}
+	}
+	return ""
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.ExprStmt:
+		w.checkExpr(s.X)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e)
+			if w.strict && w.taintOf(e) {
+				w.pass.Reportf(e.Pos(),
+					"returns a raw transport error; classify it first (classifyNodeErr) so callers' retry decisions see node loss")
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.checkExpr(s.Cond)
+		w.stmts(s.Body.List)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond)
+		}
+		w.stmts(s.Body.List)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.checkExpr(s.X)
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				w.stmts(c.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				w.stmts(c.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CommClause); ok {
+				w.stmts(c.Body)
+			}
+		}
+	case *ast.DeferStmt:
+		w.checkExpr(s.Call)
+	case *ast.GoStmt:
+		w.checkExpr(s.Call)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					w.checkExpr(v)
+					if i < len(vs.Names) && w.taintOf(v) {
+						if obj := w.pass.TypesInfo.Defs[vs.Names[i]]; obj != nil {
+							w.tainted[obj] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan)
+		w.checkExpr(s.Value)
+	}
+}
+
+// assign updates taint for one assignment and reports tainted field stores
+// in strict packages.
+func (w *walker) assign(s *ast.AssignStmt) {
+	for _, e := range s.Rhs {
+		w.checkExpr(e)
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Multi-value: x, err := source() taints every error-typed result.
+		taint := w.taintOf(s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			w.setTaint(lhs, taint && isErrorExpr(w.pass, lhs))
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		w.setTaint(lhs, w.taintOf(s.Rhs[i]))
+	}
+}
+
+func (w *walker) setTaint(lhs ast.Expr, taint bool) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := w.pass.TypesInfo.Defs[lhs]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Uses[lhs]
+		}
+		if obj != nil {
+			w.tainted[obj] = taint
+		}
+	case *ast.SelectorExpr:
+		if taint && w.strict {
+			w.pass.Reportf(lhs.Pos(),
+				"stores a raw transport error into a field; classify it first (classifyNodeErr) so sticky-error checks see node loss")
+		}
+	}
+}
+
+// checkExpr reports sink violations and walks nested calls and literals.
+func (w *walker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := &walker{pass: w.pass, roles: w.roles, strict: w.strict,
+				tainted: make(map[types.Object]bool)}
+			inner.stmts(n.Body.List)
+			return false
+		case *ast.CallExpr:
+			callee := staticCallee(w.pass.TypesInfo, n)
+			if w.roleOf(callee) == roleSink {
+				for _, arg := range n.Args {
+					if w.taintOf(arg) {
+						w.pass.Reportf(arg.Pos(),
+							"passes a raw transport error to %s; route it through classifyNodeErr first",
+							callee.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintOf evaluates whether an expression carries an unclassified error.
+func (w *walker) taintOf(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := w.pass.TypesInfo.Uses[e]
+		return obj != nil && w.tainted[obj]
+	case *ast.ParenExpr:
+		return w.taintOf(e.X)
+	case *ast.CallExpr:
+		callee := staticCallee(w.pass.TypesInfo, e)
+		switch w.roleOf(callee) {
+		case roleSource:
+			return true
+		case roleSanitizer:
+			return false
+		}
+		// Wrapping keeps taint: fmt.Errorf("...: %w", err) is still raw.
+		if isErrorf(w.pass, e) {
+			for _, arg := range e.Args {
+				if w.taintOf(arg) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func isErrorf(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "fmt" && sel.Sel.Name == "Errorf"
+}
+
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	named, ok := obj.Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// staticCallee resolves a call target to a declared function or method.
+func staticCallee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+			return sel.Obj()
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := c.Text
+		for len(text) > 0 && (text[0] == '/' || text[0] == ' ' || text[0] == '\t') {
+			text = text[1:]
+		}
+		if text == marker {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/analysis/analysistest"
+	"github.com/haocl-project/haocl/internal/analysis/errclass"
+)
+
+func TestErrclass(t *testing.T) {
+	analysistest.Run(t, "testdata", errclass.Analyzer, "a", "plain")
+}

@@ -1,0 +1,77 @@
+// Package a exercises errclass in strict mode: every raw transport error
+// must be classified before it is returned, stored, or judged.
+//
+// haoclvet:errclass
+package a
+
+import "fmt"
+
+// callNode stands in for a raw transport call.
+//
+// haoclvet:errclass-source
+func callNode() error { return nil }
+
+// fetch returns a payload plus a raw transport error.
+//
+// haoclvet:errclass-source
+func fetch() (int, error) { return 0, nil }
+
+// classify stands in for classifyNodeErr.
+//
+// haoclvet:errclass-sanitizer
+func classify(err error) error { return err }
+
+// isNodeLost stands in for the recovery predicate.
+//
+// haoclvet:errclass-sink
+func isNodeLost(err error) bool { return err != nil }
+
+func sinkBad() bool {
+	err := callNode()
+	return isNodeLost(err) // want `classifyNodeErr`
+}
+
+func sinkGood() bool {
+	err := classify(callNode())
+	return isNodeLost(err)
+}
+
+func reassignGood() bool {
+	err := callNode()
+	err = classify(err)
+	return isNodeLost(err)
+}
+
+func returnBad() error {
+	return callNode() // want `returns a raw transport error`
+}
+
+func returnGood() error {
+	return classify(callNode())
+}
+
+func wrapKeepsTaint() error {
+	err := callNode()
+	return fmt.Errorf("call failed: %w", err) // want `returns a raw transport error`
+}
+
+func multiValueBad() bool {
+	v, err := fetch()
+	_ = v
+	return isNodeLost(err) // want `classifyNodeErr`
+}
+
+type queue struct{ err error }
+
+func fieldBad(q *queue) {
+	q.err = callNode() // want `stores a raw transport error`
+}
+
+func fieldGood(q *queue) {
+	q.err = classify(callNode())
+}
+
+func nilCompareOK() bool {
+	err := callNode()
+	return err == nil
+}

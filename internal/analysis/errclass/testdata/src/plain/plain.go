@@ -1,0 +1,28 @@
+// Package plain has no strict marker: raw errors may flow freely except
+// into sinks.
+package plain
+
+// callNode stands in for a raw transport call.
+//
+// haoclvet:errclass-source
+func callNode() error { return nil }
+
+// shouldRecover stands in for the recovery predicate.
+//
+// haoclvet:errclass-sink
+func shouldRecover(err error) bool { return err != nil }
+
+func returnRawOK() error {
+	return callNode()
+}
+
+func sinkStillChecked() bool {
+	err := callNode()
+	return shouldRecover(err) // want `classifyNodeErr`
+}
+
+func suppressedSink() bool {
+	err := callNode()
+	//lint:ignore haoclvet/errclass fixture: this decision is outside the recovery path
+	return shouldRecover(err)
+}

@@ -1,0 +1,295 @@
+// Package lockguard flags reads and writes of annotated struct fields
+// performed without the documented mutex.
+//
+// Fields opt in with a "// guarded by <mu>" doc or trailing comment, where
+// <mu> is a sibling mutex field ("mu"), a receiver-qualified path ("b.mu"),
+// or a Type.field reference for fields guarded by another struct's lock
+// ("Session.mu"). A function may access a guarded field when it acquires
+// the named mutex anywhere in its body (Lock or RLock — the analysis is
+// deliberately flow-insensitive), or when its doc comment declares
+// "Caller holds <mu>". Accesses through freshly constructed local values
+// are exempt: an object no other goroutine can reach yet needs no lock.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/haocl-project/haocl/internal/analysis"
+)
+
+// Analyzer is the lockguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "reports accesses to '// guarded by <mu>' fields outside the lock",
+	Run:  run,
+}
+
+// guardInfo records one annotated field's guard.
+type guardInfo struct {
+	guard *types.Var
+	// sameOwner is true when guard and field live on the same struct, in
+	// which case the lock's receiver path must match the access path (two
+	// Buffers locked independently must not vouch for each other).
+	sameOwner bool
+	spec      string // annotation text, for diagnostics
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards builds the field → guard map from struct annotations.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guardInfo {
+	guards := make(map[*types.Var]guardInfo)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named := analysis.NamedOf(obj.Type())
+			if named == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				spec := analysis.FieldAnnotation(field, "guarded by")
+				if spec == "" {
+					continue
+				}
+				guard := analysis.ResolveGuardSpec(spec, named, pass.Pkg)
+				if guard == nil {
+					pass.Reportf(field.Pos(), "cannot resolve guard %q", spec)
+					continue
+				}
+				sameOwner := structHasField(named, guard)
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guardInfo{guard: guard, sameOwner: sameOwner, spec: spec}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func structHasField(n *types.Named, f *types.Var) bool {
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == f {
+			return true
+		}
+	}
+	return false
+}
+
+// lockSite is one mutex acquisition found in a function body.
+type lockSite struct {
+	guard *types.Var
+	base  string // receiver path of the mutex ("b", "s.node"), "" if complex
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guards map[*types.Var]guardInfo) {
+	recv := analysis.ReceiverNamed(pass.TypesInfo, fn)
+
+	// Mutexes the caller vouches for.
+	held := make(map[*types.Var]bool)
+	for _, spec := range callerHolds(fn.Doc) {
+		if g := analysis.ResolveGuardSpec(spec, recv, pass.Pkg); g != nil {
+			held[g] = true
+		}
+	}
+
+	// Mutexes the function acquires anywhere in its body.
+	var locks []lockSite
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if field, mrecv, method := analysis.MutexCall(pass.TypesInfo, call); field != nil &&
+			(method == "Lock" || method == "RLock") {
+			locks = append(locks, lockSite{guard: field, base: analysis.BasePath(mrecv)})
+		}
+		return true
+	})
+
+	fresh := freshLocals(pass, fn)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		gi, guarded := guards[v]
+		if !guarded {
+			return true
+		}
+		if held[gi.guard] {
+			return true
+		}
+		base := analysis.BasePath(sel.X)
+		if rootIsFresh(pass, sel.X, fresh) {
+			return true
+		}
+		ok = false
+		for _, l := range locks {
+			if l.guard != gi.guard {
+				continue
+			}
+			if !gi.sameOwner || l.base == "" || base == "" || l.base == base {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(sel.Sel.Pos(),
+				"%s.%s is guarded by %s, which %s neither holds nor is documented to expect (\"// Caller holds %s\")",
+				exprOwner(sel, s), v.Name(), gi.spec, fn.Name.Name, gi.spec)
+		}
+		return true
+	})
+}
+
+// exprOwner names the accessed value for the diagnostic: the receiver path
+// when printable, else the owning struct type.
+func exprOwner(sel *ast.SelectorExpr, s *types.Selection) string {
+	if base := analysis.BasePath(sel.X); base != "" {
+		return base
+	}
+	if n := analysis.NamedOf(s.Recv()); n != nil {
+		return n.Obj().Name()
+	}
+	return "value"
+}
+
+// callerHolds extracts every "Caller holds <mu>" declaration from a doc
+// comment.
+func callerHolds(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var specs []string
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		for {
+			idx := strings.Index(text, "Caller holds ")
+			if idx < 0 {
+				break
+			}
+			rest := text[idx+len("Caller holds "):]
+			val, tail, _ := strings.Cut(rest, " ")
+			specs = append(specs, strings.TrimRight(val, ".,;:"))
+			text = tail
+		}
+	}
+	return specs
+}
+
+// freshLocals finds local variables bound to newly constructed values
+// (composite literals or new()); field accesses through them need no lock
+// because the object has not been shared yet.
+func freshLocals(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && isConstruction(n.Rhs[i]) {
+					fresh[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if i < len(n.Values) && isConstruction(n.Values[i]) {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isConstruction reports whether e builds a brand-new value.
+func isConstruction(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, lit := e.X.(*ast.CompositeLit)
+		return e.Op.String() == "&" && lit
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// rootIsFresh reports whether the access path is rooted at a
+// freshly constructed local.
+func rootIsFresh(pass *analysis.Pass, e ast.Expr, fresh map[types.Object]bool) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			return obj != nil && fresh[obj]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/analysis/analysistest"
+	"github.com/haocl-project/haocl/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer, "a", "ignore")
+}
+
+// TestPR8Shapes pins the analyzer against the two lock bugs that shipped
+// in the multi-tenant serving PR: the unlocked Context.remote read and the
+// restoreOn snapshot under the wrong mutex. Weakening lockguard until
+// either shape passes makes this test fail.
+func TestPR8Shapes(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer, "pr8")
+}

@@ -1,0 +1,93 @@
+// Package a exercises lockguard: guarded-field accesses with and without
+// the documented mutex.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) bad() int {
+	return c.n // want `guarded by mu`
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bump is a blessed accessor: it takes the guard itself.
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// peek reads the count. Caller holds mu.
+func (c *counter) peek() int {
+	return c.n
+}
+
+func fresh() *counter {
+	c := &counter{}
+	c.n = 1 // freshly constructed: not shared yet, no lock needed
+	return c
+}
+
+func twoCounters(a, b *counter) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.n // want `guarded by mu`
+}
+
+type registry struct {
+	mu    sync.RWMutex
+	items map[string]int // guarded by r.mu
+}
+
+func (r *registry) rlocked() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.items["x"]
+}
+
+func (r *registry) badWrite(v int) {
+	r.items["x"] = v // want `guarded by r.mu`
+}
+
+type shared struct {
+	val int // guarded by registry.mu (cross-struct guard)
+}
+
+// documented has a prose doc comment AND a trailing guard tag on the same
+// field; the tag must win even though the doc comment carries no
+// annotation (regression: the collector once looked only at the doc).
+type documented struct {
+	mu sync.Mutex
+	// binding is re-pointed by recovery, so concurrent readers must
+	// snapshot it under the lock.
+	binding string // guarded by mu
+}
+
+func (d *documented) bad() string {
+	return d.binding // want `guarded by mu`
+}
+
+func (d *documented) good() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.binding
+}
+
+func crossBad(s *shared) int {
+	return s.val // want `guarded by registry.mu`
+}
+
+func crossGood(r *registry, s *shared) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return s.val
+}

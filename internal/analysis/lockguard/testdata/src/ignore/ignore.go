@@ -1,0 +1,27 @@
+// Package ignore exercises the lint:ignore escape hatch for lockguard.
+package ignore
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+func suppressed(b *box) int {
+	//lint:ignore haoclvet/lockguard fixture: standalone directive suppresses the next line
+	return b.v
+}
+
+func trailing(b *box) int {
+	return b.v //lint:ignore haoclvet/lockguard fixture: trailing directive suppresses its own line
+}
+
+func wrongAnalyzer(b *box) int {
+	//lint:ignore haoclvet/lockorder fixture: directive for another analyzer suppresses nothing here
+	return b.v // want `guarded by mu`
+}
+
+func unprotected(b *box) int {
+	return b.v // want `guarded by mu`
+}

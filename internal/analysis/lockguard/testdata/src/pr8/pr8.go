@@ -1,0 +1,53 @@
+// Package pr8 reproduces the two lock bugs that escaped review in the
+// multi-tenant serving PR, in the exact shapes they had before their fix:
+// an unlocked read of the remote-ID map (Context.remote) and a registry
+// snapshot taken under the wrong mutex (restoreOn copying programs under
+// mu instead of regMu). lockguard must keep flagging both; if this fixture
+// stops failing when the analyzer is weakened, the regression guard is
+// gone.
+package pr8
+
+import "sync"
+
+type Program struct{ id uint64 }
+
+type Context struct {
+	mu sync.Mutex // serializes context-level operations
+
+	regMu    sync.Mutex
+	programs []*Program // guarded by regMu
+
+	remoteMu sync.Mutex
+	remote   map[string]uint64 // guarded by remoteMu
+}
+
+// remoteID is the blessed accessor for the remote map.
+func (c *Context) remoteID(node string) uint64 {
+	c.remoteMu.Lock()
+	defer c.remoteMu.Unlock()
+	return c.remote[node]
+}
+
+// badRemoteRead is the pre-fix Context.remote shape: reading the map with
+// no lock at all while a concurrent recovery rewrites it.
+func (c *Context) badRemoteRead(node string) uint64 {
+	return c.remote[node] // want `guarded by remoteMu`
+}
+
+// badRestoreOn is the pre-fix restoreOn shape: snapshotting the program
+// registry under c.mu — the wrong lock — while registration mutates it
+// under c.regMu.
+func (c *Context) badRestoreOn() []*Program {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps := append([]*Program(nil), c.programs...) // want `guarded by regMu`
+	return ps
+}
+
+// goodRestoreOn is the shape the fix landed on.
+func (c *Context) goodRestoreOn() []*Program {
+	c.regMu.Lock()
+	ps := append([]*Program(nil), c.programs...)
+	c.regMu.Unlock()
+	return ps
+}

@@ -1,0 +1,416 @@
+// Package lockorder enforces a package's documented mutex acquisition
+// order.
+//
+// A package declares its hierarchy with a machine-readable comment
+//
+//	// lock-order: Buffer.mu < Context.mu < Context.regMu
+//
+// naming lock *classes* as Type.field. Within any function the analyzer
+// tracks which classes are held (linearly, honoring deferred unlocks and
+// branch scopes) and reports an acquisition of a class ranked at or below
+// one already held — including a second acquisition of the same class,
+// which needs an explicit tiebreak and an ignore directive. Calls to
+// package functions are checked against a transitive may-acquire summary,
+// and "Caller holds <mu>" annotations seed the held set on entry. Locks
+// not named in the annotation are outside the hierarchy and ignored.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/haocl-project/haocl/internal/analysis"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "reports mutex acquisitions that violate the '// lock-order:' ranking",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	ranks, names := parseOrder(pass)
+	if len(ranks) == 0 {
+		return nil
+	}
+	summaries := summarize(pass, ranks)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, ranks: ranks, names: names, summaries: summaries,
+				held: make(map[*types.Var]int)}
+			recv := analysis.ReceiverNamed(pass.TypesInfo, fn)
+			for _, spec := range callerHolds(fn.Doc) {
+				if g := analysis.ResolveGuardSpec(spec, recv, pass.Pkg); g != nil {
+					if _, ranked := ranks[g]; ranked {
+						w.held[g]++
+					}
+				}
+			}
+			w.stmts(fn.Body.List)
+		}
+	}
+	return nil
+}
+
+// parseOrder reads every "// lock-order:" annotation in the package and
+// assigns ascending ranks in declaration order.
+func parseOrder(pass *analysis.Pass) (map[*types.Var]int, map[*types.Var]string) {
+	ranks := make(map[*types.Var]int)
+	names := make(map[*types.Var]string)
+	next := 0
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lock-order:")
+				if !ok {
+					continue
+				}
+				for _, part := range strings.Split(rest, "<") {
+					spec := strings.TrimSpace(part)
+					if spec == "" {
+						continue
+					}
+					v := analysis.ResolveGuardSpec(spec, nil, pass.Pkg)
+					if v == nil || !analysis.IsMutexType(v.Type()) {
+						pass.Reportf(c.Pos(), "lock-order: cannot resolve lock class %q", spec)
+						continue
+					}
+					if _, dup := ranks[v]; !dup {
+						ranks[v] = next
+						names[v] = spec
+						next++
+					}
+				}
+			}
+		}
+	}
+	return ranks, names
+}
+
+// summarize computes, for every package function, the set of ranked lock
+// classes it may acquire directly or through package-internal calls.
+// Function literals are excluded: they typically run on other goroutines,
+// where the caller's held set does not apply.
+func summarize(pass *analysis.Pass, ranks map[*types.Var]int) map[types.Object]map[*types.Var]bool {
+	direct := make(map[types.Object]map[*types.Var]bool)
+	calls := make(map[types.Object][]types.Object)
+	var fns []types.Object
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			fns = append(fns, obj)
+			acq := make(map[*types.Var]bool)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if field, _, method := analysis.MutexCall(pass.TypesInfo, call); field != nil {
+					if (method == "Lock" || method == "RLock") && ranks[field] >= 0 {
+						if _, ranked := ranks[field]; ranked {
+							acq[field] = true
+						}
+					}
+					return true
+				}
+				if callee := staticCallee(pass.TypesInfo, call); callee != nil {
+					calls[obj] = append(calls[obj], callee)
+				}
+				return true
+			})
+			direct[obj] = acq
+		}
+	}
+	// Propagate to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			for _, callee := range calls[fn] {
+				for v := range direct[callee] {
+					if !direct[fn][v] {
+						direct[fn][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return direct
+}
+
+// staticCallee resolves a call to a function or method defined in this
+// package, or nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// walker tracks the held multiset through one function body.
+type walker struct {
+	pass      *analysis.Pass
+	ranks     map[*types.Var]int
+	names     map[*types.Var]string
+	summaries map[types.Object]map[*types.Var]bool
+	held      map[*types.Var]int
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scan(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e)
+		}
+		for _, e := range s.Lhs {
+			w.scan(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scan(e)
+		}
+	case *ast.DeclStmt:
+		w.scan(nil)
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scan(v)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.scan(s.Cond)
+		w.branch(s.Body)
+		if s.Else != nil {
+			w.branchStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond)
+		}
+		w.branch(s.Body)
+	case *ast.RangeStmt:
+		w.scan(s.X)
+		w.branch(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				w.branchList(c.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				w.branchList(c.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CommClause); ok {
+				w.branchList(c.Body)
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to the end of the function;
+		// any other deferred call runs outside the linear order and is
+		// skipped (its function literal, if any, is checked standalone).
+		if field, _, method := analysis.MutexCall(w.pass.TypesInfo, s.Call); field != nil &&
+			(method == "Unlock" || method == "RUnlock") {
+			return
+		}
+		for _, a := range s.Call.Args {
+			w.scan(a)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.sub(lit)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.scan(a)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.sub(lit)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.SendStmt:
+		w.scan(s.Chan)
+		w.scan(s.Value)
+	case *ast.IncDecStmt:
+		w.scan(s.X)
+	}
+}
+
+// branch walks a conditional body with its own copy of the held set, so
+// early-return unlock patterns do not leak into the fall-through path.
+func (w *walker) branch(b *ast.BlockStmt) { w.branchList(b.List) }
+
+func (w *walker) branchStmt(s ast.Stmt) { w.branchList([]ast.Stmt{s}) }
+
+func (w *walker) branchList(list []ast.Stmt) {
+	saved := w.held
+	w.held = make(map[*types.Var]int, len(saved))
+	for k, v := range saved {
+		w.held[k] = v
+	}
+	w.stmts(list)
+	w.held = saved
+}
+
+// sub checks a function literal as its own function with nothing held.
+func (w *walker) sub(lit *ast.FuncLit) {
+	inner := &walker{pass: w.pass, ranks: w.ranks, names: w.names,
+		summaries: w.summaries, held: make(map[*types.Var]int)}
+	inner.stmts(lit.Body.List)
+}
+
+// scan visits an expression's calls in source order.
+func (w *walker) scan(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.sub(n)
+			return false
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+func (w *walker) call(call *ast.CallExpr) {
+	if field, _, method := analysis.MutexCall(w.pass.TypesInfo, call); field != nil {
+		rank, ranked := w.ranks[field]
+		if !ranked {
+			return
+		}
+		switch method {
+		case "Lock", "RLock":
+			w.checkAcquire(call, field, rank)
+			w.held[field]++
+		case "Unlock", "RUnlock":
+			if w.held[field] > 0 {
+				w.held[field]--
+			}
+		}
+		return
+	}
+	callee := staticCallee(w.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	for v := range w.summaries[callee] {
+		w.checkCall(call, callee, v, w.ranks[v])
+	}
+}
+
+func (w *walker) checkAcquire(call *ast.CallExpr, field *types.Var, rank int) {
+	for h, n := range w.held {
+		if n == 0 {
+			continue
+		}
+		if h == field {
+			w.pass.Reportf(call.Pos(),
+				"acquires %s while already holding %s (same lock class needs an explicit tiebreak)",
+				w.names[field], w.names[h])
+			return
+		}
+		if w.ranks[h] > rank {
+			w.pass.Reportf(call.Pos(),
+				"acquires %s while holding %s, but lock-order ranks %s first",
+				w.names[field], w.names[h], w.names[field])
+			return
+		}
+	}
+}
+
+func (w *walker) checkCall(call *ast.CallExpr, callee types.Object, v *types.Var, rank int) {
+	for h, n := range w.held {
+		if n == 0 || h == v {
+			// Same-class reacquisition through a call is almost always the
+			// callee locking a different instance; the direct-acquire check
+			// still catches in-function double locks.
+			continue
+		}
+		if w.ranks[h] > rank {
+			w.pass.Reportf(call.Pos(),
+				"calls %s, which may acquire %s, while holding %s (lock-order ranks %s first)",
+				callee.Name(), w.names[v], w.names[h], w.names[v])
+			return
+		}
+	}
+}
+
+// callerHolds extracts "Caller holds <mu>" declarations (shared shape with
+// lockguard, duplicated to keep the analyzers independent).
+func callerHolds(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var specs []string
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		for {
+			idx := strings.Index(text, "Caller holds ")
+			if idx < 0 {
+				break
+			}
+			rest := text[idx+len("Caller holds "):]
+			val, tail, _ := strings.Cut(rest, " ")
+			specs = append(specs, strings.TrimRight(val, ".,;:"))
+			text = tail
+		}
+	}
+	return specs
+}

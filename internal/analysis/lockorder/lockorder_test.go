@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/analysis/analysistest"
+	"github.com/haocl-project/haocl/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "a", "ignore")
+}

@@ -1,0 +1,85 @@
+// Package a exercises lockorder against a three-class hierarchy.
+package a
+
+import "sync"
+
+// lock-order: Buffer.mu < Context.mu < Context.regMu
+
+type Buffer struct{ mu sync.Mutex }
+
+type Context struct {
+	mu    sync.Mutex
+	regMu sync.Mutex
+}
+
+func good(b *Buffer, c *Context) {
+	b.mu.Lock()
+	c.mu.Lock()
+	c.regMu.Lock()
+	c.regMu.Unlock()
+	c.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func bad(b *Buffer, c *Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b.mu.Lock() // want `acquires Buffer.mu while holding Context.mu`
+	b.mu.Unlock()
+}
+
+func double(a, b *Buffer) {
+	a.mu.Lock()
+	b.mu.Lock() // want `already holding`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockReg takes the registration lock and releases it.
+func lockReg(c *Context) {
+	c.regMu.Lock()
+	c.regMu.Unlock()
+}
+
+// lockCtx takes the context lock and releases it.
+func lockCtx(c *Context) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func viaCall(c *Context) {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	lockCtx(c) // want `may acquire Context.mu`
+}
+
+func viaCallOK(c *Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockReg(c)
+}
+
+// heldEntry mutates the registry. Caller holds Context.regMu.
+func heldEntry(c *Context) {
+	c.mu.Lock() // want `while holding Context.regMu`
+	c.mu.Unlock()
+}
+
+func branchScoped(c *Context, cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	b := &Buffer{}
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func sequentialOK(b *Buffer, c *Context) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

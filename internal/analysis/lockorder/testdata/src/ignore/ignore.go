@@ -1,0 +1,25 @@
+// Package ignore exercises the lockorder escape hatch on the
+// two-buffers-one-class shape (core's enqueueCopy locks source and
+// destination in address order).
+package ignore
+
+import "sync"
+
+// lock-order: Buffer.mu
+
+type Buffer struct{ mu sync.Mutex }
+
+func copyBetween(src, dst *Buffer) {
+	src.mu.Lock()
+	//lint:ignore haoclvet/lockorder fixture: both buffers are locked in address order, a deterministic tiebreak
+	dst.mu.Lock()
+	dst.mu.Unlock()
+	src.mu.Unlock()
+}
+
+func copyUnordered(src, dst *Buffer) {
+	src.mu.Lock()
+	dst.mu.Lock() // want `already holding`
+	dst.mu.Unlock()
+	src.mu.Unlock()
+}

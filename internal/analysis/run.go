@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// Run loads the packages matched by patterns (plus their module-internal
+// dependencies), applies every analyzer to each in dependency order so
+// object facts flow from imported packages to importers, and returns the
+// surviving diagnostics for the matched packages with suppression
+// directives already applied.
+func Run(analyzers []*Analyzer, patterns []string) ([]Diagnostic, *token.FileSet, error) {
+	l, err := NewLoader(".")
+	if err != nil {
+		return nil, nil, err
+	}
+	dirs, err := l.Expand(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	matched := make(map[string]bool, len(dirs))
+	for _, dir := range dirs {
+		if _, err := l.LoadDir(dir); err != nil {
+			return nil, nil, err
+		}
+		matched[dir] = true
+	}
+
+	var all []*Package
+	for _, p := range l.cache {
+		if p != nil {
+			all = append(all, p)
+		}
+	}
+	order := topoSort(all)
+
+	facts := newFactStore()
+	var out []Diagnostic
+	for _, pkg := range order {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      l.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+				facts:     facts,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, nil, err
+			}
+		}
+		if !matched[pkg.Dir] {
+			continue // dependency loaded only for facts
+		}
+		out = append(out, Filter(l.Fset, pkg.Files, diags)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := l.Fset.Position(out[i].Pos), l.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, l.Fset, nil
+}
+
+// RunPackage applies the analyzers to one already-loaded package with a
+// fresh fact store and no suppression filtering; analysistest drives it.
+func RunPackage(analyzers []*Analyzer, pkg *Package) []Diagnostic {
+	facts := newFactStore()
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+			facts:     facts,
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Files[0].Pos(),
+				Message:  "analyzer error: " + err.Error(),
+				Analyzer: a.Name,
+			})
+		}
+	}
+	return diags
+}
+
+// topoSort orders packages so every package follows its module-internal
+// imports, with ties broken by directory for determinism.
+func topoSort(pkgs []*Package) []*Package {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	state := make(map[*Package]int) // 0 unvisited, 1 visiting, 2 done
+	var order []*Package
+	var visit func(*Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		deps := append([]*Package(nil), p.Imports...)
+		sort.Slice(deps, func(i, j int) bool { return deps[i].Dir < deps[j].Dir })
+		for _, d := range deps {
+			visit(d)
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return order
+}

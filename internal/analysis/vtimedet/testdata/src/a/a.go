@@ -1,0 +1,86 @@
+// Package a exercises vtimedet inside a deterministic package.
+//
+// haoclvet:deterministic
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()             // want `time.Now`
+	_ = time.Since(t)           // want `time.Since`
+	return int64(time.Until(t)) // want `time.Until`
+}
+
+func sleepOK() { time.Sleep(time.Millisecond) }
+
+func unseeded() int {
+	return rand.Intn(10) // want `unseeded`
+}
+
+func seededOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func mapAppendBad(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `nondeterministic`
+	}
+	return keys
+}
+
+func mapAppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func loopLocalOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		parts := []int{}
+		parts = append(parts, v)
+		total += parts[0]
+	}
+	return total
+}
+
+func sliceAppendOK(in []string) []string {
+	var out []string
+	for _, s := range in {
+		out = append(out, s)
+	}
+	return out
+}
+
+// issue ships one frame to a node.
+//
+// haoclvet:wire
+func issue(id int) {}
+
+// sendAll is wire-marked transitively: it calls issue.
+func sendAll(ids []int) {
+	for _, id := range ids {
+		issue(id)
+	}
+}
+
+func mapWireBad(m map[int]bool) {
+	for id := range m {
+		sendAll([]int{id}) // want `wire frames`
+	}
+}
+
+func sliceWireOK(ids []int) {
+	for _, id := range ids {
+		issue(id)
+	}
+}

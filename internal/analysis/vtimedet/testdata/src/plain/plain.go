@@ -1,0 +1,15 @@
+// Package plain carries no haoclvet:deterministic marker, so wall-clock
+// reads and map iteration are fine here.
+package plain
+
+import "time"
+
+func now() time.Time { return time.Now() }
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+// Package vtimedet polices the virtual-time determinism contract: in
+// packages whose doc comment carries the "haoclvet:deterministic" marker,
+// the same inputs must produce byte-identical schedules, so wall-clock
+// reads, unseeded randomness, and order-sensitive map iteration are
+// reported.
+//
+// Three rules apply inside deterministic packages:
+//
+//   - no time.Now / time.Since / time.Until (time.Sleep is allowed — it
+//     paces real execution without feeding values into the model);
+//   - no package-level math/rand calls (rand.Intn etc.); explicitly seeded
+//     generators via rand.New(rand.NewSource(seed)) are fine;
+//   - no ranging over a map when the loop body appends to a slice that
+//     outlives the loop (unless a sort of that slice follows in the same
+//     block) or calls a function that issues wire frames or charges
+//     virtual time.
+//
+// Wire-issuing functions are marked "haoclvet:wire" in their doc comments;
+// the marker propagates to in-package callers transitively and crosses
+// package boundaries through analyzer facts, so a map-range calling a
+// helper that eventually reaches transport.(*Client).Go is still caught.
+package vtimedet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/haocl-project/haocl/internal/analysis"
+)
+
+// Analyzer is the vtimedet check.
+var Analyzer = &analysis.Analyzer{
+	Name: "vtimedet",
+	Doc:  "reports wall-clock, unseeded-rand, and map-order leaks in deterministic packages",
+	Run:  run,
+}
+
+// wireFact marks a function that (transitively) issues wire frames or
+// charges virtual time.
+type wireFact struct{}
+
+func run(pass *analysis.Pass) error {
+	wire := wireFuncs(pass)
+	// Export facts unconditionally: a non-deterministic package (transport)
+	// still sources wire markers for its deterministic importers.
+	for obj := range wire {
+		if obj.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(obj, wireFact{})
+		}
+	}
+	if !analysis.HasPackageMarker(pass.Files, "haoclvet:deterministic") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCalls(pass, fn.Body)
+			checkBlocks(pass, fn.Body, wire)
+		}
+	}
+	return nil
+}
+
+// checkCalls reports wall-clock and unseeded-rand calls.
+func checkCalls(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "time":
+			switch sel.Sel.Name {
+			case "Now", "Since", "Until":
+				pass.Reportf(call.Pos(),
+					"time.%s in a deterministic package: wall-clock values leak into the virtual-time model",
+					sel.Sel.Name)
+			}
+		case "math/rand", "math/rand/v2":
+			switch sel.Sel.Name {
+			case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			default:
+				pass.Reportf(call.Pos(),
+					"math/rand.%s uses the unseeded global generator; use rand.New(rand.NewSource(seed))",
+					sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkBlocks walks statement blocks so a flagged map-range can look ahead
+// for a sort of the slice it builds.
+func checkBlocks(pass *analysis.Pass, body *ast.BlockStmt, wire map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, s := range block.List {
+			rs, ok := s.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				continue
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				continue
+			}
+			checkMapRange(pass, rs, block.List[i+1:], wire)
+		}
+		return true
+	})
+}
+
+// checkMapRange applies the two map-order rules to one map iteration.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt, wire map[types.Object]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Defs[id]
+				}
+				if obj == nil || withinNode(rs, obj.Pos()) {
+					continue // loop-local accumulator dies with the iteration
+				}
+				if sortedAfter(pass, rest, obj) {
+					continue
+				}
+				pass.Reportf(n.Pos(),
+					"appends to %s while ranging over a map: element order is nondeterministic (sort afterwards or iterate a deterministic slice)",
+					id.Name)
+			}
+		case *ast.CallExpr:
+			callee := staticCallee(pass.TypesInfo, n)
+			if callee == nil {
+				return true
+			}
+			if wire[callee] || hasWireFact(pass, callee) {
+				pass.Reportf(n.Pos(),
+					"calls %s, which issues wire frames or charges virtual time, while ranging over a map: issue order is nondeterministic",
+					callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+func withinNode(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// sortedAfter reports whether a later statement in the same block sorts
+// the accumulated slice.
+func sortedAfter(pass *analysis.Pass, rest []ast.Stmt, slice types.Object) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "sort" && path != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if rootObject(pass, arg) == slice {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// rootObject resolves the leading identifier of an expression.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// wireFuncs computes the package's transitive wire set: functions marked
+// "haoclvet:wire" plus everything that reaches one through in-package
+// calls or through a fact-marked function of another package.
+func wireFuncs(pass *analysis.Pass) map[types.Object]bool {
+	wire := make(map[types.Object]bool)
+	calls := make(map[types.Object][]types.Object)
+	var fns []types.Object
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			fns = append(fns, obj)
+			if commentHasMarker(fn.Doc, "haoclvet:wire") {
+				wire[obj] = true
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(pass.TypesInfo, call)
+				if callee == nil {
+					return true
+				}
+				if callee.Pkg() == pass.Pkg {
+					calls[obj] = append(calls[obj], callee)
+				} else if hasWireFact(pass, callee) {
+					wire[obj] = true
+				}
+				return true
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if wire[fn] {
+				continue
+			}
+			for _, callee := range calls[fn] {
+				if wire[callee] {
+					wire[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return wire
+}
+
+func hasWireFact(pass *analysis.Pass, obj types.Object) bool {
+	_, ok := pass.ImportObjectFact(obj)
+	return ok
+}
+
+// staticCallee resolves a call target to a declared function or method.
+func staticCallee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+			return sel.Obj()
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func commentHasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := c.Text
+		for len(text) > 0 && (text[0] == '/' || text[0] == ' ' || text[0] == '\t') {
+			text = text[1:]
+		}
+		if text == marker || (len(text) > len(marker) && text[:len(marker)] == marker &&
+			(text[len(marker)] == ' ' || text[len(marker)] == ':')) {
+			return true
+		}
+	}
+	return false
+}

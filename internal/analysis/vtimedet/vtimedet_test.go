@@ -1,0 +1,12 @@
+package vtimedet_test
+
+import (
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/analysis/analysistest"
+	"github.com/haocl-project/haocl/internal/analysis/vtimedet"
+)
+
+func TestVtimedet(t *testing.T) {
+	analysistest.Run(t, "testdata", vtimedet.Analyzer, "a", "plain")
+}

@@ -14,6 +14,11 @@
 // execution on reduced inputs, costs modeled at paper scale); Local and
 // SnuCL-D numbers come from the analytic baselines in internal/baseline,
 // which share the same device and network models.
+//
+// Identical runs must print identical rows, so the harness is a
+// deterministic package; the only wall-clock reads live in walltime.go.
+//
+// haoclvet:deterministic
 package bench
 
 import (

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"time"
+	"sort"
 
 	clusterpkg "github.com/haocl-project/haocl/internal/cluster"
 	"github.com/haocl-project/haocl/internal/core"
@@ -227,15 +227,23 @@ func chaosLeg(mode core.MigrationMode, seed int64, nodes, steps int, inj *sim.Fa
 	}
 
 	base := cc.rt.Metrics()
-	start := time.Now()
+	sw := startStopwatch()
 	for step := 0; step < steps; step++ {
 		if inj != nil {
 			if victim := inj.Tick(); victim != "" {
-				for name, a := range cc.alive {
-					if !a {
-						if err := cc.restart(name); err != nil {
-							return row, nil, fmt.Errorf("chaos: step %d rejoin %q: %w", step, name, err)
-						}
+				// Rejoin in name order: each restart replays logs and charges
+				// virtual time, so map order would change the reported figures.
+				names := make([]string, 0, len(cc.alive))
+				for name := range cc.alive {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					if cc.alive[name] {
+						continue
+					}
+					if err := cc.restart(name); err != nil {
+						return row, nil, fmt.Errorf("chaos: step %d rejoin %q: %w", step, name, err)
 					}
 				}
 				if cc.aliveCount() > 1 {
@@ -305,7 +313,7 @@ func chaosLeg(mode core.MigrationMode, seed int64, nodes, steps int, inj *sim.Fa
 			return row, nil, fmt.Errorf("chaos: finish: %w", err)
 		}
 	}
-	wall := time.Since(start)
+	wall := sw.elapsed()
 
 	m := cc.rt.Metrics()
 	row.Commands = m.Commands - base.Commands

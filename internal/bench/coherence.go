@@ -150,7 +150,7 @@ func CoherencePartialUpdate(size, chunk int64, iters int, mode core.MigrationMod
 	}
 	defer h.cleanup()
 
-	start := time.Now()
+	sw := startStopwatch()
 	for i := 0; i < iters; i++ {
 		off := (int64(i) * chunk) % (size - chunk + 1)
 		data := make([]byte, chunk)
@@ -169,7 +169,7 @@ func CoherencePartialUpdate(size, chunk int64, iters int, mode core.MigrationMod
 			return row, fmt.Errorf("coherence: iteration %d read diverged from mirror", i)
 		}
 	}
-	wall := time.Since(start)
+	wall := sw.elapsed()
 	return row, h.finish(&row, wall)
 }
 
@@ -186,7 +186,7 @@ func CoherenceFullyStale(size int64, iters int, mode core.MigrationMode) (Pipeli
 	}
 	defer h.cleanup()
 
-	start := time.Now()
+	sw := startStopwatch()
 	for i := 0; i < iters; i++ {
 		for j := range h.expected {
 			h.expected[j] = byte((i + j) % 249)
@@ -202,7 +202,7 @@ func CoherenceFullyStale(size int64, iters int, mode core.MigrationMode) (Pipeli
 			return row, fmt.Errorf("coherence: iteration %d read diverged from mirror", i)
 		}
 	}
-	wall := time.Since(start)
+	wall := sw.elapsed()
 	return row, h.finish(&row, wall)
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"time"
 
 	haocl "github.com/haocl-project/haocl"
 	"github.com/haocl-project/haocl/internal/apps/matmul"
@@ -165,7 +164,7 @@ func LanesMatmul(devs, launches int, single bool) (PipelineRow, error) {
 		states[i] = deviceState{q: q, k: k, a: a, b: b}
 	}
 
-	start := time.Now()
+	sw := startStopwatch()
 	// Interleave the devices' streams the way a data-partitioned host
 	// does: registration stays strictly in wire order while the lanes
 	// execute the per-device work concurrently.
@@ -184,7 +183,7 @@ func LanesMatmul(devs, launches int, single bool) (PipelineRow, error) {
 			return row, err
 		}
 	}
-	wall := time.Since(start)
+	wall := sw.elapsed()
 
 	row.Commands = int64(len(states) * launches * 2)
 	row.WallMS = float64(wall.Microseconds()) / 1000

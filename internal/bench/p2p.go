@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"time"
 
 	"github.com/haocl-project/haocl/internal/core"
 )
@@ -72,7 +71,7 @@ func P2PMigrationLoop(workload string, size, chunk int64, iters int, mode core.M
 	}
 	h.base = h.p.Metrics()
 
-	start := time.Now()
+	sw := startStopwatch()
 	for i := 0; i < iters; i++ {
 		off := (int64(i) * chunk) % (size - chunk + 1)
 		srcOff := ((int64(i)*3 + 1) * chunk) % (size - chunk + 1)
@@ -90,7 +89,7 @@ func P2PMigrationLoop(workload string, size, chunk int64, iters int, mode core.M
 	if _, err := h.qA.Finish(); err != nil {
 		return row, err
 	}
-	wall := time.Since(start)
+	wall := sw.elapsed()
 
 	m := h.p.Metrics()
 	row.Commands = m.Commands - h.base.Commands

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"io"
-	"time"
 
 	haocl "github.com/haocl-project/haocl"
 	"github.com/haocl-project/haocl/internal/apps/bfs"
@@ -272,7 +271,7 @@ func PipelineMatmul(gpus, launches int, mode StreamMode, tcp bool) (PipelineRow,
 		states[i] = deviceState{q: q, k: k, a: a, b: b}
 	}
 
-	start := time.Now()
+	sw := startStopwatch()
 	for _, st := range states {
 		for t := 0; t < launches; t++ {
 			evA, err := st.q.EnqueueWrite(st.a, 0, tileBytes)
@@ -305,7 +304,7 @@ func PipelineMatmul(gpus, launches int, mode StreamMode, tcp bool) (PipelineRow,
 			return row, err
 		}
 	}
-	wall := time.Since(start)
+	wall := sw.elapsed()
 
 	row.Commands = int64(len(devs) * launches * 3)
 	row.WallMS = float64(wall.Microseconds()) / 1000
@@ -389,7 +388,7 @@ func PipelineBFS(levels int, mode StreamMode, tcp bool) (PipelineRow, error) {
 		return row, err
 	}
 
-	start := time.Now()
+	sw := startStopwatch()
 	prev, err := q.EnqueueKernel(kInit, []int{g.V}, []int{g.V}, nil, nil)
 	if err != nil {
 		return row, err
@@ -415,7 +414,7 @@ func PipelineBFS(levels int, mode StreamMode, tcp bool) (PipelineRow, error) {
 	if _, err := q.Finish(); err != nil {
 		return row, err
 	}
-	wall := time.Since(start)
+	wall := sw.elapsed()
 
 	row.Commands = int64(levels + 1)
 	row.WallMS = float64(wall.Microseconds()) / 1000

@@ -418,7 +418,7 @@ func ServeReport(quick bool, seed int64) (*Report, error) {
 			return nil, err
 		}
 		defer closeLanes(lanes)
-		start := time.Now()
+		sw := startStopwatch()
 		var end vtime.Time
 		if fair {
 			end, err = runFair(lanes, merged, svcByType, quantum, weights)
@@ -433,7 +433,7 @@ func ServeReport(quick bool, seed int64) (*Report, error) {
 			makespan: end,
 			arrival0: merged[0].arrival,
 			jobs:     len(merged),
-			wall:     time.Since(start),
+			wall:     sw.elapsed(),
 		}, nil
 	}
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -210,18 +211,18 @@ type Context struct {
 	// lock: it is taken while holding mu, regMu, a Buffer's or Program's
 	// mu, and never holds any other lock itself.
 	remoteMu sync.Mutex
-	remote   map[*NodeHandle]uint64
+	remote   map[*NodeHandle]uint64 // guarded by remoteMu
 
 	mu       sync.Mutex
-	svcQueue map[*NodeHandle]*Queue // hidden queues for buffer migration
+	svcQueue map[*NodeHandle]*Queue // guarded by mu; hidden queues for buffer migration
 
 	// regMu guards the object registries recovery walks to strip dead-node
 	// state. It is separate from mu so CreateQueue can register while
 	// serviceQueue holds mu; lock order is mu before regMu, never reversed.
 	regMu    sync.Mutex
-	queues   []*Queue
-	buffers  []*Buffer
-	programs []*Program
+	queues   []*Queue   // guarded by regMu
+	buffers  []*Buffer  // guarded by regMu
+	programs []*Program // guarded by regMu
 }
 
 // CreateContext builds a context over the given devices
@@ -253,7 +254,8 @@ func (s *Session) CreateContext(devices []*DeviceRef) (*Context, error) {
 	for _, d := range devices {
 		perNode[d.node] = append(perNode[d.node], int64(d.info.ID))
 	}
-	for node, ids := range perNode {
+	for _, node := range sortedNodeKeys(perNode) {
+		ids := perNode[node]
 		var resp protocol.ObjectResp
 		req := &protocol.CreateContextReq{DeviceIDs: ids, SessionID: s.id, Tenant: s.tenant}
 		if err := s.call(node, req, &resp); err != nil {
@@ -372,10 +374,10 @@ type Queue struct {
 	// dev and remoteID are the queue's node binding; recovery re-points
 	// them when the node dies (rebindQueue), so concurrent enqueues must
 	// snapshot them through binding() rather than read the fields raw.
-	dev         *DeviceRef
-	remoteID    uint64
-	outstanding map[*Event]struct{}
-	err         error // sticky: first pipelined command failure
+	dev         *DeviceRef          // guarded by mu
+	remoteID    uint64              // guarded by mu
+	outstanding map[*Event]struct{} // guarded by mu
+	err         error               // guarded by mu; sticky: first pipelined command failure
 }
 
 // binding snapshots the queue's current node binding. An operation reads
@@ -428,14 +430,43 @@ func (q *Queue) stickyErr() error {
 // drain resolves every outstanding pipelined command on the queue.
 func (q *Queue) drain() {
 	q.mu.Lock()
-	evs := make([]*Event, 0, len(q.outstanding))
-	for e := range q.outstanding {
-		evs = append(evs, e)
-	}
+	evs := drainList(q.outstanding)
 	q.mu.Unlock()
 	for _, e := range evs {
 		e.resolve()
 	}
+}
+
+// drainList snapshots a pending-event set in deterministic order: by
+// owning node, then host-assigned event ID — issue order. Resolution
+// order decides which failure latches into a sticky error slot first, so
+// it must not follow map iteration. The caller holds whatever mutex
+// guards set.
+func drainList(set map[*Event]struct{}) []*Event {
+	evs := make([]*Event, 0, len(set))
+	for e := range set {
+		evs = append(evs, e)
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if ni, nj := evs[i].dev.node.name, evs[j].dev.node.name; ni != nj {
+			return ni < nj
+		}
+		return evs[i].remoteID < evs[j].remoteID
+	})
+	return evs
+}
+
+// sortedNodeKeys returns m's keys in node-name order. Every loop that
+// issues wire traffic per node must walk this instead of the map, so the
+// frame sequence — and with it every virtual-time booking — is identical
+// across runs.
+func sortedNodeKeys[V any](m map[*NodeHandle]V) []*NodeHandle {
+	nodes := make([]*NodeHandle, 0, len(m))
+	for n := range m {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
+	return nodes
 }
 
 // CreateQueue creates a command queue on dev.
@@ -535,18 +566,18 @@ type Buffer struct {
 	// modelSize is the buffer's logical size in the timing model; it
 	// defaults to size and is raised by SetModelSize when the functional
 	// payload is a scaled-down stand-in for a paper-scale input.
-	modelSize int64
+	modelSize int64 // guarded by mu
 
 	mu   sync.Mutex
-	host []byte
+	host []byte // guarded by mu
 	// hostValid is the set of byte ranges of the host shadow holding
 	// current data. The coherence invariant: every byte range that was
 	// ever written is valid on the host or on at least one replica at all
 	// times (ranges never written read as zeros, deterministically).
-	hostValid   mem.RangeSet
-	hostReadyAt vtime.Time
-	remote      map[*NodeHandle]*remoteBuf
-	released    bool
+	hostValid   mem.RangeSet               // guarded by mu
+	hostReadyAt vtime.Time                 // guarded by mu
+	remote      map[*NodeHandle]*remoteBuf // guarded by mu
+	released    bool                       // guarded by mu
 }
 
 // CreateBuffer allocates a buffer of the given size.
@@ -604,8 +635,8 @@ func (b *Buffer) scaled(n int64) int64 {
 	return int64(float64(n) * float64(b.modelSize) / float64(b.size))
 }
 
-// remoteOn lazily allocates the buffer's replica on a node. Caller holds
-// b.mu.
+// remoteOn lazily allocates the buffer's replica on a node.
+// Caller holds b.mu.
 func (b *Buffer) remoteOn(node *NodeHandle) (*remoteBuf, error) {
 	if b.released {
 		return nil, fmt.Errorf("core: buffer was released")
@@ -636,8 +667,8 @@ func (b *Buffer) remoteOn(node *NodeHandle) (*remoteBuf, error) {
 func (b *Buffer) Release() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for node, rb := range b.remote {
-		b.ctx.sess.releaseAsync(node, protocol.ObjBuffer, rb.id)
+	for _, node := range sortedNodeKeys(b.remote) {
+		b.ctx.sess.releaseAsync(node, protocol.ObjBuffer, b.remote[node].id)
 	}
 	b.remote = make(map[*NodeHandle]*remoteBuf)
 	b.host = nil
@@ -809,12 +840,16 @@ func (b *Buffer) ensureResident(node *NodeHandle, lo, hi int64) (*remoteBuf, err
 	if err != nil {
 		return nil, err
 	}
+	// Snapshot the service queue's binding once: recovery may re-bind it
+	// mid-loop, and a torn read (old queue ID, new device) would charge the
+	// wrong lane. A stale snapshot fails crash-classified and is retried.
+	svcDev, svcQID := svc.binding()
 	for _, g := range gaps {
 		modelBytes := b.scaled(g.Len())
 		arrival := b.ctx.sess.chargeNIC(b.hostReadyAt, controlMsgBytes+modelBytes)
 		resp := new(protocol.EventResp)
 		id, pend := b.ctx.sess.issue(node, &protocol.WriteBufferReq{
-			QueueID:    svc.remoteID,
+			QueueID:    svcQID,
 			BufferID:   rb.id,
 			Offset:     g.Lo,
 			Data:       b.host[g.Lo:g.Hi],
@@ -822,7 +857,7 @@ func (b *Buffer) ensureResident(node *NodeHandle, lo, hi int64) (*remoteBuf, err
 			ModelBytes: modelBytes,
 			WaitEvents: chain,
 		}, resp)
-		pushEv := &Event{dev: svc.dev, remoteID: id, queue: svc, pending: pend, resp: resp}
+		pushEv := &Event{dev: svcDev, remoteID: id, queue: svc, pending: pend, resp: resp}
 		svc.track(pushEv)
 		rb.valid.Add(g.Lo, g.Hi)
 		// The pushes ride one in-order service queue, so chaining the
@@ -834,8 +869,8 @@ func (b *Buffer) ensureResident(node *NodeHandle, lo, hi int64) (*remoteBuf, err
 }
 
 // refreshHost makes the host shadow valid over the given ranges, pulling
-// each host-stale sub-range from a replica that holds it. Caller holds
-// b.mu.
+// each host-stale sub-range from a replica that holds it.
+// Caller holds b.mu.
 func (b *Buffer) refreshHost(ranges []mem.Range) error {
 	if b.host == nil {
 		b.host = make([]byte, b.size)
@@ -870,8 +905,8 @@ func (b *Buffer) pullRange(gap mem.Range) error {
 
 // pullFrom reads one valid range of owner's replica back into the host
 // shadow. The pull is pipelined behind the owner's pending writes (the
-// wait on lastEvent), but the host must block for the data. Caller holds
-// b.mu.
+// wait on lastEvent), but the host must block for the data.
+// Caller holds b.mu.
 func (b *Buffer) pullFrom(owner *NodeHandle, orb *remoteBuf, r mem.Range) error {
 	svc, err := b.ctx.serviceQueue(owner)
 	if err != nil {
@@ -881,11 +916,12 @@ func (b *Buffer) pullFrom(owner *NodeHandle, orb *remoteBuf, r mem.Range) error 
 	if err != nil {
 		return err
 	}
+	svcDev, svcQID := svc.binding()
 	modelBytes := b.scaled(r.Len())
 	arrival := b.ctx.sess.chargeNIC(0, controlMsgBytes)
 	var resp protocol.ReadBufferResp
 	_, pend := b.ctx.sess.issue(owner, &protocol.ReadBufferReq{
-		QueueID:    svc.remoteID,
+		QueueID:    svcQID,
 		BufferID:   orb.id,
 		Offset:     r.Lo,
 		Size:       r.Len(),
@@ -894,7 +930,10 @@ func (b *Buffer) pullFrom(owner *NodeHandle, orb *remoteBuf, r mem.Range) error 
 		WaitEvents: ownerChain,
 	}, &resp)
 	if err := pend.Wait(); err != nil {
-		return fmt.Errorf("core: migrate buffer range [%d,%d) from %q: %w", r.Lo, r.Hi, owner.name, err)
+		// Classify before wrapping so withRecovery's retry decision sees
+		// node loss even though the error detours through this message.
+		return fmt.Errorf("core: migrate buffer range [%d,%d) from %q: %w",
+			r.Lo, r.Hi, owner.name, classifyNodeErr(owner, err))
 	}
 	// Response data crosses the backbone back to the host.
 	hostArrival := b.ctx.sess.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
@@ -903,7 +942,7 @@ func (b *Buffer) pullFrom(owner *NodeHandle, orb *remoteBuf, r mem.Range) error 
 	if hostArrival > b.hostReadyAt {
 		b.hostReadyAt = hostArrival
 	}
-	b.ctx.sess.observeProfile(svc.dev.key, resp.Profile, false)
+	b.ctx.sess.observeProfile(svcDev.key, resp.Profile, false)
 	return nil
 }
 
@@ -1050,6 +1089,7 @@ func (q *Queue) enqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	}
 	first.mu.Lock()
 	defer first.mu.Unlock()
+	//lint:ignore haoclvet/lockorder src and dst share one lock class; the address comparison above is the deterministic tiebreak
 	second.mu.Lock()
 	defer second.mu.Unlock()
 
@@ -1099,11 +1139,13 @@ func (q *Queue) enqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 	// This node's replica is now the only valid holder of the copied
 	// range; validity outside it is untouched everywhere.
 	dstEnd := dstOffset + size
+	//lint:ignore haoclvet/lockguard dst.mu is held via the address-ordered first/second aliases locked above
 	for other, orb := range dst.remote {
 		if other != node {
 			orb.valid.Remove(dstOffset, dstEnd)
 		}
 	}
+	//lint:ignore haoclvet/lockguard dst.mu is held via the address-ordered first/second aliases locked above
 	dst.hostValid.Remove(dstOffset, dstEnd)
 	dstRB.valid.Add(dstOffset, dstEnd)
 	dstRB.lastEvent = id
@@ -1121,10 +1163,10 @@ type Program struct {
 	parsed *clc.Program
 
 	mu      sync.Mutex
-	remote  map[*NodeHandle]uint64
-	log     string
-	built   bool
-	kernels []*Kernel
+	remote  map[*NodeHandle]uint64 // guarded by mu
+	log     string                 // guarded by mu
+	built   bool                   // guarded by mu
+	kernels []*Kernel              // guarded by mu
 }
 
 // CreateProgram parses source and returns an unbuilt program
@@ -1153,10 +1195,11 @@ func (p *Program) Build() error {
 	if p.built {
 		return nil
 	}
-	for node, ctxID := range p.ctx.remoteSnapshot() {
+	snap := p.ctx.remoteSnapshot()
+	for _, node := range sortedNodeKeys(snap) {
 		var resp protocol.BuildProgramResp
 		err := p.ctx.sess.call(node, &protocol.BuildProgramReq{
-			ContextID: ctxID,
+			ContextID: snap[node],
 			Source:    p.source,
 		}, &resp)
 		p.log += resp.Log
@@ -1195,9 +1238,9 @@ type Kernel struct {
 	sig  *clc.Kernel
 
 	mu       sync.Mutex
-	remote   map[*NodeHandle]uint64
-	args     []argBinding
-	released bool
+	remote   map[*NodeHandle]uint64 // guarded by mu
+	args     []argBinding           // guarded by mu
+	released bool                   // guarded by mu
 }
 
 // CreateKernel instantiates the named kernel.
@@ -1319,8 +1362,8 @@ func (k *Kernel) remoteOn(node *NodeHandle) (uint64, error) {
 func (k *Kernel) Release() error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	for node, id := range k.remote {
-		k.prog.ctx.sess.releaseAsync(node, protocol.ObjKernel, id)
+	for _, node := range sortedNodeKeys(k.remote) {
+		k.prog.ctx.sess.releaseAsync(node, protocol.ObjKernel, k.remote[node])
 	}
 	k.remote = make(map[*NodeHandle]uint64)
 	k.released = true

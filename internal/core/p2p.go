@@ -59,6 +59,7 @@ func (b *Buffer) migrateP2P(node *NodeHandle, rb *remoteBuf, gaps []mem.Range) e
 	if err := svc.stickyErr(); err != nil {
 		return err
 	}
+	svcDev, svcQID := svc.binding()
 	for _, g := range gaps {
 		plan, leftover := b.planOwners(g)
 		for _, ps := range plan {
@@ -81,7 +82,7 @@ func (b *Buffer) migrateP2P(node *NodeHandle, rb *remoteBuf, gaps []mem.Range) e
 			arrival := b.ctx.sess.chargeNIC(b.hostReadyAt, controlMsgBytes+modelBytes)
 			resp := new(protocol.EventResp)
 			id, pend := b.ctx.sess.issue(node, &protocol.WriteBufferReq{
-				QueueID:    svc.remoteID,
+				QueueID:    svcQID,
 				BufferID:   rb.id,
 				Offset:     r.Lo,
 				Data:       b.host[r.Lo:r.Hi],
@@ -89,7 +90,7 @@ func (b *Buffer) migrateP2P(node *NodeHandle, rb *remoteBuf, gaps []mem.Range) e
 				ModelBytes: modelBytes,
 				WaitEvents: chain,
 			}, resp)
-			pushEv := &Event{dev: svc.dev, remoteID: id, queue: svc, pending: pend, resp: resp}
+			pushEv := &Event{dev: svcDev, remoteID: id, queue: svc, pending: pend, resp: resp}
 			svc.track(pushEv)
 			rb.valid.Add(r.Lo, r.Hi)
 			rb.lastEvent = id
@@ -111,6 +112,8 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 	if err := ownerSvc.stickyErr(); err != nil {
 		return err
 	}
+	ownerDev, ownerQID := ownerSvc.binding()
+	svcDev, svcQID := svc.binding()
 	ownerChain, err := ps.rb.chainWaits()
 	if err != nil {
 		return err
@@ -128,7 +131,7 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 	pushCtrl := sess.chargeNIC(0, controlMsgBytes)
 	pushResp := new(protocol.EventResp)
 	pushID, pushPend := sess.issue(ps.node, &protocol.PushRangeReq{
-		QueueID:      ownerSvc.remoteID,
+		QueueID:      ownerQID,
 		BufferID:     ps.rb.id,
 		PeerName:     node.name,
 		PeerBufferID: rb.id,
@@ -139,7 +142,7 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 		ModelBytes:   modelBytes,
 		WaitEvents:   ownerChain,
 	}, pushResp)
-	pushEv := &Event{dev: ownerSvc.dev, remoteID: pushID, queue: ownerSvc, pending: pushPend, resp: pushResp}
+	pushEv := &Event{dev: ownerDev, remoteID: pushID, queue: ownerSvc, pending: pushPend, resp: pushResp}
 	ownerSvc.track(pushEv)
 	// The push becomes the owner replica's chain head: a later write there
 	// must wait for the device read (anti-dependency), and the in-order
@@ -151,7 +154,7 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 	awaitCtrl := sess.chargeNIC(0, controlMsgBytes)
 	awaitResp := new(protocol.EventResp)
 	awaitID, awaitPend := sess.issue(node, &protocol.AwaitPushReq{
-		QueueID:    svc.remoteID,
+		QueueID:    svcQID,
 		BufferID:   rb.id,
 		Token:      token,
 		Offset:     ps.r.Lo,
@@ -160,7 +163,7 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 		ModelBytes: modelBytes,
 		WaitEvents: consumerChain,
 	}, awaitResp)
-	awaitEv := &Event{dev: svc.dev, remoteID: awaitID, queue: svc, pending: awaitPend, resp: awaitResp}
+	awaitEv := &Event{dev: svcDev, remoteID: awaitID, queue: svc, pending: awaitPend, resp: awaitResp}
 	svc.track(awaitEv)
 	sess.chargePeer(modelBytes)
 	rt.watchPush(node.client.Load(), token, pushEv)

@@ -50,6 +50,8 @@ func (e *nodeLostError) Unwrap() []error { return []error{errNodeLost, e.cause} 
 // goroutine may already have moved the node from dead to removed, so the
 // liveness check must be "not alive", not "dead". A RemoteError is the
 // node answering, i.e. a genuine command failure, and passes through.
+//
+// haoclvet:errclass-sanitizer
 func classifyNodeErr(n *NodeHandle, err error) error {
 	if err == nil || n.Alive() || isNodeLost(err) {
 		return err
@@ -65,6 +67,8 @@ func classifyNodeErr(n *NodeHandle, err error) error {
 // (connection to a dead node) or carrying the wire code nodes use for
 // failures they themselves attribute to membership loss (cancelled push
 // rendezvous, peer pool resets).
+//
+// haoclvet:errclass-sink
 func isNodeLost(err error) bool {
 	if errors.Is(err, errNodeLost) {
 		return true
@@ -98,6 +102,8 @@ func (rt *Runtime) aliveNodes() []*NodeHandle {
 // either the error itself is crash-induced, or some node is marked dead (in
 // which case even an untyped failure — a synchronous call that died with
 // the connection — is worth one recovery pass).
+//
+// haoclvet:errclass-sink
 func (rt *Runtime) shouldRecover(err error) bool {
 	if err == nil || rt.closing.Load() {
 		return false
@@ -156,6 +162,7 @@ func (rt *Runtime) recoverLocked() error {
 // contexts span a dead node (or whose queues latched a crash-induced
 // failure) are drained, stripped and replayed; bystander tenants keep
 // their pipelines, sticky release errors and command logs untouched.
+// Caller holds rt.recoverMu.
 func (rt *Runtime) recoverOnce() (bool, error) {
 	var dead []*NodeHandle
 	for _, n := range rt.nodes {
@@ -430,8 +437,8 @@ func (b *Buffer) resetForReplay(isDead map[*NodeHandle]bool) {
 // rehelloLocked repeats the Hello handshake with every live node under the
 // current membership epoch and address book. Nodes that observe the epoch
 // advance drop their pooled peer connections and cancel parked push
-// rendezvous, so stale routes to dead incarnations cannot linger. Caller
-// holds recoverMu.
+// rendezvous, so stale routes to dead incarnations cannot linger.
+// Caller holds rt.recoverMu.
 func (rt *Runtime) rehelloLocked() error {
 	alive := rt.aliveNodes()
 	peers := make([]protocol.PeerAddr, 0, len(alive))

@@ -6,6 +6,15 @@
 // mechanism of paper §III-C), buffer placement and migration across nodes,
 // the virtual-time network model for the Gigabit Ethernet backbone, and the
 // task-graph scheduler that places kernels through pluggable policies.
+//
+// The package is checked by cmd/haoclvet (see DESIGN.md §9):
+//
+// haoclvet:deterministic
+// haoclvet:errclass
+//
+// and its object locks nest in one documented order, innermost last:
+//
+// lock-order: Buffer.mu < Context.mu < Queue.mu < Kernel.mu < Program.mu < Context.regMu < Context.remoteMu
 package core
 
 import (
@@ -86,7 +95,7 @@ type NodeHandle struct {
 	// survives reconnects: a restarted node has no old event records, so
 	// continuing the sequence keeps IDs unique without coordination.
 	issueMu sync.Mutex
-	eventID uint64
+	eventID uint64 // guarded by issueMu
 }
 
 // Name returns the node's configured name.
@@ -210,9 +219,9 @@ type Runtime struct {
 	// sessMu guards the session registry: every open session, plus the
 	// lazily created default session backing the Runtime-level API.
 	sessMu     sync.Mutex
-	sessions   []*Session
-	nextSessID uint64
-	defSess    *Session
+	sessions   []*Session // guarded by sessMu
+	nextSessID uint64     // guarded by sessMu
+	defSess    *Session   // guarded by sessMu
 
 	nicOut  *vtime.Link // host NIC egress (paper: single host node)
 	nicIn   *vtime.Link // host NIC ingress (full-duplex GbE)
@@ -221,8 +230,8 @@ type Runtime struct {
 	// mu guards the aggregate metrics (the sum over all sessions, which
 	// Runtime.Metrics reports) and the push-token counter.
 	mu        sync.Mutex
-	metrics   Metrics
-	pushToken uint64 // rendezvous tokens for node→node pushes
+	metrics   Metrics // guarded by mu
+	pushToken uint64  // guarded by mu; rendezvous tokens for node-to-node pushes
 }
 
 // pendingRelease is one fire-and-forget Release awaiting its ack.
@@ -399,12 +408,17 @@ func (rt *Runtime) SetPolicy(p sched.Policy) { rt.defaultSession().SetPolicy(p) 
 
 // call performs one protocol round trip and counts it. Object lifecycle
 // operations (creates, builds, releases, status polls) stay synchronous:
-// they are control-path and their results are needed immediately.
+// they are control-path and their results are needed immediately. The
+// result is classified so callers' recovery decisions (shouldRecover in
+// withRecovery, rehelloLocked) see node loss rather than a raw transport
+// error.
+//
+// haoclvet:wire
 func (rt *Runtime) call(n *NodeHandle, req protocol.Message, resp protocol.Message) error {
 	rt.mu.Lock()
 	rt.metrics.Commands++
 	rt.mu.Unlock()
-	return n.client.Load().Call(req, resp)
+	return classifyNodeErr(n, n.client.Load().Call(req, resp))
 }
 
 // maxPendingReleases bounds the un-reaped fire-and-forget releases: a
@@ -527,7 +541,9 @@ func (rt *Runtime) PollStatus() error {
 		polls = append(polls, p)
 	}
 	for _, p := range polls {
-		if err := p.pend.Wait(); err != nil {
+		// Classify before wrapping: a node that died mid-poll should
+		// surface as node loss, exactly as one already marked dead above.
+		if err := classifyNodeErr(p.node, p.pend.Wait()); err != nil {
 			errs = append(errs, fmt.Errorf("core: status poll %q: %w", p.node.name, err))
 			continue
 		}

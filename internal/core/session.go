@@ -42,33 +42,33 @@ type Session struct {
 	closed atomic.Bool
 
 	mu      sync.Mutex
-	metrics Metrics
-	migMode MigrationMode
-	policy  sched.Policy
+	metrics Metrics       // guarded by mu
+	migMode MigrationMode // guarded by mu
+	policy  sched.Policy  // guarded by mu
 
 	// pendMu guards the set of this session's pipelined commands whose
 	// responses have not been consumed yet; Metrics drains it so the
 	// numbers are complete.
 	pendMu  sync.Mutex
-	pendSet map[*Event]struct{}
+	pendSet map[*Event]struct{} // guarded by pendMu
 
 	// relMu guards the session's fire-and-forget Release calls still
 	// awaiting acknowledgement, plus the sticky error of the first failed
 	// release. One tenant's failed Release surfaces on its own Flush and
 	// nobody else's.
 	relMu      sync.Mutex
-	relPending []*pendingRelease
-	relErr     error
+	relPending []*pendingRelease // guarded by relMu
+	relErr     error             // guarded by relMu
 
 	// logMu guards the session's command log: every mutating command in
 	// issue order, replayed from zeroed buffer state after a node loss.
 	// Recovery replays only the logs of sessions the dead node touched.
 	logMu  sync.Mutex
-	cmdLog []logEntry
+	cmdLog []logEntry // guarded by logMu
 
 	// ctxMu guards the session's context registry — its object namespace.
 	ctxMu    sync.Mutex
-	contexts []*Context
+	contexts []*Context // guarded by ctxMu
 }
 
 // OpenSession creates a new isolated session for the named tenant. The
@@ -242,10 +242,7 @@ func (s *Session) forgetEvent(e *Event) {
 // session (the event half of Flush, without touching the release pipeline).
 func (s *Session) drainPendingEvents() {
 	s.pendMu.Lock()
-	evs := make([]*Event, 0, len(s.pendSet))
-	for e := range s.pendSet {
-		evs = append(evs, e)
-	}
+	evs := drainList(s.pendSet)
 	s.pendMu.Unlock()
 	for _, e := range evs {
 		e.resolve()

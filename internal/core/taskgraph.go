@@ -23,8 +23,8 @@ type TaskGraph struct {
 	ctx *Context
 
 	mu     sync.Mutex
-	tasks  []*GraphTask
-	queues map[*DeviceRef]*Queue
+	tasks  []*GraphTask          // guarded by mu
+	queues map[*DeviceRef]*Queue // guarded by mu
 }
 
 // GraphTask is one node of a task graph.
@@ -167,13 +167,16 @@ func schedTask(t *GraphTask) sched.Task {
 		}
 		st.Cost = kernel.Cost{Flops: items}
 	}
+	// Snapshot the bindings, then size them unlocked: ModelSize takes
+	// Buffer.mu, which ranks before Kernel.mu in the package lock order.
 	t.kernel.mu.Lock()
-	for _, bind := range t.kernel.args {
+	binds := append([]argBinding(nil), t.kernel.args...)
+	t.kernel.mu.Unlock()
+	for _, bind := range binds {
 		if bind.kind == protocol.ArgBuffer && bind.buf != nil {
 			st.InputBytes += bind.buf.ModelSize()
 		}
 	}
-	t.kernel.mu.Unlock()
 	return st
 }
 

@@ -1,6 +1,11 @@
 // Package mem converts between Go numeric slices and the little-endian
 // byte representation used by device buffers. Host code uses these copying
 // conversions; device kernels use the zero-copy views on kernel.Arg.
+//
+// Range arithmetic orders the coherence layer's transfers, so it is a
+// deterministic package.
+//
+// haoclvet:deterministic
 package mem
 
 import (

@@ -7,6 +7,10 @@
 // One Node serves any number of sessions (connections); each session
 // carries a user identity from its Hello handshake, and exclusive
 // (non-shared) devices admit queues from only one user at a time.
+//
+// Cross-goroutine state follows one lock order, checked by haoclvet:
+//
+// lock-order: Session.mu < Session.laneMu < Session.peerMu < lane.mu < objectTable.mu < queueObj.execMu < bufferObj.mu < rendezvous.mu < deviceStats.mu
 package node
 
 import (
@@ -79,21 +83,21 @@ type Node struct {
 	rdv *rendezvous
 
 	shutdownMu sync.Mutex
-	onShutdown func()
+	onShutdown func() // guarded by shutdownMu
 }
 
 // deviceStats is the per-device slice of the runtime monitor.
 type deviceStats struct {
 	mu          sync.Mutex
-	busyUntil   vtime.Time
-	queuedCmds  int64
-	kernelsRun  int64
-	flopsDone   float64
-	bytesMoved  float64
-	energyJ     float64
-	users       map[string]int // userID -> live queue count
-	ewmaGFLOPS  float64
-	ewmaKernSec float64
+	busyUntil   vtime.Time     // guarded by mu
+	queuedCmds  int64          // guarded by mu
+	kernelsRun  int64          // guarded by mu
+	flopsDone   float64        // guarded by mu
+	bytesMoved  float64        // guarded by mu
+	energyJ     float64        // guarded by mu
+	users       map[string]int // guarded by mu; userID -> live queue count
+	ewmaGFLOPS  float64        // guarded by mu
+	ewmaKernSec float64        // guarded by mu
 }
 
 const ewmaAlpha = 0.25

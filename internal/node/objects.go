@@ -21,13 +21,13 @@ import (
 // only unique per connection.
 type objectTable struct {
 	mu     sync.Mutex
-	nextID uint64
+	nextID uint64 // guarded by mu
 
-	contexts map[uint64]*contextObj
-	queues   map[uint64]*queueObj
-	buffers  map[uint64]*bufferObj
-	programs map[uint64]*programObj
-	kernels  map[uint64]*kernelObj
+	contexts map[uint64]*contextObj // guarded by mu
+	queues   map[uint64]*queueObj   // guarded by mu
+	buffers  map[uint64]*bufferObj  // guarded by mu
+	programs map[uint64]*programObj // guarded by mu
+	kernels  map[uint64]*kernelObj  // guarded by mu
 }
 
 func newObjectTable() *objectTable {
@@ -66,9 +66,12 @@ type queueObj struct {
 }
 
 type bufferObj struct {
-	id   uint64
+	id uint64
+	// size is immutable after construction; the registration stage bounds-
+	// checks against it without touching the guarded bytes.
+	size int64
 	mu   sync.RWMutex
-	data []byte
+	data []byte // guarded by mu
 }
 
 type programObj struct {
@@ -117,6 +120,7 @@ func (e *eventObj) fail(err error) {
 	close(e.done)
 }
 
+// newID allocates the next object ID. Caller holds t.mu.
 func (t *objectTable) newID() uint64 {
 	t.nextID++
 	return t.nextID

@@ -21,7 +21,7 @@ const pushChunkBytes = 8 << 20
 // Whichever side arrives first creates the entry; the consumer deletes it.
 type rendezvous struct {
 	mu      sync.Mutex
-	entries map[uint64]*rdvEntry
+	entries map[uint64]*rdvEntry // guarded by mu
 }
 
 // rdvEntry is one pending push. done is closed exactly once — by the

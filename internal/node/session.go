@@ -29,37 +29,37 @@ type Session struct {
 	node *Node
 
 	mu     sync.Mutex
-	userID string
-	queues map[uint64]*queueObj // queues created by this session
+	userID string               // guarded by mu
+	queues map[uint64]*queueObj // guarded by mu; queues created by this session
 	// events are session-local because their IDs are host-assigned: the
 	// pipelining host names each command's completion event up front so a
 	// later command's wait list can reference it before the response
 	// exists, and those counters are only unique per connection. Entries
 	// are created at registration (claimed) or by a wait-list lookup that
 	// ran ahead of the creating command (unclaimed placeholder).
-	events map[uint64]*eventObj
+	events map[uint64]*eventObj // guarded by mu
 	// synthEventID assigns IDs for requests that carry none (direct
 	// session drivers and tests); the high range keeps them clear of
 	// host-assigned counters.
-	synthEventID uint64
+	synthEventID uint64 // guarded by mu
 	// peers is the cluster address book learned from the host's Hello
 	// (name → listen address), consulted when PushRange commands dial
 	// sibling nodes.
-	peers map[string]string
+	peers map[string]string // guarded by mu
 	// epoch is the host's membership generation from the last Hello; a
 	// repeat Hello with a higher epoch signals a membership change and
 	// resets the peer pool and parked push rendezvous.
-	epoch uint64
+	epoch uint64 // guarded by mu
 
 	// peerMu guards the lazy-dialed pool of connections to sibling nodes
 	// and the peersClosed latch; see peerClient.
 	peerMu      sync.Mutex
-	peerConns   map[string]*peerConn
-	peersClosed bool
+	peerConns   map[string]*peerConn // guarded by peerMu
+	peersClosed bool                 // guarded by peerMu
 
 	laneMu    sync.Mutex
-	lanes     map[uint64]*lane
-	lanesDead bool
+	lanes     map[uint64]*lane // guarded by laneMu
+	lanesDead bool             // guarded by laneMu
 	laneWG    sync.WaitGroup
 
 	// closedCh unblocks event waiters when the session tears down, so a
@@ -94,8 +94,8 @@ const synthEventBase = uint64(1) << 62
 type lane struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	jobs   []func()
-	closed bool
+	jobs   []func() // guarded by mu
+	closed bool     // guarded by mu
 }
 
 func newLane() *lane {
@@ -369,7 +369,7 @@ func (s *Session) prepare(op protocol.Op, body []byte, strictWaits bool) (uint64
 		// a malformed range fails its event deterministically instead of
 		// occupying a lane and blocking on wait edges first. Buffer sizes
 		// are immutable, so registration-time bounds hold at execution.
-		if err := checkRange("write", req.Offset, int64(len(req.Data)), int64(len(buf.data))); err != nil {
+		if err := checkRange("write", req.Offset, int64(len(req.Data)), buf.size); err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
 		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
@@ -392,7 +392,7 @@ func (s *Session) prepare(op protocol.Op, body []byte, strictWaits bool) (uint64
 		if err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
-		if err := checkRange("read", req.Offset, req.Size, int64(len(buf.data))); err != nil {
+		if err := checkRange("read", req.Offset, req.Size, buf.size); err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
 		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
@@ -419,10 +419,10 @@ func (s *Session) prepare(op protocol.Op, body []byte, strictWaits bool) (uint64
 		if err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
-		if err := checkRange("copy source", req.SrcOffset, req.Size, int64(len(src.data))); err != nil {
+		if err := checkRange("copy source", req.SrcOffset, req.Size, src.size); err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
-		if err := checkRange("copy destination", req.DstOffset, req.Size, int64(len(dst.data))); err != nil {
+		if err := checkRange("copy destination", req.DstOffset, req.Size, dst.size); err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
 		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
@@ -469,7 +469,7 @@ func (s *Session) prepare(op protocol.Op, body []byte, strictWaits bool) (uint64
 		if err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
-		if err := checkRange("push", req.Offset, req.Size, int64(len(buf.data))); err != nil {
+		if err := checkRange("push", req.Offset, req.Size, buf.size); err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
 		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
@@ -495,7 +495,7 @@ func (s *Session) prepare(op protocol.Op, body []byte, strictWaits bool) (uint64
 		if err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
-		if err := checkRange("await-push", req.Offset, req.Size, int64(len(buf.data))); err != nil {
+		if err := checkRange("await-push", req.Offset, req.Size, buf.size); err != nil {
 			return 0, nil, s.failCommand(ev, err)
 		}
 		waits, err := s.resolveWaits(req.WaitEvents, strictWaits)
@@ -790,7 +790,7 @@ func (s *Session) handleCreateBuffer(body []byte) (protocol.Message, error) {
 	if req.Size <= 0 || req.Size > protocol.MaxFrameSize {
 		return nil, remoteErr(protocol.CodeBadRequest, "invalid buffer size %d", req.Size)
 	}
-	id := s.node.objects.putBuffer(&bufferObj{data: make([]byte, req.Size)})
+	id := s.node.objects.putBuffer(&bufferObj{size: req.Size, data: make([]byte, req.Size)})
 	return &protocol.ObjectResp{ID: id}, nil
 }
 
@@ -863,7 +863,7 @@ func (s *Session) execCopyBuffer(req *protocol.CopyBufferReq, q *queueObj, ev *e
 	start, end := q.clock.Reserve(deadline, dur)
 	if src == dst {
 		src.mu.Lock()
-		copy(dst.data[req.DstOffset:req.DstOffset+req.Size], src.data[req.SrcOffset:req.SrcOffset+req.Size])
+		copy(src.data[req.DstOffset:req.DstOffset+req.Size], src.data[req.SrcOffset:req.SrcOffset+req.Size])
 		src.mu.Unlock()
 	} else {
 		// Lock both buffers in handle order: concurrent lanes may copy in
@@ -875,7 +875,9 @@ func (s *Session) execCopyBuffer(req *protocol.CopyBufferReq, q *queueObj, ev *e
 			first, second = dst, src
 		}
 		first.mu.Lock()
+		//lint:ignore haoclvet/lockorder src and dst share one lock class; the handle comparison above is the deterministic tiebreak
 		second.mu.Lock()
+		//lint:ignore haoclvet/lockguard dst.mu is held via the handle-ordered first/second aliases locked above
 		copy(dst.data[req.DstOffset:req.DstOffset+req.Size], src.data[req.SrcOffset:req.SrcOffset+req.Size])
 		second.mu.Unlock()
 		first.mu.Unlock()
@@ -965,6 +967,7 @@ func (s *Session) buildLaunchArgs(k *kernelObj, wire []protocol.KernelArg) ([]ke
 			if err != nil {
 				return nil, err
 			}
+			//lint:ignore haoclvet/lockguard the slice header is immutable; the bytes it names are ordered by the host's wait edges and the queue's in-order lane, not buf.mu
 			args[i] = kernel.BufferArg(buf.data)
 		case protocol.ArgScalar:
 			if param.Pointer {

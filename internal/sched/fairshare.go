@@ -183,8 +183,8 @@ func (f *FairQueue) Done(tenant string) {
 	}
 }
 
-// weightOf reads a tenant's weight with the default applied. Caller holds
-// f.mu.
+// weightOf reads a tenant's weight with the default applied.
+// Caller holds f.mu.
 func (f *FairQueue) weightOf(tenant string) int64 {
 	if w, ok := f.weights[tenant]; ok {
 		return w

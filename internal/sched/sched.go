@@ -8,6 +8,11 @@
 // provides the built-in policies — user-directed, round-robin,
 // least-loaded, heterogeneity-aware and power-aware — and applications may
 // plug in their own.
+//
+// Placement decisions feed the virtual-time simulation, so they must be
+// reproducible.
+//
+// haoclvet:deterministic
 package sched
 
 import (

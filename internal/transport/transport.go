@@ -96,18 +96,18 @@ type Client struct {
 	// without holding it: once batching is on, every frame goes through
 	// the queue, so the two write paths never overlap.
 	writeMu    sync.Mutex
-	writeCh    *sync.Cond // wakes the writer when frames are queued
-	spaceCh    *sync.Cond // wakes producers when the queue drains
-	queue      []*protocol.Frame
-	queueBytes int
-	batching   bool
-	sendDead   bool // write side failed or closed; queue is abandoned
+	writeCh    *sync.Cond        // wakes the writer when frames are queued
+	spaceCh    *sync.Cond        // wakes producers when the queue drains
+	queue      []*protocol.Frame // guarded by writeMu
+	queueBytes int               // guarded by writeMu
+	batching   bool              // guarded by writeMu
+	sendDead   bool              // guarded by writeMu; write side failed or closed, queue abandoned
 
 	mu      sync.Mutex
-	pending map[uint64]chan *protocol.Frame
-	closed  bool
-	readErr error
-	onDown  func(error)
+	pending map[uint64]chan *protocol.Frame // guarded by mu
+	closed  bool                            // guarded by mu
+	readErr error                           // guarded by mu
+	onDown  func(error)                     // guarded by mu
 
 	nextID atomic.Uint64
 }
@@ -386,6 +386,8 @@ type Pending struct {
 // wire order across several Go calls must serialize the calls themselves.
 // With batching negotiated, Go returns once the frame is queued to the
 // coalescing writer; the queue preserves Go-call order.
+//
+// haoclvet:wire
 func (c *Client) Go(req protocol.Message, resp protocol.Message) *Pending {
 	p := &Pending{c: c, op: req.Op(), resp: resp, ch: make(chan *protocol.Frame, 1)}
 	id := c.nextID.Add(1)
@@ -470,7 +472,11 @@ func (p *Pending) settle(err error) {
 
 // Wait blocks until the call completes and returns its error, decoding the
 // response into the resp passed to Go. A remote failure surfaces as a
-// *protocol.RemoteError; a dead connection as its sticky error.
+// *protocol.RemoteError; a dead connection as its sticky error. Errors are
+// raw at this layer: callers in the recovery path must classify them
+// (core.classifyNodeErr) before retry decisions.
+//
+// haoclvet:errclass-source
 func (p *Pending) Wait() error {
 	p.once.Do(func() {
 		f, ok := <-p.ch
@@ -501,7 +507,11 @@ func (p *Pending) Wait() error {
 }
 
 // Call sends req and blocks until the matching response arrives, decoding
-// it into resp: Go followed by Wait.
+// it into resp: Go followed by Wait. Like Wait, its error is raw and needs
+// classification before feeding recovery decisions.
+//
+// haoclvet:errclass-source
+// haoclvet:wire
 func (c *Client) Call(req protocol.Message, resp protocol.Message) error {
 	return c.Go(req, resp).Wait()
 }
@@ -545,9 +555,9 @@ type Server struct {
 	wireVersion uint32
 
 	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	ln     net.Listener          // guarded by mu
+	conns  map[net.Conn]struct{} // guarded by mu
+	closed bool                  // guarded by mu
 
 	wg sync.WaitGroup
 }

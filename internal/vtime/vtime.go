@@ -6,6 +6,9 @@
 // code, but the time a command "takes" is computed by an analytic
 // performance model (see internal/sim). This makes every figure
 // deterministic and independent of the machine running the reproduction.
+//
+// haoclvet:deterministic — wall-clock reads and unordered iteration are
+// forbidden here by construction.
 package vtime
 
 import (

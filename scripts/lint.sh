@@ -1,0 +1,47 @@
+#!/bin/sh
+# lint.sh runs the same checks as the CI lint job, in the same order.
+#
+#   scripts/lint.sh
+#
+# staticcheck and govulncheck are skipped when not installed so the script
+# works on a bare checkout; CI sets LINT_REQUIRE_TOOLS=1 after installing
+# pinned versions, which turns a missing tool into a failure instead.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '>> gofmt'
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$out" >&2
+	exit 1
+fi
+
+echo '>> go vet'
+go vet ./...
+go vet ./examples/...
+
+echo '>> haoclvet (lockguard, lockorder, vtimedet, errclass)'
+go run ./cmd/haoclvet ./...
+
+echo '>> bench checker self-tests'
+python3 scripts/check_bench_test.py
+
+run_tool() {
+	tool="$1"
+	shift
+	if command -v "$tool" >/dev/null 2>&1; then
+		echo ">> $tool"
+		"$tool" "$@"
+	elif [ "${LINT_REQUIRE_TOOLS:-}" = "1" ]; then
+		echo "$tool is required in CI but not installed" >&2
+		exit 1
+	else
+		echo ">> $tool (skipped: not installed)"
+	fi
+}
+
+run_tool staticcheck ./...
+run_tool govulncheck ./...
+
+echo 'lint: all checks passed'
