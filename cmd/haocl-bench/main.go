@@ -17,8 +17,10 @@
 //	haocl-bench -exp p2p        # p2p data plane: host-relay vs direct node→node migration
 //	haocl-bench -exp chaos      # fault tolerance: crash, re-placement and rejoin overhead
 //	haocl-bench -exp serve      # multi-tenant serving: fair-share vs FIFO admission
+//	haocl-bench -exp serve-trace  # trace-sized serve run (the committed BENCH_trace.json)
 //	haocl-bench -exp fig2 -quick  # reduced sweeps
 //	haocl-bench -exp pipeline -json  # machine-readable result (see below for the list)
+//	haocl-bench -exp serve-trace -trace out.json  # export spans as Perfetto JSON
 //
 // All reported durations are virtual time from the calibrated device and
 // network models; see DESIGN.md §1 for the methodology. The -json output
@@ -26,6 +28,13 @@
 // experiments is the format committed as the BENCH_*.json perf baselines
 // at the repository root and uploaded as a CI artifact by the bench-smoke
 // job.
+//
+// -trace records every command's deterministic virtual-time span tree
+// while the experiment runs and writes Chrome trace-event JSON on exit —
+// load it in Perfetto (ui.perfetto.dev) or chrome://tracing. The same
+// seeded experiment exports a byte-identical trace on every run; CI
+// asserts this, and the committed BENCH_trace.json is the serve-trace
+// export (DESIGN.md §10).
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"fmt"
 	"os"
 
+	haocl "github.com/haocl-project/haocl"
 	"github.com/haocl-project/haocl/internal/bench"
 )
 
@@ -47,12 +57,29 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("haocl-bench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, pipeline, batch, lanes, coherence, p2p, chaos, serve, all")
-		quick   = fs.Bool("quick", false, "reduced sweeps for a fast look")
-		jsonOut = fs.Bool("json", false, "emit the result as JSON (pipeline, batch, lanes, coherence, p2p, chaos and serve)")
+		exp      = fs.String("exp", "all", "experiment: table1, fig2, hetero, fig3, overhead, ablation, pipeline, batch, lanes, coherence, p2p, chaos, serve, serve-trace, all")
+		quick    = fs.Bool("quick", false, "reduced sweeps for a fast look")
+		jsonOut  = fs.Bool("json", false, "emit the result as JSON (pipeline, batch, lanes, coherence, p2p, chaos and serve)")
+		traceOut = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *traceOut != "" {
+		tracer := haocl.NewTracer()
+		bench.SetTracer(tracer)
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "haocl-bench: trace:", err)
+				return
+			}
+			defer f.Close()
+			if err := tracer.WriteChrome(f); err != nil {
+				fmt.Fprintln(os.Stderr, "haocl-bench: trace:", err)
+			}
+		}()
 	}
 
 	if *jsonOut {
@@ -75,8 +102,10 @@ func run(args []string) error {
 			rep, err = bench.ChaosReport(*quick)
 		case "serve":
 			rep, err = bench.ServeReport(*quick, 1)
+		case "serve-trace":
+			rep, err = bench.ServeTraceReport(1)
 		default:
-			return fmt.Errorf("-json supports -exp pipeline, batch, lanes, coherence, p2p, chaos and serve, not %q", *exp)
+			return fmt.Errorf("-json supports -exp pipeline, batch, lanes, coherence, p2p, chaos, serve and serve-trace, not %q", *exp)
 		}
 		if err != nil {
 			return err
@@ -127,6 +156,8 @@ func run(args []string) error {
 			return bench.Chaos(w, *quick)
 		case "serve":
 			return bench.Serve(w, *quick)
+		case "serve-trace":
+			return bench.ServeTrace(w)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -4,7 +4,15 @@
 //
 // Usage:
 //
-//	haocl-info -config cluster.json
+//	haocl-info -config cluster.json            # device inventory
+//	haocl-info -config cluster.json -status    # live scheduler snapshot
+//	haocl-info -config cluster.json -metrics   # Prometheus-text metrics
+//
+// -status renders the resource monitor's live view per device — the busy
+// frontier the node last reported, the host-assigned work it has not yet
+// acknowledged, and the estimated drain instant the scheduler's
+// least-loaded placement uses. -metrics dumps the same state plus the
+// runtime counters in Prometheus exposition format (DESIGN.md §10).
 package main
 
 import (
@@ -26,6 +34,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("haocl-info", flag.ContinueOnError)
 	configPath := fs.String("config", "cluster.json", "cluster configuration file")
+	status := fs.Bool("status", false, "print the live per-device scheduler snapshot instead of the inventory")
+	metrics := fs.Bool("metrics", false, "print a Prometheus-text metrics snapshot instead of the inventory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,6 +53,13 @@ func run(args []string) error {
 		return err
 	}
 
+	switch {
+	case *metrics:
+		return p.WriteMetrics(os.Stdout)
+	case *status:
+		return printStatus(p)
+	}
+
 	devices := p.Devices(haocl.AnyDevice)
 	fmt.Printf("HaoCL platform: %d node(s), %d device(s)\n\n", len(cfg.Nodes), len(devices))
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -53,6 +70,26 @@ func run(args []string) error {
 			d.Key(), info.Type, info.Name, info.ComputeUnits, info.ClockMHz,
 			info.GlobalMemBytes>>30, info.PeakGFLOPS, info.MemBWGBps,
 			info.TDPWatts, info.Shared)
+	}
+	return tw.Flush()
+}
+
+// printStatus renders the resource monitor's live view: what the scheduler
+// sees when it ranks devices (least-loaded placement keys on EXPECTED-FREE,
+// the busy frontier plus unacknowledged pending work).
+func printStatus(p *haocl.Platform) error {
+	views := p.Runtime().Monitor().Snapshot()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DEVICE\tBUSY-UNTIL\tPENDING\tEXPECTED-FREE\tQUEUED\tKERNELS\tENERGY")
+	for _, v := range views {
+		fmt.Fprintf(tw, "%s\t%.3fs\t%.3fs\t%.3fs\t%d\t%d\t%.1fJ\n",
+			v.Key.String(),
+			float64(v.Status.BusyUntil)/1e9,
+			v.Pending.Seconds(),
+			v.ExpectedFree().Seconds(),
+			v.Status.QueuedCmds,
+			v.Status.KernelsRun,
+			v.Status.EnergyJ)
 	}
 	return tw.Flush()
 }

@@ -62,11 +62,13 @@ package haocl
 
 import (
 	"fmt"
+	"io"
 
 	"github.com/haocl-project/haocl/internal/cluster"
 	"github.com/haocl-project/haocl/internal/core"
 	"github.com/haocl-project/haocl/internal/profile"
 	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/trace"
 	"github.com/haocl-project/haocl/internal/transport"
 	"github.com/haocl-project/haocl/internal/vtime"
 )
@@ -102,6 +104,12 @@ type (
 	MigrationMode = core.MigrationMode
 	// Metrics is the virtual-time accounting of a run.
 	Metrics = core.Metrics
+	// Tracer collects deterministic virtual-time span trees (DESIGN.md §10).
+	Tracer = trace.Tracer
+	// TraceRun is one tracer attachment — a Perfetto process group.
+	TraceRun = trace.Run
+	// Span is one recorded trace interval.
+	Span = trace.Span
 	// DeviceKey names a device cluster-wide.
 	DeviceKey = profile.DeviceKey
 	// Time is an instant of virtual time.
@@ -212,6 +220,26 @@ func (p *Platform) OpenSession(tenant string) *Session {
 
 // Metrics returns the run's virtual-time accounting so far.
 func (p *Platform) Metrics() Metrics { return p.rt.Metrics() }
+
+// NewTracer returns an empty tracer ready to attach with SetTracer.
+func NewTracer() *Tracer { return trace.New() }
+
+// SetTracer attaches a tracer to the platform: every command any session
+// issues records its deterministic span tree until the tracer is swapped
+// out (SetTracer(nil) detaches). One attachment is one TraceRun — a
+// separate Perfetto process group in the export. Tracing is zero-cost on
+// the enqueue path while detached.
+func (p *Platform) SetTracer(t *Tracer) *TraceRun { return p.rt.SetTracer(t) }
+
+// WriteTrace exports everything the attached tracer recorded as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+func (p *Platform) WriteTrace(w io.Writer) error { return p.rt.WriteTrace(w) }
+
+// WriteMetrics writes a Prometheus-text snapshot of the platform's
+// counters, per-device monitor gauges and — when a tracer is attached —
+// per-span-kind latency histograms.
+func (p *Platform) WriteMetrics(w io.Writer) error { return p.rt.WriteMetrics(w) }
 
 // ModelDataCreate charges host-side materialization of n bytes of input
 // data in the virtual-time model and returns the instant it completes.

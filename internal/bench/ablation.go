@@ -215,6 +215,7 @@ __kernel void light(__global const float* in, __global float* out, const int n) 
 			return nil, err
 		}
 		p := lc.Platform
+		attachTracer(p)
 		ctx, err := p.CreateContext(p.Devices(haocl.AnyDevice))
 		if err != nil {
 			lc.Close()

@@ -54,7 +54,7 @@ func cluster(gpus, fpgas int) (*haocl.LocalCluster, error) {
 // clusterAtWire is cluster with the nodes' wire version capped
 // (0 = current), for pre-batching baselines.
 func clusterAtWire(gpus, fpgas int, wire uint32) (*haocl.LocalCluster, error) {
-	return haocl.StartLocalCluster(haocl.LocalClusterSpec{
+	lc, err := haocl.StartLocalCluster(haocl.LocalClusterSpec{
 		UserID:      "bench",
 		GPUNodes:    gpus,
 		FPGANodes:   fpgas,
@@ -63,6 +63,11 @@ func clusterAtWire(gpus, fpgas int, wire uint32) (*haocl.LocalCluster, error) {
 		ExecWorkers: 1,
 		WireVersion: wire,
 	})
+	if err != nil {
+		return nil, err
+	}
+	attachTracer(lc.Platform)
+	return lc, nil
 }
 
 // appCase wires one Table I benchmark into the harness.

@@ -81,6 +81,7 @@ func startChaosBenchCluster(nodes int) (*chaosBenchCluster, error) {
 		cc.close()
 		return nil, err
 	}
+	attachTracerRuntime(rt)
 	cc.rt = rt
 	return cc, nil
 }
@@ -322,6 +323,7 @@ func chaosLeg(mode core.MigrationMode, seed int64, nodes, steps int, inj *sim.Fa
 	row.VirtualSec = m.Makespan.Seconds()
 	row.WireMB = float64(m.WireBytes-base.WireBytes) / (1 << 20)
 	row.Recoveries = m.Recoveries
+	row.ReplayedCommands = m.ReplayedCommands
 
 	var final bytes.Buffer
 	for i, b := range bufs {

@@ -79,6 +79,7 @@ func lanesPlatform(devs int, single bool) (*haocl.Platform, func(), error) {
 		srv.Close()
 		return nil, nil, err
 	}
+	attachTracer(p)
 	return p, func() { p.Close(); srv.Close() }, nil
 }
 

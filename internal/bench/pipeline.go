@@ -88,9 +88,11 @@ type PipelineRow struct {
 	WireMB     float64 `json:"wire_mb,omitempty"`
 	HostWireMB float64 `json:"host_wire_mb,omitempty"`
 	PeerWireMB float64 `json:"peer_wire_mb,omitempty"`
-	// Recoveries counts node-loss recoveries absorbed during the run —
-	// non-zero only on the chaos experiment's failure-injected legs.
-	Recoveries int64 `json:"recoveries,omitempty"`
+	// Recoveries counts node-loss recoveries absorbed during the run, and
+	// ReplayedCommands the command-log entries re-issued to rebuild lost
+	// state — non-zero only on the chaos experiment's failure-injected legs.
+	Recoveries       int64 `json:"recoveries,omitempty"`
+	ReplayedCommands int64 `json:"replayed_commands,omitempty"`
 	// Tenant, Jobs and the latency percentiles are filled by the serve
 	// experiment: one row per (leg, tenant), latencies in virtual
 	// milliseconds from job arrival to completion, and the leg's overall
@@ -178,6 +180,7 @@ func pipelinePlatform(gpus int, tcp bool, wire uint32) (*haocl.Platform, func(),
 		cleanup()
 		return nil, nil, err
 	}
+	attachTracer(p)
 	return p, func() { p.Close(); cleanup() }, nil
 }
 

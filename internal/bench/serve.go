@@ -211,11 +211,14 @@ func runFIFO(lanes map[string]*tenantLane, jobs []*serveJob) (vtime.Time, error)
 // admission queue instead of ahead of everyone on the device. Each item's
 // deficit cost is its job type's calibrated virtual service time, so the
 // shares are fair in device time, not job counts.
-func runFair(lanes map[string]*tenantLane, jobs []*serveJob, svcByType []vtime.Duration, quantum vtime.Duration, weights map[string]int64) (vtime.Time, error) {
+func runFair(p *haocl.Platform, lanes map[string]*tenantLane, jobs []*serveJob, svcByType []vtime.Duration, quantum vtime.Duration, weights map[string]int64) (vtime.Time, error) {
 	fq := sched.NewFairQueue(quantum)
 	for tenant, w := range weights {
 		fq.SetWeight(tenant, w)
 	}
+	// When the leg is traced, each grant records an admission span from the
+	// job's arrival to its grant instant (nil run = tracing off, no-op).
+	fq.SetTracer(p.Runtime().TraceRun())
 	var now vtime.Time
 	next := 0
 	for {
@@ -223,11 +226,12 @@ func runFair(lanes map[string]*tenantLane, jobs []*serveJob, svcByType []vtime.D
 			fq.Submit(sched.FairItem{
 				Tenant:  jobs[next].tenant,
 				Cost:    svcByType[jobs[next].kind],
+				Arrival: jobs[next].arrival,
 				Payload: jobs[next],
 			})
 			next++
 		}
-		item, ok := fq.Next()
+		item, ok := fq.NextAt(now)
 		if !ok {
 			if next >= len(jobs) {
 				return now, nil
@@ -345,8 +349,21 @@ func serveSizes(quick bool) int {
 //	fair — all three through the weighted DRR queue, then rerun with the
 //	       same seed to prove grant-order and latency determinism.
 func ServeReport(quick bool, seed int64) (*Report, error) {
-	rep := &Report{Experiment: "serve", Quick: quick}
-	jobsPerLight := serveSizes(quick)
+	return serveReport("serve", serveSizes(quick), quick, seed)
+}
+
+// ServeTraceReport is the compact serve variant behind the serve-trace
+// experiment: the same legs and admission modes at a handful of jobs per
+// light tenant, sized so its exported trace stays a small committed
+// artifact while still showing per-tenant lane timelines, admission waits
+// and the fair-rerun determinism in Perfetto.
+func ServeTraceReport(seed int64) (*Report, error) {
+	return serveReport("serve-trace", 8, true, seed)
+}
+
+// serveReport runs the serve legs at the given per-light-tenant job count.
+func serveReport(experiment string, jobsPerLight int, quick bool, seed int64) (*Report, error) {
+	rep := &Report{Experiment: experiment, Quick: quick}
 
 	svcByType, meanSvc, err := calibrate()
 	if err != nil {
@@ -421,7 +438,7 @@ func ServeReport(quick bool, seed int64) (*Report, error) {
 		sw := startStopwatch()
 		var end vtime.Time
 		if fair {
-			end, err = runFair(lanes, merged, svcByType, quantum, weights)
+			end, err = runFair(p, lanes, merged, svcByType, quantum, weights)
 		} else {
 			end, err = runFIFO(lanes, merged)
 		}
@@ -524,6 +541,22 @@ func Serve(w io.Writer, quick bool) error {
 	if err != nil {
 		return err
 	}
+	printServeReport(w, rep)
+	return nil
+}
+
+// ServeTrace runs the trace-sized serve variant and prints its rows.
+func ServeTrace(w io.Writer) error {
+	fmt.Fprintln(w, "=== Serve (trace-sized): fair-share vs FIFO at 8 jobs per light tenant ===")
+	rep, err := ServeTraceReport(1)
+	if err != nil {
+		return err
+	}
+	printServeReport(w, rep)
+	return nil
+}
+
+func printServeReport(w io.Writer, rep *Report) {
 	for _, r := range rep.Rows {
 		fmt.Fprintln(w, r)
 	}
@@ -538,5 +571,4 @@ func Serve(w io.Writer, quick bool) error {
 		}
 		fmt.Fprintf(w, "%s: %s p99 latency %.2fx solo\n", c.Workload, c.Mode, c.Speedup)
 	}
-	return nil
 }

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"sync/atomic"
+
+	haocl "github.com/haocl-project/haocl"
+	"github.com/haocl-project/haocl/internal/core"
+)
+
+// The harness starts a fresh cluster per experiment leg, so a single
+// platform-level SetTracer call cannot observe a whole experiment. Instead
+// the harness keeps one package-wide tracer sink: SetTracer installs it,
+// and every platform constructor attaches it to the new platform, making
+// each leg one trace.Run (its own Perfetto process group — all legs start
+// at virtual time 0, so they must not share a timeline).
+
+// benchTracer is the harness-wide tracer, nil when tracing is off.
+var benchTracer atomic.Pointer[haocl.Tracer]
+
+// SetTracer installs (or with nil removes) the tracer every subsequently
+// started platform records into. haocl-bench -trace wires this up.
+func SetTracer(t *haocl.Tracer) { benchTracer.Store(t) }
+
+// attachTracer hooks the harness tracer, if any, onto a freshly started
+// platform and returns the platform's run handle (nil when tracing is off).
+func attachTracer(p *haocl.Platform) *haocl.TraceRun {
+	t := benchTracer.Load()
+	if t == nil {
+		return nil
+	}
+	return p.SetTracer(t)
+}
+
+// attachTracerRuntime is attachTracer for harness code that connects at the
+// runtime layer (the chaos experiment).
+func attachTracerRuntime(rt *core.Runtime) *haocl.TraceRun {
+	t := benchTracer.Load()
+	if t == nil {
+		return nil
+	}
+	return rt.SetTracer(t)
+}

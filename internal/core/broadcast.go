@@ -6,6 +6,7 @@ import (
 
 	"github.com/haocl-project/haocl/internal/protocol"
 	"github.com/haocl-project/haocl/internal/sim"
+	"github.com/haocl-project/haocl/internal/trace"
 	"github.com/haocl-project/haocl/internal/transport"
 	"github.com/haocl-project/haocl/internal/vtime"
 )
@@ -150,15 +151,16 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 	for i, h := range plan {
 		node := h.dev.node
 		var arrival vtime.Time
+		var wireStart vtime.Time // hop payload departure, for the wire span
 		var id uint64
 		var ev *Event
 		if i == 0 || !p2p {
 			if i == 0 {
 				// First hop crosses the host NIC.
-				arrival = c.sess.chargeNIC(b.hostReadyAt, controlMsgBytes+b.modelSize)
+				wireStart, arrival = c.sess.chargeNIC(b.hostReadyAt, controlMsgBytes+b.modelSize)
 			} else {
 				// Chain hop: previous node forwards over its own link.
-				arrival = prevArrival.Add(hopDelay(b.modelSize))
+				wireStart, arrival = prevArrival, prevArrival.Add(hopDelay(b.modelSize))
 			}
 			resp := new(protocol.EventResp)
 			var pend *transport.Pending
@@ -171,14 +173,15 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 				ModelBytes: b.modelSize,
 				WaitEvents: h.chain,
 			}, resp)
-			ev = &Event{dev: h.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
+			ev = &Event{dev: h.dev, remoteID: id, queue: h.q, pending: pend, resp: resp,
+				trace: c.sess.traceCmd(trace.KindBroadcast, h.dev, h.qid, b.modelSize, wireStart, arrival)}
 		} else {
 			// Chain hop over the node links: the previous node forwards
 			// the buffer it just received, cut through at DepartAt.
 			prev := plan[i-1]
-			arrival = prevArrival.Add(hopDelay(b.modelSize))
+			wireStart, arrival = prevArrival, prevArrival.Add(hopDelay(b.modelSize))
 			token := c.rt.nextPushToken()
-			pushCtrl := c.sess.chargeNIC(0, controlMsgBytes)
+			pushCtrlStart, pushCtrl := c.sess.chargeNIC(0, controlMsgBytes)
 			pushResp := new(protocol.EventResp)
 			pushID, pushPend := c.sess.issue(prev.dev.node, &protocol.PushRangeReq{
 				QueueID:      prev.svcID,
@@ -197,14 +200,15 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 				// cut-through overlap with that device write.
 				WaitEvents: []int64{int64(prevID)},
 			}, pushResp)
-			pushEv := &Event{dev: prev.svcDev, remoteID: pushID, queue: prev.svc, pending: pushPend, resp: pushResp}
+			pushEv := &Event{dev: prev.svcDev, remoteID: pushID, queue: prev.svc, pending: pushPend, resp: pushResp,
+				trace: c.sess.traceCmd(trace.KindPushRange, prev.svcDev, 0, b.modelSize, pushCtrlStart, pushCtrl)}
 			prev.svc.track(pushEv)
 			// Anti-dependency: a later write to the forwarder's replica
 			// waits for the forward to have read it.
 			prev.rb.lastEvent = pushID
 			prev.rb.lastEv = pushEv
 
-			awaitCtrl := c.sess.chargeNIC(0, controlMsgBytes)
+			_, awaitCtrl := c.sess.chargeNIC(0, controlMsgBytes)
 			resp := new(protocol.EventResp)
 			var pend *transport.Pending
 			id, pend = c.sess.issue(node, &protocol.AwaitPushReq{
@@ -217,7 +221,10 @@ func (c *Context) broadcast(b *Buffer, data []byte, queues []*Queue) ([]*Event, 
 				ModelBytes: b.modelSize,
 				WaitEvents: h.chain,
 			}, resp)
-			ev = &Event{dev: h.dev, remoteID: id, queue: h.q, pending: pend, resp: resp}
+			// The hop's wire span is the peer-link flight [prevArrival,
+			// arrival], not the tiny control frame.
+			ev = &Event{dev: h.dev, remoteID: id, queue: h.q, pending: pend, resp: resp,
+				trace: c.sess.traceCmd(trace.KindBroadcast, h.dev, h.qid, b.modelSize, wireStart, arrival)}
 			c.sess.chargePeer(b.modelSize)
 			c.rt.watchPush(node.client.Load(), token, pushEv)
 		}

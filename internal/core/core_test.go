@@ -53,7 +53,7 @@ func testRegistry() *kernel.Registry {
 }
 
 // startRuntime builds an in-process cluster and connects a runtime.
-func startRuntime(t *testing.T, gpuNodes int) (*core.Runtime, func()) {
+func startRuntime(t testing.TB, gpuNodes int) (*core.Runtime, func()) {
 	t.Helper()
 	cfg := cluster.Synthetic("core-test", 0, gpuNodes, 0, nil)
 	icd := device.NewICD()

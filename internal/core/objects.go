@@ -10,6 +10,7 @@ import (
 	"github.com/haocl-project/haocl/internal/kernel"
 	"github.com/haocl-project/haocl/internal/mem"
 	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/trace"
 	"github.com/haocl-project/haocl/internal/transport"
 	"github.com/haocl-project/haocl/internal/vtime"
 )
@@ -32,6 +33,11 @@ type Event struct {
 	pending  *transport.Pending
 	resp     *protocol.EventResp
 	isKernel bool
+
+	// trace is the command's tracing record; nil when tracing was off at
+	// issue time. The span tree is emitted in resolve, where the node's
+	// profile is first known.
+	trace *evTrace
 
 	// gen is the recovery generation the event was issued under. After a
 	// node loss, recovery bumps the runtime generation: older events are
@@ -74,6 +80,7 @@ func (e *Event) resolve() {
 		}
 		e.profile = e.resp.Profile
 		sess.observeProfile(e.dev.key, e.profile, e.isKernel)
+		e.trace.emit(e.remoteID, e.profile)
 	})
 }
 
@@ -747,7 +754,7 @@ func (q *Queue) enqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 	localWaits = append(localWaits, chain...)
 	modelBytes := b.scaled(int64(len(data)))
 	earliest := vtime.Max(b.hostReadyAt, floor)
-	arrival := q.ctx.sess.chargeNIC(earliest, controlMsgBytes+modelBytes)
+	wireStart, arrival := q.ctx.sess.chargeNIC(earliest, controlMsgBytes+modelBytes)
 
 	resp := new(protocol.EventResp)
 	id, pend := q.ctx.sess.issue(node, &protocol.WriteBufferReq{
@@ -759,7 +766,8 @@ func (q *Queue) enqueueWrite(b *Buffer, offset int64, data []byte, waits ...*Eve
 		ModelBytes: modelBytes,
 		WaitEvents: localWaits,
 	}, resp)
-	ev := &Event{dev: dev, remoteID: id, queue: q, pending: pend, resp: resp}
+	ev := &Event{dev: dev, remoteID: id, queue: q, pending: pend, resp: resp,
+		trace: q.ctx.sess.traceCmd(trace.KindWrite, dev, qid, modelBytes, wireStart, arrival)}
 	q.track(ev)
 
 	// Coherence at issue time (wire order is event-ID order): this node and
@@ -846,7 +854,7 @@ func (b *Buffer) ensureResident(node *NodeHandle, lo, hi int64) (*remoteBuf, err
 	svcDev, svcQID := svc.binding()
 	for _, g := range gaps {
 		modelBytes := b.scaled(g.Len())
-		arrival := b.ctx.sess.chargeNIC(b.hostReadyAt, controlMsgBytes+modelBytes)
+		wireStart, arrival := b.ctx.sess.chargeNIC(b.hostReadyAt, controlMsgBytes+modelBytes)
 		resp := new(protocol.EventResp)
 		id, pend := b.ctx.sess.issue(node, &protocol.WriteBufferReq{
 			QueueID:    svcQID,
@@ -857,7 +865,8 @@ func (b *Buffer) ensureResident(node *NodeHandle, lo, hi int64) (*remoteBuf, err
 			ModelBytes: modelBytes,
 			WaitEvents: chain,
 		}, resp)
-		pushEv := &Event{dev: svcDev, remoteID: id, queue: svc, pending: pend, resp: resp}
+		pushEv := &Event{dev: svcDev, remoteID: id, queue: svc, pending: pend, resp: resp,
+			trace: b.ctx.sess.traceCmd(trace.KindMigrate, svcDev, 0, modelBytes, wireStart, arrival)}
 		svc.track(pushEv)
 		rb.valid.Add(g.Lo, g.Hi)
 		// The pushes ride one in-order service queue, so chaining the
@@ -918,9 +927,9 @@ func (b *Buffer) pullFrom(owner *NodeHandle, orb *remoteBuf, r mem.Range) error 
 	}
 	svcDev, svcQID := svc.binding()
 	modelBytes := b.scaled(r.Len())
-	arrival := b.ctx.sess.chargeNIC(0, controlMsgBytes)
+	wireStart, arrival := b.ctx.sess.chargeNIC(0, controlMsgBytes)
 	var resp protocol.ReadBufferResp
-	_, pend := b.ctx.sess.issue(owner, &protocol.ReadBufferReq{
+	id, pend := b.ctx.sess.issue(owner, &protocol.ReadBufferReq{
 		QueueID:    svcQID,
 		BufferID:   orb.id,
 		Offset:     r.Lo,
@@ -936,13 +945,16 @@ func (b *Buffer) pullFrom(owner *NodeHandle, orb *remoteBuf, r mem.Range) error 
 			r.Lo, r.Hi, owner.name, classifyNodeErr(owner, err))
 	}
 	// Response data crosses the backbone back to the host.
-	hostArrival := b.ctx.sess.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
+	_, hostArrival := b.ctx.sess.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
 	copy(b.host[r.Lo:r.Hi], resp.Data)
 	b.hostValid.Add(r.Lo, r.Hi)
 	if hostArrival > b.hostReadyAt {
 		b.hostReadyAt = hostArrival
 	}
 	b.ctx.sess.observeProfile(svcDev.key, resp.Profile, false)
+	// The pull blocked for its data, so its span tree is emitted here.
+	b.ctx.sess.traceCmd(trace.KindPull, svcDev, 0, modelBytes, wireStart, arrival).
+		emitIn(id, resp.Profile, hostArrival)
 	return nil
 }
 
@@ -1012,7 +1024,7 @@ func (q *Queue) enqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	}
 	localWaits = append(localWaits, chain...)
 	modelBytes := b.scaled(size)
-	arrival := q.ctx.sess.chargeNIC(floor, controlMsgBytes)
+	wireStart, arrival := q.ctx.sess.chargeNIC(floor, controlMsgBytes)
 
 	var resp protocol.ReadBufferResp
 	id, pend := q.ctx.sess.issue(node, &protocol.ReadBufferReq{
@@ -1029,7 +1041,7 @@ func (q *Queue) enqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	}
 	// The payload crosses the backbone to the host, freshening the host
 	// shadow over exactly the range it carried.
-	hostArrival := q.ctx.sess.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
+	_, hostArrival := q.ctx.sess.chargeNICIn(vtime.Time(resp.Profile.End), controlMsgBytes+modelBytes)
 
 	if b.host == nil {
 		b.host = make([]byte, b.size)
@@ -1042,6 +1054,9 @@ func (q *Queue) enqueueRead(b *Buffer, offset, size int64, waits ...*Event) ([]b
 	prof := resp.Profile
 	q.ctx.sess.observeProfile(dev.key, prof, false)
 	q.ctx.sess.observeMakespan(hostArrival)
+	// The read blocked for its data, so its span tree is emitted here.
+	q.ctx.sess.traceCmd(trace.KindRead, dev, qid, modelBytes, wireStart, arrival).
+		emitIn(id, prof, hostArrival)
 	// The event is born resolved: the read blocked for its response. It
 	// carries the issuing queue so Release and the cross-session wait check
 	// can find its owner (resolve is a no-op: pending is nil).
@@ -1127,7 +1142,8 @@ func (q *Queue) enqueueCopy(src, dst *Buffer, srcOffset, dstOffset, size int64, 
 		Size:       size,
 		WaitEvents: localWaits,
 	}, resp)
-	ev := &Event{dev: dev, remoteID: id, queue: q, pending: pend, resp: resp}
+	ev := &Event{dev: dev, remoteID: id, queue: q, pending: pend, resp: resp,
+		trace: q.ctx.sess.traceCmd(trace.KindCopy, dev, qid, size, 0, 0)}
 	q.track(ev)
 	// Anti-dependency on the source: a later writer of this replica — a
 	// same-node kernel on another queue, say — must wait until the copy has
@@ -1465,7 +1481,7 @@ func (q *Queue) enqueueKernelBound(k *Kernel, bindings []argBinding, global, loc
 		}
 	}
 
-	arrival := q.ctx.sess.chargeNIC(floor, msgBytes)
+	wireStart, arrival := q.ctx.sess.chargeNIC(floor, msgBytes)
 	req := &protocol.EnqueueKernelReq{
 		QueueID:    qid,
 		KernelID:   remoteKernel,
@@ -1481,7 +1497,8 @@ func (q *Queue) enqueueKernelBound(k *Kernel, bindings []argBinding, global, loc
 	}
 	resp := new(protocol.EventResp)
 	id, pend := q.ctx.sess.issue(node, req, resp)
-	ev := &Event{dev: dev, remoteID: id, queue: q, pending: pend, resp: resp, isKernel: true}
+	ev := &Event{dev: dev, remoteID: id, queue: q, pending: pend, resp: resp, isKernel: true,
+		trace: q.ctx.sess.traceCmd(trace.KindKernel, dev, qid, msgBytes, wireStart, arrival)}
 	q.track(ev)
 
 	// Written-buffer coherence at issue time. The monotonic guard keeps a

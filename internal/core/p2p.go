@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/haocl-project/haocl/internal/mem"
 	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/trace"
 	"github.com/haocl-project/haocl/internal/transport"
 )
 
@@ -79,7 +80,7 @@ func (b *Buffer) migrateP2P(node *NodeHandle, rb *remoteBuf, gaps []mem.Range) e
 				return err
 			}
 			modelBytes := b.scaled(r.Len())
-			arrival := b.ctx.sess.chargeNIC(b.hostReadyAt, controlMsgBytes+modelBytes)
+			wireStart, arrival := b.ctx.sess.chargeNIC(b.hostReadyAt, controlMsgBytes+modelBytes)
 			resp := new(protocol.EventResp)
 			id, pend := b.ctx.sess.issue(node, &protocol.WriteBufferReq{
 				QueueID:    svcQID,
@@ -90,7 +91,8 @@ func (b *Buffer) migrateP2P(node *NodeHandle, rb *remoteBuf, gaps []mem.Range) e
 				ModelBytes: modelBytes,
 				WaitEvents: chain,
 			}, resp)
-			pushEv := &Event{dev: svcDev, remoteID: id, queue: svc, pending: pend, resp: resp}
+			pushEv := &Event{dev: svcDev, remoteID: id, queue: svc, pending: pend, resp: resp,
+				trace: b.ctx.sess.traceCmd(trace.KindMigrate, svcDev, 0, modelBytes, wireStart, arrival)}
 			svc.track(pushEv)
 			rb.valid.Add(r.Lo, r.Hi)
 			rb.lastEvent = id
@@ -128,7 +130,7 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 
 	// Only the control frames cross the host NIC. The payload is charged
 	// to the owner's egress link node-side; the host keeps byte accounting.
-	pushCtrl := sess.chargeNIC(0, controlMsgBytes)
+	pushCtrlStart, pushCtrl := sess.chargeNIC(0, controlMsgBytes)
 	pushResp := new(protocol.EventResp)
 	pushID, pushPend := sess.issue(ps.node, &protocol.PushRangeReq{
 		QueueID:      ownerQID,
@@ -142,7 +144,8 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 		ModelBytes:   modelBytes,
 		WaitEvents:   ownerChain,
 	}, pushResp)
-	pushEv := &Event{dev: ownerDev, remoteID: pushID, queue: ownerSvc, pending: pushPend, resp: pushResp}
+	pushEv := &Event{dev: ownerDev, remoteID: pushID, queue: ownerSvc, pending: pushPend, resp: pushResp,
+		trace: sess.traceCmd(trace.KindPushRange, ownerDev, 0, modelBytes, pushCtrlStart, pushCtrl)}
 	ownerSvc.track(pushEv)
 	// The push becomes the owner replica's chain head: a later write there
 	// must wait for the device read (anti-dependency), and the in-order
@@ -151,7 +154,7 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 	ps.rb.lastEvent = pushID
 	ps.rb.lastEv = pushEv
 
-	awaitCtrl := sess.chargeNIC(0, controlMsgBytes)
+	awaitCtrlStart, awaitCtrl := sess.chargeNIC(0, controlMsgBytes)
 	awaitResp := new(protocol.EventResp)
 	awaitID, awaitPend := sess.issue(node, &protocol.AwaitPushReq{
 		QueueID:    svcQID,
@@ -163,7 +166,8 @@ func (b *Buffer) pushFromPeer(node *NodeHandle, rb *remoteBuf, svc *Queue, ps ow
 		ModelBytes: modelBytes,
 		WaitEvents: consumerChain,
 	}, awaitResp)
-	awaitEv := &Event{dev: svcDev, remoteID: awaitID, queue: svc, pending: awaitPend, resp: awaitResp}
+	awaitEv := &Event{dev: svcDev, remoteID: awaitID, queue: svc, pending: awaitPend, resp: awaitResp,
+		trace: sess.traceCmd(trace.KindAwaitPush, svcDev, 0, modelBytes, awaitCtrlStart, awaitCtrl)}
 	svc.track(awaitEv)
 	sess.chargePeer(modelBytes)
 	rt.watchPush(node.client.Load(), token, pushEv)

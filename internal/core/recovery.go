@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/trace"
 	"github.com/haocl-project/haocl/internal/transport"
 )
 
@@ -242,12 +243,26 @@ func (rt *Runtime) recoverOnce() (bool, error) {
 	totalReplayed := 0
 	var replayErr error
 	for _, s := range affected {
+		s.mu.Lock()
+		replayFrom := s.metrics.Makespan
+		s.mu.Unlock()
 		replayed, err := s.replayLog()
 		totalReplayed += replayed
 		s.mu.Lock()
 		s.metrics.Recoveries++
 		s.metrics.ReplayedCommands += int64(replayed)
+		replayTo := s.metrics.Makespan
 		s.mu.Unlock()
+		// One recovery span per affected session: the makespan interval
+		// the replay advanced through, tagged with the entry count.
+		s.traceRun().Add(trace.Span{
+			Kind:   trace.KindRecovery,
+			Tenant: s.tenant,
+			Start:  replayFrom,
+			End:    replayTo,
+			Bytes:  int64(replayed),
+			Replay: true,
+		})
 		if err != nil {
 			replayErr = err
 			break

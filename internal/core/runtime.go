@@ -28,6 +28,7 @@ import (
 	"github.com/haocl-project/haocl/internal/protocol"
 	"github.com/haocl-project/haocl/internal/sched"
 	"github.com/haocl-project/haocl/internal/sim"
+	"github.com/haocl-project/haocl/internal/trace"
 	"github.com/haocl-project/haocl/internal/transport"
 	"github.com/haocl-project/haocl/internal/vtime"
 )
@@ -215,6 +216,11 @@ type Runtime struct {
 	// phase so re-issued commands are not logged again.
 	recoverMu sync.Mutex
 	replaying atomic.Bool
+
+	// trc is the runtime-level tracing attachment (nil = tracing off);
+	// one Run per SetTracer call. Atomic so the hot enqueue path reads it
+	// lock-free.
+	trc atomic.Pointer[trace.Run]
 
 	// sessMu guards the session registry: every open session, plus the
 	// lazily created default session backing the Runtime-level API.

@@ -9,6 +9,7 @@ import (
 	"github.com/haocl-project/haocl/internal/profile"
 	"github.com/haocl-project/haocl/internal/protocol"
 	"github.com/haocl-project/haocl/internal/sched"
+	"github.com/haocl-project/haocl/internal/trace"
 	"github.com/haocl-project/haocl/internal/transport"
 	"github.com/haocl-project/haocl/internal/vtime"
 )
@@ -40,6 +41,11 @@ type Session struct {
 	tenant string
 
 	closed atomic.Bool
+
+	// trc is this session's tracing override; when nil, commands record
+	// into the runtime-level attachment (see traceRun). Atomic so the hot
+	// enqueue path reads it lock-free.
+	trc atomic.Pointer[trace.Run]
 
 	mu      sync.Mutex
 	metrics Metrics       // guarded by mu
@@ -320,29 +326,31 @@ func (s *Session) ModelDataCreate(n int64) vtime.Time {
 
 // chargeNIC books an n-byte outbound message on the shared host NIC egress
 // link, recording it in both the session's and the aggregate transfer
-// metrics, and returns its arrival instant at the far end.
-func (s *Session) chargeNIC(earliest vtime.Time, n int64) vtime.Time {
+// metrics, and returns the booked interval: start is when the frame enters
+// the link (the wire span's origin for tracing), end its arrival instant
+// at the far end.
+func (s *Session) chargeNIC(earliest vtime.Time, n int64) (start, end vtime.Time) {
 	cost := s.rt.nicOut.TransferCost(n)
-	_, end := s.rt.nicOut.Transfer(earliest, n)
+	start, end = s.rt.nicOut.Transfer(earliest, n)
 	s.bump(func(m *Metrics) {
 		m.Transfer += cost
 		m.WireBytes += n
 		m.HostWireBytes += n
 	})
-	return end
+	return start, end
 }
 
 // chargeNICIn books an n-byte response payload on the host NIC ingress
 // link (full-duplex GbE: reads do not contend with writes).
-func (s *Session) chargeNICIn(earliest vtime.Time, n int64) vtime.Time {
+func (s *Session) chargeNICIn(earliest vtime.Time, n int64) (start, end vtime.Time) {
 	cost := s.rt.nicIn.TransferCost(n)
-	_, end := s.rt.nicIn.Transfer(earliest, n)
+	start, end = s.rt.nicIn.Transfer(earliest, n)
 	s.bump(func(m *Metrics) {
 		m.Transfer += cost
 		m.WireBytes += n
 		m.HostWireBytes += n
 	})
-	return end
+	return start, end
 }
 
 // chargePeer records n bytes of node↔node traffic for this session (link

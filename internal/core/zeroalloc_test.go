@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/protocol"
+	"github.com/haocl-project/haocl/internal/trace"
+)
+
+// TestTraceDisabledZeroAlloc pins the zero-cost-when-off contract: with no
+// tracer attached, the per-command trace hook on the hot enqueue path must
+// not allocate — it is two atomic loads and a nil return.
+func TestTraceDisabledZeroAlloc(t *testing.T) {
+	rt := &Runtime{}
+	s := &Session{rt: rt, tenant: "t"}
+	dev := &DeviceRef{node: &NodeHandle{name: "node0"}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr := s.traceCmd(trace.KindWrite, dev, 1, 64, 0, 0); tr != nil {
+			t.Fatal("tracer unexpectedly attached")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled traceCmd allocates %.1f/op, want 0", allocs)
+	}
+	// The nil record's emit (reached from Event.resolve) must be free too.
+	allocs = testing.AllocsPerRun(1000, func() {
+		var et *evTrace
+		et.emit(1, protocol.Profile{})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil emit allocates %.1f/op, want 0", allocs)
+	}
+}

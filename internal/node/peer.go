@@ -290,6 +290,7 @@ func (s *Session) execPushRange(req *protocol.PushRangeReq, q *queueObj, ev *eve
 	}
 
 	var start, arrival vtime.Time
+	var submit vtime.Time // dependency-resolved instant, for Profile.Submit
 	if req.DepartAt > 0 {
 		// Forwarding hop: the payload is cut through, no device read. The
 		// waits above are a functional presence edge only (the data must be
@@ -298,6 +299,7 @@ func (s *Session) execPushRange(req *protocol.PushRangeReq, q *queueObj, ev *eve
 		// host-planned instant, not the wait deadline.
 		depart := vtime.Time(req.DepartAt)
 		start = depart
+		submit = depart
 		_, arrival = s.node.nicOut.Transfer(depart, min(modelBytes, pushChunkBytes))
 	} else {
 		// Migration push: device read, then the full payload on the link.
@@ -307,6 +309,7 @@ func (s *Session) execPushRange(req *protocol.PushRangeReq, q *queueObj, ev *eve
 		rstart, rend := q.clock.Reserve(at, dur)
 		q.execMu.Unlock()
 		q.stats.observeTransfer(modelBytes, q.dev.EnergyRate(), dur, rend)
+		submit = at
 		start = rstart
 		_, arrival = s.node.nicOut.Transfer(rend, modelBytes)
 	}
@@ -324,7 +327,7 @@ func (s *Session) execPushRange(req *protocol.PushRangeReq, q *queueObj, ev *eve
 	}
 
 	prof := protocol.Profile{
-		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(arrival),
+		Queued: req.SimArrival, Submit: int64(submit), Start: int64(start), End: int64(arrival),
 	}
 	ev.complete(prof)
 	return &protocol.EventResp{EventID: ev.id, Profile: prof}, nil
@@ -374,7 +377,7 @@ func (s *Session) execAwaitPush(req *protocol.AwaitPushReq, q *queueObj, ev *eve
 
 	q.stats.observeTransfer(modelBytes, q.dev.EnergyRate(), dur, end)
 	prof := protocol.Profile{
-		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
+		Queued: req.SimArrival, Submit: int64(arrival), Start: int64(start), End: int64(end),
 	}
 	ev.complete(prof)
 	return &protocol.EventResp{EventID: ev.id, Profile: prof}, nil

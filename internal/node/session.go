@@ -816,7 +816,7 @@ func (s *Session) execWriteBuffer(req *protocol.WriteBufferReq, q *queueObj, ev 
 
 	q.stats.observeTransfer(modelBytes, q.dev.EnergyRate(), dur, end)
 	prof := protocol.Profile{
-		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
+		Queued: req.SimArrival, Submit: int64(arrival), Start: int64(start), End: int64(end),
 	}
 	ev.complete(prof)
 	return &protocol.EventResp{EventID: ev.id, Profile: prof}, nil
@@ -845,7 +845,7 @@ func (s *Session) execReadBuffer(req *protocol.ReadBufferReq, q *queueObj, ev *e
 
 	q.stats.observeTransfer(modelBytes, q.dev.EnergyRate(), dur, end)
 	prof := protocol.Profile{
-		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
+		Queued: req.SimArrival, Submit: int64(arrival), Start: int64(start), End: int64(end),
 	}
 	ev.complete(prof)
 	return &protocol.ReadBufferResp{Data: out, EventID: ev.id, Profile: prof}, nil
@@ -886,7 +886,7 @@ func (s *Session) execCopyBuffer(req *protocol.CopyBufferReq, q *queueObj, ev *e
 
 	q.stats.observeTransfer(req.Size, q.dev.EnergyRate(), dur, end)
 	prof := protocol.Profile{
-		Queued: int64(deadline), Submit: int64(start), Start: int64(start), End: int64(end),
+		Queued: int64(deadline), Submit: int64(deadline), Start: int64(start), End: int64(end),
 	}
 	ev.complete(prof)
 	return &protocol.EventResp{EventID: ev.id, Profile: prof}, nil
@@ -1034,7 +1034,7 @@ func (s *Session) execEnqueueKernel(req *protocol.EnqueueKernelReq, q *queueObj,
 
 	q.stats.observeKernel(cost.Flops, cost.Bytes, dur, q.dev.EnergyRate(), end)
 	prof := protocol.Profile{
-		Queued: req.SimArrival, Submit: int64(start), Start: int64(start), End: int64(end),
+		Queued: req.SimArrival, Submit: int64(arrival), Start: int64(start), End: int64(end),
 	}
 	ev.complete(prof)
 	return &protocol.EventResp{EventID: ev.id, Profile: prof}, nil

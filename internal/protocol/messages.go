@@ -160,7 +160,16 @@ func (i *DeviceInfo) unmarshal(d *Decoder) {
 }
 
 // Profile carries the four OpenCL event-profiling timestamps, in virtual
-// nanoseconds (clGetEventProfilingInfo equivalents).
+// nanoseconds (clGetEventProfilingInfo equivalents): Queued is the
+// command's arrival at the node (SimArrival), Submit the instant its wire
+// waits resolved and it entered the device lane, Start the instant the
+// device began executing it, End its completion. Queued ≤ Submit ≤ Start
+// ≤ End for lane-executed commands; [Queued,Submit] is
+// registration/dependency wait, [Submit,Start] device queue wait,
+// [Start,End] the busy interval — the split the host-side tracer renders
+// as child spans. Cut-through forwarding pushes are the one exception:
+// their planned departure (Submit = Start = DepartAt) may precede the
+// control frame's booked arrival (Queued).
 type Profile struct {
 	Queued int64
 	Submit int64

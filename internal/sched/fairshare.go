@@ -3,6 +3,7 @@ package sched
 import (
 	"sync"
 
+	"github.com/haocl-project/haocl/internal/trace"
 	"github.com/haocl-project/haocl/internal/vtime"
 )
 
@@ -31,6 +32,10 @@ type FairItem struct {
 	// Items of unknown cost may use 1; relative magnitudes are what shape
 	// the shares.
 	Cost vtime.Duration
+	// Arrival optionally records the item's virtual submission instant, so
+	// a traced dispatcher (NextAt) can span the admission wait. Zero when
+	// the caller does not track virtual time.
+	Arrival vtime.Time
 	// Payload travels with the item untouched.
 	Payload any
 }
@@ -57,6 +62,10 @@ type FairQueue struct {
 	tenants map[string]*tenantState
 	pos     int // next visit position in order
 	backlog int
+
+	// trc records one admission span per NextAt grant when attached; the
+	// grant order itself is tracing-blind. Guarded by mu.
+	trc *trace.Run
 }
 
 // NewFairQueue returns an empty fair queue whose DRR quantum is the given
@@ -172,6 +181,41 @@ func (f *FairQueue) Next() (FairItem, bool) {
 			return FairItem{}, false
 		}
 	}
+}
+
+// SetTracer attaches a trace run that NextAt records admission spans into
+// (nil detaches). Tracing never changes the grant order.
+func (f *FairQueue) SetTracer(r *trace.Run) {
+	f.mu.Lock()
+	f.trc = r
+	f.mu.Unlock()
+}
+
+// NextAt is Next for virtual-time dispatchers: now is the dispatcher's
+// current virtual instant, and when a tracer is attached each grant
+// records an admission span from the item's Arrival to now — the time the
+// item spent waiting for its fair share. Identical grant order to Next.
+func (f *FairQueue) NextAt(now vtime.Time) (FairItem, bool) {
+	item, ok := f.Next()
+	if !ok {
+		return item, false
+	}
+	f.mu.Lock()
+	trc := f.trc
+	f.mu.Unlock()
+	if trc != nil {
+		start := item.Arrival
+		if start > now {
+			start = now
+		}
+		trc.Add(trace.Span{
+			Kind:   trace.KindAdmission,
+			Tenant: item.Tenant,
+			Start:  start,
+			End:    now,
+		})
+	}
+	return item, true
 }
 
 // Done returns one of tenant's released items, freeing its inflight slot.

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteChrome exports the trace in Chrome trace-event format (the JSON
+// flavor the Perfetto UI opens directly). Processes are (run, tenant)
+// pairs so each bench leg renders as its own process group with one track
+// per tenant; threads are device lanes ("node0/dev0 q3"), the per-node
+// service queue ("node0/dev0 svc") or the standalone admission/recovery
+// tracks. Output is byte-deterministic for a given span multiset: spans
+// are sorted by the total order in less, IDs are assigned from the sorted
+// tables, and timestamps are formatted with integer math.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
+		return err
+	}
+	spans, labels := t.snapshot()
+
+	// Process table: one pid per (run, tenant), in sorted order.
+	type proc struct {
+		run    int
+		tenant string
+	}
+	procIdx := map[proc]int{}
+	var procs []proc
+	for _, s := range spans {
+		p := proc{s.Run, s.Tenant}
+		if _, ok := procIdx[p]; !ok {
+			procIdx[p] = 0
+			procs = append(procs, p)
+		}
+	}
+	sort.Slice(procs, func(i, j int) bool {
+		if procs[i].run != procs[j].run {
+			return procs[i].run < procs[j].run
+		}
+		return procs[i].tenant < procs[j].tenant
+	})
+	for i, p := range procs {
+		procIdx[p] = i + 1
+	}
+
+	// Thread table per process: one tid per track name, in sorted order.
+	type thread struct {
+		pid   int
+		track string
+	}
+	threadIdx := map[thread]int{}
+	tracks := map[int][]string{}
+	for _, s := range spans {
+		th := thread{procIdx[proc{s.Run, s.Tenant}], trackName(s)}
+		if _, ok := threadIdx[th]; !ok {
+			threadIdx[th] = 0
+			tracks[th.pid] = append(tracks[th.pid], th.track)
+		}
+	}
+	for pid, names := range tracks {
+		sort.Strings(names)
+		for i, name := range names {
+			threadIdx[thread{pid, name}] = i + 1
+		}
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(line string) {
+		if !first {
+			buf.WriteString(",\n")
+		} else {
+			buf.WriteString("\n")
+			first = false
+		}
+		buf.WriteString(line)
+	}
+
+	// Metadata first, in pid/tid order.
+	for _, p := range procs {
+		pid := procIdx[p]
+		name := p.tenant
+		if name == "" {
+			name = "cluster"
+		}
+		if p.run >= 0 && p.run < len(labels) && labels[p.run] != "" {
+			name = labels[p.run] + "/" + name
+		} else {
+			name = "run" + strconv.Itoa(p.run) + "/" + name
+		}
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, jstr(name)))
+		emit(fmt.Sprintf(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`,
+			pid, pid))
+		for i, track := range tracks[pid] {
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				pid, i+1, jstr(track)))
+		}
+	}
+
+	for _, s := range spans {
+		pid := procIdx[proc{s.Run, s.Tenant}]
+		tid := threadIdx[thread{pid, trackName(s)}]
+		var args bytes.Buffer
+		if s.EventID != 0 {
+			fmt.Fprintf(&args, `"event":%d`, s.EventID)
+		}
+		if s.Bytes != 0 {
+			if args.Len() > 0 {
+				args.WriteByte(',')
+			}
+			fmt.Fprintf(&args, `"bytes":%d`, s.Bytes)
+		}
+		if s.Replay {
+			if args.Len() > 0 {
+				args.WriteByte(',')
+			}
+			args.WriteString(`"replay":true`)
+		}
+		emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{%s}}`,
+			jstr(s.Kind.String()), jstr(spanCat(s)), pid, tid,
+			micros(int64(s.Start)), micros(int64(s.End)-int64(s.Start)), args.String()))
+	}
+	buf.WriteString("\n]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// trackName assigns a span to its Perfetto thread track.
+func trackName(s Span) string {
+	switch s.Kind {
+	case KindAdmission:
+		return "admission"
+	case KindRecovery:
+		return "recovery"
+	}
+	if s.Device != "" {
+		if s.Queue != 0 {
+			return s.Device + " q" + strconv.FormatUint(s.Queue, 10)
+		}
+		return s.Device + " svc"
+	}
+	if s.Node != "" {
+		return s.Node
+	}
+	return "host"
+}
+
+// spanCat is the trace-event category: the span's role, with a replay
+// marker so Perfetto can filter recovery re-execution.
+func spanCat(s Span) string {
+	var cat string
+	switch {
+	case s.Kind.IsRoot():
+		cat = "command"
+	case s.Kind.IsPhase():
+		cat = "phase"
+	default:
+		cat = s.Kind.String()
+	}
+	if s.Replay {
+		cat += ",replay"
+	}
+	return cat
+}
+
+// micros renders nanoseconds as microseconds with fixed millisecond
+// precision ("12.345"), using integer math so output never depends on
+// float formatting.
+func micros(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg = "-"
+		ns = -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// jstr quotes a string as JSON.
+func jstr(s string) string { return strconv.Quote(s) }

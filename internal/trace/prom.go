@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Key, Val string
+}
+
+// MetricsWriter emits the Prometheus text exposition format (version
+// 0.0.4) without any client-library dependency. Callers are responsible
+// for emitting samples in a deterministic order; the writer itself only
+// formats. The first write error is sticky and returned by Err.
+type MetricsWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewMetricsWriter wraps w.
+func NewMetricsWriter(w io.Writer) *MetricsWriter { return &MetricsWriter{w: w} }
+
+// Header emits the # HELP / # TYPE preamble for a metric family.
+func (mw *MetricsWriter) Header(name, help, typ string) {
+	mw.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample emits one sample line. Labels are emitted in the given order.
+func (mw *MetricsWriter) Sample(name string, labels []Label, value float64) {
+	mw.printf("%s%s %s\n", name, formatLabels(labels), formatFloat(value))
+}
+
+// Int emits one integer-valued sample line.
+func (mw *MetricsWriter) Int(name string, labels []Label, v int64) {
+	mw.printf("%s%s %d\n", name, formatLabels(labels), v)
+}
+
+// Err returns the first write error, if any.
+func (mw *MetricsWriter) Err() error { return mw.err }
+
+func (mw *MetricsWriter) printf(format string, args ...any) {
+	if mw.err != nil {
+		return
+	}
+	_, mw.err = fmt.Fprintf(mw.w, format, args...)
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Val))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, which is deterministic for a given
+// value.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// latencyBuckets are the fixed histogram bounds for span latencies, in
+// seconds of virtual time: decades from 1µs to 10s. Fixed bounds keep the
+// text output stable across runs and workloads.
+var latencyBuckets = [...]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// WriteMetrics exports per-(kind, tenant) span latency histograms and
+// span counts in Prometheus text format. Output is byte-deterministic for
+// a given span multiset: series are keyed by (kind, tenant) and emitted
+// in sorted order. A nil tracer writes nothing.
+func (t *Tracer) WriteMetrics(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	spans, _ := t.snapshot()
+
+	type series struct {
+		kind   Kind
+		tenant string
+	}
+	type hist struct {
+		buckets [len(latencyBuckets) + 1]int64 // last is +Inf
+		count   int64
+		sumNS   int64
+	}
+	agg := map[series]*hist{}
+	var keys []series
+	for _, s := range spans {
+		k := series{s.Kind, s.Tenant}
+		h := agg[k]
+		if h == nil {
+			h = &hist{}
+			agg[k] = h
+			keys = append(keys, k)
+		}
+		sec := s.End.Sub(s.Start).Seconds()
+		i := 0
+		for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+			i++
+		}
+		h.buckets[i]++
+		h.count++
+		h.sumNS += int64(s.End) - int64(s.Start)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].tenant < keys[j].tenant
+	})
+
+	mw := NewMetricsWriter(w)
+	mw.Header("haocl_span_latency_virtual_seconds",
+		"Span duration in virtual seconds, by span kind and tenant.", "histogram")
+	for _, k := range keys {
+		h := agg[k]
+		base := []Label{{"kind", k.kind.String()}, {"tenant", k.tenant}}
+		cum := int64(0)
+		for i, le := range latencyBuckets {
+			cum += h.buckets[i]
+			mw.Int("haocl_span_latency_virtual_seconds_bucket",
+				append(base[:2:2], Label{"le", formatFloat(le)}), cum)
+		}
+		mw.Int("haocl_span_latency_virtual_seconds_bucket",
+			append(base[:2:2], Label{"le", "+Inf"}), h.count)
+		mw.Sample("haocl_span_latency_virtual_seconds_sum", base, float64(h.sumNS)/1e9)
+		mw.Int("haocl_span_latency_virtual_seconds_count", base, h.count)
+	}
+	mw.Header("haocl_spans_total", "Spans recorded, by span kind and tenant.", "counter")
+	for _, k := range keys {
+		mw.Int("haocl_spans_total",
+			[]Label{{"kind", k.kind.String()}, {"tenant", k.tenant}}, agg[k].count)
+	}
+	return mw.Err()
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/haocl-project/haocl/internal/vtime"
+)
+
+func span(run int, kind Kind, tenant string, id uint64, start, end vtime.Time) Span {
+	return Span{Run: run, Kind: kind, Tenant: tenant, Node: "node0",
+		Device: "node0/dev0", EventID: id, Start: start, End: end}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	r := tr.NewRun("off")
+	if r != nil {
+		t.Fatalf("nil tracer returned a live run")
+	}
+	r.Add(Span{Kind: KindExec}) // must not panic
+	if got := r.Tracer(); got != nil {
+		t.Fatalf("nil run returned a tracer")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome on nil tracer: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-tracer trace is not valid JSON: %v", err)
+	}
+	buf.Reset()
+	if err := tr.WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics on nil tracer: %v", err)
+	}
+}
+
+// TestSpansSortedRegardlessOfRecordOrder is the export-time determinism
+// contract: concurrent recorders may interleave arbitrarily, but Spans()
+// (and hence every exporter) sees one canonical total order.
+func TestSpansSortedRegardlessOfRecordOrder(t *testing.T) {
+	a := span(0, KindKernel, "t0", 7, 100, 200)
+	b := span(0, KindExec, "t0", 7, 150, 200)
+	c := span(0, KindKernel, "t1", 3, 50, 90)
+
+	orders := [][]Span{{a, b, c}, {c, b, a}, {b, a, c}}
+	var want []Span
+	for i, order := range orders {
+		tr := New()
+		r := tr.NewRun("run")
+		for _, s := range order {
+			r.Add(s)
+		}
+		got := tr.Spans()
+		if i == 0 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("order %d: %d spans, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("order %d: span %d = %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestRunsGetDistinctIDs(t *testing.T) {
+	tr := New()
+	r0 := tr.NewRun("leg0")
+	r1 := tr.NewRun("leg1")
+	r0.Add(Span{Kind: KindKernel, Start: 1, End: 2})
+	r1.Add(Span{Kind: KindKernel, Start: 1, End: 2})
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Run == spans[1].Run {
+		t.Fatalf("runs not distinguished: %+v", spans)
+	}
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	tr := New()
+	r := tr.NewRun("leg0")
+	r.Add(span(0, KindKernel, "tenant-a", 1, 1000, 5000))
+	r.Add(span(0, KindExec, "tenant-a", 1, 2500, 5000))
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			if ev["name"] == "kernel" && ev["dur"] != 4.0 {
+				t.Fatalf("kernel dur = %v µs, want 4", ev["dur"])
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 {
+		t.Fatalf("%d complete events, want 2", complete)
+	}
+	if meta == 0 {
+		t.Fatalf("no metadata events (process/thread names)")
+	}
+	if !strings.Contains(buf.String(), "leg0/tenant-a") {
+		t.Fatalf("process name missing run/tenant label:\n%s", buf.String())
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	build := func(order []Span) string {
+		tr := New()
+		r := tr.NewRun("leg")
+		for _, s := range order {
+			r.Add(s)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatalf("WriteChrome: %v", err)
+		}
+		return buf.String()
+	}
+	a := span(0, KindWrite, "t0", 1, 0, 10)
+	b := span(0, KindKernel, "t1", 2, 5, 25)
+	c := span(0, KindExec, "t1", 2, 10, 25)
+	if build([]Span{a, b, c}) != build([]Span{c, a, b}) {
+		t.Fatalf("export depends on record order")
+	}
+}
+
+func TestWriteMetricsFormat(t *testing.T) {
+	tr := New()
+	r := tr.NewRun("leg")
+	r.Add(span(0, KindKernel, "t0", 1, 0, 2_000_000)) // 2ms
+	r.Add(span(0, KindKernel, "t0", 2, 0, 500))       // 500ns
+	var buf bytes.Buffer
+	if err := tr.WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE haocl_span_latency_virtual_seconds histogram",
+		`haocl_span_latency_virtual_seconds_count{kind="kernel",tenant="t0"} 2`,
+		`haocl_span_latency_virtual_seconds_bucket{kind="kernel",tenant="t0",le="+Inf"} 2`,
+		`haocl_spans_total{kind="kernel",tenant="t0"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// The 500ns span lands in the 1µs bucket, the 2ms one above 1ms:
+	// cumulative counts must reflect both.
+	if !strings.Contains(out, `le="1e-06"} 1`) {
+		t.Fatalf("sub-microsecond span not in first bucket:\n%s", out)
+	}
+	// Label values must be escaped.
+	r.Add(Span{Kind: KindKernel, Tenant: "we\"ird\n", Start: 0, End: 1})
+	buf.Reset()
+	if err := tr.WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	if !strings.Contains(buf.String(), `tenant="we\"ird\n"`) {
+		t.Fatalf("label escaping broken:\n%s", buf.String())
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < Kind(kindCount); k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -40,6 +40,16 @@ serve
     DESIGN.md §8). The speedup field of a serve comparison carries the
     p99 ratio versus solo.
 
+serve-trace
+    The trace-sized serve run: too few jobs for the p99 bounds to be
+    statistically meaningful, so only the fair-rerun determinism bit is
+    gated.
+
+Every report also passes a schema check: known row and comparison fields
+must carry their expected JSON types (ints are fine where floats are
+expected), while unknown fields are tolerated so old checkers keep
+working when the reports grow new columns.
+
 Usage: check_bench.py [report.json ...]
 With no arguments, checks the default bench-*.json set in the current
 directory.
@@ -56,6 +66,7 @@ DEFAULT_REPORTS = [
     "bench-p2p.json",
     "bench-chaos.json",
     "bench-serve.json",
+    "bench-serve-trace.json",
 ]
 
 # The chaos leg may not run slower than this fraction of the healthy
@@ -67,6 +78,67 @@ CHAOS_MIN_SPEEDUP = 1.0 / 3.0
 # aggressor must actually distort the baseline for the bound to mean
 # anything).
 SERVE_P99_BOUND = 3.0
+
+# Expected JSON types of the known report fields. float entries accept
+# ints too (Go's encoder emits whole floats without a decimal point as
+# far as json.load is concerned); fields not listed here are tolerated
+# untyped, so reports may grow columns without breaking old checkers.
+ROW_FIELD_TYPES = {
+    "workload": str,
+    "transport": str,
+    "mode": str,
+    "commands": int,
+    "wall_ms": float,
+    "cmds_per_sec": float,
+    "virtual_sec": float,
+    "wire_mb": float,
+    "host_wire_mb": float,
+    "peer_wire_mb": float,
+    "recoveries": int,
+    "replayed_commands": int,
+    "tenant": str,
+    "jobs": int,
+    "p50_virtual_ms": float,
+    "p99_virtual_ms": float,
+    "jobs_per_virtual_sec": float,
+}
+COMPARISON_FIELD_TYPES = {
+    "workload": str,
+    "baseline": str,
+    "mode": str,
+    "speedup": float,
+    "virtual_match": bool,
+    "bytes_ratio": float,
+}
+
+
+def type_ok(val, want):
+    """True when val satisfies the expected type (ints pass for floats;
+    bools never pass for numbers, Python's bool-is-int notwithstanding)."""
+    if want is bool:
+        return isinstance(val, bool)
+    if isinstance(val, bool):
+        return False
+    if want is float:
+        return isinstance(val, (int, float))
+    return isinstance(val, want)
+
+
+def check_types(name, rep):
+    """Return violations for known fields carrying the wrong JSON type."""
+    bad = []
+    for kind, objs, types in (
+        ("row", rep.get("rows") or [], ROW_FIELD_TYPES),
+        ("comparison", rep.get("comparisons") or [], COMPARISON_FIELD_TYPES),
+    ):
+        for obj in objs:
+            for field, val in sorted(obj.items()):
+                want = types.get(field)
+                if want is not None and not type_ok(val, want):
+                    bad.append((name, obj.get("workload", "-"),
+                                "%s field %r is %s, want %s"
+                                % (kind, field, type(val).__name__, want.__name__)))
+    return bad
 
 
 def check_report(name, rep):
@@ -103,8 +175,19 @@ def check_report(name, rep):
         for r in rows:
             if r.get("mode") == "chaos" and not r.get("recoveries", 0):
                 bad.append((name, r["workload"], "chaos leg recorded no recoveries"))
+            if (r.get("mode") == "chaos" and r.get("recoveries", 0)
+                    and not r.get("replayed_commands", 0)):
+                bad.append((name, r["workload"],
+                            "chaos leg recovered without replaying any commands"))
         if not any(r.get("mode") == "chaos" for r in rows):
             bad.append((name, "-", "no chaos rows in report"))
+    elif exp == "serve-trace":
+        rerun = [c for c in comparisons if c.get("mode") == "fair-rerun"]
+        for c in rerun:
+            if not c.get("virtual_match"):
+                bad.append((name, c["workload"], "fair rerun latencies diverged"))
+        if not rerun:
+            bad.append((name, "-", "missing fair-rerun determinism comparison"))
     elif exp == "serve":
         fair = [c for c in comparisons
                 if c.get("mode") == "fair" and c.get("baseline") == "solo"]
@@ -133,6 +216,7 @@ def check_report(name, rep):
 
     if not comparisons:
         bad.append((name, "-", "no comparisons in report"))
+    bad.extend(check_types(name, rep))
     return bad
 
 

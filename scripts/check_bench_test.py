@@ -69,10 +69,11 @@ class P2P(unittest.TestCase):
 
 class Chaos(unittest.TestCase):
     @staticmethod
-    def rows(recoveries=5):
+    def rows(recoveries=5, replayed=40):
         return [
             {"workload": "delta", "mode": "no-failure"},
-            {"workload": "delta", "mode": "chaos", "recoveries": recoveries},
+            {"workload": "delta", "mode": "chaos", "recoveries": recoveries,
+             "replayed_commands": replayed},
         ]
 
     def test_clean(self):
@@ -93,6 +94,11 @@ class Chaos(unittest.TestCase):
         rep = report("chaos", [comparison("delta")], self.rows(recoveries=0))
         problems = [b[2] for b in check_bench.check_report("r", rep)]
         self.assertIn("chaos leg recorded no recoveries", problems)
+
+    def test_recovery_without_replay_flagged(self):
+        rep = report("chaos", [comparison("delta")], self.rows(replayed=0))
+        problems = [b[2] for b in check_bench.check_report("r", rep)]
+        self.assertIn("chaos leg recovered without replaying any commands", problems)
 
     def test_missing_chaos_rows_flagged(self):
         rep = report("chaos", [comparison("delta")], [{"workload": "delta", "mode": "no-failure"}])
@@ -134,6 +140,50 @@ class Serve(unittest.TestCase):
         problems = [b[2] for b in check_bench.check_report("r", rep)]
         self.assertIn("missing fair/fifo-vs-solo comparisons", problems)
         self.assertIn("missing fair-rerun determinism comparison", problems)
+
+
+class ServeTrace(unittest.TestCase):
+    def test_only_rerun_gated(self):
+        # The trace-sized run is too small for the p99 bounds; a wild fair
+        # ratio must pass as long as the rerun reproduced.
+        rep = report("serve-trace", [
+            comparison("light-0", baseline="solo", mode="fair", speedup=9.0),
+            comparison("Serve", baseline="fair", mode="fair-rerun"),
+        ])
+        self.assertEqual(check_bench.check_report("r", rep), [])
+
+    def test_nondeterministic_rerun_flagged(self):
+        rep = report("serve-trace", [
+            comparison("Serve", baseline="fair", mode="fair-rerun",
+                       virtual_match=False),
+        ])
+        problems = [b[2] for b in check_bench.check_report("r", rep)]
+        self.assertIn("fair rerun latencies diverged", problems)
+
+    def test_missing_rerun_flagged(self):
+        rep = report("serve-trace", [comparison("light-0", mode="fair")])
+        problems = [b[2] for b in check_bench.check_report("r", rep)]
+        self.assertIn("missing fair-rerun determinism comparison", problems)
+
+
+class FieldTypes(unittest.TestCase):
+    def test_unknown_fields_tolerated(self):
+        rep = report("pipeline", [comparison(novel_metric="anything")],
+                     [{"workload": "w", "future_column": {"nested": True}}])
+        self.assertEqual(check_bench.check_report("r", rep), [])
+
+    def test_int_accepted_for_float(self):
+        rep = report("pipeline", [comparison(speedup=2)])
+        self.assertEqual(check_bench.check_report("r", rep), [])
+
+    def test_wrong_types_flagged(self):
+        rep = report("pipeline", [comparison(virtual_match="yes")],
+                     [{"workload": "w", "replayed_commands": 1.5,
+                       "recoveries": True}])
+        problems = [b[2] for b in check_bench.check_report("r", rep)]
+        self.assertTrue(any("'virtual_match' is str, want bool" in p for p in problems))
+        self.assertTrue(any("'replayed_commands' is float, want int" in p for p in problems))
+        self.assertTrue(any("'recoveries' is bool, want int" in p for p in problems))
 
 
 class Shapes(unittest.TestCase):
